@@ -1,0 +1,155 @@
+//! Component microbenchmarks (paper Section V-D): per-stage throughput of
+//! the pipeline — term extraction per extractor, document expansion per
+//! resource, facet-term selection, and hierarchy construction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use facet_bench::drivers::scaled_bundle;
+use facet_core::{
+    build_subsumption_forest, select_facet_terms, SelectionInputs, SelectionStatistic,
+    SubsumptionParams,
+};
+use facet_corpus::RecipeKind;
+use facet_ner::NerTagger;
+use facet_resources::{
+    expand_database, ContextResource, ExpansionOptions, GoogleResource, WikiGraphResource,
+    WikiSynonymsResource, WordNetHypernymsResource,
+};
+use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+use facet_wikipedia::{TitleIndex, WikipediaGraph, WikipediaSynonyms};
+
+fn bench_extractors(c: &mut Criterion) {
+    let bundle = scaled_bundle(RecipeKind::Snyt, 0.2);
+    let docs: Vec<String> =
+        bundle.corpus.db.docs().iter().take(50).map(|d| d.full_text()).collect();
+
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let yahoo = YahooTermExtractor::fit(&bundle.corpus.db, &bundle.vocab);
+    let title_index = TitleIndex::build(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let wiki_x = WikipediaTitleExtractor::new(&bundle.wiki.wiki, title_index);
+
+    let mut group = c.benchmark_group("extract_50_docs");
+    let extractors: [(&str, &dyn TermExtractor); 3] =
+        [("ne", &ne), ("yahoo", &yahoo), ("wikipedia", &wiki_x)];
+    for (name, e) in extractors {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut n = 0;
+                for d in &docs {
+                    n += e.extract(d).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_resources(c: &mut Criterion) {
+    let mut bundle = scaled_bundle(RecipeKind::Snyt, 0.2);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let important: Vec<Vec<String>> =
+        bundle.corpus.db.docs().iter().map(|d| ne.extract(&d.full_text())).collect();
+
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let synonyms =
+        WikipediaSynonyms::new(&bundle.wiki.wiki, &bundle.wiki.redirects, &bundle.wiki.anchors);
+    let google = GoogleResource::new(&bundle.web);
+    let wn = WordNetHypernymsResource::new(&bundle.wordnet);
+    let syn = WikiSynonymsResource::new(&synonyms);
+    let graph_res = WikiGraphResource::new(&graph);
+
+    let mut group = c.benchmark_group("expand_corpus");
+    group.sample_size(10);
+    let resources: [(&str, &dyn ContextResource); 4] = [
+        ("google", &google),
+        ("wordnet", &wn),
+        ("wiki_synonyms", &syn),
+        ("wiki_graph", &graph_res),
+    ];
+    for (name, r) in resources {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || bundle.vocab.clone(),
+                |mut vocab| {
+                    expand_database(
+                        &bundle.corpus.db,
+                        &important,
+                        &[r],
+                        &mut vocab,
+                        &ExpansionOptions { threads: 1 },
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Selection and hierarchy construction use the graph expansion.
+    let contextualized = expand_database(
+        &bundle.corpus.db,
+        &important,
+        &[&graph_res],
+        &mut bundle.vocab,
+        &ExpansionOptions::default(),
+    );
+    let df = bundle.corpus.db.df_table_resized(bundle.vocab.len());
+
+    c.bench_function("selection_log_likelihood", |b| {
+        b.iter(|| {
+            select_facet_terms(
+                SelectionInputs {
+                    df: &df,
+                    df_c: contextualized.df_table(),
+                    n_docs: bundle.corpus.db.len() as u64,
+                },
+                SelectionStatistic::LogLikelihood,
+                800,
+                3,
+            )
+        })
+    });
+    c.bench_function("selection_chi_square_ablation", |b| {
+        b.iter(|| {
+            select_facet_terms(
+                SelectionInputs {
+                    df: &df,
+                    df_c: contextualized.df_table(),
+                    n_docs: bundle.corpus.db.len() as u64,
+                },
+                SelectionStatistic::ChiSquare,
+                800,
+                3,
+            )
+        })
+    });
+
+    let candidates = select_facet_terms(
+        SelectionInputs {
+            df: &df,
+            df_c: contextualized.df_table(),
+            n_docs: bundle.corpus.db.len() as u64,
+        },
+        SelectionStatistic::LogLikelihood,
+        400,
+        3,
+    );
+    let terms: Vec<_> = candidates.iter().map(|x| x.term).collect();
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(10);
+    group.bench_function("subsumption_forest", |b| {
+        b.iter(|| {
+            build_subsumption_forest(
+                &terms,
+                &contextualized.doc_terms,
+                SubsumptionParams::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extractors, bench_resources);
+criterion_main!(benches);

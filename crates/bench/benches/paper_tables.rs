@@ -1,0 +1,51 @@
+//! One benchmark per paper table/figure: measures the wall-clock cost of
+//! regenerating each experiment at reduced scale. The `experiments`
+//! binary produces the actual numbers; these benches track the cost of
+//! producing them (and catch pathological regressions in any stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facet_bench::drivers;
+use facet_corpus::RecipeKind;
+
+/// Scale used by the benches: small enough for Criterion iteration,
+/// large enough to exercise every stage.
+const SCALE: f64 = 0.1;
+
+fn bench_pilot_and_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.bench_function("table1_pilot_study", |b| b.iter(|| drivers::run_pilot(SCALE)));
+    group.bench_function("figure4_gold_terms", |b| b.iter(|| drivers::run_figure4(SCALE, 40)));
+    group.bench_function("figure5_baseline", |b| b.iter(|| drivers::run_figure5(SCALE, 25)));
+    group.finish();
+}
+
+fn bench_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_grids");
+    group.sample_size(10);
+    group.bench_function("tables_2_and_5_snyt_grid", |b| {
+        b.iter(|| drivers::run_dataset_tables(RecipeKind::Snyt, SCALE, 800))
+    });
+    group.bench_function("tables_3_and_6_snb_grid", |b| {
+        b.iter(|| drivers::run_dataset_tables(RecipeKind::Snb, SCALE / 4.0, 800))
+    });
+    group.bench_function("tables_4_and_7_mnyt_grid", |b| {
+        b.iter(|| drivers::run_dataset_tables(RecipeKind::Mnyt, SCALE / 8.0, 800))
+    });
+    group.finish();
+}
+
+fn bench_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_studies");
+    group.sample_size(10);
+    group.bench_function("sensitivity_curve", |b| {
+        b.iter(|| drivers::run_sensitivity(RecipeKind::Snyt, SCALE))
+    });
+    group.bench_function("user_study_5x5", |b| {
+        b.iter(|| drivers::run_user_study_experiment(SCALE))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pilot_and_figures, bench_grids, bench_studies);
+criterion_main!(benches);

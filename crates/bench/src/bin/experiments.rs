@@ -1,0 +1,177 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! experiments <command> [--scale <f>] [--top-k <n>]
+//!
+//! Commands:
+//!   table1        Pilot-study facets (Table I) + the 65% missing-term stat
+//!   figure4       Most frequent annotator facet terms
+//!   figure5       Plain-subsumption baseline terms
+//!   table2        Recall grid, SNYT      table5   Precision grid, SNYT
+//!   table3        Recall grid, SNB       table6   Precision grid, SNB
+//!   table4        Recall grid, MNYT      table7   Precision grid, MNYT
+//!   dimensions    Recall per facet dimension + candidate composition
+//!   ablation      Selection statistic + hierarchy construction ablation
+//!   baselines     Related-work baselines vs the paper's pipeline
+//!   sensitivity   Facet-term discovery vs sample size
+//!   efficiency    Component throughput (Section V-D)
+//!   userstudy     Simulated 5×5 user study (Section V-E)
+//!   all           Everything above
+//! ```
+//!
+//! `--scale` shrinks document counts (1.0 = paper scale; default 1.0).
+
+use facet_bench::drivers;
+use facet_corpus::RecipeKind;
+
+struct Args {
+    command: String,
+    scale: f64,
+    top_k: usize,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut scale = 1.0f64;
+    let mut top_k = 2000usize;
+    let mut json = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--scale" => {
+                scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+                i += 2;
+            }
+            "--top-k" => {
+                top_k = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+                i += 2;
+            }
+            c if !c.starts_with("--") => {
+                command = c.to_string();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { command, scale, top_k, json }
+}
+
+fn show(table: &facet_eval::Table, args: &Args) {
+    if args.json {
+        println!("{}", facet_jsonio::to_json_string_pretty(table).expect("table serializes"));
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn recall_precision(kind: RecipeKind, which: &str, args: &Args) {
+    let (recall, precision, gold_n, _bundle) =
+        drivers::run_dataset_tables(kind, args.scale, args.top_k);
+    println!("Gold standard: {gold_n} distinct facet terms ({}).", kind.name());
+    match which {
+        "recall" => show(&recall, args),
+        "precision" => show(&precision, args),
+        _ => {
+            show(&recall, args);
+            show(&precision, args);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "table1" => {
+            let (t, missing) = drivers::run_pilot(args.scale);
+            println!("{}", t.render());
+            println!(
+                "Facet terms absent from the story text: {:.0}% (paper: 65%)",
+                missing * 100.0
+            );
+        }
+        "pilot-missing" => {
+            let (_t, missing) = drivers::run_pilot(args.scale);
+            println!(
+                "Facet terms absent from the story text: {:.0}% (paper: 65%)",
+                missing * 100.0
+            );
+        }
+        "figure4" => {
+            println!("Most frequent annotator-identified facet terms (Figure 4):");
+            for (term, count) in drivers::run_figure4(args.scale, 60) {
+                println!("  {term}  ({count} stories)");
+            }
+        }
+        "figure5" => {
+            println!("Plain-subsumption baseline terms (Figure 5):");
+            println!("  {}", drivers::run_figure5(args.scale, 25).join(", "));
+        }
+        "table2" => recall_precision(RecipeKind::Snyt, "recall", &args),
+        "table3" => recall_precision(RecipeKind::Snb, "recall", &args),
+        "table4" => recall_precision(RecipeKind::Mnyt, "recall", &args),
+        "table5" => recall_precision(RecipeKind::Snyt, "precision", &args),
+        "table6" => recall_precision(RecipeKind::Snb, "precision", &args),
+        "table7" => recall_precision(RecipeKind::Mnyt, "precision", &args),
+        "snyt" => recall_precision(RecipeKind::Snyt, "both", &args),
+        "snb" => recall_precision(RecipeKind::Snb, "both", &args),
+        "mnyt" => recall_precision(RecipeKind::Mnyt, "both", &args),
+        "dimensions" => {
+            let (dims, comp) = drivers::run_dimensions(RecipeKind::Snyt, args.scale, args.top_k);
+            show(&dims, &args);
+            show(&comp, &args);
+        }
+        "ablation" => {
+            println!("{}", drivers::run_ablation(args.scale, args.top_k).render());
+        }
+        "baselines" => {
+            println!("{}", drivers::run_baselines(args.scale, args.top_k).render());
+        }
+        "sensitivity" => {
+            println!("{}", drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render());
+        }
+        "efficiency" => {
+            println!("{}", drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render());
+        }
+        "userstudy" => {
+            println!("{}", drivers::run_user_study_experiment(args.scale).render());
+        }
+        "all" => {
+            let (t, missing) = drivers::run_pilot(args.scale);
+            println!("{}", t.render());
+            println!(
+                "Facet terms absent from the story text: {:.0}% (paper: 65%)\n",
+                missing * 100.0
+            );
+            println!("Most frequent annotator facet terms (Figure 4):");
+            for (term, count) in drivers::run_figure4(args.scale, 40) {
+                println!("  {term}  ({count})");
+            }
+            println!("\nPlain-subsumption baseline terms (Figure 5):");
+            println!("  {}\n", drivers::run_figure5(args.scale, 25).join(", "));
+            for kind in RecipeKind::ALL {
+                recall_precision(kind, "both", &args);
+            }
+            println!("{}", drivers::run_ablation(args.scale, args.top_k).render());
+            println!("{}", drivers::run_baselines(args.scale, args.top_k).render());
+            let (dims, comp) = drivers::run_dimensions(RecipeKind::Snyt, args.scale, args.top_k);
+            println!("{}", dims.render());
+            println!("{}", comp.render());
+            println!("{}", drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render());
+            println!("{}", drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render());
+            println!("{}", drivers::run_user_study_experiment(args.scale).render());
+        }
+        other => {
+            eprintln!("unknown command {other}; see the doc comment for usage");
+            std::process::exit(2);
+        }
+    }
+}

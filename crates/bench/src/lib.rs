@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # facet-bench
+//!
+//! Experiment regeneration and benchmarks.
+//!
+//! The `experiments` binary (see `src/bin/experiments.rs`) regenerates
+//! every table and figure of the paper's evaluation section; the Criterion
+//! benches under `benches/` measure the pipeline components (Section
+//! V-D). This library crate holds the shared experiment drivers so the
+//! binary, the benches, and the integration tests reuse one
+//! implementation.
+
+pub mod drivers;
+
+pub use drivers::{
+    dataset_gold, run_dataset_tables, run_dimensions, run_efficiency, run_figure4, run_figure5, run_pilot,
+    run_ablation, run_baselines, run_sensitivity,
+    run_user_study_experiment, scaled_bundle,
+};

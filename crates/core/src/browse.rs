@@ -1,0 +1,264 @@
+//! The faceted browsing engine: OLAP-style slice-and-dice over a text
+//! database through the extracted facet hierarchies.
+//!
+//! The paper frames a faceted interface as "an OLAP-style cube over the
+//! text documents" (Section I). The engine supports exactly that: select
+//! facet terms (dimensions values), get the matching documents plus the
+//! refinement counts for every other facet term — the numbers a faceted
+//! UI shows next to each link.
+
+use crate::hierarchy::{FacetForest, TreeNode};
+use facet_corpus::DocId;
+use facet_textkit::{TermId, Vocabulary};
+use std::collections::HashMap;
+
+/// A browsing engine over one database and its facet forest.
+#[derive(Debug)]
+pub struct BrowseEngine {
+    forest: FacetForest,
+    /// Per-document term sets (contextualized), sorted.
+    doc_terms: Vec<Vec<TermId>>,
+    /// Inverted: facet term → documents carrying it.
+    postings: HashMap<TermId, Vec<DocId>>,
+}
+
+impl BrowseEngine {
+    /// Build the engine. `doc_terms[d]` are the (sorted, distinct) terms
+    /// of document `d` in the contextualized database.
+    pub fn new(forest: FacetForest, doc_terms: Vec<Vec<TermId>>) -> Self {
+        let mut postings: HashMap<TermId, Vec<DocId>> = HashMap::new();
+        let facet_terms: Vec<TermId> = {
+            fn collect(n: &TreeNode, out: &mut Vec<TermId>) {
+                out.push(n.term);
+                for c in &n.children {
+                    collect(c, out);
+                }
+            }
+            let mut v = Vec::new();
+            for t in &forest.trees {
+                collect(&t.root, &mut v);
+            }
+            v
+        };
+        for (d, terms) in doc_terms.iter().enumerate() {
+            for &t in &facet_terms {
+                if terms.binary_search(&t).is_ok() {
+                    postings.entry(t).or_default().push(DocId(d as u32));
+                }
+            }
+        }
+        Self { forest, doc_terms, postings }
+    }
+
+    /// The facet forest.
+    pub fn forest(&self) -> &FacetForest {
+        &self.forest
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.doc_terms.len()
+    }
+
+    /// Documents carrying a facet term.
+    pub fn docs_with(&self, term: TermId) -> &[DocId] {
+        self.postings.get(&term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Documents matching *all* selected facet terms (the slice/dice
+    /// operation). An empty selection matches every document.
+    pub fn select(&self, selection: &[TermId]) -> Vec<DocId> {
+        if selection.is_empty() {
+            return (0..self.doc_terms.len() as u32).map(DocId).collect();
+        }
+        // Intersect postings, smallest list first.
+        let mut lists: Vec<&[DocId]> =
+            selection.iter().map(|&t| self.docs_with(t)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<DocId> = lists[0].to_vec();
+        for l in &lists[1..] {
+            let set: std::collections::HashSet<DocId> = l.iter().copied().collect();
+            result.retain(|d| set.contains(d));
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Refinement counts: for the current selection, how many matching
+    /// documents each *child* of `node` (or each facet root if `None`)
+    /// would retain. This is the "(n)" a faceted UI renders next to each
+    /// narrowing link. Zero-count refinements are omitted.
+    pub fn refinements(
+        &self,
+        selection: &[TermId],
+        node: Option<&TreeNode>,
+    ) -> Vec<(TermId, String, usize)> {
+        let current = self.select(selection);
+        let current_set: std::collections::HashSet<DocId> = current.into_iter().collect();
+        let candidates: Vec<&TreeNode> = match node {
+            Some(n) => n.children.iter().collect(),
+            None => self.forest.trees.iter().map(|t| &t.root).collect(),
+        };
+        let mut out = Vec::new();
+        for c in candidates {
+            let count = self.docs_with(c.term).iter().filter(|d| current_set.contains(d)).count();
+            if count > 0 {
+                out.push((c.term, c.label.clone(), count));
+            }
+        }
+        out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    /// OLAP-style pivot: the co-occurrence matrix between two facet-term
+    /// lists. `result[i][j]` is the number of documents carrying both
+    /// `rows[i]` and `cols[j]` — the cube the paper's Section V-F
+    /// envisions exposing to OLAP users ("show profit-margin distribution
+    /// for users with this type of complaints").
+    pub fn pivot(&self, rows: &[TermId], cols: &[TermId]) -> Vec<Vec<usize>> {
+        let col_sets: Vec<std::collections::HashSet<DocId>> = cols
+            .iter()
+            .map(|&c| self.docs_with(c).iter().copied().collect())
+            .collect();
+        rows.iter()
+            .map(|&r| {
+                let row_docs = self.docs_with(r);
+                col_sets
+                    .iter()
+                    .map(|cs| row_docs.iter().filter(|d| cs.contains(d)).count())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Convenience: select by facet-term labels.
+    pub fn select_by_labels(&self, vocab: &Vocabulary, labels: &[&str]) -> Vec<DocId> {
+        let terms: Vec<TermId> =
+            labels.iter().filter_map(|l| vocab.get(&l.to_lowercase())).collect();
+        if terms.len() != labels.len() {
+            return Vec::new();
+        }
+        self.select(&terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::FacetTree;
+
+    fn engine() -> (BrowseEngine, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let politics = vocab.intern("politics");
+        let election = vocab.intern("election");
+        let france = vocab.intern("france");
+        // Forest: politics → election; france standalone.
+        let forest = FacetForest {
+            trees: vec![
+                FacetTree {
+                    root: TreeNode {
+                        term: politics,
+                        label: "politics".into(),
+                        doc_count: 3,
+                        children: vec![TreeNode {
+                            term: election,
+                            label: "election".into(),
+                            doc_count: 2,
+                            children: vec![],
+                        }],
+                    },
+                },
+                FacetTree {
+                    root: TreeNode {
+                        term: france,
+                        label: "france".into(),
+                        doc_count: 2,
+                        children: vec![],
+                    },
+                },
+            ],
+        };
+        let doc_terms = vec![
+            vec![politics, election, france], // doc 0
+            vec![politics, election],         // doc 1
+            vec![politics],                   // doc 2
+            vec![france],                     // doc 3
+        ];
+        (BrowseEngine::new(forest, doc_terms), vocab)
+    }
+
+    #[test]
+    fn empty_selection_matches_all() {
+        let (e, _) = engine();
+        assert_eq!(e.select(&[]).len(), 4);
+    }
+
+    #[test]
+    fn single_term_selection() {
+        let (e, vocab) = engine();
+        let politics = vocab.get("politics").unwrap();
+        assert_eq!(e.select(&[politics]).len(), 3);
+    }
+
+    #[test]
+    fn slice_and_dice_intersection() {
+        let (e, vocab) = engine();
+        let election = vocab.get("election").unwrap();
+        let france = vocab.get("france").unwrap();
+        let docs = e.select(&[election, france]);
+        assert_eq!(docs, vec![DocId(0)]);
+    }
+
+    #[test]
+    fn refinement_counts() {
+        let (e, _) = engine();
+        // At the top level with no selection: politics(3), france(2).
+        let refs = e.refinements(&[], None);
+        assert_eq!(refs[0].1, "politics");
+        assert_eq!(refs[0].2, 3);
+        assert_eq!(refs[1].1, "france");
+        assert_eq!(refs[1].2, 2);
+    }
+
+    #[test]
+    fn refinements_under_selection() {
+        let (e, vocab) = engine();
+        let france = vocab.get("france").unwrap();
+        // With "france" selected, drilling into politics children shows
+        // election retaining 1 document.
+        let politics_node = e.forest().trees[0].root.clone();
+        let refs = e.refinements(&[france], Some(&politics_node));
+        assert_eq!(refs, vec![(vocab.get("election").unwrap(), "election".into(), 1)]);
+    }
+
+    #[test]
+    fn pivot_counts_cooccurrence() {
+        let (e, vocab) = engine();
+        let politics = vocab.get("politics").unwrap();
+        let election = vocab.get("election").unwrap();
+        let france = vocab.get("france").unwrap();
+        let m = e.pivot(&[politics, election], &[france]);
+        // politics ∧ france: doc 0 only; election ∧ france: doc 0 only.
+        assert_eq!(m, vec![vec![1], vec![1]]);
+        // Diagonal-style sanity: politics × politics = df(politics).
+        let d = e.pivot(&[politics], &[politics]);
+        assert_eq!(d, vec![vec![3]]);
+    }
+
+    #[test]
+    fn pivot_empty_inputs() {
+        let (e, _) = engine();
+        assert!(e.pivot(&[], &[]).is_empty());
+        let m = e.pivot(&[TermId(999)], &[TermId(998)]);
+        assert_eq!(m, vec![vec![0]]);
+    }
+
+    #[test]
+    fn select_by_labels_unknown_label_empty() {
+        let (e, vocab) = engine();
+        assert!(e.select_by_labels(&vocab, &["nonexistent"]).is_empty());
+        assert_eq!(e.select_by_labels(&vocab, &["france"]).len(), 2);
+    }
+}

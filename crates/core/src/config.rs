@@ -1,0 +1,42 @@
+//! Pipeline configuration.
+
+use facet_resources::ExpansionOptions;
+
+/// Options for the end-to-end facet pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// How many top-ranked candidate facet terms to keep (the paper's
+    /// "return the top-k terms in Facet(D)").
+    pub top_k: usize,
+    /// Expansion engine options (threading).
+    pub expansion: ExpansionOptions,
+    /// Subsumption threshold for hierarchy construction
+    /// (Sanderson & Croft use P(x|y) ≥ 0.8).
+    pub subsumption_threshold: f64,
+    /// Minimum document frequency in `C(D)` for a candidate to be
+    /// considered at all (filters one-off noise).
+    pub min_df_c: u64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            top_k: 800,
+            expansion: ExpansionOptions::default(),
+            subsumption_threshold: 0.8,
+            min_df_c: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let o = PipelineOptions::default();
+        assert!(o.top_k > 0);
+        assert!(o.subsumption_threshold > 0.5 && o.subsumption_threshold <= 1.0);
+    }
+}

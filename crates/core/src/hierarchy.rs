@@ -1,0 +1,217 @@
+//! The facet hierarchy model: labelled trees over the selected facet
+//! terms, materialized from a subsumption forest.
+
+use crate::subsumption::SubsumptionForest;
+use facet_textkit::{TermId, Vocabulary};
+
+/// One node in a facet tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// The facet term.
+    pub term: TermId,
+    /// The term's string form (denormalized for display).
+    pub label: String,
+    /// Documents carrying the term (in the contextualized database).
+    pub doc_count: u64,
+    /// Child nodes, sorted by descending document count.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// Number of nodes in this subtree (including self).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::size).sum::<usize>()
+    }
+
+    /// Depth of the deepest leaf below this node (0 for a leaf).
+    pub fn height(&self) -> usize {
+        self.children.iter().map(|c| c.height() + 1).max().unwrap_or(0)
+    }
+
+    /// Find a node by label in this subtree.
+    pub fn find(&self, label: &str) -> Option<&TreeNode> {
+        if self.label == label {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(label))
+    }
+}
+
+/// One facet: a tree rooted at a top-level facet term.
+#[derive(Debug, Clone)]
+pub struct FacetTree {
+    /// The root node.
+    pub root: TreeNode,
+}
+
+/// The full faceted structure: one tree per facet, ordered by descending
+/// root document count (most prominent facet first).
+#[derive(Debug, Clone, Default)]
+pub struct FacetForest {
+    /// The facet trees.
+    pub trees: Vec<FacetTree>,
+}
+
+impl FacetForest {
+    /// Materialize a forest from a subsumption structure.
+    ///
+    /// `doc_count(t)` supplies each term's document count (typically
+    /// `df_C`); `vocab` supplies labels.
+    pub fn from_subsumption(
+        forest: &SubsumptionForest,
+        vocab: &Vocabulary,
+        doc_count: impl Fn(TermId) -> u64,
+    ) -> Self {
+        fn build(
+            i: usize,
+            forest: &SubsumptionForest,
+            vocab: &Vocabulary,
+            doc_count: &impl Fn(TermId) -> u64,
+        ) -> TreeNode {
+            let term = forest.terms[i];
+            let mut children: Vec<TreeNode> = forest
+                .children(i)
+                .into_iter()
+                .map(|c| build(c, forest, vocab, doc_count))
+                .collect();
+            children.sort_by(|a, b| b.doc_count.cmp(&a.doc_count).then(a.label.cmp(&b.label)));
+            TreeNode {
+                term,
+                label: vocab.term(term).to_string(),
+                doc_count: doc_count(term),
+                children,
+            }
+        }
+        let mut trees: Vec<FacetTree> = forest
+            .roots()
+            .into_iter()
+            .map(|r| FacetTree { root: build(r, forest, vocab, &doc_count) })
+            .collect();
+        trees.sort_by(|a, b| {
+            b.root
+                .doc_count
+                .cmp(&a.root.doc_count)
+                .then_with(|| a.root.label.cmp(&b.root.label))
+        });
+        Self { trees }
+    }
+
+    /// Total number of terms across all trees.
+    pub fn total_terms(&self) -> usize {
+        self.trees.iter().map(|t| t.root.size()).sum()
+    }
+
+    /// Find a node anywhere in the forest by label.
+    pub fn find(&self, label: &str) -> Option<&TreeNode> {
+        self.trees.iter().find_map(|t| t.root.find(label))
+    }
+
+    /// All `(parent label, child label)` edges in the forest.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        fn walk(node: &TreeNode, out: &mut Vec<(String, String)>) {
+            for c in &node.children {
+                out.push((node.label.clone(), c.label.clone()));
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        for t in &self.trees {
+            walk(&t.root, &mut out);
+        }
+        out
+    }
+
+    /// Render the forest as an indented text outline (for reports and the
+    /// examples).
+    pub fn render(&self, max_children: usize) -> String {
+        fn walk(node: &TreeNode, depth: usize, max_children: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{} ({})\n", node.label, node.doc_count));
+            for c in node.children.iter().take(max_children) {
+                walk(c, depth + 1, max_children, out);
+            }
+            if node.children.len() > max_children {
+                out.push_str(&"  ".repeat(depth + 1));
+                out.push_str(&format!("… {} more\n", node.children.len() - max_children));
+            }
+        }
+        let mut out = String::new();
+        for t in &self.trees {
+            walk(&t.root, 0, max_children, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subsumption::{build_subsumption_forest, SubsumptionParams};
+
+    fn forest() -> (FacetForest, Vocabulary) {
+        let mut vocab = Vocabulary::new();
+        let politics = vocab.intern("politics");
+        let election = vocab.intern("election");
+        let ballot = vocab.intern("ballot");
+        let docs = vec![
+            vec![politics],
+            vec![politics, election],
+            vec![politics, election, ballot],
+            vec![politics, election, ballot],
+        ];
+        let sub = build_subsumption_forest(
+            &[politics, election, ballot],
+            &docs,
+            SubsumptionParams {
+                threshold: 0.8,
+                min_generality_ratio: 1.0,
+                max_parent_df_fraction: 1.0,
+                min_lift: 0.0,
+            },
+        );
+        let df = move |t: TermId| match t.0 {
+            0 => 4u64,
+            1 => 3,
+            _ => 2,
+        };
+        (FacetForest::from_subsumption(&sub, &vocab, df), vocab)
+    }
+
+    #[test]
+    fn tree_shape() {
+        let (f, _) = forest();
+        assert_eq!(f.trees.len(), 1);
+        let root = &f.trees[0].root;
+        assert_eq!(root.label, "politics");
+        assert_eq!(root.children[0].label, "election");
+        assert_eq!(root.children[0].children[0].label, "ballot");
+        assert_eq!(f.total_terms(), 3);
+        assert_eq!(root.height(), 2);
+    }
+
+    #[test]
+    fn find_and_edges() {
+        let (f, _) = forest();
+        assert!(f.find("ballot").is_some());
+        assert!(f.find("nothing").is_none());
+        let edges = f.edges();
+        assert!(edges.contains(&("politics".into(), "election".into())));
+        assert!(edges.contains(&("election".into(), "ballot".into())));
+    }
+
+    #[test]
+    fn render_outline() {
+        let (f, _) = forest();
+        let text = f.render(10);
+        assert!(text.contains("politics (4)"));
+        assert!(text.contains("  election (3)"));
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = FacetForest::default();
+        assert_eq!(f.total_terms(), 0);
+        assert!(f.edges().is_empty());
+        assert_eq!(f.render(5), "");
+    }
+}

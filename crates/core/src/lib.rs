@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # facet-core
+//!
+//! The paper's primary contribution: **unsupervised extraction of useful
+//! facet hierarchies from a text database** (Dakka & Ipeirotis, ICDE
+//! 2008).
+//!
+//! The pipeline has three steps plus hierarchy construction:
+//!
+//! 1. **Important terms** ([`facet_termx`]): per-document `I(d)` from
+//!    named entities, statistical keyphrases, and Wikipedia titles.
+//! 2. **Context expansion** ([`facet_resources`]): each important term is
+//!    sent to external resources; the retrieved context terms form the
+//!    contextualized database `C(D)`.
+//! 3. **Comparative frequency analysis** ([`selection`]): terms whose
+//!    document frequency *and* log-rank bin both improve from `D` to
+//!    `C(D)` are candidate facet terms, ranked by Dunning's
+//!    log-likelihood statistic.
+//! 4. **Hierarchy construction** ([`subsumption`], [`hierarchy`]):
+//!    Sanderson–Croft subsumption organizes the selected terms into
+//!    per-facet trees; [`browse`] exposes the resulting OLAP-style
+//!    faceted browsing engine.
+//!
+//! [`pipeline::FacetPipeline`] ties everything together behind one call;
+//! [`baseline`] holds the comparison systems (the raw-subsumption
+//! hierarchy of the paper's Figure 5, and a chi-square selection variant
+//! for the ablation study).
+
+pub mod baseline;
+pub mod evidence;
+pub mod browse;
+pub mod config;
+pub mod hierarchy;
+pub mod pipeline;
+pub mod selection;
+pub mod subsumption;
+
+pub use browse::BrowseEngine;
+pub use config::PipelineOptions;
+pub use hierarchy::{FacetForest, FacetTree, TreeNode};
+pub use pipeline::{FacetExtraction, FacetPipeline};
+pub use selection::{select_facet_terms, FacetCandidate, SelectionInputs, SelectionStatistic};
+pub use baseline::raw_subsumption_terms;
+pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
+pub use subsumption::{build_subsumption_forest, SubsumptionForest, SubsumptionParams};

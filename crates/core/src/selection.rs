@@ -1,0 +1,219 @@
+//! Step 3: comparative term-frequency analysis (Section IV-C, Figure 3).
+//!
+//! A term `t` becomes a candidate facet term iff
+//!
+//! * `Shift_f(t) = df_C(t) − df(t) > 0`, and
+//! * `Shift_r(t) = B_D(t) − B_C(t) > 0` with `B(t) = ⌈log2 Rank(t)⌉`,
+//!
+//! and candidates are ranked by the log-likelihood statistic `−log λ_t`
+//! (or, for the ablation study, by chi-square).
+
+use facet_stats::{chi_square_df, log_likelihood_ratio, rank_bins};
+use facet_textkit::TermId;
+
+/// Which significance statistic ranks the candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStatistic {
+    /// Dunning's log-likelihood ratio (the paper's choice).
+    LogLikelihood,
+    /// Pearson chi-square (implemented for the ablation study; the paper
+    /// explains why it is unsuitable under power-law term frequencies).
+    ChiSquare,
+}
+
+/// A selected candidate facet term with its statistics.
+#[derive(Debug, Clone)]
+pub struct FacetCandidate {
+    /// The term.
+    pub term: TermId,
+    /// Document frequency in the original database.
+    pub df: u64,
+    /// Document frequency in the contextualized database.
+    pub df_c: u64,
+    /// `Shift_f(t)`.
+    pub shift_f: i64,
+    /// `Shift_r(t)`.
+    pub shift_r: i64,
+    /// The ranking statistic (−log λ or chi-square).
+    pub score: f64,
+}
+
+/// Inputs to the selection step.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionInputs<'a> {
+    /// Document-frequency table of `D`, indexed by term id.
+    pub df: &'a [u64],
+    /// Document-frequency table of `C(D)`, indexed by term id (may be
+    /// longer than `df`: context terms extend the vocabulary).
+    pub df_c: &'a [u64],
+    /// Number of documents (same in `D` and `C(D)`).
+    pub n_docs: u64,
+}
+
+/// Run the selection: returns candidates with both shifts positive,
+/// ranked by `statistic` descending, truncated to `top_k`.
+/// `min_df_c` filters terms too rare in `C(D)` to be meaningful facets.
+pub fn select_facet_terms(
+    inputs: SelectionInputs<'_>,
+    statistic: SelectionStatistic,
+    top_k: usize,
+    min_df_c: u64,
+) -> Vec<FacetCandidate> {
+    let vocab_len = inputs.df_c.len().max(inputs.df.len());
+    // Frequency tables padded to the full vocabulary.
+    let mut df = inputs.df.to_vec();
+    df.resize(vocab_len, 0);
+    let mut df_c = inputs.df_c.to_vec();
+    df_c.resize(vocab_len, 0);
+
+    let bins_d = rank_bins(&df);
+    let bins_c = rank_bins(&df_c);
+
+    let mut candidates: Vec<FacetCandidate> = Vec::new();
+    for i in 0..vocab_len {
+        let shift_f = df_c[i] as i64 - df[i] as i64;
+        let shift_r = bins_d[i] as i64 - bins_c[i] as i64;
+        if shift_f <= 0 || shift_r <= 0 || df_c[i] < min_df_c {
+            continue;
+        }
+        let score = match statistic {
+            SelectionStatistic::LogLikelihood => {
+                log_likelihood_ratio(df[i], df_c[i], inputs.n_docs)
+            }
+            SelectionStatistic::ChiSquare => chi_square_df(df[i], df_c[i], inputs.n_docs),
+        };
+        candidates.push(FacetCandidate {
+            term: TermId(i as u32),
+            df: df[i],
+            df_c: df_c[i],
+            shift_f,
+            shift_r,
+            score,
+        });
+    }
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    candidates.truncate(top_k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a scenario: term 0 is a background word (frequent in both),
+    /// term 1 is a facet term (absent in D, frequent in C), term 2 shrinks,
+    /// terms 3.. are mid-frequency fillers that keep ranks meaningful.
+    fn tables() -> (Vec<u64>, Vec<u64>) {
+        let mut df = vec![900, 0, 50];
+        let mut df_c = vec![905, 420, 30];
+        for i in 0..20 {
+            df.push(300 - i * 10);
+            df_c.push(305 - i * 10);
+        }
+        (df, df_c)
+    }
+
+    #[test]
+    fn facet_term_selected_background_not() {
+        let (df, df_c) = tables();
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionStatistic::LogLikelihood,
+            100,
+            1,
+        );
+        let terms: Vec<u32> = out.iter().map(|c| c.term.0).collect();
+        assert!(terms.contains(&1), "facet term must be selected: {terms:?}");
+        assert!(!terms.contains(&0), "background word must not be selected");
+        assert!(!terms.contains(&2), "shrinking term must not be selected");
+    }
+
+    #[test]
+    fn ranked_by_score_descending() {
+        let (df, df_c) = tables();
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionStatistic::LogLikelihood,
+            100,
+            1,
+        );
+        for w in out.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let (df, df_c) = tables();
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionStatistic::LogLikelihood,
+            1,
+            1,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn min_df_c_filters() {
+        // Background terms (ids 2..) keep the rank structure of D
+        // non-degenerate so absent terms land in a high bin.
+        let df = vec![0, 0, 100, 50, 30, 10];
+        let df_c = vec![2, 50, 100, 50, 30, 10];
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 100 },
+            SelectionStatistic::LogLikelihood,
+            10,
+            3,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].term, TermId(1));
+    }
+
+    #[test]
+    fn context_extends_vocabulary() {
+        // df_c longer than df: the new term ids must be handled.
+        let df = vec![10u64];
+        let df_c = vec![12u64, 40];
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 100 },
+            SelectionStatistic::LogLikelihood,
+            10,
+            1,
+        );
+        assert!(out.iter().any(|c| c.term == TermId(1)));
+    }
+
+    #[test]
+    fn chi_square_variant_runs() {
+        let (df, df_c) = tables();
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionStatistic::ChiSquare,
+            100,
+            1,
+        );
+        assert!(out.iter().any(|c| c.term == TermId(1)));
+    }
+
+    #[test]
+    fn shifts_recorded() {
+        let (df, df_c) = tables();
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionStatistic::LogLikelihood,
+            100,
+            1,
+        );
+        let facet = out.iter().find(|c| c.term == TermId(1)).unwrap();
+        assert_eq!(facet.shift_f, 420);
+        assert!(facet.shift_r > 0);
+        assert_eq!(facet.df, 0);
+        assert_eq!(facet.df_c, 420);
+    }
+}

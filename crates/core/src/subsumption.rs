@@ -1,0 +1,312 @@
+//! Sanderson–Croft subsumption hierarchies (SIGIR '99), used by the paper
+//! to organize the selected facet terms into browsable trees.
+//!
+//! Term `x` **subsumes** `y` iff `P(x|y) ≥ threshold` and `P(y|x) < 1`,
+//! with probabilities estimated from document co-occurrence: `P(x|y) =
+//! df(x ∧ y) / df(y)`. Each term is attached under its *most specific*
+//! subsumer (the subsumer with the smallest document frequency), which
+//! yields a forest.
+
+use facet_textkit::TermId;
+use std::collections::HashMap;
+
+/// Parameters for subsumption.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsumptionParams {
+    /// The `P(x|y)` threshold (Sanderson & Croft use 0.8).
+    pub threshold: f64,
+    /// A subsumer must be strictly more general: `df(x) ≥ ratio · df(y)`.
+    /// Keeps mutually co-occurring same-specificity terms (two names that
+    /// always travel together) from parenting each other.
+    pub min_generality_ratio: f64,
+    /// A term present in more than this fraction of documents cannot be a
+    /// parent: it co-occurs with everything and carries no subsumption
+    /// information. Such terms become facet roots instead.
+    pub max_parent_df_fraction: f64,
+    /// Minimum lift `P(x|y) / P(x)`: the parent must co-occur with the
+    /// child *above its own base rate*, rejecting chance co-occurrence of
+    /// merely frequent terms (a PMI-style association requirement).
+    pub min_lift: f64,
+}
+
+impl Default for SubsumptionParams {
+    fn default() -> Self {
+        Self {
+            threshold: 0.8,
+            min_generality_ratio: 1.5,
+            max_parent_df_fraction: 0.8,
+            min_lift: 1.15,
+        }
+    }
+}
+
+/// A subsumption forest over a set of terms: `parent[i]` is the index
+/// (into the input term list) of term `i`'s parent, or `None` for roots.
+#[derive(Debug, Clone)]
+pub struct SubsumptionForest {
+    /// The terms, in input order.
+    pub terms: Vec<TermId>,
+    /// Parent index per term.
+    pub parent: Vec<Option<usize>>,
+}
+
+impl SubsumptionForest {
+    /// Indices of the root terms.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.terms.len()).filter(|&i| self.parent[i].is_none()).collect()
+    }
+
+    /// Indices of the children of term `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.terms.len()).filter(|&j| self.parent[j] == Some(i)).collect()
+    }
+
+    /// Depth of term `i` (roots have depth 0).
+    pub fn depth(&self, i: usize) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent[i];
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent[p];
+        }
+        d
+    }
+}
+
+/// Build the subsumption forest for `terms`, where `doc_terms[d]` lists
+/// the distinct (sorted) terms of document `d` — typically from the
+/// contextualized database, as in the paper.
+pub fn build_subsumption_forest(
+    terms: &[TermId],
+    doc_terms: &[Vec<TermId>],
+    params: SubsumptionParams,
+) -> SubsumptionForest {
+    let term_pos: HashMap<TermId, usize> =
+        terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let n = terms.len();
+
+    // Document frequency and pairwise co-document frequency restricted to
+    // the candidate terms.
+    let mut df = vec![0u64; n];
+    let mut co: HashMap<(usize, usize), u64> = HashMap::new();
+    for d in doc_terms {
+        let present: Vec<usize> =
+            d.iter().filter_map(|t| term_pos.get(t).copied()).collect();
+        for &i in &present {
+            df[i] += 1;
+        }
+        for (a, &i) in present.iter().enumerate() {
+            for &j in present.iter().skip(a + 1) {
+                let key = if i < j { (i, j) } else { (j, i) };
+                *co.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let co_df = |i: usize, j: usize| -> u64 {
+        let key = if i < j { (i, j) } else { (j, i) };
+        co.get(&key).copied().unwrap_or(0)
+    };
+
+    // For each term y, find subsumers and attach to the best one. Two
+    // forces must balance: subsumption *strength* (a parent present in all
+    // of y's documents beats one that barely clears the threshold — this
+    // rejects frequent terms that co-occur by chance) and *specificity*
+    // (Sanderson & Croft's transitive reduction: attach to the most
+    // specific subsumer). We bucket P(x|y) into 5%-wide confidence bands
+    // and pick the most specific subsumer within the strongest band.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for y in 0..n {
+        if df[y] == 0 {
+            continue;
+        }
+        // (index, confidence bucket) of the current best parent.
+        let mut best: Option<(usize, u32)> = None;
+        let max_parent_df =
+            (params.max_parent_df_fraction * doc_terms.len() as f64).ceil() as u64;
+        for x in 0..n {
+            if x == y || df[x] == 0 || df[x] > max_parent_df {
+                continue;
+            }
+            if (df[x] as f64) < params.min_generality_ratio * df[y] as f64 {
+                continue;
+            }
+            let cxy = co_df(x, y);
+            let p_x_given_y = cxy as f64 / df[y] as f64;
+            let p_y_given_x = cxy as f64 / df[x] as f64;
+            let base_rate = df[x] as f64 / doc_terms.len().max(1) as f64;
+            let lift = if base_rate > 0.0 { p_x_given_y / base_rate } else { f64::INFINITY };
+            if p_x_given_y >= params.threshold && p_y_given_x < 1.0 && lift >= params.min_lift {
+                let bucket = (p_x_given_y * 20.0).floor() as u32;
+                let better = match best {
+                    None => true,
+                    Some((b, bb)) => bucket > bb || (bucket == bb && df[x] < df[b]),
+                };
+                if better {
+                    best = Some((x, bucket));
+                }
+            }
+        }
+        parent[y] = best.map(|(x, _)| x);
+    }
+
+    // Break any cycles (possible with mutual near-subsumption): walk each
+    // chain; on revisit, cut the closing edge.
+    for start in 0..n {
+        let mut seen = vec![false; n];
+        let mut cur = start;
+        while let Some(p) = parent[cur] {
+            if seen[p] {
+                parent[cur] = None;
+                break;
+            }
+            seen[cur] = true;
+            cur = p;
+        }
+    }
+
+    SubsumptionForest { terms: terms.to_vec(), parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Params without the density guards, for small synthetic fixtures
+    /// where every term is frequent by construction.
+    fn relaxed() -> SubsumptionParams {
+        SubsumptionParams {
+            threshold: 0.8,
+            min_generality_ratio: 1.0,
+            max_parent_df_fraction: 1.0,
+            min_lift: 0.0,
+        }
+    }
+
+    /// docs: "politics" appears whenever "election" or "ballot" does,
+    /// plus alone; "election" appears whenever "ballot" does, plus alone.
+    fn docs() -> Vec<Vec<TermId>> {
+        let politics = TermId(0);
+        let election = TermId(1);
+        let ballot = TermId(2);
+        let unrelated = TermId(3);
+        vec![
+            vec![politics],
+            vec![politics, election],
+            vec![politics, election, ballot],
+            vec![politics, election, ballot],
+            vec![unrelated],
+            vec![unrelated, politics],
+        ]
+    }
+
+    #[test]
+    fn chain_structure_recovered() {
+        let terms = vec![TermId(0), TermId(1), TermId(2), TermId(3)];
+        let f = build_subsumption_forest(&terms, &docs(), relaxed());
+        // ballot → election (most specific subsumer), election → politics.
+        assert_eq!(f.parent[2], Some(1));
+        assert_eq!(f.parent[1], Some(0));
+        assert_eq!(f.parent[0], None);
+        assert_eq!(f.parent[3], None);
+    }
+
+    #[test]
+    fn roots_and_children() {
+        let terms = vec![TermId(0), TermId(1), TermId(2), TermId(3)];
+        let f = build_subsumption_forest(&terms, &docs(), relaxed());
+        assert_eq!(f.roots(), vec![0, 3]);
+        assert_eq!(f.children(0), vec![1]);
+        assert_eq!(f.children(1), vec![2]);
+        assert_eq!(f.depth(2), 2);
+    }
+
+    #[test]
+    fn cooccurring_identical_terms_not_parented() {
+        // Two terms always co-occurring: P(x|y)=P(y|x)=1 → no subsumption
+        // (the paper's P(y|x) < 1 condition).
+        let a = TermId(0);
+        let b = TermId(1);
+        let docs = vec![vec![a, b], vec![a, b]];
+        let f = build_subsumption_forest(&[a, b], &docs, SubsumptionParams::default());
+        assert_eq!(f.parent, vec![None, None]);
+    }
+
+    #[test]
+    fn threshold_controls_edges() {
+        // P(x|y) = 2/3 ≈ 0.67, P(y|x) = 2/4 = 0.5: x can subsume y at a
+        // loose threshold, never vice versa.
+        let x = TermId(0);
+        let y = TermId(1);
+        let docs = vec![vec![x, y], vec![x, y], vec![y], vec![x], vec![x]];
+        let strict = build_subsumption_forest(&[x, y], &docs, SubsumptionParams { threshold: 0.8, ..relaxed() });
+        assert_eq!(strict.parent[1], None);
+        let loose = build_subsumption_forest(&[x, y], &docs, SubsumptionParams { threshold: 0.6, ..relaxed() });
+        assert_eq!(loose.parent[1], Some(0));
+    }
+
+    #[test]
+    fn absent_terms_are_roots() {
+        let f = build_subsumption_forest(
+            &[TermId(0), TermId(99)],
+            &[vec![TermId(0)]],
+            SubsumptionParams::default(),
+        );
+        assert_eq!(f.parent[1], None);
+    }
+
+    #[test]
+    fn universal_terms_cannot_parent() {
+        // "everywhere" occurs in every doc: with the density guards it is
+        // excluded as a parent even though it trivially subsumes "rare".
+        let everywhere = TermId(0);
+        let rare = TermId(1);
+        let docs: Vec<Vec<TermId>> =
+            (0..10).map(|i| if i < 2 { vec![everywhere, rare] } else { vec![everywhere] }).collect();
+        let guarded = build_subsumption_forest(
+            &[everywhere, rare],
+            &docs,
+            SubsumptionParams::default(),
+        );
+        assert_eq!(guarded.parent[1], None, "universal term must not parent");
+        let permissive =
+            build_subsumption_forest(&[everywhere, rare], &docs, relaxed());
+        assert_eq!(permissive.parent[1], Some(0));
+    }
+
+    #[test]
+    fn lift_rejects_chance_cooccurrence() {
+        // x is frequent (70%); y co-occurs with it at roughly x's base
+        // rate. P(x|y) clears 0.8 but the lift is ~1.1 — rejected.
+        let x = TermId(0);
+        let y = TermId(1);
+        let mut docs: Vec<Vec<TermId>> = Vec::new();
+        for i in 0..100 {
+            let mut d = Vec::new();
+            if i % 10 < 7 {
+                d.push(x);
+            }
+            // y in docs 0..10: 8 of them with x.
+            if i < 10 {
+                if i < 8 && !d.contains(&x) {
+                    d.push(x);
+                }
+                d.push(y);
+            }
+            d.sort();
+            docs.push(d);
+        }
+        let f = build_subsumption_forest(
+            &[x, y],
+            &docs,
+            SubsumptionParams { min_lift: 1.3, ..relaxed() },
+        );
+        assert_eq!(f.parent[1], None, "chance co-occurrence must not subsume");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let f = build_subsumption_forest(&[], &[], SubsumptionParams::default());
+        assert!(f.terms.is_empty());
+        assert!(f.roots().is_empty());
+    }
+}

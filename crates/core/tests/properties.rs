@@ -1,0 +1,130 @@
+//! Property-based tests for the core pipeline invariants.
+
+use facet_core::{
+    build_subsumption_forest, select_facet_terms, FacetForest, SelectionInputs,
+    SelectionStatistic, SubsumptionParams,
+};
+use facet_textkit::{TermId, Vocabulary};
+use proptest::prelude::*;
+
+/// Strategy: a pair of df tables over the same vocabulary with
+/// `df_c[i] >= df[i]` (context only ever adds documents).
+fn df_tables() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, u64)> {
+    proptest::collection::vec((0u64..50, 0u64..30), 2..80).prop_map(|pairs| {
+        let df: Vec<u64> = pairs.iter().map(|&(d, _)| d).collect();
+        let df_c: Vec<u64> = pairs.iter().map(|&(d, extra)| d + extra).collect();
+        let n = df_c.iter().copied().max().unwrap_or(0).max(1) + 10;
+        (df, df_c, n)
+    })
+}
+
+proptest! {
+    /// Selection invariants: every candidate has both shifts positive,
+    /// scores are sorted descending, and nothing exceeds top_k.
+    #[test]
+    fn selection_invariants((df, df_c, n) in df_tables(), top_k in 1usize..50) {
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df_c, n_docs: n },
+            SelectionStatistic::LogLikelihood,
+            top_k,
+            1,
+        );
+        prop_assert!(out.len() <= top_k);
+        for w in out.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for c in &out {
+            prop_assert!(c.shift_f > 0);
+            prop_assert!(c.shift_r > 0);
+            prop_assert_eq!(c.df, df[c.term.index()]);
+            prop_assert_eq!(c.df_c, df_c[c.term.index()]);
+            prop_assert!(c.score >= 0.0);
+        }
+    }
+
+    /// A term with no frequency gain is never selected.
+    #[test]
+    fn unchanged_terms_never_selected((df, _, n) in df_tables()) {
+        let out = select_facet_terms(
+            SelectionInputs { df: &df, df_c: &df, n_docs: n },
+            SelectionStatistic::LogLikelihood,
+            100,
+            1,
+        );
+        prop_assert!(out.is_empty(), "no term changed, none should be selected");
+    }
+
+    /// The subsumption forest is acyclic and parents always satisfy the
+    /// generality requirement.
+    #[test]
+    fn subsumption_forest_acyclic(
+        docs in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..20, 0..8),
+            1..60,
+        )
+    ) {
+        let doc_terms: Vec<Vec<TermId>> = docs
+            .iter()
+            .map(|s| s.iter().map(|&t| TermId(t)).collect())
+            .collect();
+        let terms: Vec<TermId> = (0..20).map(TermId).collect();
+        let params = SubsumptionParams::default();
+        let forest = build_subsumption_forest(&terms, &doc_terms, params);
+
+        // df per term for the generality check.
+        let mut df = vec![0u64; 20];
+        for d in &doc_terms {
+            for t in d {
+                df[t.index()] += 1;
+            }
+        }
+        for i in 0..forest.terms.len() {
+            // Acyclicity: walking up terminates within n steps.
+            let mut steps = 0;
+            let mut cur = forest.parent[i];
+            while let Some(p) = cur {
+                steps += 1;
+                prop_assert!(steps <= forest.terms.len(), "cycle detected");
+                cur = forest.parent[p];
+            }
+            // Generality: parent df ≥ ratio × child df.
+            if let Some(p) = forest.parent[i] {
+                let child_df = df[forest.terms[i].index()];
+                let parent_df = df[forest.terms[p].index()];
+                prop_assert!(
+                    parent_df as f64 >= params.min_generality_ratio * child_df as f64
+                );
+            }
+        }
+    }
+
+    /// FacetForest materialization preserves the term count and depth
+    /// relations of the subsumption forest.
+    #[test]
+    fn forest_materialization_preserves_terms(
+        docs in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..12, 1..6),
+            1..40,
+        )
+    ) {
+        let doc_terms: Vec<Vec<TermId>> = docs
+            .iter()
+            .map(|s| s.iter().map(|&t| TermId(t)).collect())
+            .collect();
+        let mut vocab = Vocabulary::new();
+        for i in 0..12 {
+            vocab.intern(&format!("term{i}"));
+        }
+        let terms: Vec<TermId> = (0..12).map(TermId).collect();
+        let sub = build_subsumption_forest(&terms, &doc_terms, SubsumptionParams::default());
+        let forest = FacetForest::from_subsumption(&sub, &vocab, |_| 1);
+        prop_assert_eq!(forest.total_terms(), 12);
+        // Every edge in the materialized forest corresponds to a parent
+        // link in the subsumption structure.
+        for (parent, child) in forest.edges() {
+            let ci = (0..12).find(|&i| vocab.term(sub.terms[i]) == child).unwrap();
+            let pi = sub.parent[ci].expect("child has a parent");
+            prop_assert_eq!(vocab.term(sub.terms[pi]), parent.as_str());
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The text database: documents plus term/document-frequency statistics.
+//!
+//! This is the `D` of the paper. Term extraction for frequency counting
+//! uses lowercased word unigrams (minus stopwords and numbers) plus
+//! stopword-free word bigrams, so that both single-word terms ("war") and
+//! short phrases ("real estate") participate in the comparative frequency
+//! analysis. Multi-word *context* terms added during expansion are interned
+//! as single terms in the shared vocabulary, exactly like these bigrams.
+
+use crate::document::{DocId, Document};
+use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind, TermId, Vocabulary};
+
+/// Options controlling how documents are reduced to counted terms.
+#[derive(Debug, Clone)]
+pub struct TermingOptions {
+    /// Include stopword-free bigrams as phrase terms.
+    pub bigrams: bool,
+    /// Minimum unigram length in characters.
+    pub min_len: usize,
+}
+
+impl Default for TermingOptions {
+    fn default() -> Self {
+        Self { bigrams: true, min_len: 2 }
+    }
+}
+
+/// A database of text documents with document-frequency statistics over a
+/// shared vocabulary.
+#[derive(Debug, Clone)]
+pub struct TextDatabase {
+    docs: Vec<Document>,
+    /// Distinct term ids per document, sorted.
+    doc_terms: Vec<Vec<TermId>>,
+    /// Document frequency per term id (indexed by `TermId`); term ids
+    /// interned after the build have frequency 0.
+    df: Vec<u64>,
+    options: TermingOptions,
+}
+
+/// Extract the distinct, normalized, counted terms of `text` into `out`
+/// (term ids via `vocab`). Shared by the database build and the
+/// contextualized-database build.
+pub fn extract_terms(text: &str, options: &TermingOptions, vocab: &mut Vocabulary, out: &mut Vec<TermId>) {
+    let toks = tokens(text);
+    let mut prev_word: Option<String> = None;
+    for t in &toks {
+        if t.kind != TokenKind::Word {
+            prev_word = None;
+            continue;
+        }
+        let w = normalize_term(t.text);
+        let stop = is_stopword(&w) || w.len() < options.min_len;
+        if !stop {
+            out.push(vocab.intern(&w));
+        }
+        if options.bigrams {
+            if let Some(p) = &prev_word {
+                if !stop {
+                    let bigram = format!("{p} {w}");
+                    out.push(vocab.intern(&bigram));
+                }
+            }
+        }
+        prev_word = if stop { None } else { Some(w) };
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+impl TextDatabase {
+    /// Build a database from `docs`, interning terms into `vocab`.
+    pub fn build(docs: Vec<Document>, vocab: &mut Vocabulary, options: TermingOptions) -> Self {
+        let mut doc_terms = Vec::with_capacity(docs.len());
+        let mut scratch = Vec::new();
+        for d in &docs {
+            scratch.clear();
+            extract_terms(&d.full_text(), &options, vocab, &mut scratch);
+            doc_terms.push(scratch.clone());
+        }
+        let mut df = vec![0u64; vocab.len()];
+        for terms in &doc_terms {
+            for t in terms {
+                df[t.index()] += 1;
+            }
+        }
+        Self { docs, doc_terms, df, options }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if the database holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document with the given id.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// All documents in id order.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// The distinct term ids of a document (sorted).
+    pub fn doc_terms(&self, id: DocId) -> &[TermId] {
+        &self.doc_terms[id.index()]
+    }
+
+    /// Document frequency of a term (0 for terms unseen at build time).
+    pub fn df(&self, t: TermId) -> u64 {
+        self.df.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// The document-frequency table, indexed by term id. Terms interned
+    /// into the shared vocabulary after the build are absent (implicitly 0).
+    pub fn df_table(&self) -> &[u64] {
+        &self.df
+    }
+
+    /// A copy of the df table resized to `vocab_len` entries (new terms 0).
+    pub fn df_table_resized(&self, vocab_len: usize) -> Vec<u64> {
+        let mut t = self.df.clone();
+        t.resize(vocab_len.max(t.len()), 0);
+        t
+    }
+
+    /// The terming options the database was built with.
+    pub fn options(&self) -> &TermingOptions {
+        &self.options
+    }
+
+    /// True if the document contains the term (by id).
+    pub fn doc_contains(&self, id: DocId, t: TermId) -> bool {
+        self.doc_terms[id.index()].binary_search(&t).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, title: &str, text: &str) -> Document {
+        Document { id: DocId(id), source: 0, day: 0, title: title.into(), text: text.into() }
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let docs = vec![
+            doc(0, "War", "The war escalated. War coverage continued."),
+            doc(1, "Peace", "A peace accord was signed."),
+        ];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let war = vocab.get("war").unwrap();
+        assert_eq!(db.df(war), 1, "df counts documents, not mentions");
+        let peace = vocab.get("peace").unwrap();
+        assert_eq!(db.df(peace), 1);
+    }
+
+    #[test]
+    fn stopwords_and_numbers_excluded() {
+        let docs = vec![doc(0, "T", "The summit of 2005 was a success.")];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        assert!(vocab.get("the").is_none());
+        assert!(vocab.get("2005").is_none());
+        assert!(vocab.get("summit").is_some());
+        let _ = db;
+    }
+
+    #[test]
+    fn bigrams_present_when_enabled() {
+        let docs = vec![doc(0, "T", "The real estate market collapsed.")];
+        let mut vocab = Vocabulary::new();
+        let _db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        assert!(vocab.get("real estate").is_some());
+        assert!(vocab.get("estate market").is_some());
+        // Bigrams never span a stopword.
+        assert!(vocab.get("the real").is_none());
+    }
+
+    #[test]
+    fn bigrams_disabled() {
+        let docs = vec![doc(0, "T", "real estate market")];
+        let mut vocab = Vocabulary::new();
+        let _db = TextDatabase::build(
+            docs,
+            &mut vocab,
+            TermingOptions { bigrams: false, min_len: 2 },
+        );
+        assert!(vocab.get("real estate").is_none());
+        assert!(vocab.get("real").is_some());
+    }
+
+    #[test]
+    fn doc_terms_sorted_distinct() {
+        let docs = vec![doc(0, "T", "alpha beta alpha gamma beta")];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let terms = db.doc_terms(DocId(0));
+        let mut sorted = terms.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(terms, sorted.as_slice());
+    }
+
+    #[test]
+    fn unknown_term_df_zero() {
+        let docs = vec![doc(0, "T", "alpha")];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let later = vocab.intern("political leaders");
+        assert_eq!(db.df(later), 0);
+        let resized = db.df_table_resized(vocab.len());
+        assert_eq!(resized[later.index()], 0);
+    }
+
+    #[test]
+    fn doc_contains_works() {
+        let docs = vec![doc(0, "T", "alpha beta")];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let alpha = vocab.get("alpha").unwrap();
+        assert!(db.doc_contains(DocId(0), alpha));
+        let zeta = vocab.intern("zeta");
+        assert!(!db.doc_contains(DocId(0), zeta));
+    }
+
+    #[test]
+    fn empty_database() {
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(vec![], &mut vocab, TermingOptions::default());
+        assert!(db.is_empty());
+        assert_eq!(db.len(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Documents: the unit of the text database.
+
+/// Index of a document within a [`crate::db::TextDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A news story. Contains only what a real crawler would have: source,
+/// date, title, and body text. Ground-truth information about the story
+/// lives in [`crate::gold::DocGold`], which only the evaluation harness
+/// reads.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// This document's id.
+    pub id: DocId,
+    /// News-source index (0 for single-source datasets; 0..24 for SNB).
+    pub source: u16,
+    /// Day index within the dataset's time span (0 for single-day sets).
+    pub day: u16,
+    /// Headline.
+    pub title: String,
+    /// Body text.
+    pub text: String,
+}
+
+impl Document {
+    /// Title and body concatenated, for whole-document processing.
+    pub fn full_text(&self) -> String {
+        let mut s = String::with_capacity(self.title.len() + 2 + self.text.len());
+        s.push_str(&self.title);
+        s.push_str(". ");
+        s.push_str(&self.text);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_text_joins_title_and_body() {
+        let d = Document {
+            id: DocId(0),
+            source: 0,
+            day: 0,
+            title: "Summit ends".into(),
+            text: "Leaders met.".into(),
+        };
+        assert_eq!(d.full_text(), "Summit ends. Leaders met.");
+    }
+}

@@ -1,0 +1,25 @@
+//! Ground-truth (gold) information about generated documents.
+//!
+//! Only the evaluation harness (`facet-eval`) and the simulated annotators
+//! read this; the extraction pipeline under test sees document text only.
+
+use facet_knowledge::{ConceptId, EntityId, FacetNodeId, TopicId};
+
+/// Latent ground truth for one generated document.
+#[derive(Debug, Clone)]
+pub struct DocGold {
+    /// The topic the story was generated from.
+    pub topic: TopicId,
+    /// Entities actually mentioned in the story text.
+    pub entities: Vec<EntityId>,
+    /// Concept nouns actually used in the story text.
+    pub concepts: Vec<ConceptId>,
+    /// The latent facet nodes characterizing the story: the union of the
+    /// mentioned entities' facet closures, the used concepts' facets, and
+    /// the topic theme. This is what an ideal annotator would draw from.
+    pub facets: Vec<FacetNodeId>,
+    /// The subset of `facets` whose terms were *explicitly leaked* into the
+    /// story text (the generator mentions a facet term with small
+    /// probability, reproducing the pilot study's ~35% presence rate).
+    pub leaked_facets: Vec<FacetNodeId>,
+}

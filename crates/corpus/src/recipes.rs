@@ -1,0 +1,148 @@
+//! Dataset recipes pinning the paper's three evaluation corpora
+//! (Section V-A) to concrete world + generator configurations.
+//!
+//! | Recipe | Paper dataset | Documents | Sources | Days |
+//! |--------|---------------|-----------|---------|------|
+//! | SNYT   | single day of The New York Times | 1,000 | 1 | 1 |
+//! | SNB    | single day of Newsblaster        | 17,000 | 24 | 1 |
+//! | MNYT   | one month of The New York Times  | 30,000 | 1 | 30 |
+//!
+//! All three share one world *shape* but use distinct seeds, so the
+//! datasets are different corpora drawn from comparable worlds — like the
+//! paper's three samples of real news. A `scale` factor lets tests and
+//! quick runs shrink document counts while keeping proportions.
+
+use crate::generator::{CorpusGenerator, GeneratedCorpus, GeneratorConfig};
+use facet_knowledge::{World, WorldConfig};
+use facet_textkit::Vocabulary;
+
+/// Which of the paper's datasets to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecipeKind {
+    /// Single day of The New York Times: 1,000 stories, one source.
+    Snyt,
+    /// Single day of Newsblaster: 17,000 stories from 24 sources.
+    Snb,
+    /// A month of The New York Times: 30,000 stories over 30 days.
+    Mnyt,
+}
+
+impl RecipeKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecipeKind::Snyt => "SNYT",
+            RecipeKind::Snb => "SNB",
+            RecipeKind::Mnyt => "MNYT",
+        }
+    }
+
+    /// All recipes, in paper order.
+    pub const ALL: [RecipeKind; 3] = [RecipeKind::Snyt, RecipeKind::Snb, RecipeKind::Mnyt];
+}
+
+/// A fully specified dataset: world config plus generator config.
+#[derive(Debug, Clone)]
+pub struct DatasetRecipe {
+    /// Which dataset this is.
+    pub kind: RecipeKind,
+    /// The world configuration.
+    pub world: WorldConfig,
+    /// The corpus-generator configuration.
+    pub generator: GeneratorConfig,
+}
+
+impl DatasetRecipe {
+    /// The recipe for `kind` at full (paper) scale.
+    pub fn new(kind: RecipeKind) -> Self {
+        Self::scaled(kind, 1.0)
+    }
+
+    /// The recipe for `kind` with document count scaled by `scale`
+    /// (clamped to at least 50 documents). World size is unscaled: the
+    /// world is the "real world", the corpus is the sample.
+    pub fn scaled(kind: RecipeKind, scale: f64) -> Self {
+        let (n_docs, n_sources, n_days, world_seed, gen_seed, topics) = match kind {
+            RecipeKind::Snyt => (1000, 1, 1, 0xA11CE, 0xB0B1, 400),
+            RecipeKind::Snb => (17_000, 24, 1, 0xA11CF, 0xB0B2, 480),
+            RecipeKind::Mnyt => (30_000, 1, 30, 0xA11D0, 0xB0B3, 460),
+        };
+        let n_docs = ((n_docs as f64 * scale) as usize).max(50);
+        let world = WorldConfig { seed: world_seed, topics, ..WorldConfig::default() };
+        let generator = GeneratorConfig {
+            seed: gen_seed,
+            n_docs,
+            n_sources,
+            n_days,
+            ..GeneratorConfig::default()
+        };
+        Self { kind, world, generator }
+    }
+
+    /// Generate the world for this recipe.
+    pub fn build_world(&self) -> World {
+        World::generate(self.world.clone())
+    }
+
+    /// Generate the corpus over an already-built world.
+    pub fn build_corpus(&self, world: &World, vocab: &mut Vocabulary) -> GeneratedCorpus {
+        CorpusGenerator::new(world, self.generator.clone()).generate(vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_counts() {
+        assert_eq!(DatasetRecipe::new(RecipeKind::Snyt).generator.n_docs, 1000);
+        assert_eq!(DatasetRecipe::new(RecipeKind::Snb).generator.n_docs, 17_000);
+        assert_eq!(DatasetRecipe::new(RecipeKind::Mnyt).generator.n_docs, 30_000);
+    }
+
+    #[test]
+    fn snb_is_multi_source_mnyt_is_multi_day() {
+        let snb = DatasetRecipe::new(RecipeKind::Snb);
+        assert_eq!(snb.generator.n_sources, 24);
+        assert_eq!(snb.generator.n_days, 1);
+        let mnyt = DatasetRecipe::new(RecipeKind::Mnyt);
+        assert_eq!(mnyt.generator.n_sources, 1);
+        assert_eq!(mnyt.generator.n_days, 30);
+    }
+
+    #[test]
+    fn scaling_clamps() {
+        let r = DatasetRecipe::scaled(RecipeKind::Snyt, 0.001);
+        assert_eq!(r.generator.n_docs, 50);
+        let r = DatasetRecipe::scaled(RecipeKind::Snb, 0.01);
+        assert_eq!(r.generator.n_docs, 170);
+    }
+
+    #[test]
+    fn end_to_end_tiny_build() {
+        let mut r = DatasetRecipe::scaled(RecipeKind::Snyt, 0.05);
+        // Shrink the world for test speed.
+        r.world.countries = 10;
+        r.world.cities_per_country = 2;
+        r.world.people = 40;
+        r.world.corporations = 12;
+        r.world.organizations = 8;
+        r.world.events = 6;
+        r.world.topics = 25;
+        r.world.extra_concepts = 20;
+        r.world.background_words = 100;
+        let world = r.build_world();
+        let mut vocab = Vocabulary::new();
+        let corpus = r.build_corpus(&world, &mut vocab);
+        assert_eq!(corpus.db.len(), 50);
+        assert!(vocab.len() > 100);
+    }
+
+    #[test]
+    fn distinct_recipes_have_distinct_seeds() {
+        let seeds: std::collections::HashSet<u64> =
+            RecipeKind::ALL.iter().map(|&k| DatasetRecipe::new(k).world.seed).collect();
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! The simulated annotator crowd.
+//!
+//! The paper's recall gold standard (Section V-B): five Mechanical Turk
+//! annotators read each story and list up to 10 facet terms; a term is
+//! valid if **at least two** annotators chose it. Our annotators know the
+//! story's latent facet nodes (from the generator's gold labels) and
+//! sample from them with per-annotator noise — dropped terms, personal
+//! salience jitter, and occasional idiosyncratic picks — so the agreement
+//! rule does real filtering work, exactly as it did on Mechanical Turk.
+
+use facet_corpus::GeneratedCorpus;
+use facet_knowledge::{FacetNodeId, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of the annotator pool.
+#[derive(Debug, Clone)]
+pub struct AnnotatorConfig {
+    /// RNG seed for the crowd.
+    pub seed: u64,
+    /// Annotators per story (paper: 5; pilot study: 12).
+    pub annotators_per_doc: usize,
+    /// Maximum facet terms each annotator lists per story (paper: 10).
+    pub max_terms: usize,
+    /// Minimum annotators that must agree for a term to be valid
+    /// (paper: 2).
+    pub agreement: usize,
+    /// Probability an annotator considers any given latent facet at all
+    /// (models attention/recall limits).
+    pub pick_rate: f64,
+    /// Probability an annotator slot is wasted on an idiosyncratic term.
+    pub idiosyncrasy_rate: f64,
+}
+
+impl Default for AnnotatorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xA770,
+            annotators_per_doc: 5,
+            max_terms: 10,
+            agreement: 2,
+            pick_rate: 0.75,
+            idiosyncrasy_rate: 0.08,
+        }
+    }
+}
+
+/// The crowd's output for a document sample.
+#[derive(Debug, Clone)]
+pub struct GoldAnnotations {
+    /// Document indices (into the corpus) that were annotated.
+    pub sample: Vec<usize>,
+    /// Agreed facet nodes per annotated document (parallel to `sample`).
+    pub per_doc: Vec<Vec<FacetNodeId>>,
+    /// Distinct agreed facet nodes across the sample, with the number of
+    /// documents they were agreed on, descending.
+    pub term_counts: Vec<(FacetNodeId, usize)>,
+}
+
+impl GoldAnnotations {
+    /// The distinct gold facet terms as strings.
+    pub fn gold_terms<'w>(&self, world: &'w World) -> Vec<&'w str> {
+        self.term_counts.iter().map(|&(n, _)| world.ontology.node(n).term.as_str()).collect()
+    }
+
+    /// Number of distinct gold facet terms.
+    pub fn n_terms(&self) -> usize {
+        self.term_counts.len()
+    }
+}
+
+/// Compute per-node salience for one document: how many independent
+/// sources (entities, concepts, the topic theme) evoke the node. Shared
+/// by all annotators of the document — they read the same story.
+fn doc_salience(world: &World, gold: &facet_corpus::DocGold) -> HashMap<FacetNodeId, f64> {
+    let mut s: HashMap<FacetNodeId, f64> = HashMap::new();
+    for (rank, &e) in gold.entities.iter().enumerate() {
+        // The protagonist's facets are most salient; deeper (more
+        // specific) facet terms are more distinctive and more likely to
+        // be written down than the generic dimension names.
+        let w = if rank == 0 { 2.0 } else { 1.0 };
+        for n in world.entity_facet_closure(e) {
+            let depth_boost = 1.0 + 0.35 * world.ontology.node(n).depth as f64;
+            *s.entry(n).or_insert(0.0) += w * depth_boost;
+        }
+    }
+    for &c in &gold.concepts {
+        for n in world.ontology.path(world.concept(c).facet) {
+            *s.entry(n).or_insert(0.0) += 0.8;
+        }
+    }
+    let topic = world.topic(gold.topic);
+    for n in world.ontology.path(topic.facets[0]) {
+        *s.entry(n).or_insert(0.0) += 1.5;
+    }
+    s
+}
+
+/// Run the crowd over `sample` (document indices into `corpus`).
+pub fn annotate_sample(
+    world: &World,
+    corpus: &GeneratedCorpus,
+    sample: &[usize],
+    config: &AnnotatorConfig,
+) -> GoldAnnotations {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut per_doc = Vec::with_capacity(sample.len());
+    let mut counts: HashMap<FacetNodeId, usize> = HashMap::new();
+
+    for &doc_idx in sample {
+        let gold = &corpus.gold[doc_idx];
+        // Deterministic order: HashMap iteration order must not leak into
+        // the RNG stream.
+        let salience: Vec<(FacetNodeId, f64)> = {
+            let map = doc_salience(world, gold);
+            let mut v: Vec<(FacetNodeId, f64)> = map.into_iter().collect();
+            v.sort_by_key(|&(n, _)| n);
+            v
+        };
+        let mut votes: HashMap<FacetNodeId, usize> = HashMap::new();
+        for _annotator in 0..config.annotators_per_doc {
+            // Personal scores: shared salience × personal jitter, with
+            // attention dropout.
+            let mut scored: Vec<(FacetNodeId, f64)> = salience
+                .iter()
+                .filter_map(|&(n, s)| {
+                    if rng.gen_bool(config.pick_rate) {
+                        Some((n, s * rng.gen_range(0.5..1.5)))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+            let mut listed = 0usize;
+            for (n, _) in scored {
+                if listed >= config.max_terms {
+                    break;
+                }
+                if rng.gen_bool(config.idiosyncrasy_rate) {
+                    // Idiosyncratic pick: a random ontology node instead.
+                    let random = FacetNodeId(rng.gen_range(0..world.ontology.len() as u32));
+                    *votes.entry(random).or_insert(0) += 1;
+                } else {
+                    *votes.entry(n).or_insert(0) += 1;
+                }
+                listed += 1;
+            }
+        }
+        let mut agreed: Vec<FacetNodeId> = votes
+            .into_iter()
+            .filter(|&(_, v)| v >= config.agreement)
+            .map(|(n, _)| n)
+            .collect();
+        agreed.sort();
+        for &n in &agreed {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+        per_doc.push(agreed);
+    }
+
+    let mut term_counts: Vec<(FacetNodeId, usize)> = counts.into_iter().collect();
+    term_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    GoldAnnotations { sample: sample.to_vec(), per_doc, term_counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_corpus::{CorpusGenerator, GeneratorConfig};
+    use facet_knowledge::WorldConfig;
+    use facet_textkit::Vocabulary;
+
+    fn setup() -> (World, GeneratedCorpus) {
+        let world = World::generate(WorldConfig {
+            seed: 61,
+            countries: 8,
+            cities_per_country: 2,
+            people: 30,
+            corporations: 10,
+            organizations: 6,
+            events: 5,
+            extra_concepts: 15,
+            topics: 20,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 80,
+        });
+        let mut vocab = Vocabulary::new();
+        let corpus =
+            CorpusGenerator::new(&world, GeneratorConfig { n_docs: 40, ..Default::default() })
+                .generate(&mut vocab);
+        (world, corpus)
+    }
+
+    #[test]
+    fn agreement_filters_idiosyncrasy() {
+        let (world, corpus) = setup();
+        let sample: Vec<usize> = (0..40).collect();
+        let strict = annotate_sample(
+            &world,
+            &corpus,
+            &sample,
+            &AnnotatorConfig { agreement: 2, ..Default::default() },
+        );
+        let lax = annotate_sample(
+            &world,
+            &corpus,
+            &sample,
+            &AnnotatorConfig { agreement: 1, ..Default::default() },
+        );
+        assert!(
+            lax.n_terms() > strict.n_terms(),
+            "agreement must prune terms: {} vs {}",
+            lax.n_terms(),
+            strict.n_terms()
+        );
+    }
+
+    #[test]
+    fn agreed_terms_mostly_latent() {
+        let (world, corpus) = setup();
+        let sample: Vec<usize> = (0..40).collect();
+        let gold = annotate_sample(&world, &corpus, &sample, &AnnotatorConfig::default());
+        let mut latent = 0;
+        let mut total = 0;
+        for (i, agreed) in gold.per_doc.iter().enumerate() {
+            let doc_gold = &corpus.gold[gold.sample[i]];
+            for n in agreed {
+                total += 1;
+                if doc_gold.facets.contains(n) {
+                    latent += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = latent as f64 / total as f64;
+        assert!(frac > 0.9, "agreement should suppress idiosyncratic votes: {frac}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (world, corpus) = setup();
+        let sample: Vec<usize> = (0..20).collect();
+        let a = annotate_sample(&world, &corpus, &sample, &AnnotatorConfig::default());
+        let b = annotate_sample(&world, &corpus, &sample, &AnnotatorConfig::default());
+        assert_eq!(a.per_doc, b.per_doc);
+    }
+
+    #[test]
+    fn per_doc_counts_bounded() {
+        let (world, corpus) = setup();
+        let sample: Vec<usize> = (0..20).collect();
+        let gold = annotate_sample(&world, &corpus, &sample, &AnnotatorConfig::default());
+        for agreed in &gold.per_doc {
+            // At most annotators × max_terms / agreement distinct terms,
+            // loosely bounded by max_terms × annotators.
+            assert!(agreed.len() <= 25, "implausibly many agreed terms: {}", agreed.len());
+        }
+    }
+
+    #[test]
+    fn gold_terms_resolve() {
+        let (world, corpus) = setup();
+        let sample: Vec<usize> = (0..10).collect();
+        let gold = annotate_sample(&world, &corpus, &sample, &AnnotatorConfig::default());
+        let terms = gold.gold_terms(&world);
+        assert_eq!(terms.len(), gold.n_terms());
+        assert!(!terms.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # facet-eval
+//!
+//! The evaluation harness reproducing Section V of the paper:
+//!
+//! * [`annotators`] — the simulated Mechanical Turk crowd: per-story facet
+//!   annotations with per-annotator noise and the paper's agreement rules
+//!   (≥2/5 for the recall gold standard, ≥4/5 for precision judgments,
+//!   qualification test for precision judges);
+//! * [`pilot`] — the Section III pilot study (Table I, Figure 4, and the
+//!   "65% of facet terms are absent from the text" measurement);
+//! * [`harness`] — builds a complete dataset bundle (world, corpus,
+//!   Wikipedia, WordNet, web, NER) and runs the 4×5 extractor × resource
+//!   grid of pipeline configurations;
+//! * [`recall`] — Tables II–IV;
+//! * [`precision`] — Tables V–VII;
+//! * [`sensitivity`] — the facet-term discovery curve of Section V-B;
+//! * [`efficiency`] — Section V-D timings;
+//! * [`userstudy`] — the Section V-E interactive-search simulation;
+//! * [`report`] — plain-text table rendering shared by the experiment
+//!   binaries.
+
+pub mod analysis;
+pub mod annotators;
+pub mod baselines;
+pub mod efficiency;
+pub mod harness;
+pub mod judge_model;
+pub mod pilot;
+pub mod precision;
+pub mod recall;
+pub mod report;
+pub mod sensitivity;
+pub mod userstudy;
+
+pub use annotators::{annotate_sample, AnnotatorConfig, GoldAnnotations};
+pub use harness::{DatasetBundle, GridCell, GridOptions};
+pub use precision::{precision_grid, PrecisionJudge};
+pub use recall::recall_grid;
+pub use report::Table;

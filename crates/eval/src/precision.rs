@@ -1,0 +1,205 @@
+//! Precision measurement (Tables V–VII).
+//!
+//! The paper's protocol (Section V-C): judges look at the generated facet
+//! hierarchies and check, per facet term, "(a) whether the facet terms in
+//! the hierarchies are useful and (b) whether the term is accurately
+//! placed in the hierarchy". A term is precise if both hold, judged by
+//! five annotators with **at least four** agreeing, and every judge must
+//! first pass a qualification test (18 of 20 known-answer hierarchies).
+//!
+//! Our simulated judges know the latent ontology: the *ideal* judgment is
+//! "the term is an ontology facet term, and its hierarchy parent (if any)
+//! is one of its ontology ancestors". Each judge reports the ideal
+//! judgment with a per-judge error rate; the qualification test filters
+//! out the high-error judges exactly as the paper's did.
+
+use crate::harness::{GridCell, EXTRACTOR_LABELS, RESOURCE_LABELS};
+use crate::judge_model::JudgeModel;
+use crate::report::{fmt3, Table};
+use facet_knowledge::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The precision judging protocol.
+#[derive(Debug, Clone)]
+pub struct PrecisionJudge {
+    /// RNG seed for the judge pool.
+    pub seed: u64,
+    /// Judges per term (paper: 5).
+    pub judges_per_term: usize,
+    /// Judges that must mark a term precise (paper: 4).
+    pub required_agreement: usize,
+    /// Qualification-test questions (paper: 20).
+    pub qualification_questions: usize,
+    /// Minimum correct answers to qualify (paper: 18).
+    pub qualification_pass: usize,
+}
+
+impl Default for PrecisionJudge {
+    fn default() -> Self {
+        Self {
+            seed: 0x10D6E,
+            judges_per_term: 5,
+            required_agreement: 4,
+            qualification_questions: 20,
+            qualification_pass: 18,
+        }
+    }
+}
+
+impl PrecisionJudge {
+    /// Recruit a qualified judge pool: error rates are drawn from the
+    /// prospective crowd until enough judges pass the qualification test.
+    /// Returns the per-judge error rates.
+    fn recruit(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut qualified = Vec::new();
+        let mut attempts = 0;
+        while qualified.len() < self.judges_per_term && attempts < 10_000 {
+            attempts += 1;
+            // Prospective judges vary widely in care.
+            let error_rate = rng.gen_range(0.0..0.30);
+            let correct = (0..self.qualification_questions)
+                .filter(|_| !rng.gen_bool(error_rate))
+                .count();
+            if correct >= self.qualification_pass {
+                qualified.push(error_rate);
+            }
+        }
+        assert_eq!(qualified.len(), self.judges_per_term, "judge pool exhausted");
+        qualified
+    }
+
+    /// Judge one cell: the fraction of its candidate terms marked precise
+    /// by at least `required_agreement` of the qualified judges.
+    pub fn precision_of(&self, cell: &GridCell, world: &World) -> f64 {
+        self.precision_with_model(cell, &JudgeModel::new(world))
+    }
+
+    /// Judge one cell with a prebuilt [`JudgeModel`] (reusable across the
+    /// twenty grid cells).
+    pub fn precision_with_model(&self, cell: &GridCell, model: &JudgeModel<'_>) -> f64 {
+        if cell.candidates.is_empty() {
+            return 0.0;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let judges = self.recruit(&mut rng);
+        let mut precise = 0usize;
+        for c in &cell.candidates {
+            let parent = cell
+                .parents
+                .iter()
+                .find(|(t, _)| *t == c.term)
+                .and_then(|(_, p)| p.as_deref());
+            let ideal = model.ideal_judgment(&c.term, parent);
+            let votes = judges
+                .iter()
+                .filter(|&&err| {
+                    let flipped = rng.gen_bool(err);
+                    ideal != flipped
+                })
+                .count();
+            if votes >= self.required_agreement {
+                precise += 1;
+            }
+        }
+        precise as f64 / cell.candidates.len() as f64
+    }
+}
+
+/// Build the full precision table in the paper's layout.
+pub fn precision_grid(
+    title: &str,
+    cells: &[GridCell],
+    world: &World,
+    judge: &PrecisionJudge,
+) -> Table {
+    let model = JudgeModel::new(world);
+    let mut table = Table::new(title, &["External Resource", "NE", "Yahoo", "Wikipedia", "All"]);
+    for r in RESOURCE_LABELS {
+        let mut row = vec![r.to_string()];
+        for e in EXTRACTOR_LABELS {
+            let cell = cells
+                .iter()
+                .find(|c| c.extractor == e && c.resource == r)
+                .unwrap_or_else(|| panic!("missing grid cell {r} × {e}"));
+            row.push(fmt3(judge.precision_with_model(cell, &model)));
+        }
+        table.row(&row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::CandidateOut;
+    use facet_knowledge::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 71,
+            countries: 6,
+            cities_per_country: 2,
+            people: 20,
+            corporations: 8,
+            organizations: 5,
+            events: 4,
+            extra_concepts: 10,
+            topics: 15,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 60,
+        })
+    }
+
+    fn cell(terms: &[(&str, Option<&str>)]) -> GridCell {
+        GridCell {
+            extractor: "All".into(),
+            resource: "All".into(),
+            candidates: terms
+                .iter()
+                .map(|(t, _)| CandidateOut { term: t.to_string(), df: 0, df_c: 5, score: 1.0 })
+                .collect(),
+            parents: terms
+                .iter()
+                .map(|(t, p)| (t.to_string(), p.map(str::to_string)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ontology_terms_precise_noise_not() {
+        let w = world();
+        let judge = PrecisionJudge::default();
+        let good = cell(&[("politics", None), ("war", Some("social phenomenon"))]);
+        let noisy = cell(&[("zorblatt", None), ("qwerty", None)]);
+        let p_good = judge.precision_of(&good, &w);
+        let p_noisy = judge.precision_of(&noisy, &w);
+        assert!(p_good > 0.8, "good cell precision {p_good}");
+        assert!(p_noisy < 0.2, "noisy cell precision {p_noisy}");
+    }
+
+    #[test]
+    fn misplacement_hurts() {
+        let w = world();
+        let judge = PrecisionJudge::default();
+        let well_placed = cell(&[("war", Some("social phenomenon"))]);
+        let misplaced = cell(&[("war", Some("nature"))]);
+        assert!(judge.precision_of(&well_placed, &w) > judge.precision_of(&misplaced, &w));
+    }
+
+    #[test]
+    fn empty_cell_zero() {
+        let w = world();
+        let judge = PrecisionJudge::default();
+        assert_eq!(judge.precision_of(&cell(&[]), &w), 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let judge = PrecisionJudge::default();
+        let c = cell(&[("politics", None), ("zorblatt", None), ("war", None)]);
+        assert_eq!(judge.precision_of(&c, &w), judge.precision_of(&c, &w));
+    }
+}

@@ -1,0 +1,124 @@
+//! The Section V-B sensitivity study: how fast does the set of distinct
+//! gold facet terms grow with the number of annotated documents?
+//!
+//! The paper reports ~40% of the facet terms discovered at 100 documents
+//! and ~80% at 500 (relative to the 1,000-document gold set), concluding
+//! that annotating all 17,000/30,000 stories would add little.
+
+use crate::annotators::{annotate_sample, AnnotatorConfig};
+use facet_corpus::GeneratedCorpus;
+use facet_knowledge::World;
+use std::collections::HashSet;
+
+/// One point of the discovery curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// Number of annotated documents.
+    pub docs: usize,
+    /// Distinct gold facet terms found.
+    pub terms: usize,
+    /// Fraction of the full sample's gold terms found.
+    pub fraction: f64,
+}
+
+/// Compute the discovery curve at the given document counts. The last
+/// (largest) count defines the 100% reference, as in the paper.
+pub fn sensitivity_curve(
+    world: &World,
+    corpus: &GeneratedCorpus,
+    config: &AnnotatorConfig,
+    steps: &[usize],
+) -> Vec<SensitivityPoint> {
+    assert!(!steps.is_empty(), "need at least one step");
+    let max = *steps.iter().max().expect("nonempty");
+    assert!(max <= corpus.db.len(), "step exceeds corpus size");
+    // Annotate the full prefix once; prefix gold sets follow from the
+    // per-document results (the crowd's output per document does not
+    // depend on the sample size).
+    let sample: Vec<usize> = (0..max).collect();
+    let gold = annotate_sample(world, corpus, &sample, config);
+
+    let reference: HashSet<_> = gold.per_doc.iter().flatten().copied().collect();
+    let ref_n = reference.len().max(1);
+
+    steps
+        .iter()
+        .map(|&n| {
+            let found: HashSet<_> = gold.per_doc[..n].iter().flatten().copied().collect();
+            SensitivityPoint {
+                docs: n,
+                terms: found.len(),
+                fraction: found.len() as f64 / ref_n as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_corpus::{CorpusGenerator, GeneratorConfig};
+    use facet_knowledge::WorldConfig;
+    use facet_textkit::Vocabulary;
+
+    fn setup() -> (World, GeneratedCorpus) {
+        let world = World::generate(WorldConfig {
+            seed: 91,
+            countries: 10,
+            cities_per_country: 2,
+            people: 40,
+            corporations: 12,
+            organizations: 8,
+            events: 6,
+            extra_concepts: 20,
+            topics: 30,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 100,
+        });
+        let mut vocab = Vocabulary::new();
+        let corpus =
+            CorpusGenerator::new(&world, GeneratorConfig { n_docs: 100, ..Default::default() })
+                .generate(&mut vocab);
+        (world, corpus)
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let (world, corpus) = setup();
+        let curve = sensitivity_curve(
+            &world,
+            &corpus,
+            &AnnotatorConfig::default(),
+            &[10, 25, 50, 100],
+        );
+        for w in curve.windows(2) {
+            assert!(w[1].fraction >= w[0].fraction);
+        }
+        assert!((curve.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diminishing_returns() {
+        let (world, corpus) = setup();
+        let curve = sensitivity_curve(
+            &world,
+            &corpus,
+            &AnnotatorConfig::default(),
+            &[25, 50, 75, 100],
+        );
+        let gain_early = curve[1].terms - curve[0].terms;
+        let gain_late = curve[3].terms - curve[2].terms;
+        assert!(
+            gain_early >= gain_late,
+            "expected diminishing returns: early {gain_early}, late {gain_late}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_step_panics() {
+        let (world, corpus) = setup();
+        let _ = sensitivity_curve(&world, &corpus, &AnnotatorConfig::default(), &[1000]);
+    }
+}

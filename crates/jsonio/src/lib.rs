@@ -1,0 +1,143 @@
+#![warn(missing_docs)]
+
+//! # facet-jsonio
+//!
+//! A minimal, dependency-free JSON **serializer** over the serde data
+//! model. The experiment binaries use it to export tables and reports as
+//! machine-readable artifacts (`experiments --json`), and the corpora
+//! debug dumps use it for snapshots — without pulling a full JSON stack
+//! into the dependency tree.
+//!
+//! Supported: everything `serde::Serialize` can produce. Maps must have
+//! string-like keys (numbers and chars are stringified; other key types
+//! are rejected). Output is deterministic for deterministic inputs.
+
+mod ser;
+
+pub use ser::{to_json_string, to_json_string_pretty, JsonError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Report {
+        title: String,
+        rows: Vec<Row>,
+        total: u64,
+        ratio: f64,
+        note: Option<String>,
+    }
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        values: Vec<f64>,
+    }
+
+    #[test]
+    fn struct_roundtrip_shape() {
+        let r = Report {
+            title: "Recall (SNYT)".into(),
+            rows: vec![Row { name: "Google".into(), values: vec![0.53, 0.7] }],
+            total: 485,
+            ratio: 0.5,
+            note: None,
+        };
+        let json = to_json_string(&r).unwrap();
+        assert_eq!(
+            json,
+            r#"{"title":"Recall (SNYT)","rows":[{"name":"Google","values":[0.53,0.7]}],"total":485,"ratio":0.5,"note":null}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = "quote \" backslash \\ newline \n tab \t control \u{1}";
+        let json = to_json_string(&s).unwrap();
+        assert_eq!(
+            json,
+            "\"quote \\\" backslash \\\\ newline \\n tab \\t control \\u0001\""
+        );
+    }
+
+    #[test]
+    fn numbers_and_special_floats() {
+        assert_eq!(to_json_string(&42u8).unwrap(), "42");
+        assert_eq!(to_json_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_json_string(&1.5f32).unwrap(), "1.5");
+        // Non-finite floats become null, the common JSON convention.
+        assert_eq!(to_json_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_json_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn collections_and_maps() {
+        let v = vec![1, 2, 3];
+        assert_eq!(to_json_string(&v).unwrap(), "[1,2,3]");
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1);
+        m.insert("b".to_string(), 2);
+        assert_eq!(to_json_string(&m).unwrap(), r#"{"a":1,"b":2}"#);
+        let mut int_keys = BTreeMap::new();
+        int_keys.insert(3u32, "x");
+        assert_eq!(to_json_string(&int_keys).unwrap(), r#"{"3":"x"}"#);
+    }
+
+    #[test]
+    fn enums() {
+        #[derive(Serialize)]
+        enum Kind {
+            Unit,
+            Newtype(u32),
+            Tuple(u32, u32),
+            Struct { a: u32 },
+        }
+        assert_eq!(to_json_string(&Kind::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_json_string(&Kind::Newtype(7)).unwrap(), r#"{"Newtype":7}"#);
+        assert_eq!(to_json_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(to_json_string(&Kind::Struct { a: 5 }).unwrap(), r#"{"Struct":{"a":5}}"#);
+    }
+
+    #[test]
+    fn options_unit_tuples() {
+        assert_eq!(to_json_string(&Some(3)).unwrap(), "3");
+        assert_eq!(to_json_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(to_json_string(&()).unwrap(), "null");
+        assert_eq!(to_json_string(&(1, "two", 3.0)).unwrap(), r#"[1,"two",3]"#);
+    }
+
+    #[test]
+    fn pretty_printing() {
+        #[derive(Serialize)]
+        struct P {
+            a: u32,
+            b: Vec<u32>,
+        }
+        let json = to_json_string_pretty(&P { a: 1, b: vec![2, 3] }).unwrap();
+        let expected = "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}";
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = "λ — ünïcode ✓";
+        let json = to_json_string(&s).unwrap();
+        assert_eq!(json, format!("\"{s}\""));
+    }
+
+    #[test]
+    fn bytes_as_array() {
+        use serde::Serializer as _;
+        struct B<'a>(&'a [u8]);
+        impl serde::Serialize for B<'_> {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_bytes(self.0)
+            }
+        }
+        assert_eq!(to_json_string(&B(&[1, 2, 255])).unwrap(), "[1,2,255]");
+        let _ = ser::to_json_string::<u8>;
+    }
+}

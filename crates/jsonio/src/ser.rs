@@ -1,0 +1,536 @@
+//! The serializer implementation.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization error (the serde data model requires a custom error
+/// type; ours is a message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut s = JsonSerializer { out: String::new(), indent: None, depth: 0 };
+    value.serialize(&mut s)?;
+    Ok(s.out)
+}
+
+/// Serialize `value` to an indented JSON string (two spaces per level).
+pub fn to_json_string_pretty<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut s = JsonSerializer { out: String::new(), indent: Some(2), depth: 0 };
+    value.serialize(&mut s)?;
+    Ok(s.out)
+}
+
+struct JsonSerializer {
+    out: String,
+    /// Spaces per indent level; `None` = compact.
+    indent: Option<usize>,
+    depth: usize,
+}
+
+impl JsonSerializer {
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                '\u{8}' => self.out.push_str("\\b"),
+                '\u{c}' => self.out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(w) = self.indent {
+            self.out.push('\n');
+            for _ in 0..self.depth * w {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Integral floats print without a trailing ".0", like JSON.
+            if v == v.trunc() && v.abs() < 1e15 {
+                self.out.push_str(&format!("{}", v as i64));
+            } else {
+                self.out.push_str(&format!("{v}"));
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+}
+
+/// Compound-serialization state: tracks first-element commas.
+struct Compound<'a> {
+    ser: &'a mut JsonSerializer,
+    first: bool,
+    /// Closing delimiter.
+    close: char,
+    /// Variant forms wrap the payload in `{"Variant": …}`; the wrapper
+    /// object needs its own closing brace.
+    wrap_object: bool,
+}
+
+impl Compound<'_> {
+    fn element_prefix(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+        self.ser.newline_indent();
+    }
+
+    fn finish(self) -> Result<(), JsonError> {
+        let Compound { ser, first, close, wrap_object } = self;
+        ser.depth -= 1;
+        if !first {
+            ser.newline_indent();
+        }
+        ser.out.push(close);
+        if wrap_object {
+            ser.depth -= 1;
+            ser.newline_indent();
+            ser.out.push('}');
+        }
+        Ok(())
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut JsonSerializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.write_f64(v.into());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        self.write_f64(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        self.write_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        self.write_escaped(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.write_escaped(variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        value.serialize(&mut *self)?;
+        self.depth -= 1;
+        self.newline_indent();
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        self.out.push('[');
+        self.depth += 1;
+        Ok(Compound { ser: self, first: true, close: ']', wrap_object: false })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        self.out.push('[');
+        self.depth += 1;
+        Ok(Compound { ser: self, first: true, close: ']', wrap_object: true })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound { ser: self, first: true, close: '}', wrap_object: false })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, JsonError> {
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound { ser: self, first: true, close: '}', wrap_object: false })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        self.out.push('{');
+        self.depth += 1;
+        self.newline_indent();
+        self.write_escaped(variant);
+        self.out.push(':');
+        if self.indent.is_some() {
+            self.out.push(' ');
+        }
+        self.out.push('{');
+        self.depth += 1;
+        Ok(Compound { ser: self, first: true, close: '}', wrap_object: true })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.element_prefix();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.element_prefix();
+        // JSON keys must be strings: route through a key serializer that
+        // stringifies scalars and rejects compounds.
+        let rendered = key.serialize(KeySerializer)?;
+        self.ser.write_escaped(&rendered);
+        self.ser.out.push(':');
+        if self.ser.indent.is_some() {
+            self.ser.out.push(' ');
+        }
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.element_prefix();
+        self.ser.write_escaped(key);
+        self.ser.out.push(':');
+        if self.ser.indent.is_some() {
+            self.ser.out.push(' ');
+        }
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.finish()
+    }
+}
+
+/// Serializer for map keys: scalars become their string form; anything
+/// compound is an error.
+struct KeySerializer;
+
+macro_rules! key_scalar {
+    ($method:ident, $ty:ty) => {
+        fn $method(self, v: $ty) -> Result<String, JsonError> {
+            Ok(v.to_string())
+        }
+    };
+}
+
+impl ser::Serializer for KeySerializer {
+    type Ok = String;
+    type Error = JsonError;
+    type SerializeSeq = ser::Impossible<String, JsonError>;
+    type SerializeTuple = ser::Impossible<String, JsonError>;
+    type SerializeTupleStruct = ser::Impossible<String, JsonError>;
+    type SerializeTupleVariant = ser::Impossible<String, JsonError>;
+    type SerializeMap = ser::Impossible<String, JsonError>;
+    type SerializeStruct = ser::Impossible<String, JsonError>;
+    type SerializeStructVariant = ser::Impossible<String, JsonError>;
+
+    key_scalar!(serialize_bool, bool);
+    key_scalar!(serialize_i8, i8);
+    key_scalar!(serialize_i16, i16);
+    key_scalar!(serialize_i32, i32);
+    key_scalar!(serialize_i64, i64);
+    key_scalar!(serialize_u8, u8);
+    key_scalar!(serialize_u16, u16);
+    key_scalar!(serialize_u32, u32);
+    key_scalar!(serialize_u64, u64);
+    key_scalar!(serialize_f32, f32);
+    key_scalar!(serialize_f64, f64);
+    key_scalar!(serialize_char, char);
+
+    fn serialize_str(self, v: &str) -> Result<String, JsonError> {
+        Ok(v.to_string())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<String, JsonError> {
+        Err(ser::Error::custom("bytes cannot be a JSON key"))
+    }
+    fn serialize_none(self) -> Result<String, JsonError> {
+        Err(ser::Error::custom("null cannot be a JSON key"))
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<String, JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<String, JsonError> {
+        Err(ser::Error::custom("unit cannot be a JSON key"))
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<String, JsonError> {
+        Err(ser::Error::custom("unit struct cannot be a JSON key"))
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<String, JsonError> {
+        Ok(variant.to_string())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<String, JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<String, JsonError> {
+        Err(ser::Error::custom("newtype variant cannot be a JSON key"))
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        Err(ser::Error::custom("sequence cannot be a JSON key"))
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        Err(ser::Error::custom("tuple cannot be a JSON key"))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, JsonError> {
+        Err(ser::Error::custom("tuple struct cannot be a JSON key"))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        Err(ser::Error::custom("tuple variant cannot be a JSON key"))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        Err(ser::Error::custom("map cannot be a JSON key"))
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, JsonError> {
+        Err(ser::Error::custom("struct cannot be a JSON key"))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        Err(ser::Error::custom("struct variant cannot be a JSON key"))
+    }
+}

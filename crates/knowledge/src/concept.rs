@@ -1,0 +1,56 @@
+//! Concept nouns: the common-noun vocabulary of the world.
+//!
+//! A concept noun is a lowercase content word or short phrase ("drought",
+//! "merger", "due diligence") that appears in article text and has a
+//! hypernym chain in the mini-WordNet. The *upper* part of the chain
+//! consists of facet terms from the ontology — this reproduces the paper's
+//! observation that WordNet hypernyms are good facet terms (high precision)
+//! for common nouns while covering almost no named entities.
+
+use crate::ontology::FacetNodeId;
+
+/// Index of a concept in the world's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A common-noun concept.
+#[derive(Debug, Clone)]
+pub struct Concept {
+    /// This concept's id.
+    pub id: ConceptId,
+    /// The noun itself, lowercase ("drought"). May be multi-word.
+    pub noun: String,
+    /// Hypernym chain above the noun, nearest hypernym first. The chain's
+    /// terms that are facet terms connect the noun to the ontology.
+    pub hypernyms: Vec<String>,
+    /// The facet leaf this concept evokes (for gold annotations).
+    pub facet: FacetNodeId,
+    /// Popularity weight in [0, 1].
+    pub popularity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let c = Concept {
+            id: ConceptId(3),
+            noun: "drought".into(),
+            hypernyms: vec!["natural disaster".into(), "nature".into()],
+            facet: FacetNodeId(10),
+            popularity: 0.2,
+        };
+        assert_eq!(c.id.index(), 3);
+        assert_eq!(c.hypernyms.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Named entities of the synthetic world.
+//!
+//! Each entity has a canonical name, surface-form variants (feeding the
+//! Wikipedia redirect/anchor machinery and the NER gazetteer), one or more
+//! facet assignments (leaf nodes in the [`crate::ontology::FacetOntology`]),
+//! and links to related entities (feeding the Wikipedia link graph).
+
+use crate::ontology::FacetNodeId;
+
+/// Index of an entity in the world's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The type of a named entity. Mirrors the classes a news-domain NER
+/// tagger distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person (leaders, executives, athletes, artists, …).
+    Person,
+    /// A corporation or other commercial organization.
+    Corporation,
+    /// A non-commercial organization (institute, agency, university).
+    Organization,
+    /// A geographic location (region, country, city).
+    Location,
+    /// A named event ("2005 G8 summit").
+    Event,
+}
+
+impl EntityKind {
+    /// All kinds, for iteration in tests and generators.
+    pub const ALL: [EntityKind; 5] = [
+        EntityKind::Person,
+        EntityKind::Corporation,
+        EntityKind::Organization,
+        EntityKind::Location,
+        EntityKind::Event,
+    ];
+}
+
+/// A named entity in the world.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// This entity's id.
+    pub id: EntityId,
+    /// Canonical name, as it would title a Wikipedia page
+    /// ("Jacques Chirac").
+    pub name: String,
+    /// What kind of entity this is.
+    pub kind: EntityKind,
+    /// Alternative surface forms ("J. Chirac", "Chirac"). Never contains
+    /// the canonical name.
+    pub variants: Vec<String>,
+    /// An unrelated alternate name in active use (Burma for Myanmar).
+    /// Documents use it as often as the canonical name, which is what
+    /// gives the Wikipedia Synonyms resource real consolidation work.
+    pub alt_name: Option<String>,
+    /// Facet leaf nodes describing the entity. The full facet
+    /// characterization is the union of these leaves' root paths.
+    pub facets: Vec<FacetNodeId>,
+    /// Related entities (symmetry not required), for the Wikipedia graph.
+    pub related: Vec<EntityId>,
+    /// Popularity weight in [0, 1]; drives how often topics feature the
+    /// entity and how many web pages mention it.
+    pub popularity: f64,
+    /// Whether the mini-WordNet covers this entity. Like the real WordNet,
+    /// coverage is true for geography, false for most people/corporations.
+    pub in_wordnet: bool,
+    /// Whether the NER gazetteer knows this entity (the tagger is
+    /// imperfect, like LingPipe's).
+    pub in_gazetteer: bool,
+    /// For Location entities: the ontology node whose term *is* this
+    /// entity's name, when the location doubles as a facet term.
+    pub self_facet: Option<FacetNodeId>,
+}
+
+impl Entity {
+    /// All surface forms: canonical name first, then variants, then the
+    /// alternate name if any.
+    pub fn surface_forms(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.name.as_str())
+            .chain(self.variants.iter().map(String::as_str))
+            .chain(self.alt_name.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_forms_order() {
+        let e = Entity {
+            id: EntityId(0),
+            name: "Jacques Chirac".into(),
+            kind: EntityKind::Person,
+            variants: vec!["J. Chirac".into(), "Chirac".into()],
+            alt_name: None,
+            facets: vec![],
+            related: vec![],
+            popularity: 0.5,
+            in_wordnet: false,
+            in_gazetteer: true,
+            self_facet: None,
+        };
+        let forms: Vec<_> = e.surface_forms().collect();
+        assert_eq!(forms, vec!["Jacques Chirac", "J. Chirac", "Chirac"]);
+    }
+
+    #[test]
+    fn kinds_all_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for k in EntityKind::ALL {
+            assert!(set.insert(k));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # facet-knowledge
+//!
+//! The generative **world model** behind the whole reproduction.
+//!
+//! The paper evaluates on The New York Times archive, with Wikipedia,
+//! WordNet, and Google as external resources, and Mechanical Turk workers
+//! as judges. None of those can ship inside a self-contained repository, so
+//! this crate builds a *world*: a facet ontology (the latent browsing
+//! structure human annotators would agree on), a catalog of named entities
+//! with surface-form variants and facet assignments, a set of concept nouns
+//! with hypernym chains, and news topics that tie them together.
+//!
+//! Every other substrate derives from the same world, which is what makes
+//! the end-to-end evaluation meaningful:
+//!
+//! * the news generator (`facet-corpus`) writes articles about the world's
+//!   topics, mentioning entity surface forms but *rarely* the facet terms
+//!   themselves (the Section III phenomenon: ~65% of gold facet terms never
+//!   appear in the text);
+//! * the synthetic Wikipedia (`facet-wikipedia`) has a page per entity with
+//!   links to the facet-concept pages;
+//! * the mini-WordNet (`facet-wordnet`) holds hypernym chains for concept
+//!   nouns and geographic entities — and, like the real WordNet, knows
+//!   nothing about people or corporations;
+//! * the web-search substrate (`facet-websearch`) indexes noisy web pages
+//!   about the entities;
+//! * the evaluation harness (`facet-eval`) simulates annotators who *know*
+//!   each document's latent facet terms.
+//!
+//! The pipeline under test never sees the world directly — only text.
+
+pub mod concept;
+pub mod entity;
+pub mod names;
+pub mod ontology;
+pub mod topic;
+pub mod world;
+
+pub use concept::{Concept, ConceptId};
+pub use entity::{Entity, EntityId, EntityKind};
+pub use ontology::{FacetNode, FacetNodeId, FacetOntology};
+pub use topic::{Topic, TopicId};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,61 @@
+//! News topics: the latent story generators.
+//!
+//! A topic bundles the entities and concepts that co-occur in stories about
+//! one ongoing news thread ("the G8 summit", "a corporate merger fight").
+//! The corpus generator samples a topic per article, then writes text that
+//! mentions the topic's entities and concepts; the simulated annotators
+//! derive gold facet terms from the same topic structure.
+
+use crate::concept::ConceptId;
+use crate::entity::EntityId;
+use crate::ontology::FacetNodeId;
+
+/// Index of a topic in the world's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(pub u32);
+
+impl TopicId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A news topic.
+#[derive(Debug, Clone)]
+pub struct Topic {
+    /// This topic's id.
+    pub id: TopicId,
+    /// Human-readable label, used as a story seed ("summit in Brenovia").
+    pub label: String,
+    /// Entities featured by stories on this topic. The first entity is the
+    /// protagonist and appears in almost every story.
+    pub entities: Vec<EntityId>,
+    /// Concept nouns characteristic of the topic.
+    pub concepts: Vec<ConceptId>,
+    /// The facet leaves that gold annotations of this topic's stories
+    /// draw from (in addition to the entities' facets).
+    pub facets: Vec<FacetNodeId>,
+    /// Popularity weight; drives how many articles the topic spawns.
+    pub popularity: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let t = Topic {
+            id: TopicId(0),
+            label: "summit".into(),
+            entities: vec![EntityId(1), EntityId(2)],
+            concepts: vec![ConceptId(0)],
+            facets: vec![FacetNodeId(4)],
+            popularity: 1.0,
+        };
+        assert_eq!(t.entities.len(), 2);
+        assert_eq!(t.id.index(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for generated worlds: structural invariants that
+//! every seed must satisfy.
+
+use facet_knowledge::{EntityKind, World, WorldConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = WorldConfig> {
+    (0u64..5000, 4usize..12, 1usize..4, 10usize..60, 5usize..20).prop_map(
+        |(seed, countries, cities_per_country, people, topics)| WorldConfig {
+            seed,
+            countries,
+            cities_per_country,
+            people,
+            corporations: 8,
+            organizations: 5,
+            events: 4,
+            extra_concepts: 12,
+            topics,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 60,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ontology is a forest: every node's path reaches a root, and
+    /// parent/child links agree.
+    #[test]
+    fn ontology_is_consistent_forest(config in config_strategy()) {
+        let w = World::generate(config);
+        for node in w.ontology.iter() {
+            let path = w.ontology.path(node.id);
+            prop_assert_eq!(*path.last().unwrap(), node.id);
+            let root = path[0];
+            prop_assert!(w.ontology.node(root).parent.is_none());
+            prop_assert_eq!(w.ontology.root_of(node.id), root);
+            if let Some(p) = node.parent {
+                prop_assert!(w.ontology.node(p).children.contains(&node.id));
+                prop_assert_eq!(node.depth, w.ontology.node(p).depth + 1);
+            } else {
+                prop_assert_eq!(node.depth, 0);
+            }
+        }
+    }
+
+    /// Every entity's facet leaves are valid nodes; location entities are
+    /// facet nodes themselves; no entity shares a canonical name.
+    #[test]
+    fn entity_invariants(config in config_strategy()) {
+        let w = World::generate(config);
+        let mut names = std::collections::HashSet::new();
+        for e in &w.entities {
+            prop_assert!(names.insert(e.name.clone()), "duplicate name {}", e.name);
+            prop_assert!(!e.facets.is_empty());
+            for &f in &e.facets {
+                prop_assert!(f.index() < w.ontology.len());
+            }
+            match e.kind {
+                EntityKind::Location => {
+                    let node = e.self_facet.expect("locations are facet nodes");
+                    prop_assert_eq!(&w.ontology.node(node).term, &e.name.to_lowercase());
+                }
+                _ => prop_assert!(e.self_facet.is_none()),
+            }
+            prop_assert!((0.0..=1.0).contains(&e.popularity));
+        }
+    }
+
+    /// Concept hypernym chains start at the concept's facet leaf and end
+    /// at an ontology root.
+    #[test]
+    fn concept_chains_are_rooted(config in config_strategy()) {
+        let w = World::generate(config);
+        for c in &w.concepts {
+            prop_assert!(!c.hypernyms.is_empty());
+            let first = w.ontology.find(&c.hypernyms[0]);
+            prop_assert_eq!(first, Some(c.facet));
+            let last = w.ontology.find(c.hypernyms.last().unwrap()).unwrap();
+            prop_assert!(w.ontology.node(last).parent.is_none());
+        }
+    }
+
+    /// Topics reference valid entities/concepts/facets, and two worlds
+    /// from the same config are identical.
+    #[test]
+    fn topics_valid_and_generation_deterministic(config in config_strategy()) {
+        let w1 = World::generate(config.clone());
+        let w2 = World::generate(config);
+        prop_assert_eq!(w1.entities.len(), w2.entities.len());
+        for (a, b) in w1.entities.iter().zip(&w2.entities) {
+            prop_assert_eq!(&a.name, &b.name);
+        }
+        for t in &w1.topics {
+            prop_assert!(!t.entities.is_empty());
+            for &e in &t.entities {
+                prop_assert!(e.index() < w1.entities.len());
+            }
+            for &c in &t.concepts {
+                prop_assert!(c.index() < w1.concepts.len());
+            }
+            for &f in &t.facets {
+                prop_assert!(f.index() < w1.ontology.len());
+            }
+        }
+    }
+}

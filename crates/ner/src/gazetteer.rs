@@ -1,0 +1,164 @@
+//! The entity gazetteer: longest-match dictionary of known surface forms.
+
+use facet_knowledge::{EntityId, EntityKind, World};
+use facet_textkit::{tokens, TokenKind};
+use std::collections::HashMap;
+
+/// A dictionary mapping normalized surface forms to entities.
+#[derive(Debug, Default)]
+pub struct Gazetteer {
+    /// normalized surface form → entity.
+    map: HashMap<String, (EntityId, EntityKind)>,
+    /// first word → max form length in words.
+    first_word_max: HashMap<String, usize>,
+}
+
+impl Gazetteer {
+    /// Create an empty gazetteer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from the world: all surface forms of entities flagged
+    /// `in_gazetteer`. Coverage gaps are the world's, not ours — the
+    /// pipeline treats the tagger as a black box.
+    pub fn from_world(world: &World) -> Self {
+        let mut g = Self::new();
+        for e in &world.entities {
+            if !e.in_gazetteer {
+                continue;
+            }
+            for form in e.surface_forms() {
+                g.insert(form, e.id, e.kind);
+            }
+        }
+        g
+    }
+
+    /// Insert a surface form. First insertion wins (ambiguous forms keep
+    /// their first sense, a realistic dictionary behavior).
+    pub fn insert(&mut self, form: &str, entity: EntityId, kind: EntityKind) {
+        let words: Vec<String> = form.to_lowercase().split_whitespace().map(str::to_string).collect();
+        if words.is_empty() {
+            return;
+        }
+        let key = words.join(" ");
+        self.map.entry(key).or_insert((entity, kind));
+        let e = self.first_word_max.entry(words[0].clone()).or_insert(0);
+        *e = (*e).max(words.len());
+    }
+
+    /// Exact lookup of a normalized form.
+    pub fn get(&self, form: &str) -> Option<(EntityId, EntityKind)> {
+        self.map.get(&form.to_lowercase()).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the gazetteer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Longest-match scan over `text`. Returns `(matched text, start byte,
+    /// end byte, entity, kind)` tuples in document order, non-overlapping.
+    pub fn scan<'t>(&self, text: &'t str) -> Vec<(&'t str, usize, usize, EntityId, EntityKind)> {
+        let toks = tokens(text);
+        // Indices of word tokens only.
+        let word_idx: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TokenKind::Word || t.kind == TokenKind::Number)
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = Vec::new();
+        let mut wi = 0;
+        while wi < word_idx.len() {
+            let first = toks[word_idx[wi]].text.to_lowercase();
+            let Some(&max_len) = self.first_word_max.get(&first) else {
+                wi += 1;
+                continue;
+            };
+            let upper = max_len.min(word_idx.len() - wi);
+            let mut matched = false;
+            for len in (1..=upper).rev() {
+                // A form cannot cross punctuation: the word tokens must be
+                // adjacent in the token stream (only whitespace between).
+                if (0..len - 1).any(|k| word_idx[wi + k + 1] != word_idx[wi + k] + 1) {
+                    continue;
+                }
+                let key: Vec<String> = (0..len)
+                    .map(|k| toks[word_idx[wi + k]].text.to_lowercase())
+                    .collect();
+                let key = key.join(" ");
+                if let Some(&(entity, kind)) = self.map.get(&key) {
+                    let start = toks[word_idx[wi]].start;
+                    let end = toks[word_idx[wi + len - 1]].end;
+                    out.push((&text[start..end], start, end, entity, kind));
+                    wi += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                wi += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.insert("Jacques Chirac", EntityId(0), EntityKind::Person);
+        g.insert("Chirac", EntityId(0), EntityKind::Person);
+        g.insert("France", EntityId(1), EntityKind::Location);
+        g
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        let g = gaz();
+        let hits = g.scan("Jacques Chirac spoke for France.");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, "Jacques Chirac");
+        assert_eq!(hits[1].0, "France");
+    }
+
+    #[test]
+    fn variant_matches() {
+        let g = gaz();
+        let hits = g.scan("Chirac arrived yesterday");
+        assert_eq!(hits[0].3, EntityId(0));
+    }
+
+    #[test]
+    fn punctuation_blocks_multiword_match() {
+        let g = gaz();
+        let hits = g.scan("Jacques. Chirac spoke.");
+        // "Jacques. Chirac" must not match as a two-word form; "Chirac"
+        // alone still does.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, "Chirac");
+    }
+
+    #[test]
+    fn ambiguous_form_keeps_first_sense() {
+        let mut g = gaz();
+        g.insert("Chirac", EntityId(9), EntityKind::Location);
+        assert_eq!(g.get("chirac"), Some((EntityId(0), EntityKind::Person)));
+    }
+
+    #[test]
+    fn empty_text() {
+        let g = gaz();
+        assert!(g.scan("").is_empty());
+    }
+}

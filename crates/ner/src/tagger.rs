@@ -1,0 +1,127 @@
+//! The combined tagger: gazetteer matches first, rule-based spans fill
+//! the gaps.
+
+use crate::gazetteer::Gazetteer;
+use crate::rules::rule_based_spans;
+use facet_knowledge::{EntityId, EntityKind, World};
+
+/// One tagged entity span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntitySpan {
+    /// The surface text of the span.
+    pub text: String,
+    /// Byte offsets in the source text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+    /// The resolved entity, when the gazetteer recognized the span.
+    pub entity: Option<EntityId>,
+    /// Entity kind, when resolved.
+    pub kind: Option<EntityKind>,
+}
+
+/// The named-entity tagger.
+#[derive(Debug)]
+pub struct NerTagger {
+    gazetteer: Gazetteer,
+}
+
+impl NerTagger {
+    /// Build the tagger from an explicit gazetteer.
+    pub fn new(gazetteer: Gazetteer) -> Self {
+        Self { gazetteer }
+    }
+
+    /// Build the tagger for a world (gazetteer coverage comes from the
+    /// world's per-entity flags).
+    pub fn from_world(world: &World) -> Self {
+        Self::new(Gazetteer::from_world(world))
+    }
+
+    /// The underlying gazetteer.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    /// Tag `text`: gazetteer spans take precedence; rule-based spans are
+    /// added where they do not overlap a gazetteer span. Spans are
+    /// returned in document order.
+    pub fn tag(&self, text: &str) -> Vec<EntitySpan> {
+        let mut spans: Vec<EntitySpan> = self
+            .gazetteer
+            .scan(text)
+            .into_iter()
+            .map(|(t, s, e, id, kind)| EntitySpan {
+                text: t.to_string(),
+                start: s,
+                end: e,
+                entity: Some(id),
+                kind: Some(kind),
+            })
+            .collect();
+        for (t, s, e) in rule_based_spans(text) {
+            let overlaps = spans.iter().any(|sp| s < sp.end && sp.start < e);
+            if !overlaps {
+                spans.push(EntitySpan {
+                    text: t.to_string(),
+                    start: s,
+                    end: e,
+                    entity: None,
+                    kind: None,
+                });
+            }
+        }
+        spans.sort_by_key(|s| s.start);
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagger() -> NerTagger {
+        let mut g = Gazetteer::new();
+        g.insert("Jacques Chirac", EntityId(0), EntityKind::Person);
+        g.insert("France", EntityId(1), EntityKind::Location);
+        NerTagger::new(g)
+    }
+
+    #[test]
+    fn gazetteer_spans_resolved() {
+        let t = tagger();
+        let spans = t.tag("Jacques Chirac visited France.");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].entity, Some(EntityId(0)));
+        assert_eq!(spans[1].kind, Some(EntityKind::Location));
+    }
+
+    #[test]
+    fn rules_fill_unknown_entities() {
+        let t = tagger();
+        let spans = t.tag("He met Maria Dravenholt in France.");
+        let texts: Vec<&str> = spans.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"Maria Dravenholt"));
+        assert!(texts.contains(&"France"));
+        let unknown = spans.iter().find(|s| s.text == "Maria Dravenholt").unwrap();
+        assert_eq!(unknown.entity, None);
+    }
+
+    #[test]
+    fn no_overlapping_spans() {
+        let t = tagger();
+        let spans = t.tag("President Jacques Chirac of France spoke.");
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start, "overlap: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn lowercase_text_yields_nothing() {
+        let t = tagger();
+        // Gazetteer is case-insensitive (realistic for news casing), but
+        // rules need capitals; plain prose without entities yields nothing.
+        let spans = t.tag("the weather was mild and quiet all week");
+        assert!(spans.is_empty());
+    }
+}

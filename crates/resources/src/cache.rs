@@ -1,0 +1,84 @@
+//! A memoizing wrapper around any context resource.
+//!
+//! The experiment grids of Tables II–VII run the pipeline 20 times per
+//! dataset (4 extractor sets × 5 resource sets); the same important terms
+//! are sent to the same resources over and over. `CachedResource` wraps a
+//! resource with an interior-mutability memo so repeated queries are
+//! answered from memory. Resources are deterministic by contract
+//! ([`ContextResource`]), so caching is transparent.
+
+use crate::resource::ContextResource;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Memoizing decorator for a [`ContextResource`].
+pub struct CachedResource<R> {
+    inner: R,
+    cache: RwLock<HashMap<String, Vec<String>>>,
+}
+
+impl<R: ContextResource> CachedResource<R> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: R) -> Self {
+        Self { inner, cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// Number of memoized queries.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// The wrapped resource.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: ContextResource> ContextResource for CachedResource<R> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        if let Some(hit) = self.cache.read().get(term) {
+            return hit.clone();
+        }
+        let computed = self.inner.context_terms(term);
+        self.cache.write().insert(term.to_string(), computed.clone());
+        computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting(AtomicUsize);
+    impl ContextResource for Counting {
+        fn name(&self) -> &'static str {
+            "Counting"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            vec![format!("ctx of {term}")]
+        }
+    }
+
+    #[test]
+    fn second_query_served_from_cache() {
+        let c = CachedResource::new(Counting(AtomicUsize::new(0)));
+        assert_eq!(c.context_terms("x"), vec!["ctx of x"]);
+        assert_eq!(c.context_terms("x"), vec!["ctx of x"]);
+        assert_eq!(c.inner().0.load(Ordering::SeqCst), 1);
+        assert_eq!(c.cached_queries(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_computed_separately() {
+        let c = CachedResource::new(Counting(AtomicUsize::new(0)));
+        c.context_terms("x");
+        c.context_terms("y");
+        assert_eq!(c.inner().0.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Document expansion: building the contextualized database `C(D)`
+//! (Figure 2 of the paper).
+//!
+//! For every document, each important term is sent to every configured
+//! resource; the union of retrieved context terms is added to the
+//! document. Since the same important term recurs across many documents,
+//! resource queries are resolved once per *distinct* term (memoized), and
+//! the distinct-term resolution fans out across threads with crossbeam.
+
+use crate::resource::ContextResource;
+use facet_corpus::TextDatabase;
+use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Options for the expansion engine.
+#[derive(Debug, Clone)]
+pub struct ExpansionOptions {
+    /// Worker threads for distinct-term resolution.
+    pub threads: usize,
+}
+
+impl Default for ExpansionOptions {
+    fn default() -> Self {
+        Self { threads: 4 }
+    }
+}
+
+/// The contextualized database `C(D)`: per-document term sets (original
+/// terms plus context terms) and the resulting document frequencies.
+#[derive(Debug)]
+pub struct ContextualizedDatabase {
+    /// Distinct term ids per document (sorted), original ∪ context.
+    pub doc_terms: Vec<Vec<TermId>>,
+    /// Document frequency per term id in `C(D)`.
+    df_c: Vec<u64>,
+    /// Context terms only, per document (for inspection/debugging).
+    pub doc_context_terms: Vec<Vec<TermId>>,
+}
+
+impl ContextualizedDatabase {
+    /// Document frequency of a term in `C(D)`.
+    pub fn df_c(&self, t: TermId) -> u64 {
+        self.df_c.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// The df table, indexed by term id.
+    pub fn df_table(&self) -> &[u64] {
+        &self.df_c
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.doc_terms.len()
+    }
+
+    /// True if there are no documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_terms.is_empty()
+    }
+}
+
+/// Expand `db` into a contextualized database.
+///
+/// * `important_terms[i]` is `I(d_i)` — the important terms of document
+///   `i` as produced by the Step-1 extractors.
+/// * `resources` are queried for every distinct important term.
+/// * New context terms are interned into `vocab`.
+pub fn expand_database(
+    db: &TextDatabase,
+    important_terms: &[Vec<String>],
+    resources: &[&dyn ContextResource],
+    vocab: &mut Vocabulary,
+    options: &ExpansionOptions,
+) -> ContextualizedDatabase {
+    assert_eq!(db.len(), important_terms.len(), "one I(d) per document");
+
+    // ---- distinct important terms -----------------------------------------
+    let mut distinct: Vec<&str> = {
+        let mut set: HashSet<&str> = HashSet::new();
+        for terms in important_terms {
+            for t in terms {
+                set.insert(t.as_str());
+            }
+        }
+        set.into_iter().collect()
+    };
+    distinct.sort_unstable(); // deterministic order
+
+    // ---- resolve context terms per distinct term (parallel) ----------------
+    let resolved: HashMap<&str, Vec<String>> = if options.threads <= 1 || distinct.len() < 32 {
+        distinct.iter().map(|&t| (t, resolve_term(t, resources))).collect()
+    } else {
+        let results: Mutex<HashMap<&str, Vec<String>>> = Mutex::new(HashMap::new());
+        let chunk = distinct.len().div_ceil(options.threads);
+        crossbeam::scope(|s| {
+            for part in distinct.chunks(chunk) {
+                let results = &results;
+                s.spawn(move |_| {
+                    let local: Vec<(&str, Vec<String>)> =
+                        part.iter().map(|&t| (t, resolve_term(t, resources))).collect();
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("expansion worker panicked");
+        results.into_inner()
+    };
+
+    // ---- per-document union and frequency count -----------------------------
+    let mut doc_terms = Vec::with_capacity(db.len());
+    let mut doc_context_terms = Vec::with_capacity(db.len());
+    let mut df_c: Vec<u64> = Vec::new();
+    for (i, terms) in important_terms.iter().enumerate() {
+        let mut context_ids: Vec<TermId> = Vec::new();
+        for t in terms {
+            if let Some(ctx) = resolved.get(t.as_str()) {
+                for c in ctx {
+                    context_ids.push(vocab.intern(c));
+                }
+            }
+        }
+        context_ids.sort_unstable();
+        context_ids.dedup();
+
+        let mut all: Vec<TermId> = db.doc_terms(facet_corpus::DocId(i as u32)).to_vec();
+        all.extend(context_ids.iter().copied());
+        all.sort_unstable();
+        all.dedup();
+
+        for &t in &all {
+            if t.index() >= df_c.len() {
+                df_c.resize(t.index() + 1, 0);
+            }
+            df_c[t.index()] += 1;
+        }
+        doc_terms.push(all);
+        doc_context_terms.push(context_ids);
+    }
+    df_c.resize(df_c.len().max(vocab.len()), 0);
+
+    ContextualizedDatabase { doc_terms, df_c, doc_context_terms }
+}
+
+/// Query every resource for one term; union, normalize, filter.
+fn resolve_term(term: &str, resources: &[&dyn ContextResource]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in resources {
+        for raw in r.context_terms(term) {
+            let c = normalize_term(&raw);
+            if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {
+                continue;
+            }
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_corpus::db::TermingOptions;
+    use facet_corpus::{DocId, Document};
+
+    struct Fixed(&'static str, HashMap<&'static str, Vec<&'static str>>);
+    impl ContextResource for Fixed {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            self.1.get(term).map(|v| v.iter().map(|s| s.to_string()).collect()).unwrap_or_default()
+        }
+    }
+
+    fn fixture() -> (TextDatabase, Vocabulary, Vec<Vec<String>>) {
+        let docs = vec![
+            Document {
+                id: DocId(0),
+                source: 0,
+                day: 0,
+                title: "Chirac".into(),
+                text: "Jacques Chirac spoke about summit matters.".into(),
+            },
+            Document {
+                id: DocId(1),
+                source: 0,
+                day: 0,
+                title: "Other".into(),
+                text: "Jacques Chirac met advisers.".into(),
+            },
+        ];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let important = vec![
+            vec!["jacques chirac".to_string()],
+            vec!["jacques chirac".to_string()],
+        ];
+        (db, vocab, important)
+    }
+
+    fn chirac_resource() -> Fixed {
+        let mut m = HashMap::new();
+        m.insert("jacques chirac", vec!["political leaders", "france", "the"]);
+        Fixed("F", m)
+    }
+
+    #[test]
+    fn context_terms_raise_df_c() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let c = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
+        let leaders = vocab.get("political leaders").expect("context term interned");
+        assert_eq!(c.df_c(leaders), 2, "context term in both documents");
+        assert_eq!(db.df(leaders), 0, "absent from the original database");
+    }
+
+    #[test]
+    fn stopwords_filtered_from_context() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let _ = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
+        assert!(vocab.get("the").is_none());
+    }
+
+    #[test]
+    fn original_terms_kept() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let c = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
+        let summit = vocab.get("summit").unwrap();
+        assert_eq!(c.df_c(summit), 1);
+        assert!(c.doc_terms[0].contains(&summit));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (db, mut vocab1, important) = fixture();
+        let r = chirac_resource();
+        let serial = expand_database(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab1,
+            &ExpansionOptions { threads: 1 },
+        );
+        let (db2, mut vocab2, important2) = fixture();
+        let parallel = expand_database(
+            &db2,
+            &important2,
+            &[&r],
+            &mut vocab2,
+            &ExpansionOptions { threads: 4 },
+        );
+        assert_eq!(serial.doc_terms.len(), parallel.doc_terms.len());
+        // Same terms by string (vocab ids may differ in interning order).
+        for i in 0..serial.doc_terms.len() {
+            let s: Vec<&str> = serial.doc_terms[i].iter().map(|&t| vocab1.term(t)).collect();
+            let p: Vec<&str> = parallel.doc_terms[i].iter().map(|&t| vocab2.term(t)).collect();
+            let mut s = s.clone();
+            let mut p = p.clone();
+            s.sort_unstable();
+            p.sort_unstable();
+            assert_eq!(s, p);
+        }
+    }
+
+    #[test]
+    fn no_resources_means_no_change_in_terms() {
+        let (db, mut vocab, important) = fixture();
+        let c = expand_database(&db, &important, &[], &mut vocab, &ExpansionOptions::default());
+        for i in 0..db.len() {
+            assert_eq!(c.doc_terms[i], db.doc_terms(DocId(i as u32)));
+            assert!(c.doc_context_terms[i].is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let (db, mut vocab, _) = fixture();
+        let _ = expand_database(&db, &[], &[], &mut vocab, &ExpansionOptions::default());
+    }
+}

@@ -1,0 +1,173 @@
+//! The Google context resource: "query Google with a given term, and then
+//! retrieve as context terms the most frequent words and phrases that
+//! appear in the returned snippets" (Section IV-B).
+//!
+//! The paper notes this resource is noisy because only titles and snippets
+//! are mined (not full pages), which "introduces a relatively large number
+//! of noisy terms" and drags precision down (Section V-C). Our snippet
+//! mining reproduces that: frequent chatter words in snippets become
+//! context terms alongside the true facet terms.
+
+use crate::resource::ContextResource;
+use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind};
+use facet_websearch::SearchEngine;
+use std::collections::HashMap;
+
+/// Frequent-snippet-term mining over the web-search substrate.
+pub struct GoogleResource<'a> {
+    engine: &'a SearchEngine,
+    /// Results fetched per query (paper-style first page: 10).
+    pub top_results: usize,
+    /// Maximum context terms returned per query.
+    pub max_context_terms: usize,
+    /// A term must occur in at least this many snippets to be returned.
+    pub min_snippet_count: usize,
+}
+
+impl<'a> GoogleResource<'a> {
+    /// Wrap a search engine with default mining parameters.
+    pub fn new(engine: &'a SearchEngine) -> Self {
+        Self { engine, top_results: 10, max_context_terms: 30, min_snippet_count: 2 }
+    }
+}
+
+impl ContextResource for GoogleResource<'_> {
+    fn name(&self) -> &'static str {
+        "Google"
+    }
+
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        let hits = self.engine.search(term, self.top_results);
+        if hits.is_empty() {
+            return Vec::new();
+        }
+        let query_words: Vec<String> = term
+            .to_lowercase()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        // Count distinct snippet occurrences per candidate term.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for hit in &hits {
+            let mut seen: Vec<String> = Vec::new();
+            let toks = tokens(&hit.snippet);
+            let mut prev: Option<String> = None;
+            for t in &toks {
+                if t.kind != TokenKind::Word {
+                    prev = None;
+                    continue;
+                }
+                let w = normalize_term(t.text);
+                if is_stopword(&w) || w.len() < 2 || query_words.contains(&w) {
+                    prev = None;
+                    continue;
+                }
+                if !seen.contains(&w) {
+                    seen.push(w.clone());
+                }
+                if let Some(p) = &prev {
+                    let bigram = format!("{p} {w}");
+                    if !seen.contains(&bigram) {
+                        seen.push(bigram);
+                    }
+                }
+                prev = Some(w);
+            }
+            for s in seen {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        // Phrase absorption: a unigram that only ever occurs inside a
+        // counted phrase ("organizations" inside "international
+        // organizations") is subtracted away, so fragments do not shadow
+        // the phrases they belong to.
+        let phrase_counts: Vec<(String, usize)> = counts
+            .iter()
+            .filter(|(t, _)| t.contains(' '))
+            .map(|(t, c)| (t.clone(), *c))
+            .collect();
+        for (phrase, c) in &phrase_counts {
+            for word in phrase.split(' ') {
+                if let Some(u) = counts.get_mut(word) {
+                    *u = u.saturating_sub(*c);
+                }
+            }
+        }
+        let mut ranked: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= self.min_snippet_count)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.into_iter().take(self.max_context_terms).map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_websearch::{SearchEngine, WebDocId, WebPage};
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(vec![
+            WebPage {
+                id: WebDocId(0),
+                title: "Chirac profile".into(),
+                text: "Chirac is among the political leaders of France. Readers associate \
+                       Chirac with politics."
+                    .into(),
+            },
+            WebPage {
+                id: WebDocId(1),
+                title: "Chirac news".into(),
+                text: "Chirac, one of the political leaders in France, spoke about politics."
+                    .into(),
+            },
+            WebPage {
+                id: WebDocId(2),
+                title: "Unrelated".into(),
+                text: "gardening tips and recipes".into(),
+            },
+        ])
+    }
+
+    #[test]
+    fn frequent_snippet_terms_returned() {
+        let e = engine();
+        let g = GoogleResource::new(&e);
+        let terms = g.context_terms("Chirac");
+        assert!(terms.contains(&"political leaders".to_string()), "{terms:?}");
+        assert!(terms.contains(&"france".to_string()), "{terms:?}");
+    }
+
+    #[test]
+    fn query_words_excluded() {
+        let e = engine();
+        let g = GoogleResource::new(&e);
+        let terms = g.context_terms("Chirac");
+        assert!(!terms.contains(&"chirac".to_string()));
+    }
+
+    #[test]
+    fn min_count_filters_singletons() {
+        let e = engine();
+        let g = GoogleResource::new(&e);
+        let terms = g.context_terms("Chirac");
+        // "readers" appears in only one page's snippet.
+        assert!(!terms.contains(&"readers".to_string()), "{terms:?}");
+    }
+
+    #[test]
+    fn unknown_term_empty() {
+        let e = engine();
+        let g = GoogleResource::new(&e);
+        assert!(g.context_terms("xyzzy").is_empty());
+    }
+
+    #[test]
+    fn max_terms_respected() {
+        let e = engine();
+        let mut g = GoogleResource::new(&e);
+        g.max_context_terms = 1;
+        assert!(g.context_terms("Chirac").len() <= 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! The WordNet Hypernyms context resource.
+//!
+//! "Hypernyms are useful and high-precision terms, but tend to have low
+//! recall, especially when dealing with named entities (e.g., names of
+//! politicians) and noun phrases" (Section IV-B). Both properties come
+//! straight from the substrate's coverage.
+
+use crate::resource::ContextResource;
+use facet_wordnet::WordNet;
+
+/// Hypernym lookup over the mini-WordNet.
+pub struct WordNetHypernymsResource<'a> {
+    wordnet: &'a WordNet,
+    /// How many hypernym levels to climb.
+    pub max_depth: usize,
+}
+
+impl<'a> WordNetHypernymsResource<'a> {
+    /// Wrap a WordNet with the default depth (4 levels).
+    pub fn new(wordnet: &'a WordNet) -> Self {
+        Self { wordnet, max_depth: 4 }
+    }
+}
+
+impl ContextResource for WordNetHypernymsResource<'_> {
+    fn name(&self) -> &'static str {
+        "WordNet Hypernyms"
+    }
+
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        self.wordnet.hypernym_terms(term, self.max_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordnet() -> WordNet {
+        let mut wn = WordNet::new();
+        let event = wn.add_synset(&["event"], "");
+        let election = wn.add_synset(&["election"], "");
+        let ballot = wn.add_synset(&["ballot"], "");
+        wn.add_hypernym(election, event);
+        wn.add_hypernym(ballot, election);
+        wn
+    }
+
+    #[test]
+    fn hypernym_chain_returned() {
+        let wn = wordnet();
+        let r = WordNetHypernymsResource::new(&wn);
+        assert_eq!(r.context_terms("ballot"), vec!["election", "event"]);
+    }
+
+    #[test]
+    fn named_entities_not_covered() {
+        let wn = wordnet();
+        let r = WordNetHypernymsResource::new(&wn);
+        assert!(r.context_terms("jacques chirac").is_empty());
+    }
+
+    #[test]
+    fn depth_limits_climb() {
+        let wn = wordnet();
+        let mut r = WordNetHypernymsResource::new(&wn);
+        r.max_depth = 1;
+        assert_eq!(r.context_terms("ballot"), vec!["election"]);
+    }
+}

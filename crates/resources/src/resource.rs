@@ -1,0 +1,54 @@
+//! The context-resource trait.
+
+/// An external resource that, queried with a term, returns context terms
+/// (paper Section IV-B). Implementations must be deterministic: the
+/// expansion engine memoizes by query term.
+pub trait ContextResource: Send + Sync {
+    /// Display name matching the table rows of the paper ("Google",
+    /// "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph").
+    fn name(&self) -> &'static str;
+
+    /// Context terms for `term`, normalized lowercase. Empty when the
+    /// resource does not know the term.
+    fn context_terms(&self, term: &str) -> Vec<String>;
+}
+
+/// A labelled selection of resources, one table row of the paper.
+pub struct ResourceSet<'a> {
+    /// Display label ("Google", …, or "All").
+    pub label: &'a str,
+    /// The resources in the set.
+    pub resources: Vec<&'a dyn ContextResource>,
+}
+
+impl std::fmt::Debug for ResourceSet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceSet")
+            .field("label", &self.label)
+            .field("resources", &self.resources.iter().map(|r| r.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl ContextResource for Echo {
+        fn name(&self) -> &'static str {
+            "Echo"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            vec![format!("about {term}")]
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let e = Echo;
+        let set = ResourceSet { label: "solo", resources: vec![&e] };
+        assert_eq!(set.resources[0].context_terms("x"), vec!["about x"]);
+        assert!(format!("{set:?}").contains("Echo"));
+    }
+}

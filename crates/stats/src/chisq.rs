@@ -1,0 +1,93 @@
+//! Pearson's chi-square statistic for a 2×2 contingency table.
+//!
+//! The paper explicitly *rejects* chi-square for facet-term selection:
+//! "due to the power-law distribution of the term frequencies, many of the
+//! underlying assumptions for the chi-square test do not hold for text
+//! frequency analysis" (Section IV-C, citing Dunning 1993). We implement it
+//! anyway so the ablation benchmark can demonstrate the difference between
+//! chi-square and log-likelihood ranking on Zipfian data.
+
+/// Pearson chi-square statistic for the 2×2 table
+///
+/// ```text
+///              in D     not in D
+/// original      a          b
+/// contextual    c          d
+/// ```
+///
+/// Returns 0 when any marginal is zero (degenerate table).
+pub fn chi_square_2x2(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let (a, b, c, d) = (a as f64, b as f64, c as f64, d as f64);
+    let n = a + b + c + d;
+    let row1 = a + b;
+    let row2 = c + d;
+    let col1 = a + c;
+    let col2 = b + d;
+    if row1 == 0.0 || row2 == 0.0 || col1 == 0.0 || col2 == 0.0 {
+        return 0.0;
+    }
+    let num = n * (a * d - b * c).powi(2);
+    let den = row1 * row2 * col1 * col2;
+    num / den
+}
+
+/// Convenience wrapper matching [`crate::loglik::log_likelihood_ratio`]'s
+/// signature: document frequencies `df` (original) and `df_c`
+/// (contextualized) out of `n` documents each.
+pub fn chi_square_df(df: u64, df_c: u64, n: u64) -> f64 {
+    assert!(df <= n && df_c <= n, "df out of range");
+    chi_square_2x2(df, n - df, df_c, n - df_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_identical_rows() {
+        assert_eq!(chi_square_2x2(10, 90, 10, 90), 0.0);
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        assert_eq!(chi_square_2x2(0, 0, 5, 5), 0.0);
+        assert_eq!(chi_square_2x2(0, 5, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn textbook_value() {
+        // Table: [[10, 20], [30, 40]] → chi2 = 100*(400-600)^2/(30*70*40*60)
+        let chi = chi_square_2x2(10, 20, 30, 40);
+        let expected = 100.0 * (10.0 * 40.0 - 20.0 * 30.0_f64).powi(2) / (30.0 * 70.0 * 40.0 * 60.0);
+        assert!((chi - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grows_with_association() {
+        let weak = chi_square_df(10, 15, 1000);
+        let strong = chi_square_df(10, 100, 1000);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn chi_square_and_loglik_rank_terms_differently() {
+        // The paper's reason for preferring the log-likelihood statistic is
+        // that chi-square misbehaves in the rare-event (Zipf tail) regime.
+        // The observable consequence for facet selection is that the two
+        // statistics *order candidate terms differently*. Verify that a
+        // crossing pair exists on a realistic grid of (df, df_c) counts.
+        use crate::loglik::log_likelihood_ratio;
+        let n = 10_000u64;
+        // Term A: rarer in D with a large relative gain; term B: more
+        // common with a smaller relative gain. Chi-square prefers A while
+        // log-likelihood prefers B.
+        let (a_df, a_dfc) = (27u64, 884u64);
+        let (b_df, b_dfc) = (12u64, 833u64);
+        let chi_a = chi_square_df(a_df, a_dfc, n);
+        let chi_b = chi_square_df(b_df, b_dfc, n);
+        let llr_a = log_likelihood_ratio(a_df, a_dfc, n);
+        let llr_b = log_likelihood_ratio(b_df, b_dfc, n);
+        assert!(chi_a > chi_b, "chi-square: {chi_a} vs {chi_b}");
+        assert!(llr_a < llr_b, "log-likelihood: {llr_a} vs {llr_b}");
+    }
+}

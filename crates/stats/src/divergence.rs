@@ -1,0 +1,137 @@
+//! Distributional divergence measures.
+//!
+//! The paper's related work (Section VI) frames the whole approach as
+//! "distributional analysis of two collections", citing Lee's skew
+//! divergence \[33\] as the conceptually closest term-similarity measure
+//! ("fruit can approximate apple but not vice versa" — the same asymmetry
+//! the facet-term shift exploits). This module provides the measures for
+//! the comparison study: KL divergence, Lee's α-skew divergence, and a
+//! whole-distribution divergence between the original and contextualized
+//! term distributions.
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. `p` and `q` must be
+/// same-length probability vectors; the convention `0·log(0/q) = 0` is
+/// used, and a zero in `q` against nonzero `p[i]` yields infinity.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths differ");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        d += pi * (pi / qi).ln();
+    }
+    d.max(0.0)
+}
+
+/// Lee's α-skew divergence: `s_α(q, p) = KL(p ‖ α·q + (1−α)·p)`.
+/// Unlike KL it is always finite for α < 1, and it is *asymmetric* in
+/// exactly the way term generalization is: a general distribution can
+/// approximate a specific one better than vice versa.
+pub fn skew_divergence(p: &[f64], q: &[f64], alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+    assert_eq!(p.len(), q.len(), "distribution lengths differ");
+    let mixed: Vec<f64> =
+        p.iter().zip(q).map(|(&pi, &qi)| alpha * qi + (1.0 - alpha) * pi).collect();
+    kl_divergence(p, &mixed)
+}
+
+/// Normalize a frequency table into a probability distribution. Returns
+/// `None` when the total mass is zero.
+pub fn normalize(freqs: &[u64]) -> Option<Vec<f64>> {
+    let total: u64 = freqs.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    Some(freqs.iter().map(|&f| f as f64 / total as f64).collect())
+}
+
+/// Skew divergence between two term-frequency tables (e.g. the original
+/// database `D` and the contextualized database `C(D)`), with α = 0.99 as
+/// in Lee's experiments. Returns `None` if either table is empty.
+pub fn corpus_skew_divergence(df: &[u64], df_c: &[u64]) -> Option<f64> {
+    let len = df.len().max(df_c.len());
+    let mut a = df.to_vec();
+    a.resize(len, 0);
+    let mut b = df_c.to_vec();
+    b.resize(len, 0);
+    let p = normalize(&a)?;
+    let q = normalize(&b)?;
+    Some(skew_divergence(&p, &q, 0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_zero_iff_identical() {
+        let p = vec![0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = vec![0.5, 0.25, 0.25];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        let p = vec![0.5, 0.5];
+        let q = vec![1.0, 0.0];
+        assert!(kl_divergence(&p, &q).is_infinite());
+    }
+
+    #[test]
+    fn skew_finite_where_kl_is_not() {
+        let p = vec![0.5, 0.5];
+        let q = vec![1.0, 0.0];
+        let s = skew_divergence(&p, &q, 0.99);
+        assert!(s.is_finite());
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn skew_is_asymmetric() {
+        // q (general) covers everything; p (specific) concentrates.
+        let general = vec![0.25, 0.25, 0.25, 0.25];
+        let specific = vec![0.85, 0.05, 0.05, 0.05];
+        let general_approximates_specific = skew_divergence(&specific, &general, 0.99);
+        let specific_approximates_general = skew_divergence(&general, &specific, 0.99);
+        assert!(
+            general_approximates_specific < specific_approximates_general,
+            "the general distribution should approximate the specific one better \
+             ({general_approximates_specific} vs {specific_approximates_general})"
+        );
+    }
+
+    #[test]
+    fn normalize_and_corpus_divergence() {
+        assert_eq!(normalize(&[0, 0]), None);
+        assert_eq!(normalize(&[1, 3]), Some(vec![0.25, 0.75]));
+        let d = corpus_skew_divergence(&[10, 0, 5], &[12, 9, 6]).unwrap();
+        assert!(d > 0.0 && d.is_finite());
+        assert!(corpus_skew_divergence(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn expansion_increases_divergence_with_new_terms() {
+        // Adding brand-new frequent terms (facet terms!) moves the
+        // distribution more than uniform growth does.
+        let df = vec![100, 50, 25, 0, 0];
+        let uniform_growth = vec![110, 55, 27, 0, 0];
+        let facet_growth = vec![100, 50, 25, 60, 40];
+        let d_uniform = corpus_skew_divergence(&df, &uniform_growth).unwrap();
+        let d_facets = corpus_skew_divergence(&df, &facet_growth).unwrap();
+        assert!(d_facets > d_uniform);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,73 @@
+//! The extractor trait and the union-of-extractors helper (Figure 1 of
+//! the paper).
+
+/// An important-term extractor: document text in, normalized terms out.
+pub trait TermExtractor: Send + Sync {
+    /// Short display name ("NE", "Yahoo", "Wikipedia") matching the
+    /// table columns of the paper.
+    fn name(&self) -> &'static str;
+
+    /// Extract important terms from document text. Terms are normalized
+    /// lowercase, deduplicated, in extraction order.
+    fn extract(&self, text: &str) -> Vec<String>;
+}
+
+/// A named selection of extractors, used to reproduce the per-column
+/// results of Tables II–VII.
+pub struct ExtractorSet<'a> {
+    /// Display label ("NE", "Yahoo", "Wikipedia", or "All").
+    pub label: &'a str,
+    /// The extractors in the set.
+    pub extractors: Vec<&'a dyn TermExtractor>,
+}
+
+impl std::fmt::Debug for ExtractorSet<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractorSet")
+            .field("label", &self.label)
+            .field("extractors", &self.extractors.iter().map(|e| e.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Compute `I(d)`: the deduplicated union of all extractors' terms for a
+/// document, in first-seen order.
+pub fn extract_important_terms(extractors: &[&dyn TermExtractor], text: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for e in extractors {
+        for term in e.extract(text) {
+            if !out.contains(&term) {
+                out.push(term);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(&'static str, Vec<&'static str>);
+    impl TermExtractor for Fixed {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn extract(&self, _text: &str) -> Vec<String> {
+            self.1.iter().map(|s| s.to_string()).collect()
+        }
+    }
+
+    #[test]
+    fn union_deduplicates_preserving_order() {
+        let a = Fixed("A", vec!["x", "y"]);
+        let b = Fixed("B", vec!["y", "z"]);
+        let terms = extract_important_terms(&[&a, &b], "irrelevant");
+        assert_eq!(terms, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn empty_extractor_list() {
+        assert!(extract_important_terms(&[], "text").is_empty());
+    }
+}

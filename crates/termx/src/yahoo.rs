@@ -1,0 +1,167 @@
+//! The statistical keyphrase extractor (paper: the "Yahoo Term
+//! Extraction" web service).
+//!
+//! The paper treats the service as a black box that "takes as input a
+//! text document and returns a list of significant words or phrases", and
+//! observes empirically that the returned terms are high quality. We
+//! implement the canonical such scorer: tf·idf salience over the
+//! document's unigrams and stopword-free bigrams, with idf taken from the
+//! corpus the extractor was fitted on.
+
+use crate::extractor::TermExtractor;
+use facet_corpus::TextDatabase;
+use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind, Vocabulary};
+use std::collections::HashMap;
+
+/// tf·idf keyphrase extractor.
+pub struct YahooTermExtractor {
+    /// normalized term → document frequency in the reference corpus.
+    df: HashMap<String, u64>,
+    /// Number of documents in the reference corpus.
+    n_docs: u64,
+    /// Maximum number of terms returned per document.
+    pub max_terms: usize,
+}
+
+impl YahooTermExtractor {
+    /// Fit the extractor's idf table on a database.
+    pub fn fit(db: &TextDatabase, vocab: &Vocabulary) -> Self {
+        let mut df = HashMap::new();
+        for (id, term) in vocab.iter() {
+            let f = db.df(id);
+            if f > 0 {
+                df.insert(term.to_string(), f);
+            }
+        }
+        Self { df, n_docs: db.len() as u64, max_terms: 15 }
+    }
+
+    /// Construct from an explicit df table (for tests).
+    pub fn from_table(df: HashMap<String, u64>, n_docs: u64) -> Self {
+        Self { df, n_docs, max_terms: 15 }
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let df = self.df.get(term).copied().unwrap_or(0) as f64;
+        ((self.n_docs as f64 + 1.0) / (df + 1.0)).ln()
+    }
+}
+
+impl TermExtractor for YahooTermExtractor {
+    fn name(&self) -> &'static str {
+        "Yahoo"
+    }
+
+    fn extract(&self, text: &str) -> Vec<String> {
+        // Count unigrams and stopword-free bigrams.
+        let toks = tokens(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut prev: Option<String> = None;
+        for t in &toks {
+            if t.kind != TokenKind::Word {
+                prev = None;
+                continue;
+            }
+            let w = normalize_term(t.text);
+            if is_stopword(&w) || w.len() < 2 {
+                prev = None;
+                continue;
+            }
+            *tf.entry(w.clone()).or_insert(0) += 1;
+            if let Some(p) = prev {
+                *tf.entry(format!("{p} {w}")).or_insert(0) += 1;
+            }
+            prev = Some(w);
+        }
+        // Score and rank. Bigram scores get a small boost (phrases are
+        // more informative when they recur at all).
+        let mut scored: Vec<(String, f64)> = tf
+            .into_iter()
+            .map(|(term, f)| {
+                let phrase_boost = if term.contains(' ') { 1.35 } else { 1.0 };
+                let score = f as f64 * self.idf(&term) * phrase_boost;
+                (term, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        // Keep terms with meaningful salience only.
+        scored
+            .into_iter()
+            .filter(|(_, s)| *s > 0.0)
+            .take(self.max_terms)
+            .map(|(t, _)| t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extractor() -> YahooTermExtractor {
+        // Reference corpus of 100 docs: "market" common, "chirac" rare.
+        let mut df = HashMap::new();
+        df.insert("market".to_string(), 60);
+        df.insert("report".to_string(), 80);
+        df.insert("chirac".to_string(), 2);
+        df.insert("summit".to_string(), 5);
+        YahooTermExtractor::from_table(df, 100)
+    }
+
+    #[test]
+    fn rare_terms_outrank_common_ones() {
+        let e = extractor();
+        let text = "The report said the market reacted. Chirac attended the summit. \
+                    The market report continued.";
+        let terms = e.extract(text);
+        let chirac_pos = terms.iter().position(|t| t == "chirac").unwrap();
+        let report_pos = terms.iter().position(|t| t == "report").unwrap();
+        assert!(chirac_pos < report_pos, "rare term should rank higher: {terms:?}");
+    }
+
+    #[test]
+    fn phrases_extracted() {
+        let e = extractor();
+        let terms = e.extract("due diligence matters; due diligence always matters");
+        assert!(terms.contains(&"due diligence".to_string()), "{terms:?}");
+    }
+
+    #[test]
+    fn stopwords_never_returned() {
+        let e = extractor();
+        let terms = e.extract("the the the and and of market");
+        assert!(terms.iter().all(|t| t != "the" && t != "and" && t != "of"));
+    }
+
+    #[test]
+    fn max_terms_respected() {
+        let mut e = extractor();
+        e.max_terms = 3;
+        let text = "alpha beta gamma delta epsilon zeta eta theta";
+        assert!(e.extract(text).len() <= 3);
+    }
+
+    #[test]
+    fn empty_text() {
+        let e = extractor();
+        assert!(e.extract("").is_empty());
+    }
+
+    #[test]
+    fn fit_from_database() {
+        use facet_corpus::{DocId, Document, TextDatabase};
+        use facet_corpus::db::TermingOptions;
+        let docs = vec![Document {
+            id: DocId(0),
+            source: 0,
+            day: 0,
+            title: "T".into(),
+            text: "market summit market".into(),
+        }];
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
+        let e = YahooTermExtractor::fit(&db, &vocab);
+        assert_eq!(e.n_docs, 1);
+        assert!(e.df.contains_key("market"));
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # facet-textkit
+//!
+//! Text-processing substrate for the facet-hierarchy extraction system.
+//!
+//! The paper ("Automatic Extraction of Useful Facet Hierarchies from Text
+//! Databases", Dakka & Ipeirotis, ICDE 2008) operates on *terms*: single
+//! words and multi-word phrases extracted from news articles. This crate
+//! provides everything needed to go from raw text to term statistics:
+//!
+//! * [`tokenize`] — a deterministic word/sentence tokenizer,
+//! * [`stem`] — a full Porter stemmer,
+//! * [`stopwords`] — a standard English stopword list,
+//! * [`phrase`] — n-gram and capitalized-phrase iterators,
+//! * [`vocab`] — an interning vocabulary mapping terms to dense [`TermId`]s,
+//! * [`zipf`] — Zipfian samplers used by the synthetic corpus generators.
+//!
+//! Everything here is written from scratch with no external NLP
+//! dependencies, so the whole reproduction is self-contained.
+
+pub mod phrase;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vocab;
+pub mod zipf;
+
+pub use phrase::{ngrams, proper_noun_phrases};
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokenize::{sentences, tokens, Token, TokenKind};
+pub use vocab::{TermId, Vocabulary};
+pub use zipf::Zipf;
+
+/// Normalize a raw term for frequency counting: lowercase and collapse
+/// internal whitespace. Multi-word phrases stay phrases ("Jacques Chirac"
+/// becomes "jacques chirac").
+pub fn normalize_term(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut last_space = true;
+    for ch in raw.chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases() {
+        assert_eq!(normalize_term("Jacques Chirac"), "jacques chirac");
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace() {
+        assert_eq!(normalize_term("  G8\t Summit \n"), "g8 summit");
+    }
+
+    #[test]
+    fn normalize_empty() {
+        assert_eq!(normalize_term(""), "");
+        assert_eq!(normalize_term("   "), "");
+    }
+}

@@ -1,0 +1,145 @@
+//! Phrase extraction: n-grams over word tokens and capitalized
+//! ("proper-noun") phrase detection.
+//!
+//! The paper's notion of *term* covers both single words and multi-word
+//! phrases (footnote 2). The Wikipedia title extractor matches multi-word
+//! page titles against document text, and the rule-based part of the NER
+//! substrate uses capitalized runs; both build on this module.
+
+use crate::tokenize::{tokens, Token, TokenKind};
+
+/// Yield all word-level n-grams of size `n` from `text`, joined by single
+/// spaces, preserving original casing. Punctuation breaks n-gram windows
+/// (an n-gram never crosses a punctuation token).
+pub fn ngrams(text: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let toks = tokens(text);
+    let mut out = Vec::new();
+    // Split token stream into punctuation-free runs.
+    let mut run: Vec<&Token<'_>> = Vec::new();
+    let flush = |run: &mut Vec<&Token<'_>>, out: &mut Vec<String>| {
+        if run.len() >= n {
+            for w in run.windows(n) {
+                let mut s = String::new();
+                for (i, t) in w.iter().enumerate() {
+                    if i > 0 {
+                        s.push(' ');
+                    }
+                    s.push_str(t.text);
+                }
+                out.push(s);
+            }
+        }
+        run.clear();
+    };
+    for t in &toks {
+        match t.kind {
+            TokenKind::Punct => flush(&mut run, &mut out),
+            _ => run.push(t),
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+/// Extract maximal runs of capitalized word tokens ("proper-noun phrases"),
+/// e.g. `"Jacques Chirac"` from `"President Jacques Chirac visited"`.
+///
+/// A run may include connective lowercase words "of", "the", "de" when they
+/// are *internal* to the run (e.g. "Bank of England"). Sentence-initial
+/// single capitalized words are included too — disambiguating them is the
+/// NER substrate's job (it consults a gazetteer).
+pub fn proper_noun_phrases(text: &str) -> Vec<String> {
+    const CONNECTIVES: &[&str] = &["of", "the", "de", "la", "von", "van", "al"];
+    let toks = tokens(text);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Word && t.is_capitalized() {
+            let start = i;
+            let mut end = i + 1; // exclusive, last accepted capitalized word + 1
+            let mut j = i + 1;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.kind == TokenKind::Word && tj.is_capitalized() {
+                    j += 1;
+                    end = j;
+                } else if tj.kind == TokenKind::Word
+                    && CONNECTIVES.contains(&tj.text)
+                    && j + 1 < toks.len()
+                    && toks[j + 1].kind == TokenKind::Word
+                    && toks[j + 1].is_capitalized()
+                {
+                    j += 2;
+                    end = j;
+                } else {
+                    break;
+                }
+            }
+            let mut phrase = String::new();
+            for (k, t) in toks[start..end].iter().enumerate() {
+                if k > 0 {
+                    phrase.push(' ');
+                }
+                phrase.push_str(t.text);
+            }
+            out.push(phrase);
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigrams_equal_words() {
+        assert_eq!(ngrams("alpha beta gamma", 1), vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn bigrams() {
+        assert_eq!(ngrams("alpha beta gamma", 2), vec!["alpha beta", "beta gamma"]);
+    }
+
+    #[test]
+    fn ngrams_do_not_cross_punctuation() {
+        assert_eq!(ngrams("alpha beta. gamma delta", 2), vec!["alpha beta", "gamma delta"]);
+    }
+
+    #[test]
+    fn ngram_zero_and_oversize() {
+        assert!(ngrams("alpha beta", 0).is_empty());
+        assert!(ngrams("alpha beta", 3).is_empty());
+    }
+
+    #[test]
+    fn proper_phrases_basic() {
+        let p = proper_noun_phrases("President Jacques Chirac visited Paris yesterday.");
+        assert_eq!(p, vec!["President Jacques Chirac", "Paris"]);
+    }
+
+    #[test]
+    fn proper_phrases_with_connective() {
+        let p = proper_noun_phrases("The Bank of England raised rates.");
+        assert_eq!(p, vec!["The Bank of England"]);
+    }
+
+    #[test]
+    fn connective_at_end_not_swallowed() {
+        let p = proper_noun_phrases("Paris of the north");
+        assert_eq!(p, vec!["Paris"]);
+    }
+
+    #[test]
+    fn no_capitalized_words() {
+        assert!(proper_noun_phrases("all lowercase words here").is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! A complete implementation of the Porter stemming algorithm
+//! (M.F. Porter, "An algorithm for suffix stripping", 1980).
+//!
+//! The facet pipeline counts document frequencies over normalized terms;
+//! stemming conflates inflectional variants ("markets" / "market") so that
+//! the comparative frequency analysis of Section IV-C of the paper sees one
+//! statistical unit per concept word.
+//!
+//! The implementation operates on lowercase ASCII; non-ASCII words are
+//! returned unchanged (the synthetic corpora are ASCII).
+
+/// Stem a single lowercase word with the Porter algorithm.
+///
+/// ```
+/// use facet_textkit::porter_stem;
+/// assert_eq!(porter_stem("markets"), "market");
+/// assert_eq!(porter_stem("nationalization"), "nation");
+/// ```
+///
+/// Words shorter than 3 characters and words containing non-ASCII-alphabetic
+/// characters are returned unchanged, per the original algorithm's guard.
+pub fn porter_stem(word: &str) -> String {
+    if word.len() < 3 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8(s.b[..s.k].to_vec()).expect("porter stemmer output is ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// Length of the current (possibly shortened) word.
+    k: usize,
+}
+
+impl Stemmer {
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The "measure" m of the stem b[0..j]: number of VC sequences.
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        loop {
+            if i >= j {
+                return n;
+            }
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            loop {
+                if i >= j {
+                    return n;
+                }
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            loop {
+                if i >= j {
+                    return n;
+                }
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// True if the stem b[0..j] contains a vowel.
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..j).any(|i| !self.is_consonant(i))
+    }
+
+    /// True if b[0..=j] ends with a double consonant.
+    fn double_consonant(&self, j: usize) -> bool {
+        j >= 1 && self.b[j] == self.b[j - 1] && self.is_consonant(j)
+    }
+
+    /// cvc test at position i: consonant-vowel-consonant, where the final
+    /// consonant is not w, x, or y. Restores an `e` in words like "hop(e)".
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// True if the current word ends with `suffix`; sets `j` via return.
+    fn ends(&self, suffix: &str) -> Option<usize> {
+        let s = suffix.as_bytes();
+        if s.len() > self.k {
+            return None;
+        }
+        if &self.b[self.k - s.len()..self.k] == s {
+            Some(self.k - s.len())
+        } else {
+            None
+        }
+    }
+
+    /// Replace the suffix starting at `j` with `to`, updating `k`.
+    fn set_to(&mut self, j: usize, to: &str) {
+        self.b.truncate(j);
+        self.b.extend_from_slice(to.as_bytes());
+        self.k = self.b.len();
+    }
+
+    /// If measure(j) > 0, replace suffix at j with `to`.
+    fn replace_if_m(&mut self, j: usize, to: &str) {
+        if self.measure(j) > 0 {
+            self.set_to(j, to);
+        }
+    }
+
+    fn step1ab(&mut self) {
+        // Step 1a
+        if self.ends("sses").is_some() || self.ends("ies").is_some() {
+            self.k -= 2;
+            self.b.truncate(self.k);
+        } else if let Some(j) = self.ends("ss") {
+            let _ = j; // keep
+        } else if self.ends("s").is_some() && self.k >= 2 {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+        // Step 1b
+        if let Some(j) = self.ends("eed") {
+            if self.measure(j) > 0 {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        } else {
+            let matched = if let Some(j) = self.ends("ed") {
+                if self.has_vowel(j) {
+                    self.k = j;
+                    self.b.truncate(self.k);
+                    true
+                } else {
+                    false
+                }
+            } else if let Some(j) = self.ends("ing") {
+                if self.has_vowel(j) {
+                    self.k = j;
+                    self.b.truncate(self.k);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                false
+            };
+            if matched {
+                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some()
+                {
+                    self.b.push(b'e');
+                    self.k += 1;
+                } else if self.k >= 1 && self.double_consonant(self.k - 1) {
+                    let last = self.b[self.k - 1];
+                    if !matches!(last, b'l' | b's' | b'z') {
+                        self.k -= 1;
+                        self.b.truncate(self.k);
+                    }
+                } else if self.measure(self.k) == 1 && self.k >= 1 && self.cvc(self.k - 1) {
+                    self.b.push(b'e');
+                    self.k += 1;
+                }
+            }
+        }
+    }
+
+    fn step1c(&mut self) {
+        if let Some(j) = self.ends("y") {
+            if self.has_vowel(j) {
+                self.b[self.k - 1] = b'i';
+            }
+        }
+    }
+
+    fn step2(&mut self) {
+        if self.k < 2 {
+            return;
+        }
+        // Dispatch on the penultimate character, as in Porter's reference
+        // implementation (`switch (b[k-1])` with k = last index).
+        let pairs: &[(&str, &str)] = match self.b[self.k - 2] {
+            b'a' => &[("ational", "ate"), ("tional", "tion")],
+            b'c' => &[("enci", "ence"), ("anci", "ance")],
+            b'e' => &[("izer", "ize")],
+            b'l' => &[
+                ("bli", "ble"),
+                ("alli", "al"),
+                ("entli", "ent"),
+                ("eli", "e"),
+                ("ousli", "ous"),
+            ],
+            b'o' => &[("ization", "ize"), ("ation", "ate"), ("ator", "ate")],
+            b's' => &[
+                ("alism", "al"),
+                ("iveness", "ive"),
+                ("fulness", "ful"),
+                ("ousness", "ous"),
+            ],
+            b't' => &[("aliti", "al"), ("iviti", "ive"), ("biliti", "ble")],
+            b'g' => &[("logi", "log")],
+            _ => &[],
+        };
+        for (suf, to) in pairs {
+            if let Some(j) = self.ends(suf) {
+                self.replace_if_m(j, to);
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        if self.k == 0 {
+            return;
+        }
+        let pairs: &[(&str, &str)] = match self.b[self.k - 1] {
+            b'e' => &[("icate", "ic"), ("ative", ""), ("alize", "al")],
+            b'i' => &[("iciti", "ic")],
+            b'l' => &[("ical", "ic"), ("ful", "")],
+            b's' => &[("ness", "")],
+            _ => &[],
+        };
+        for (suf, to) in pairs {
+            if let Some(j) = self.ends(suf) {
+                self.replace_if_m(j, to);
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        if self.k < 2 {
+            return;
+        }
+        let suffixes: &[&str] = match self.b[self.k - 2] {
+            b'a' => &["al"],
+            b'c' => &["ance", "ence"],
+            b'e' => &["er"],
+            b'i' => &["ic"],
+            b'l' => &["able", "ible"],
+            b'n' => &["ant", "ement", "ment", "ent"],
+            b'o' => &["ion", "ou"],
+            b's' => &["ism"],
+            b't' => &["ate", "iti"],
+            b'u' => &["ous"],
+            b'v' => &["ive"],
+            b'z' => &["ize"],
+            _ => &[],
+        };
+        for suf in suffixes {
+            if let Some(j) = self.ends(suf) {
+                // "ion" requires preceding s or t.
+                if *suf == "ion" && !(j >= 1 && matches!(self.b[j - 1], b's' | b't')) {
+                    continue;
+                }
+                if self.measure(j) > 1 {
+                    self.k = j;
+                    self.b.truncate(self.k);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5(&mut self) {
+        // Step 5a
+        if self.k >= 1 && self.b[self.k - 1] == b'e' {
+            let j = self.k - 1;
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !(j >= 1 && self.cvc(j - 1))) {
+                self.k = j;
+                self.b.truncate(self.k);
+            }
+        }
+        // Step 5b
+        if self.k >= 2
+            && self.b[self.k - 1] == b'l'
+            && self.double_consonant(self.k - 1)
+            && self.measure(self.k) > 1
+        {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Canonical cases from Porter's paper and the reference vocabulary.
+    #[test]
+    fn reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("by"), "by");
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("MIXED"), "MIXED");
+    }
+
+    #[test]
+    fn news_vocabulary() {
+        assert_eq!(porter_stem("markets"), "market");
+        assert_eq!(porter_stem("leaders"), "leader");
+        assert_eq!(porter_stem("corporations"), "corpor");
+        assert_eq!(porter_stem("elections"), "elect");
+        assert_eq!(porter_stem("government"), "govern");
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["market", "running", "nationalization", "happiness", "cats"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but it is on these.
+            assert_eq!(porter_stem(&twice), twice);
+        }
+    }
+}

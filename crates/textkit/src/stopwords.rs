@@ -1,0 +1,75 @@
+//! English stopword list.
+//!
+//! The facet-term selection step (Section IV-C of the paper) must not
+//! propose function words as facets; the extractors and the comparative
+//! analysis both filter through this list. The list is the classic
+//! SMART-derived core set plus contractions common in news text.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "can't", "cannot", "could", "couldn't", "did", "didn't", "do",
+    "does", "doesn't", "doing", "don't", "down", "during", "each", "few", "for", "from",
+    "further", "had", "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "he'd",
+    "he'll", "he's", "her", "here", "here's", "hers", "herself", "him", "himself", "his", "how",
+    "how's", "i", "i'd", "i'll", "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's",
+    "its", "itself", "let's", "me", "more", "most", "mustn't", "my", "myself", "no", "nor",
+    "not", "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours",
+    "ourselves", "out", "over", "own", "same", "shan't", "she", "she'd", "she'll", "she's",
+    "should", "shouldn't", "so", "some", "such", "than", "that", "that's", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "there's", "these", "they", "they'd",
+    "they'll", "they're", "they've", "this", "those", "through", "to", "too", "under", "until",
+    "up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're", "we've", "were", "weren't",
+    "what", "what's", "when", "when's", "where", "where's", "which", "while", "who", "who's",
+    "whom", "why", "why's", "with", "won't", "would", "wouldn't", "you", "you'd", "you'll",
+    "you're", "you've", "your", "yours", "yourself", "yourselves", "said", "say", "says",
+    "mr", "mrs", "ms", "will", "one", "two", "may", "might", "must", "shall", "upon", "via",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Return true if `word` (assumed lowercase) is an English stopword.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+/// Number of entries in the stopword list (for diagnostics).
+pub fn stopword_count() -> usize {
+    set().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words() {
+        for w in ["the", "a", "of", "and", "is", "was", "said"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["market", "france", "summit", "leader", "war"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn case_sensitive_lowercase_contract() {
+        // Callers must lowercase first; "The" is not in the set.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn no_duplicates_in_list() {
+        assert_eq!(stopword_count(), STOPWORDS.len(), "duplicate stopword entry");
+    }
+}

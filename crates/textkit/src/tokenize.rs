@@ -1,0 +1,243 @@
+//! Word and sentence tokenization.
+//!
+//! The tokenizer is deliberately simple and deterministic: it recognizes
+//! word tokens (alphanumeric runs, allowing internal apostrophes and
+//! hyphens, e.g. `O'Brien`, `vice-president`), numbers, and punctuation.
+//! Sentence splitting is rule-based on terminal punctuation followed by
+//! whitespace and an uppercase letter or end of text.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Alphabetic word (possibly with internal `'` or `-`).
+    Word,
+    /// A run of ASCII digits, possibly with internal `.`/`,` (e.g. `1,000`).
+    Number,
+    /// Anything else that is not whitespace: punctuation, symbols.
+    Punct,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text, borrowed from the input.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token in the input.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+impl<'a> Token<'a> {
+    /// True if the token starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphabetic()
+}
+
+fn is_word_joiner(c: char) -> bool {
+    c == '\'' || c == '-'
+}
+
+fn is_number_joiner(c: char) -> bool {
+    c == '.' || c == ','
+}
+
+/// Tokenize `text` into [`Token`]s. Whitespace is skipped; every other
+/// character belongs to exactly one token. The concatenation of all token
+/// texts plus the skipped whitespace reconstructs the input (a property we
+/// verify with proptest).
+pub fn tokens(text: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let bytes_len = text.len();
+    let mut iter = text.char_indices().peekable();
+    while let Some(&(start, c)) = iter.peek() {
+        if c.is_whitespace() {
+            iter.next();
+            continue;
+        }
+        if is_word_char(c) {
+            // Word: letters, with single joiners between letters.
+            let mut end = start + c.len_utf8();
+            iter.next();
+            while let Some(&(i, ch)) = iter.peek() {
+                if is_word_char(ch) {
+                    end = i + ch.len_utf8();
+                    iter.next();
+                } else if is_word_joiner(ch) {
+                    // Only join if followed by another letter.
+                    let mut ahead = iter.clone();
+                    ahead.next();
+                    if let Some(&(j, ch2)) = ahead.peek() {
+                        if is_word_char(ch2) {
+                            end = j + ch2.len_utf8();
+                            iter.next();
+                            iter.next();
+                            continue;
+                        }
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Word });
+        } else if c.is_ascii_digit() {
+            let mut end = start + 1;
+            iter.next();
+            while let Some(&(i, ch)) = iter.peek() {
+                if ch.is_ascii_digit() {
+                    end = i + 1;
+                    iter.next();
+                } else if is_number_joiner(ch) {
+                    let mut ahead = iter.clone();
+                    ahead.next();
+                    if let Some(&(j, ch2)) = ahead.peek() {
+                        if ch2.is_ascii_digit() {
+                            end = j + 1;
+                            iter.next();
+                            iter.next();
+                            continue;
+                        }
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Number });
+        } else {
+            let end = start + c.len_utf8();
+            iter.next();
+            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Punct });
+        }
+        debug_assert!(out.last().unwrap().end <= bytes_len);
+    }
+    out
+}
+
+/// Split `text` into sentences. A sentence ends at `.`, `!` or `?` that is
+/// followed by whitespace and (an uppercase letter, a quote, or end of
+/// input). Returns byte-range slices of the original text, trimmed.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut sent_start = 0usize;
+    let mut chars = text.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c == '.' || c == '!' || c == '?' {
+            // Look ahead: whitespace then uppercase/quote/end.
+            let rest = &text[i + c.len_utf8()..];
+            let mut rc = rest.chars();
+            match rc.next() {
+                None => {
+                    // end of text — close below
+                }
+                Some(w) if w.is_whitespace() => {
+                    let next_non_ws = rest.chars().find(|ch| !ch.is_whitespace());
+                    match next_non_ws {
+                        None => {}
+                        Some(n) if n.is_uppercase() || n == '"' || n == '\u{201C}' => {}
+                        Some(_) => continue,
+                    }
+                }
+                Some(_) => continue,
+            }
+            let end = i + c.len_utf8();
+            let s = text[sent_start..end].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            sent_start = end;
+        }
+    }
+    let tail = text[sent_start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_and_numbers() {
+        let toks = tokens("The G8 summit cost 1,000 dollars.");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["The", "G", "8", "summit", "cost", "1,000", "dollars", "."]);
+        assert_eq!(toks[5].kind, TokenKind::Number);
+        assert_eq!(toks[7].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn hyphen_and_apostrophe_words() {
+        let toks = tokens("O'Brien met the vice-president.");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["O'Brien", "met", "the", "vice-president", "."]);
+    }
+
+    #[test]
+    fn trailing_joiner_not_attached() {
+        let toks = tokens("well- said");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["well", "-", "said"]);
+    }
+
+    #[test]
+    fn capitalization_flag() {
+        let toks = tokens("Paris is big");
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let text = "Jacques Chirac, 2005.";
+        for t in tokens(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn sentence_split_basic() {
+        let s = sentences("The summit ended. Leaders left early! Did they meet?");
+        assert_eq!(
+            s,
+            vec!["The summit ended.", "Leaders left early!", "Did they meet?"]
+        );
+    }
+
+    #[test]
+    fn sentence_abbreviation_not_split() {
+        // Lowercase after period -> not a sentence boundary.
+        let s = sentences("The u.s. economy grew. It boomed.");
+        assert_eq!(s, vec!["The u.s. economy grew.", "It boomed."]);
+    }
+
+    #[test]
+    fn sentence_no_terminal() {
+        let s = sentences("no terminal punctuation here");
+        assert_eq!(s, vec!["no terminal punctuation here"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokens("").is_empty());
+        assert!(sentences("").is_empty());
+        assert!(sentences("   ").is_empty());
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokens("Café français");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["Café", "français"]);
+    }
+}

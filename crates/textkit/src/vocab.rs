@@ -1,0 +1,145 @@
+//! Interning vocabulary: maps term strings to dense [`TermId`]s.
+//!
+//! Every component of the pipeline — the text database, the contextualized
+//! database, the external resources — speaks `TermId` rather than `String`,
+//! so frequency tables are dense `Vec`s and set operations are cheap.
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned term. Valid only with respect to the
+/// [`Vocabulary`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner for terms.
+///
+/// ```
+/// use facet_textkit::Vocabulary;
+/// let mut vocab = Vocabulary::new();
+/// let id = vocab.intern("political leaders");
+/// assert_eq!(vocab.intern("political leaders"), id);
+/// assert_eq!(vocab.term(id), "political leaders");
+/// ```
+///
+/// Interning the same string twice yields the same [`TermId`]; ids are
+/// assigned densely from zero in first-seen order, which makes them usable
+/// as indices into frequency vectors.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty vocabulary with capacity for `n` terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { by_term: HashMap::with_capacity(n), terms: Vec::with_capacity(n) }
+    }
+
+    /// Intern `term`, returning its id (allocating a new one if unseen).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary overflow"));
+        self.terms.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned term without allocating.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Resolve an id back to its term string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Resolve an id if it is valid for this vocabulary.
+    pub fn try_term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("market");
+        let b = v.intern("market");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_seen_order() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("b"), TermId(1));
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("jacques chirac");
+        assert_eq!(v.term(id), "jacques chirac");
+        assert_eq!(v.get("jacques chirac"), Some(id));
+        assert_eq!(v.get("unseen"), None);
+    }
+
+    #[test]
+    fn try_term_out_of_range() {
+        let v = Vocabulary::new();
+        assert_eq!(v.try_term(TermId(5)), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let all: Vec<_> = v.iter().map(|(i, s)| (i.0, s.to_string())).collect();
+        assert_eq!(all, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the text substrate.
+
+use facet_textkit::{ngrams, normalize_term, porter_stem, tokens, Vocabulary, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Token spans never overlap, are in order, and slice back to the text.
+    #[test]
+    fn token_spans_are_ordered_and_faithful(text in "\\PC{0,200}") {
+        let toks = tokens(&text);
+        let mut prev_end = 0;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end);
+            prop_assert!(t.end > t.start);
+            prop_assert_eq!(&text[t.start..t.end], t.text);
+            prev_end = t.end;
+        }
+    }
+
+    /// Everything between tokens is whitespace: tokens cover all
+    /// non-whitespace content.
+    #[test]
+    fn tokens_cover_non_whitespace(text in "[a-zA-Z0-9 .,!?'-]{0,200}") {
+        let toks = tokens(&text);
+        let mut covered = vec![false; text.len()];
+        for t in &toks {
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+        }
+        for (i, ch) in text.char_indices() {
+            if !ch.is_whitespace() {
+                prop_assert!(covered[i], "byte {} ({:?}) uncovered", i, ch);
+            }
+        }
+    }
+
+    /// Stemming never grows a word and always yields a non-empty result for
+    /// non-empty lowercase input.
+    #[test]
+    fn stem_shrinks(word in "[a-z]{1,30}") {
+        let s = porter_stem(&word);
+        prop_assert!(s.len() <= word.len());
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Stemming is deterministic.
+    #[test]
+    fn stem_deterministic(word in "[a-z]{1,30}") {
+        prop_assert_eq!(porter_stem(&word), porter_stem(&word));
+    }
+
+    /// normalize_term is idempotent.
+    #[test]
+    fn normalize_idempotent(raw in "\\PC{0,100}") {
+        let once = normalize_term(&raw);
+        prop_assert_eq!(normalize_term(&once), once);
+    }
+
+    /// Interning round-trips and is stable across repeats.
+    #[test]
+    fn vocabulary_roundtrip(words in proptest::collection::vec("[a-z ]{1,20}", 1..50)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.term(*id), w.as_str());
+            prop_assert_eq!(v.intern(w), *id);
+        }
+        prop_assert!(v.len() <= words.len());
+    }
+
+    /// Zipf sampling always returns a valid rank and is monotone in u.
+    #[test]
+    fn zipf_sample_valid(n in 1usize..200, s in 0.1f64..3.0, u in 0.0f64..1.0) {
+        let z = Zipf::new(n, s);
+        let r = z.sample(u);
+        prop_assert!(r < n);
+        // Monotonicity: larger u never maps to a smaller rank.
+        let r2 = z.sample((u + 0.1).min(0.999_999));
+        prop_assert!(r2 >= r);
+    }
+
+    /// n-gram count matches the window arithmetic for punctuation-free text.
+    #[test]
+    fn ngram_count(words in proptest::collection::vec("[a-z]{1,8}", 0..20), n in 1usize..4) {
+        let text = words.join(" ");
+        let grams = ngrams(&text, n);
+        let expected = words.len().saturating_sub(n - 1);
+        let expected = if words.len() >= n { expected } else { 0 };
+        prop_assert_eq!(grams.len(), expected);
+    }
+}

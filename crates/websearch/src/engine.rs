@@ -1,0 +1,146 @@
+//! The search engine: ranked retrieval plus snippet extraction.
+
+use crate::index::{index_terms, InvertedIndex, WebDocId, WebPage};
+use crate::rank::{bm25_rank, Bm25Params};
+use facet_textkit::tokens;
+
+/// One search result.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// The matching page.
+    pub doc: WebDocId,
+    /// BM25 score.
+    pub score: f64,
+    /// Result snippet (a token window around the first query hit).
+    pub snippet: String,
+}
+
+/// A search engine over a fixed web corpus.
+#[derive(Debug)]
+pub struct SearchEngine {
+    pages: Vec<WebPage>,
+    index: InvertedIndex,
+    params: Bm25Params,
+    /// Snippet radius in tokens on each side of the first hit.
+    pub snippet_radius: usize,
+}
+
+impl SearchEngine {
+    /// Index `pages` and return the engine.
+    pub fn new(pages: Vec<WebPage>) -> Self {
+        let index = InvertedIndex::build(&pages);
+        Self { pages, index, params: Bm25Params::default(), snippet_radius: 40 }
+    }
+
+    /// The underlying index (read-only).
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The page with the given id.
+    pub fn page(&self, id: WebDocId) -> &WebPage {
+        &self.pages[id.index()]
+    }
+
+    /// Number of indexed pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if the engine has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Search with a free-text query; returns the top `k` hits with
+    /// snippets.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let q_terms = index_terms(query);
+        let ranked = bm25_rank(&self.index, &q_terms, self.params);
+        ranked
+            .into_iter()
+            .take(k)
+            .map(|(doc, score)| SearchHit {
+                doc,
+                score,
+                snippet: self.snippet(doc, &q_terms),
+            })
+            .collect()
+    }
+
+    /// Build a snippet for `doc`: a window of `snippet_radius` tokens on
+    /// each side of the first occurrence of any query term; the page start
+    /// if nothing matches.
+    fn snippet(&self, doc: WebDocId, q_terms: &[String]) -> String {
+        let text = self.pages[doc.index()].full_text();
+        let toks = tokens(&text);
+        let hit = toks
+            .iter()
+            .position(|t| {
+                let w = t.text.to_lowercase();
+                q_terms.iter().any(|q| *q == w)
+            })
+            .unwrap_or(0);
+        let start = hit.saturating_sub(self.snippet_radius);
+        let end = (hit + self.snippet_radius + 1).min(toks.len());
+        if start >= end {
+            return String::new();
+        }
+        let byte_start = toks[start].start;
+        let byte_end = toks[end - 1].end;
+        text[byte_start..byte_end].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::WebPage;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(vec![
+            WebPage {
+                id: WebDocId(0),
+                title: "France summit".into(),
+                text: "Political leaders gathered for the summit in France to discuss trade."
+                    .into(),
+            },
+            WebPage {
+                id: WebDocId(1),
+                title: "Markets".into(),
+                text: "Markets in Asia were calm.".into(),
+            },
+        ])
+    }
+
+    #[test]
+    fn search_returns_relevant_hit_with_snippet() {
+        let e = engine();
+        let hits = e.search("France summit", 5);
+        assert_eq!(hits[0].doc, WebDocId(0));
+        assert!(hits[0].snippet.to_lowercase().contains("summit"));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let e = engine();
+        let hits = e.search("markets france", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn no_match_empty() {
+        let e = engine();
+        assert!(e.search("zebra", 5).is_empty());
+        assert!(e.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn snippet_window_bounded() {
+        let mut e = engine();
+        e.snippet_radius = 2;
+        let hits = e.search("trade", 1);
+        let words = hits[0].snippet.split_whitespace().count();
+        assert!(words <= 6, "snippet too long: {}", hits[0].snippet);
+    }
+}

@@ -1,0 +1,176 @@
+//! Web pages and the inverted index.
+
+use facet_textkit::{is_stopword, tokens, TokenKind};
+use std::collections::HashMap;
+
+/// Index of a page in the web corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WebDocId(pub u32);
+
+impl WebDocId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A web page: a title and body text.
+#[derive(Debug, Clone)]
+pub struct WebPage {
+    /// This page's id.
+    pub id: WebDocId,
+    /// Page title.
+    pub title: String,
+    /// Body text.
+    pub text: String,
+}
+
+impl WebPage {
+    /// Title and body concatenated.
+    pub fn full_text(&self) -> String {
+        format!("{}. {}", self.title, self.text)
+    }
+}
+
+/// A posting: document and term frequency within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: WebDocId,
+    /// Term frequency in the document.
+    pub tf: u32,
+}
+
+/// Tokenize text into lowercase index terms (words only, stopwords and
+/// single characters dropped).
+pub fn index_terms(text: &str) -> Vec<String> {
+    tokens(text)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Word)
+        .map(|t| t.text.to_lowercase())
+        .filter(|w| w.len() >= 2 && !is_stopword(w))
+        .collect()
+}
+
+/// An inverted index over web pages.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    doc_len: Vec<u32>,
+    total_len: u64,
+}
+
+impl InvertedIndex {
+    /// Build the index over `pages` (ids must be dense from zero).
+    pub fn build(pages: &[WebPage]) -> Self {
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut doc_len = Vec::with_capacity(pages.len());
+        let mut total_len = 0u64;
+        for page in pages {
+            debug_assert_eq!(page.id.index(), doc_len.len(), "dense page ids required");
+            let terms = index_terms(&page.full_text());
+            let mut counts: HashMap<&str, u32> = HashMap::new();
+            for t in &terms {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+            for (term, tf) in counts {
+                postings
+                    .entry(term.to_string())
+                    .or_default()
+                    .push(Posting { doc: page.id, tf });
+            }
+            doc_len.push(terms.len() as u32);
+            total_len += terms.len() as u64;
+        }
+        // Deterministic posting order.
+        for list in postings.values_mut() {
+            list.sort_by_key(|p| p.doc);
+        }
+        Self { postings, doc_len, total_len }
+    }
+
+    /// Postings for a term (empty if unseen).
+    pub fn postings(&self, term: &str) -> &[Posting] {
+        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> usize {
+        self.postings(term).len()
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Length (in indexed terms) of a document.
+    pub fn doc_len(&self, doc: WebDocId) -> u32 {
+        self.doc_len[doc.index()]
+    }
+
+    /// Average document length.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages() -> Vec<WebPage> {
+        vec![
+            WebPage { id: WebDocId(0), title: "France".into(), text: "France hosted the summit in Paris.".into() },
+            WebPage { id: WebDocId(1), title: "Markets".into(), text: "The markets rallied after the summit.".into() },
+        ]
+    }
+
+    #[test]
+    fn postings_and_df() {
+        let idx = InvertedIndex::build(&pages());
+        assert_eq!(idx.df("summit"), 2);
+        assert_eq!(idx.df("paris"), 1);
+        assert_eq!(idx.df("unknown"), 0);
+        assert_eq!(idx.n_docs(), 2);
+    }
+
+    #[test]
+    fn tf_counts_occurrences() {
+        let idx = InvertedIndex::build(&pages());
+        let france = idx.postings("france");
+        assert_eq!(france.len(), 1);
+        assert_eq!(france[0].tf, 2, "title + body mention");
+    }
+
+    #[test]
+    fn stopwords_not_indexed() {
+        let idx = InvertedIndex::build(&pages());
+        assert_eq!(idx.df("the"), 0);
+    }
+
+    #[test]
+    fn doc_lengths() {
+        let idx = InvertedIndex::build(&pages());
+        assert!(idx.doc_len(WebDocId(0)) >= 4);
+        assert!(idx.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::build(&[]);
+        assert_eq!(idx.n_docs(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+        assert!(idx.postings("x").is_empty());
+    }
+}

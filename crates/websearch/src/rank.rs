@@ -1,0 +1,106 @@
+//! BM25 ranking over the inverted index.
+
+use crate::index::{InvertedIndex, WebDocId};
+use std::collections::HashMap;
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// IDF with the standard BM25 smoothing (never negative).
+fn idf(n_docs: usize, df: usize) -> f64 {
+    let n = n_docs as f64;
+    let df = df as f64;
+    (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
+}
+
+/// Score all documents matching any of `query_terms`; returns
+/// `(doc, score)` sorted by descending score (ties by doc id for
+/// determinism).
+pub fn bm25_rank(
+    index: &InvertedIndex,
+    query_terms: &[String],
+    params: Bm25Params,
+) -> Vec<(WebDocId, f64)> {
+    let avg_len = index.avg_doc_len().max(1.0);
+    let mut scores: HashMap<WebDocId, f64> = HashMap::new();
+    for term in query_terms {
+        let postings = index.postings(term);
+        if postings.is_empty() {
+            continue;
+        }
+        let w = idf(index.n_docs(), postings.len());
+        for p in postings {
+            let tf = p.tf as f64;
+            let len_norm = 1.0 - params.b + params.b * index.doc_len(p.doc) as f64 / avg_len;
+            let contrib = w * (tf * (params.k1 + 1.0)) / (tf + params.k1 * len_norm);
+            *scores.entry(p.doc).or_insert(0.0) += contrib;
+        }
+    }
+    let mut out: Vec<(WebDocId, f64)> = scores.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{InvertedIndex, WebPage};
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build(&[
+            WebPage { id: WebDocId(0), title: "A".into(), text: "summit summit summit in France".into() },
+            WebPage { id: WebDocId(1), title: "B".into(), text: "summit once, about markets and trade".into() },
+            WebPage { id: WebDocId(2), title: "C".into(), text: "nothing relevant here at all".into() },
+        ])
+    }
+
+    #[test]
+    fn matching_docs_only() {
+        let idx = index();
+        let hits = bm25_rank(&idx, &["summit".into()], Bm25Params::default());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn higher_tf_ranks_higher() {
+        let idx = index();
+        let hits = bm25_rank(&idx, &["summit".into()], Bm25Params::default());
+        assert_eq!(hits[0].0, WebDocId(0));
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn multi_term_union() {
+        let idx = index();
+        let hits = bm25_rank(&idx, &["summit".into(), "markets".into()], Bm25Params::default());
+        // Doc 1 matches both terms; despite lower tf on "summit" the extra
+        // term can lift it — just verify both docs present and scores
+        // positive.
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.1 > 0.0));
+    }
+
+    #[test]
+    fn idf_is_positive_even_for_common_terms() {
+        assert!(idf(10, 10) > 0.0);
+        assert!(idf(10, 1) > idf(10, 5));
+    }
+
+    #[test]
+    fn empty_query() {
+        let idx = index();
+        assert!(bm25_rank(&idx, &[], Bm25Params::default()).is_empty());
+    }
+}

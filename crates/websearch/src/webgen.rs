@@ -1,0 +1,249 @@
+//! Synthetic web generation.
+//!
+//! Web pages differ from news stories in one way that matters to the
+//! paper's mechanism: page authors *do* use general category terms. A fan
+//! page about a politician says "one of the most influential political
+//! leaders in Europe"; a company profile says "a semiconductors group".
+//! That is why querying the web with an important term surfaces facet
+//! terms as frequent snippet co-occurrences — and why the same snippets
+//! drag in unrelated chatter, making Google the noisiest resource.
+
+use crate::index::{WebDocId, WebPage};
+use facet_knowledge::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for web generation.
+#[derive(Debug, Clone)]
+pub struct WebGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum pages per entity (scaled by entity popularity).
+    pub max_pages_per_entity: usize,
+    /// Probability that a facet term of the page's entity is mentioned.
+    pub facet_mention_rate: f64,
+    /// Number of pure chatter pages (no entity focus).
+    pub chatter_pages: usize,
+    /// Number of random chatter words injected into each entity page.
+    pub noise_words_per_page: usize,
+}
+
+impl Default for WebGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x3EB,
+            max_pages_per_entity: 6,
+            facet_mention_rate: 0.65,
+            chatter_pages: 100,
+            noise_words_per_page: 4,
+        }
+    }
+}
+
+/// Generate the synthetic web for `world`.
+pub fn generate_web(world: &World, config: &WebGenConfig) -> Vec<WebPage> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut pages = Vec::new();
+    // Reverse relations: pages about a country mention its cities and
+    // residents, the way real web pages about France mention Paris.
+    let mut reverse_related: Vec<Vec<usize>> = vec![Vec::new(); world.entities.len()];
+    for (i, e) in world.entities.iter().enumerate() {
+        for r in &e.related {
+            let bucket = &mut reverse_related[r.index()];
+            if bucket.len() < 16 {
+                bucket.push(i);
+            }
+        }
+    }
+
+    // Varied phrasing pools whose connective words are all *stopwords*:
+    // like real prose, the glue between content words carries no signal
+    // and is filtered by the snippet miner. The variable `{B}` slot draws
+    // a random background word per use, so no non-stopword boilerplate
+    // recurs across snippets. What recurs for an entity are its facet
+    // terms and related names — exactly the signal the paper's Google
+    // resource mines from snippets.
+    const LEAD_TEMPLATES: &[&str] = &[
+        "All about {E}. ",
+        "{E} and more. ",
+        "This is {E}. ",
+        "About {E} and the {B}. ",
+        "{E}, again. ",
+        "Here is {E}. ",
+    ];
+    const FACET_TEMPLATES: &[&str] = &[
+        "{E} is about {T} and the {B}. ",
+        "More of {T} from {E} with some {B}. ",
+        "{E} has been all about {T} and {B}. ",
+        "{T} is what {E} is about, not the {B}. ",
+        "{E} and {T}: more than any {B}. ",
+        "For {T}, it is {E} over the {B}. ",
+        "{E} on {T} and other {B}. ",
+        "{T} with {E}, again and again, not {B}. ",
+    ];
+    const RELATED_TEMPLATES: &[&str] = &[
+        "And then there is {R}. ",
+        "{R} too. ",
+        "With {R} and more. ",
+        "{R}, of all of them. ",
+    ];
+    for e in &world.entities {
+        // Even obscure entities have a few pages about them on the real
+        // web; popularity adds more.
+        let n_pages =
+            3 + (e.popularity * config.max_pages_per_entity.saturating_sub(3) as f64).round() as usize;
+        for pi in 0..n_pages {
+            let mut text = String::new();
+            let lead = LEAD_TEMPLATES[rng.gen_range(0..LEAD_TEMPLATES.len())];
+            let b0 = world.background[rng.gen_range(0..world.background.len())].clone();
+            text.push_str(&lead.replace("{E}", &e.name).replace("{B}", &b0));
+            if let Some(v) = e.variants.first() {
+                if rng.gen_bool(0.5) {
+                    text.push_str(&format!("Or {v}. "));
+                }
+            }
+            // Facet-term mentions (the useful signal).
+            for node in world.entity_facet_closure(e.id) {
+                if rng.gen_bool(config.facet_mention_rate) {
+                    let term = &world.ontology.node(node).term;
+                    let t = FACET_TEMPLATES[rng.gen_range(0..FACET_TEMPLATES.len())];
+                    let b = world.background[rng.gen_range(0..world.background.len())].clone();
+                    text.push_str(
+                        &t.replace("{E}", &e.name).replace("{T}", term).replace("{B}", &b),
+                    );
+                }
+            }
+            // Related entities.
+            for &r in e.related.iter().take(3) {
+                let t = RELATED_TEMPLATES[rng.gen_range(0..RELATED_TEMPLATES.len())];
+                text.push_str(&t.replace("{R}", &world.entity(r).name));
+            }
+            // Reverse-related entities (a country's cities and people):
+            // pages about a place name the places and people in it, often
+            // repeatedly, which is what makes them co-occur across result
+            // snippets.
+            let rev = &reverse_related[e.id.index()];
+            let rev_head = rev.len().min(10);
+            for _ in 0..rev.len().min(8) {
+                let r = rev[rng.gen_range(0..rev_head)];
+                let t = RELATED_TEMPLATES[rng.gen_range(0..RELATED_TEMPLATES.len())];
+                text.push_str(&t.replace("{R}", &world.entities[r].name));
+            }
+            // A few concept nouns from the world (weak topical signal).
+            for _ in 0..2 {
+                let c = &world.concepts[rng.gen_range(0..world.concepts.len())];
+                text.push_str(&format!("And the {} too. ", c.noun));
+            }
+            // Chatter noise: uniform over the long tail of the background
+            // vocabulary, so chatter rarely repeats across snippets (the
+            // min-snippet-count filter of the Google resource then prunes
+            // most of it — but not all, which is the paper's precision
+            // story for Google).
+            for _ in 0..config.noise_words_per_page {
+                let w1 = world.background[rng.gen_range(0..world.background.len())].clone();
+                let w2 = world.background[rng.gen_range(0..world.background.len())].clone();
+                text.push_str(&format!("More about {w1} and {w2}. "));
+            }
+            // Occasionally a random *other* entity (false co-occurrence).
+            if rng.gen_bool(0.3) {
+                let other = &world.entities[rng.gen_range(0..world.entities.len())];
+                text.push_str(&format!("And also {}. ", other.name));
+            }
+            pages.push(WebPage {
+                id: WebDocId(pages.len() as u32),
+                title: format!("{} {}", e.name, pi + 1),
+                text,
+            });
+        }
+    }
+
+    // Pure chatter pages (stopword glue; long-tail vocabulary only, so no
+    // head word recurs across a query's snippets).
+    let tail_start = (world.background.len() / 2).min(200);
+    let tail = |rng: &mut StdRng| -> String {
+        world.background[rng.gen_range(tail_start..world.background.len())].clone()
+    };
+    for _ci in 0..config.chatter_pages {
+        let mut text = String::new();
+        for _ in 0..20 {
+            let w1 = tail(&mut rng);
+            let w2 = tail(&mut rng);
+            text.push_str(&format!("More of the {w1} and some {w2}. "));
+        }
+        let t1 = tail(&mut rng);
+        let t2 = tail(&mut rng);
+        pages.push(WebPage {
+            id: WebDocId(pages.len() as u32),
+            title: format!("{t1} {t2}"),
+            text,
+        });
+    }
+
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_knowledge::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            seed: 51,
+            countries: 6,
+            cities_per_country: 2,
+            people: 20,
+            corporations: 8,
+            organizations: 5,
+            events: 4,
+            extra_concepts: 10,
+            topics: 15,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 60,
+        })
+    }
+
+    #[test]
+    fn page_counts_scale_with_popularity() {
+        let w = world();
+        let cfg = WebGenConfig { chatter_pages: 10, ..Default::default() };
+        let pages = generate_web(&w, &cfg);
+        assert!(pages.len() > w.entities.len(), "at least one page per entity plus chatter");
+        // Dense ids.
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(p.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn entity_pages_mention_facet_terms() {
+        let w = world();
+        let pages = generate_web(&w, &WebGenConfig::default());
+        // For a popular person, some page must mention one of their facet
+        // terms.
+        let person = w
+            .entities
+            .iter()
+            .find(|e| e.kind == facet_knowledge::EntityKind::Person)
+            .unwrap();
+        let facet_terms: Vec<String> = w
+            .entity_facet_closure(person.id)
+            .iter()
+            .map(|&n| w.ontology.node(n).term.clone())
+            .collect();
+        let found = pages.iter().any(|p| {
+            p.text.contains(&person.name) && facet_terms.iter().any(|t| p.text.contains(t))
+        });
+        assert!(found, "no page links {} to its facet terms", person.name);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let p1 = generate_web(&w, &WebGenConfig::default());
+        let p2 = generate_web(&w, &WebGenConfig::default());
+        assert_eq!(p1.len(), p2.len());
+        assert_eq!(p1[0].text, p2[0].text);
+    }
+}

@@ -1,0 +1,349 @@
+//! Building the synthetic Wikipedia from a world.
+//!
+//! Structure mirrors the real encyclopedia's relevant anatomy:
+//!
+//! * a **concept page** per facet-ontology node, linked upward to its
+//!   parent concept and downward to a few children (concept pages are the
+//!   high in-degree hubs);
+//! * an **entity page** per world entity, with links to the concept pages
+//!   on the entity's facet paths, to related entities' pages, and to a few
+//!   random pages (realistic link noise);
+//! * **redirects** for every entity name variant;
+//! * **anchor text** recorded for every link (canonical title most of the
+//!   time, a variant or a noisy generic phrase otherwise).
+
+use crate::anchors::AnchorTable;
+use crate::page::{PageId, PageSubject, Wikipedia};
+use crate::redirects::RedirectTable;
+use facet_knowledge::World;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Wikipedia builder.
+#[derive(Debug, Clone)]
+pub struct WikipediaConfig {
+    /// RNG seed (independent of the world seed).
+    pub seed: u64,
+    /// Probability that a link to an entity page uses one of the entity's
+    /// name variants as anchor text instead of the canonical title.
+    pub anchor_variant_rate: f64,
+    /// Probability of additionally recording a noisy, ambiguous anchor
+    /// (the first word of the target title) for a link.
+    pub noisy_anchor_rate: f64,
+    /// Number of extra random links per entity page (link noise).
+    pub random_links_per_entity: usize,
+    /// How many inter-entity "see also" passes to add (multiplies related
+    /// links and raises anchor counts).
+    pub see_also_passes: usize,
+}
+
+impl Default for WikipediaConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x21C1,
+            anchor_variant_rate: 0.3,
+            noisy_anchor_rate: 0.08,
+            random_links_per_entity: 1,
+            see_also_passes: 2,
+        }
+    }
+}
+
+/// The built encyclopedia: pages, redirects, and anchor statistics.
+#[derive(Debug)]
+pub struct WikiBundle {
+    /// The pages and links.
+    pub wiki: Wikipedia,
+    /// Redirect table (variant titles → canonical pages).
+    pub redirects: RedirectTable,
+    /// Anchor-text statistics.
+    pub anchors: AnchorTable,
+    /// Page of each facet node, indexed by `FacetNodeId`.
+    pub concept_pages: Vec<PageId>,
+    /// Page of each entity, indexed by `EntityId`.
+    pub entity_pages: Vec<PageId>,
+}
+
+/// "political leaders" → "Political Leaders".
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Build the synthetic Wikipedia for `world`.
+pub fn build_wikipedia(world: &World, config: &WikipediaConfig) -> WikiBundle {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut wiki = Wikipedia::new();
+    let mut redirects = RedirectTable::new();
+    let mut anchors = AnchorTable::new();
+
+    // ---- concept pages -----------------------------------------------------
+    let mut concept_pages = Vec::with_capacity(world.ontology.len());
+    for node in world.ontology.iter() {
+        let title = title_case(&node.term);
+        let parent_term = node
+            .parent
+            .map(|p| world.ontology.node(p).term.clone())
+            .unwrap_or_else(|| "browsing dimensions".to_string());
+        let text = format!(
+            "{} is a concept related to {}. Articles about {} events and topics are \
+             categorized here.",
+            title, parent_term, node.term
+        );
+        let id = wiki.add_page(&title, text, PageSubject::Concept(node.id));
+        concept_pages.push(id);
+    }
+    // Concept links: child → parent and parent → first few children.
+    for node in world.ontology.iter() {
+        if let Some(p) = node.parent {
+            wiki.add_link(concept_pages[node.id.index()], concept_pages[p.index()]);
+            anchors.record(
+                &world.ontology.node(p).term,
+                concept_pages[p.index()],
+            );
+        }
+        for &c in node.children.iter().take(5) {
+            wiki.add_link(concept_pages[node.id.index()], concept_pages[c.index()]);
+        }
+    }
+
+    // ---- concept-noun pages ---------------------------------------------------
+    // Real Wikipedia has entries for common concepts ("Ballot",
+    // "Drought"); each links up to the facet-concept page it evokes, so
+    // the graph resource can generalize concept nouns too.
+    let mut noun_pages = Vec::with_capacity(world.concepts.len());
+    for c in &world.concepts {
+        let title = title_case(&c.noun);
+        // A noun may collide with an existing title in pathological
+        // configurations; skip rather than panic (the world reserves
+        // names, so this is defensive only).
+        if wiki.find_title(&title).is_some() {
+            noun_pages.push(None);
+            continue;
+        }
+        let text = format!("{} is commonly discussed in the context of {}.", title, world.ontology.node(c.facet).term);
+        let id = wiki.add_page(&title, text, PageSubject::Noun(c.id));
+        noun_pages.push(Some(id));
+    }
+    for c in &world.concepts {
+        let Some(from) = noun_pages[c.id.index()] else { continue };
+        for node in world.ontology.path(c.facet) {
+            wiki.add_link(from, concept_pages[node.index()]);
+        }
+        anchors.record(&c.noun, from);
+    }
+
+    // ---- entity pages --------------------------------------------------------
+    let mut entity_pages = Vec::with_capacity(world.entities.len());
+    for e in &world.entities {
+        // Location entities already have a concept page for their facet
+        // node with the same (lower-case) title; reuse that page rather
+        // than colliding.
+        if let Some(node) = e.self_facet {
+            entity_pages.push(concept_pages[node.index()]);
+            continue;
+        }
+        let facet_terms: Vec<String> = world
+            .entity_facet_closure(e.id)
+            .iter()
+            .map(|&n| world.ontology.node(n).term.clone())
+            .collect();
+        let text = format!(
+            "{} is known in connection with {}. See also related coverage of {}.",
+            e.name,
+            facet_terms.join(", "),
+            world
+                .entity(e.id)
+                .related
+                .iter()
+                .map(|&r| world.entity(r).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        let id = wiki.add_page(&e.name, text, PageSubject::Entity(e.id));
+        entity_pages.push(id);
+    }
+
+    // Redirects for entity variants (after all pages exist).
+    for e in &world.entities {
+        let page = entity_pages[e.id.index()];
+        // Variants may collide across entities ("Chirac" could name two
+        // people); RedirectTable keeps the first, which is exactly the
+        // ambiguity real redirects have.
+        for v in &e.variants {
+            redirects.add(v, page);
+        }
+        if let Some(alt) = &e.alt_name {
+            redirects.add(alt, page);
+        }
+    }
+
+    // Entity links + anchors.
+    for e in &world.entities {
+        let from = entity_pages[e.id.index()];
+        // Links to the concept pages of the entity's facet closure.
+        for node in world.entity_facet_closure(e.id) {
+            let to = concept_pages[node.index()];
+            wiki.add_link(from, to);
+            anchors.record(&world.ontology.node(node).term, to);
+        }
+        // Links to related entities.
+        for &r in &e.related {
+            let to = entity_pages[r.index()];
+            wiki.add_link(from, to);
+            record_entity_anchor(&mut anchors, world, r, to, config, &mut rng);
+        }
+        // Random link noise.
+        for _ in 0..config.random_links_per_entity {
+            let to = PageId(rng.gen_range(0..wiki.len() as u32));
+            wiki.add_link(from, to);
+        }
+    }
+
+    // "See also" passes: extra entity-to-entity links with anchor variety,
+    // so anchor statistics have counts > 1.
+    for _ in 0..config.see_also_passes {
+        for e in &world.entities {
+            if e.related.is_empty() {
+                continue;
+            }
+            let from = entity_pages[e.id.index()];
+            let r = e.related[rng.gen_range(0..e.related.len())];
+            let to = entity_pages[r.index()];
+            wiki.add_link(from, to);
+            record_entity_anchor(&mut anchors, world, r, to, config, &mut rng);
+        }
+    }
+
+    WikiBundle { wiki, redirects, anchors, concept_pages, entity_pages }
+}
+
+/// Record anchor text for a link to entity `target_entity`'s page.
+fn record_entity_anchor(
+    anchors: &mut AnchorTable,
+    world: &World,
+    target_entity: facet_knowledge::EntityId,
+    target_page: PageId,
+    config: &WikipediaConfig,
+    rng: &mut StdRng,
+) {
+    let ent = world.entity(target_entity);
+    let use_variant = !ent.variants.is_empty() && rng.gen_bool(config.anchor_variant_rate);
+    let phrase = if use_variant {
+        ent.variants[rng.gen_range(0..ent.variants.len())].clone()
+    } else {
+        ent.name.clone()
+    };
+    anchors.record(&phrase, target_page);
+    if rng.gen_bool(config.noisy_anchor_rate) {
+        if let Some(first) = ent.name.split(' ').next() {
+            anchors.record(first, target_page);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facet_knowledge::{EntityKind, WorldConfig};
+
+    fn small_world() -> World {
+        World::generate(WorldConfig {
+            seed: 31,
+            countries: 8,
+            cities_per_country: 2,
+            people: 30,
+            corporations: 10,
+            organizations: 6,
+            events: 5,
+            extra_concepts: 15,
+            topics: 20,
+            gazetteer_coverage: 0.9,
+            wordnet_city_coverage: 0.5,
+            background_words: 80,
+        })
+    }
+
+    #[test]
+    fn every_facet_node_and_entity_has_a_page() {
+        let w = small_world();
+        let bundle = build_wikipedia(&w, &WikipediaConfig::default());
+        assert_eq!(bundle.concept_pages.len(), w.ontology.len());
+        assert_eq!(bundle.entity_pages.len(), w.entities.len());
+        // Location entities share their facet node's page.
+        for e in w.entities_of_kind(EntityKind::Location) {
+            let page = bundle.entity_pages[e.id.index()];
+            assert_eq!(page, bundle.concept_pages[e.self_facet.unwrap().index()]);
+        }
+    }
+
+    #[test]
+    fn entity_pages_link_to_facet_hubs() {
+        let w = small_world();
+        let bundle = build_wikipedia(&w, &WikipediaConfig::default());
+        let person = w.entities_of_kind(EntityKind::Person).next().unwrap();
+        let page = bundle.wiki.page(bundle.entity_pages[person.id.index()]);
+        for node in w.entity_facet_closure(person.id) {
+            assert!(
+                page.links.contains(&bundle.concept_pages[node.index()]),
+                "missing link to facet {}",
+                w.ontology.node(node).term
+            );
+        }
+    }
+
+    #[test]
+    fn variants_become_redirects() {
+        let w = small_world();
+        let bundle = build_wikipedia(&w, &WikipediaConfig::default());
+        let person = w
+            .entities_of_kind(EntityKind::Person)
+            .find(|e| !e.variants.is_empty())
+            .unwrap();
+        let page = bundle.entity_pages[person.id.index()];
+        // At least one variant resolves to the page (collisions may divert
+        // others to an earlier entity).
+        let resolved = person.variants.iter().filter_map(|v| bundle.redirects.resolve(v));
+        assert!(resolved.into_iter().any(|p| p == page));
+    }
+
+    #[test]
+    fn facet_hubs_have_high_in_degree() {
+        let w = small_world();
+        let bundle = build_wikipedia(&w, &WikipediaConfig::default());
+        // Count in-degrees.
+        let mut in_deg = vec![0usize; bundle.wiki.len()];
+        for p in bundle.wiki.pages() {
+            for l in &p.links {
+                in_deg[l.index()] += 1;
+            }
+        }
+        // The roots ("Location", "People", …) should be among the highest
+        // in-degree pages.
+        let root_page = bundle.concept_pages[w.ontology.roots()[0].index()];
+        let root_in = in_deg[root_page.index()];
+        let avg: f64 = in_deg.iter().sum::<usize>() as f64 / in_deg.len() as f64;
+        assert!(
+            root_in as f64 > 3.0 * avg,
+            "root in-degree {root_in} not a hub (avg {avg:.1})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = small_world();
+        let b1 = build_wikipedia(&w, &WikipediaConfig::default());
+        let b2 = build_wikipedia(&w, &WikipediaConfig::default());
+        assert_eq!(b1.wiki.len(), b2.wiki.len());
+        assert_eq!(b1.wiki.link_count(), b2.wiki.link_count());
+        assert_eq!(b1.anchors.len(), b2.anchors.len());
+    }
+}

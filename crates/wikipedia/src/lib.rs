@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # facet-wikipedia
+//!
+//! A synthetic Wikipedia, built from the `facet-knowledge` world, exposing
+//! exactly the four structures the paper exploits (Sections IV-A, IV-B):
+//!
+//! 1. **Page titles** — every entity and every facet concept has a page;
+//!    the [`title_index::TitleIndex`] implements the paper's Wikipedia
+//!    term extractor (longest-title match, including redirect titles).
+//! 2. **Redirects** — name variants ("Hillary R. Clinton" →
+//!    "Hillary Rodham Clinton") map to canonical pages; they power both
+//!    the title extractor's coverage and the Synonyms resource.
+//! 3. **Anchor text** — pages link to each other with varying anchor
+//!    phrases, scored `s(p,t) = tf(p,t) / f(p)` as in the paper.
+//! 4. **The link graph** — entity pages link to the facet-concept pages
+//!    that describe them ("Hasekura Tsunenaga" → "Samurai", "Japan"); the
+//!    [`graph::WikipediaGraph`] resource scores a link `t1 → t2` as
+//!    `log(N / in(t2)) / out(t1)` and returns the top-k (k=50) targets.
+//!
+//! The real Wikipedia has ~6M entries and ~35M links (paper, Section
+//! IV-B); ours is proportionally smaller but structurally identical: hub
+//! concept pages with high in-degree, entity pages with modest out-degree,
+//! redirect clusters per entity, and noisy anchor text.
+
+pub mod anchors;
+pub mod build;
+pub mod graph;
+pub mod page;
+pub mod redirects;
+pub mod synonyms;
+pub mod title_index;
+
+pub use anchors::AnchorTable;
+pub use build::{build_wikipedia, WikiBundle, WikipediaConfig};
+pub use graph::WikipediaGraph;
+pub use page::{Page, PageId, Wikipedia};
+pub use redirects::RedirectTable;
+pub use synonyms::WikipediaSynonyms;
+pub use title_index::TitleIndex;

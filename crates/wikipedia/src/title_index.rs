@@ -1,0 +1,202 @@
+//! The Wikipedia term extractor (paper Section IV-A, "Wikipedia Terms").
+//!
+//! "Whenever a term in the document matches a title of a Wikipedia entry,
+//! we mark the term as important. If there are multiple candidate titles,
+//! we pick the longest title." Redirect titles participate, so variant
+//! spellings match even when they differ from the canonical page title.
+//!
+//! Implementation: titles (and redirect titles) are normalized to
+//! lowercase word sequences; document text is scanned left to right with a
+//! greedy longest-match against the title dictionary, accelerated by a
+//! first-word index.
+
+use crate::page::{PageId, Wikipedia};
+use crate::redirects::RedirectTable;
+use facet_textkit::{is_stopword, tokens, TokenKind};
+use std::collections::HashMap;
+
+/// A dictionary of page titles supporting longest-match extraction.
+#[derive(Debug)]
+pub struct TitleIndex {
+    /// normalized title words joined by space → canonical page.
+    map: HashMap<String, PageId>,
+    /// first word → maximum title length (in words) starting with it.
+    first_word_max: HashMap<String, usize>,
+}
+
+impl TitleIndex {
+    /// Build the index over all page titles plus all redirect titles
+    /// (redirects map to their target page).
+    pub fn build(wiki: &Wikipedia, redirects: &RedirectTable) -> Self {
+        let mut map = HashMap::new();
+        let mut first_word_max: HashMap<String, usize> = HashMap::new();
+        let mut insert = |title: &str, page: PageId| {
+            let words: Vec<String> = title
+                .to_lowercase()
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            if words.is_empty() {
+                return;
+            }
+            let key = words.join(" ");
+            map.entry(key).or_insert(page);
+            let entry = first_word_max.entry(words[0].clone()).or_insert(0);
+            *entry = (*entry).max(words.len());
+        };
+        for p in wiki.pages() {
+            insert(&p.title, p.id);
+        }
+        for p in wiki.pages() {
+            for variant in redirects.group(p.id) {
+                insert(variant, p.id);
+            }
+        }
+        Self { map, first_word_max }
+    }
+
+    /// Number of distinct indexed titles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Extract all title matches from `text`, left to right, longest match
+    /// first, non-overlapping. Returns `(matched surface term, page)` pairs
+    /// in document order; the surface term is the normalized document text
+    /// that matched (the paper marks *the document's term* as important —
+    /// canonicalization is the job of the downstream resources, which
+    /// resolve redirects themselves). A page may repeat.
+    pub fn extract(&self, wiki: &Wikipedia, text: &str) -> Vec<(String, PageId)> {
+        let toks = tokens(text);
+        // Word tokens only, lowercased, with punctuation recorded as
+        // window breaks (a title never crosses sentence punctuation).
+        let mut words: Vec<String> = Vec::with_capacity(toks.len());
+        let mut breaks: Vec<bool> = Vec::with_capacity(toks.len());
+        for t in &toks {
+            match t.kind {
+                TokenKind::Word | TokenKind::Number => {
+                    words.push(t.text.to_lowercase());
+                    breaks.push(false);
+                }
+                TokenKind::Punct => {
+                    if let Some(last) = breaks.last_mut() {
+                        *last = true;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let Some(&max_len) = self.first_word_max.get(&words[i]) else {
+                i += 1;
+                continue;
+            };
+            // Longest window first; a window may not contain a break
+            // except at its final word.
+            let mut matched = false;
+            let upper = max_len.min(words.len() - i);
+            for len in (1..=upper).rev() {
+                if (0..len - 1).any(|k| breaks[i + k]) {
+                    continue;
+                }
+                // A single-word match must not be a function word: real
+                // extractors never mark "the" important even though a
+                // page titled "The" exists.
+                if len == 1 && is_stopword(&words[i]) {
+                    continue;
+                }
+                let key = words[i..i + len].join(" ");
+                if let Some(&page) = self.map.get(&key) {
+                    let _ = wiki;
+                    out.push((key, page));
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageSubject;
+    use facet_knowledge::EntityId;
+
+    fn fixture() -> (Wikipedia, RedirectTable) {
+        let mut w = Wikipedia::new();
+        let chirac =
+            w.add_page("Jacques Chirac", String::new(), PageSubject::Entity(EntityId(0)));
+        w.add_page("France", String::new(), PageSubject::Entity(EntityId(1)));
+        w.add_page("Summit", String::new(), PageSubject::Entity(EntityId(2)));
+        let mut r = RedirectTable::new();
+        r.add("President Chirac", chirac);
+        (w, r)
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let (w, r) = fixture();
+        let idx = TitleIndex::build(&w, &r);
+        let hits = idx.extract(&w, "Jacques Chirac visited France.");
+        let titles: Vec<&str> = hits.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(titles, vec!["jacques chirac", "france"]);
+    }
+
+    #[test]
+    fn redirect_titles_match_to_canonical() {
+        let (w, r) = fixture();
+        let idx = TitleIndex::build(&w, &r);
+        let hits = idx.extract(&w, "President Chirac spoke in France");
+        assert_eq!(hits[0].0, "president chirac");
+        // The page still resolves to the canonical entry.
+        assert_eq!(w.page(hits[0].1).title, "Jacques Chirac");
+    }
+
+    #[test]
+    fn matches_do_not_cross_punctuation() {
+        let (w, mut r) = fixture();
+        // A two-word redirect whose words get split by a period must not match.
+        let france = w.find_title("France").unwrap();
+        r.add("Republic France", france);
+        let idx = TitleIndex::build(&w, &r);
+        let hits = idx.extract(&w, "the Republic. France acted");
+        let titles: Vec<&str> = hits.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(titles, vec!["france"]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let (w, r) = fixture();
+        let idx = TitleIndex::build(&w, &r);
+        let hits = idx.extract(&w, "JACQUES CHIRAC and france");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn repeated_mentions_repeat() {
+        let (w, r) = fixture();
+        let idx = TitleIndex::build(&w, &r);
+        let hits = idx.extract(&w, "France, France and France");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn no_matches() {
+        let (w, r) = fixture();
+        let idx = TitleIndex::build(&w, &r);
+        assert!(idx.extract(&w, "completely unrelated words").is_empty());
+        assert!(idx.extract(&w, "").is_empty());
+    }
+}

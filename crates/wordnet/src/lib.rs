@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # facet-wordnet
+//!
+//! A miniature WordNet: synsets, a lemma index, and a hypernym DAG with
+//! closure queries. This substitutes for the real WordNet [Fellbaum 1998]
+//! that the paper uses as the "WordNet Hypernyms" context resource
+//! (Section IV-B).
+//!
+//! The substitution preserves the property the paper's results hinge on:
+//! **coverage**. Real WordNet knows common nouns and major geography but
+//! has "rather poor coverage of named entities" (Section II), which is why
+//! WordNet hypernyms deliver high precision but low recall — near-zero
+//! recall when combined with a named-entity extractor (Table II: 0.090).
+//! Our mini-WordNet is built from the world model with exactly that
+//! coverage: every concept noun and geographic name has a synset with a
+//! hypernym chain ending at facet concepts; people, corporations and named
+//! events are absent.
+
+pub mod builder;
+pub mod synset;
+
+pub use builder::build_wordnet;
+pub use synset::{Synset, SynsetId, WordNet};

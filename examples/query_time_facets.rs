@@ -1,0 +1,93 @@
+//! Query-time facets: build facet hierarchies over *search results*, not
+//! just over the whole database.
+//!
+//! ```sh
+//! cargo run --release --example query_time_facets
+//! ```
+//!
+//! Section V-D of the paper notes that with term and context extraction
+//! performed offline, "we can generate facet hierarchies over the complete
+//! database and dynamically over a set of lengthy query results". This
+//! example does the dynamic case: run a keyword query, take the matching
+//! subset of documents, and compute the facets of the result set alone —
+//! the structure a search UI would show beside the result list.
+
+use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::corpus::db::TermingOptions;
+use facet_hierarchies::corpus::{DatasetRecipe, Document, RecipeKind, TextDatabase};
+use facet_hierarchies::ner::NerTagger;
+use facet_hierarchies::resources::{CachedResource, ContextResource, WikiGraphResource};
+use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
+use facet_hierarchies::textkit::Vocabulary;
+use facet_hierarchies::websearch::{SearchEngine, WebDocId, WebPage};
+use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
+
+fn main() {
+    // Full archive.
+    let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.5);
+    let world = recipe.build_world();
+    let mut vocab = Vocabulary::new();
+    let corpus = recipe.build_corpus(&world, &mut vocab);
+
+    // A keyword index over the archive (the "search" half of the UI).
+    let pages: Vec<WebPage> = corpus
+        .db
+        .docs()
+        .iter()
+        .map(|d| WebPage { id: WebDocId(d.id.0), title: d.title.clone(), text: d.text.clone() })
+        .collect();
+    let search = SearchEngine::new(pages);
+
+    // The user queries for a popular person.
+    let query = world
+        .entities_of_kind(facet_hierarchies::knowledge::EntityKind::Person)
+        .next()
+        .map(|e| e.name.clone())
+        .expect("world has people");
+    let hits = search.search(&query, 200);
+    println!("query: {query:?} → {} results", hits.len());
+
+    // Query-time database: the matching documents only (re-indexed).
+    let result_docs: Vec<Document> = hits
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            let d = corpus.db.doc(facet_hierarchies::corpus::DocId(h.doc.0));
+            Document {
+                id: facet_hierarchies::corpus::DocId(i as u32),
+                source: d.source,
+                day: d.day,
+                title: d.title.clone(),
+                text: d.text.clone(),
+            }
+        })
+        .collect();
+    if result_docs.is_empty() {
+        println!("no results; try a different query");
+        return;
+    }
+    let result_db = TextDatabase::build(result_docs, &mut vocab, TermingOptions::default());
+
+    // Facets of the result set.
+    let wiki = build_wikipedia(&world, &WikipediaConfig::default());
+    let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
+    let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let tagger = NerTagger::from_world(&world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res];
+    let pipeline = FacetPipeline::new(
+        extractors,
+        resources,
+        PipelineOptions { top_k: 150, min_df_c: 2, ..Default::default() },
+    );
+    let extraction = pipeline.run(&result_db, &mut vocab);
+    let forest = pipeline.build_hierarchies(&extraction, &vocab);
+
+    println!(
+        "result-set facets ({} terms across {} facets):",
+        forest.total_terms(),
+        forest.trees.len()
+    );
+    print!("{}", forest.render(4));
+}

@@ -1,0 +1,74 @@
+//! Quickstart: extract facet hierarchies from a (synthetic) news archive
+//! in a dozen lines of code.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The pipeline is the paper's: identify important terms per document,
+//! expand them with context from external resources, select the terms
+//! whose document frequency and rank both improve, and organize the
+//! selected terms into browsable hierarchies.
+
+use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
+use facet_hierarchies::ner::NerTagger;
+use facet_hierarchies::resources::{
+    CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource,
+};
+use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor, YahooTermExtractor};
+use facet_hierarchies::textkit::Vocabulary;
+use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
+use facet_hierarchies::wordnet::build_wordnet;
+
+fn main() {
+    // 1. A corpus. Here: a scaled-down single day of synthetic news.
+    //    (With real data you would construct `Document`s from your own
+    //    text and build a `TextDatabase` directly.)
+    let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.3);
+    let world = recipe.build_world();
+    let mut vocab = Vocabulary::new();
+    let corpus = recipe.build_corpus(&world, &mut vocab);
+    println!("corpus: {} documents", corpus.db.len());
+
+    // 2. External resources (all local in this reproduction).
+    let wiki = build_wikipedia(&world, &WikipediaConfig::default());
+    let wordnet = build_wordnet(&world);
+    let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
+    let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let wn_res = CachedResource::new(WordNetHypernymsResource::new(&wordnet));
+
+    // 3. Important-term extractors.
+    let tagger = NerTagger::from_world(&world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let yahoo = YahooTermExtractor::fit(&corpus.db, &vocab);
+
+    // 4. Run the pipeline.
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+    let pipeline = FacetPipeline::new(
+        extractors,
+        resources,
+        PipelineOptions { top_k: 400, ..Default::default() },
+    );
+    let extraction = pipeline.run(&corpus.db, &mut vocab);
+    println!("selected {} candidate facet terms", extraction.candidates.len());
+    println!("top 15 by log-likelihood:");
+    for c in extraction.candidates.iter().take(15) {
+        println!(
+            "  {:<28} df={:<4} df_C={:<5} -logλ={:.1}",
+            vocab.term(c.term),
+            c.df,
+            c.df_c,
+            c.score
+        );
+    }
+
+    // 5. Build the hierarchies and show the top facets.
+    let forest = pipeline.build_hierarchies(&extraction, &vocab);
+    println!("\nfacet hierarchy (top 3 facets, 5 children each):");
+    for tree in forest.trees.iter().take(3) {
+        let mini = facet_hierarchies::core::FacetForest { trees: vec![tree.clone()] };
+        print!("{}", mini.render(5));
+    }
+}

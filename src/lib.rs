@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # facet-hierarchies
+//!
+//! Umbrella crate for the reproduction of *"Automatic Extraction of Useful
+//! Facet Hierarchies from Text Databases"* (Dakka & Ipeirotis, ICDE 2008).
+//!
+//! Re-exports the workspace crates under stable module names so downstream
+//! users (and the examples in `examples/`) can depend on a single crate.
+
+pub use facet_core as core;
+pub use facet_corpus as corpus;
+pub use facet_eval as eval;
+pub use facet_knowledge as knowledge;
+pub use facet_ner as ner;
+pub use facet_resources as resources;
+pub use facet_stats as stats;
+pub use facet_termx as termx;
+pub use facet_textkit as textkit;
+pub use facet_websearch as websearch;
+pub use facet_wikipedia as wikipedia;
+pub use facet_wordnet as wordnet;

@@ -1,0 +1,68 @@
+//! Reproducibility: the whole stack — world, corpus, substrates, pipeline
+//! — must be bit-stable given the recipe seeds, including under different
+//! expansion thread counts.
+
+use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::corpus::RecipeKind;
+use facet_hierarchies::eval::harness::{tiny_recipe, DatasetBundle};
+use facet_hierarchies::ner::NerTagger;
+use facet_hierarchies::resources::{
+    CachedResource, ContextResource, ExpansionOptions, WikiGraphResource,
+};
+use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
+use facet_hierarchies::wikipedia::WikipediaGraph;
+
+fn facet_terms_with_threads(threads: usize) -> Vec<String> {
+    let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res];
+    let pipeline = FacetPipeline::new(
+        extractors,
+        resources,
+        PipelineOptions {
+            top_k: 300,
+            expansion: ExpansionOptions { threads },
+            ..Default::default()
+        },
+    );
+    let out = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
+    out.facet_terms(&bundle.vocab).into_iter().map(str::to_string).collect()
+}
+
+#[test]
+fn identical_runs_identical_results() {
+    assert_eq!(facet_terms_with_threads(2), facet_terms_with_threads(2));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    assert_eq!(facet_terms_with_threads(1), facet_terms_with_threads(4));
+}
+
+#[test]
+fn bundles_are_reproducible() {
+    let a = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
+    let b = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
+    assert_eq!(a.corpus.db.len(), b.corpus.db.len());
+    assert_eq!(a.wiki.wiki.len(), b.wiki.wiki.len());
+    assert_eq!(a.wiki.wiki.link_count(), b.wiki.wiki.link_count());
+    assert_eq!(a.wordnet.len(), b.wordnet.len());
+    assert_eq!(a.web.len(), b.web.len());
+    for (da, db) in a.corpus.db.docs().iter().zip(b.corpus.db.docs()) {
+        assert_eq!(da.text, db.text);
+    }
+}
+
+#[test]
+fn recipes_differ_across_datasets() {
+    let snyt = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let snb = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
+    // Different worlds: entity names differ.
+    let a = &snyt.world.entities[10].name;
+    let b = &snb.world.entities[10].name;
+    assert_ne!(a, b, "datasets must be drawn from different worlds");
+}
