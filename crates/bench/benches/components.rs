@@ -14,13 +14,21 @@ use facet_resources::{
     expand_database, ContextResource, ExpansionOptions, GoogleResource, WikiGraphResource,
     WikiSynonymsResource, WordNetHypernymsResource,
 };
-use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+use facet_termx::{
+    NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor,
+};
 use facet_wikipedia::{TitleIndex, WikipediaGraph, WikipediaSynonyms};
 
 fn bench_extractors(c: &mut Criterion) {
     let bundle = scaled_bundle(RecipeKind::Snyt, 0.2);
-    let docs: Vec<String> =
-        bundle.corpus.db.docs().iter().take(50).map(|d| d.full_text()).collect();
+    let docs: Vec<String> = bundle
+        .corpus
+        .db
+        .docs()
+        .iter()
+        .take(50)
+        .map(|d| d.full_text())
+        .collect();
 
     let tagger = NerTagger::from_world(&bundle.world);
     let ne = NamedEntityExtractor::new(tagger);
@@ -49,12 +57,20 @@ fn bench_resources(c: &mut Criterion) {
     let mut bundle = scaled_bundle(RecipeKind::Snyt, 0.2);
     let tagger = NerTagger::from_world(&bundle.world);
     let ne = NamedEntityExtractor::new(tagger);
-    let important: Vec<Vec<String>> =
-        bundle.corpus.db.docs().iter().map(|d| ne.extract(&d.full_text())).collect();
+    let important: Vec<Vec<String>> = bundle
+        .corpus
+        .db
+        .docs()
+        .iter()
+        .map(|d| ne.extract(&d.full_text()))
+        .collect();
 
     let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
-    let synonyms =
-        WikipediaSynonyms::new(&bundle.wiki.wiki, &bundle.wiki.redirects, &bundle.wiki.anchors);
+    let synonyms = WikipediaSynonyms::new(
+        &bundle.wiki.wiki,
+        &bundle.wiki.redirects,
+        &bundle.wiki.anchors,
+    );
     let google = GoogleResource::new(&bundle.web);
     let wn = WordNetHypernymsResource::new(&bundle.wordnet);
     let syn = WikiSynonymsResource::new(&synonyms);

@@ -14,9 +14,15 @@ const SCALE: f64 = 0.1;
 fn bench_pilot_and_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper");
     group.sample_size(10);
-    group.bench_function("table1_pilot_study", |b| b.iter(|| drivers::run_pilot(SCALE)));
-    group.bench_function("figure4_gold_terms", |b| b.iter(|| drivers::run_figure4(SCALE, 40)));
-    group.bench_function("figure5_baseline", |b| b.iter(|| drivers::run_figure5(SCALE, 25)));
+    group.bench_function("table1_pilot_study", |b| {
+        b.iter(|| drivers::run_pilot(SCALE))
+    });
+    group.bench_function("figure4_gold_terms", |b| {
+        b.iter(|| drivers::run_figure4(SCALE, 40))
+    });
+    group.bench_function("figure5_baseline", |b| {
+        b.iter(|| drivers::run_figure5(SCALE, 25))
+    });
     group.finish();
 }
 

@@ -4,25 +4,50 @@
 use facet_bench::drivers::{dataset_gold, scaled_bundle};
 use facet_corpus::RecipeKind;
 use facet_knowledge::EntityKind;
-use facet_resources::{ContextResource, GoogleResource, WikiGraphResource, WikiSynonymsResource, WordNetHypernymsResource};
+use facet_resources::{
+    ContextResource, GoogleResource, WikiGraphResource, WikiSynonymsResource,
+    WordNetHypernymsResource,
+};
 use facet_wikipedia::{WikipediaGraph, WikipediaSynonyms};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0);
+    // Usage: diag [scale] [--obs <path>]
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut obs: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--obs" {
+            obs = argv.get(i + 1).cloned();
+            i += 2;
+        } else {
+            if let Ok(s) = argv[i].parse() {
+                scale = s;
+            }
+            i += 1;
+        }
+    }
+    let recorder = if obs.is_some() {
+        facet_obs::Recorder::enabled()
+    } else {
+        facet_obs::Recorder::disabled()
+    };
     let mut bundle = scaled_bundle(RecipeKind::Snyt, scale);
     let world = &bundle.world;
 
     let gold = dataset_gold(&bundle, 1000);
-    let gold_terms: Vec<String> =
-        gold.gold_terms(world).into_iter().map(str::to_string).collect();
+    let gold_terms: Vec<String> = gold
+        .gold_terms(world)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     println!("gold terms: {}", gold_terms.len());
     let mut by_root: std::collections::HashMap<&str, usize> = Default::default();
     for &(n, _) in &gold.term_counts {
         let root = world.ontology.root_of(n);
-        *by_root.entry(world.ontology.node(root).term.as_str()).or_default() += 1;
+        *by_root
+            .entry(world.ontology.node(root).term.as_str())
+            .or_default() += 1;
     }
     println!("gold by dimension: {by_root:?}");
     println!("ontology size: {}", world.ontology.len());
@@ -35,8 +60,11 @@ fn main() {
         .unwrap();
 
     let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
-    let synonyms =
-        WikipediaSynonyms::new(&bundle.wiki.wiki, &bundle.wiki.redirects, &bundle.wiki.anchors);
+    let synonyms = WikipediaSynonyms::new(
+        &bundle.wiki.wiki,
+        &bundle.wiki.redirects,
+        &bundle.wiki.anchors,
+    );
     let google = GoogleResource::new(&bundle.web);
     let wn = WordNetHypernymsResource::new(&bundle.wordnet);
     let syn = WikiSynonymsResource::new(&synonyms);
@@ -47,24 +75,31 @@ fn main() {
         println!("  google: {:?}", google.context_terms(probe));
         println!("  wordnet: {:?}", wn.context_terms(probe));
         println!("  wiki-syn: {:?}", syn.context_terms(probe));
-        let g: Vec<String> =
-            gr.context_terms(probe).into_iter().take(15).collect();
+        let g: Vec<String> = gr.context_terms(probe).into_iter().take(15).collect();
         println!("  wiki-graph (top 15): {g:?}");
     }
 
     // Show a web search for the person.
     println!("\nweb search hits for {}:", person.name);
     for h in bundle.web.search(&person.name, 3) {
-        println!("  [{:.2}] {}", h.score, &h.snippet[..h.snippet.len().min(200)]);
+        println!(
+            "  [{:.2}] {}",
+            h.score,
+            &h.snippet[..h.snippet.len().min(200)]
+        );
     }
 
     // ---- per-cell analysis ---------------------------------------------
     use facet_core::PipelineOptions;
     use facet_eval::harness::{run_grid, GridOptions};
     let options = GridOptions {
-        pipeline: PipelineOptions { top_k: 1500, ..Default::default() },
+        pipeline: PipelineOptions {
+            top_k: 1500,
+            ..Default::default()
+        },
         build_hierarchies: true,
         subsumption_doc_cap: 3000,
+        recorder: recorder.clone(),
     };
     let cells = run_grid(&mut bundle, &options);
     let gold_set: std::collections::HashSet<String> =
@@ -124,7 +159,11 @@ fn main() {
         for g in &gold_set {
             if !have.contains(g.as_str()) {
                 let node = world.ontology.find(g).unwrap();
-                let root = world.ontology.node(world.ontology.root_of(node)).term.clone();
+                let root = world
+                    .ontology
+                    .node(world.ontology.root_of(node))
+                    .term
+                    .clone();
                 *missed_by_root.entry(root).or_default() += 1;
             }
         }
@@ -173,8 +212,8 @@ fn main() {
                     None => false,
                 },
             };
-            if !ok && world.find_entity(&c.term).is_some()
-                || (!ok && world.ontology.find(&c.term).is_some())
+            if !ok
+                && (world.find_entity(&c.term).is_some() || world.ontology.find(&c.term).is_some())
             {
                 wrong_examples.push((c.term.clone(), p));
             }
@@ -198,18 +237,17 @@ fn main() {
         let pipeline = FacetPipeline::new(
             extractors,
             resources,
-            PipelineOptions { top_k: 1500, ..Default::default() },
+            PipelineOptions {
+                top_k: 1500,
+                ..Default::default()
+            },
         );
         let out = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
         // Which important term drags "railways" into every document?
         let mut culprits: std::collections::HashMap<String, usize> = Default::default();
         for terms in out.important_terms.iter().take(200) {
             for t in terms {
-                if graph_res
-                    .context_terms(t)
-                    .iter()
-                    .any(|c| c == "railways")
-                {
+                if graph_res.context_terms(t).iter().any(|c| c == "railways") {
                     *culprits.entry(t.clone()).or_default() += 1;
                 }
             }
@@ -218,11 +256,7 @@ fn main() {
         println!("sample I(d) of doc 0: {:?}", &out.important_terms[0]);
         let forest = pipeline.build_hierarchies(&out, &bundle.vocab);
         // Verify the subsumption invariant on actual data for a few edges.
-        let mut checked = 0;
-        for (parent_label, child_label) in forest.edges() {
-            if checked >= 400 {
-                break;
-            }
+        for (parent_label, child_label) in forest.edges().into_iter().take(400) {
             let p = bundle.vocab.get(&parent_label).unwrap();
             let c = bundle.vocab.get(&child_label).unwrap();
             let mut df_p = 0u64;
@@ -236,12 +270,15 @@ fn main() {
                 co += (has_p && has_c) as u64;
             }
             let pxy = co as f64 / df_c_.max(1) as f64;
-            if parent_label.contains("klikstox") || parent_label.contains("proia") || child_label == "finance" || child_label == "trade" {
+            if parent_label.contains("klikstox")
+                || parent_label.contains("proia")
+                || child_label == "finance"
+                || child_label == "trade"
+            {
                 println!(
                     "edge {parent_label} <- {child_label}: df_p={df_p} df_c={df_c_} co={co} P(p|c)={pxy:.2}"
                 );
             }
-            checked += 1;
         }
         let _ = world;
     }
@@ -279,8 +316,10 @@ fn main() {
         let df = bundle.corpus.db.df_table_resized(bundle.vocab.len());
         let bins_d = rank_bins(&df);
         let bins_c = rank_bins(c.df_table());
-        println!("
-WikiSyn shift probe (gold country terms):");
+        println!(
+            "
+WikiSyn shift probe (gold country terms):"
+        );
         let mut shown = 0;
         for e in world.entities_of_kind(facet_knowledge::EntityKind::Location) {
             let node = e.self_facet.unwrap();
@@ -288,7 +327,9 @@ WikiSyn shift probe (gold country terms):");
                 continue;
             }
             let term = e.name.to_lowercase();
-            let Some(id) = bundle.vocab.get(&term) else { continue };
+            let Some(id) = bundle.vocab.get(&term) else {
+                continue;
+            };
             println!(
                 "  {term}: df={} df_c={} bin_d={} bin_c={} variants={:?}",
                 df[id.index()],
@@ -302,5 +343,13 @@ WikiSyn shift probe (gold country terms):");
                 break;
             }
         }
+    }
+
+    // ---- observability dump ----------------------------------------------
+    if let Some(path) = obs {
+        let report = recorder.snapshot();
+        let json = facet_jsonio::to_json_string_pretty(&report).expect("metrics serialize");
+        std::fs::write(&path, json).expect("write metrics report");
+        eprintln!("\n-- stage times ({path}) --\n{}", report.stage_table());
     }
 }

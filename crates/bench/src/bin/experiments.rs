@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! experiments <command> [--scale <f>] [--top-k <n>]
+//! experiments <command> [--scale <f>] [--top-k <n>] [--json] [--obs <path>]
 //!
 //! Commands:
 //!   table1        Pilot-study facets (Table I) + the 65% missing-term stat
@@ -20,15 +20,22 @@
 //! ```
 //!
 //! `--scale` shrinks document counts (1.0 = paper scale; default 1.0).
+//! `--obs <path>` enables the observability recorder: a JSON metrics
+//! report (stage spans, per-resource query counts and latency
+//! histograms, cache hit/miss) is written to `<path>` and a per-stage
+//! time table is printed to stderr.
 
 use facet_bench::drivers;
 use facet_corpus::RecipeKind;
+use facet_obs::Recorder;
 
 struct Args {
     command: String,
     scale: f64,
     top_k: usize,
     json: bool,
+    obs: Option<String>,
+    recorder: Recorder,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +44,7 @@ fn parse_args() -> Args {
     let mut scale = 1.0f64;
     let mut top_k = 2000usize;
     let mut json = false;
+    let mut obs: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -52,6 +60,16 @@ fn parse_args() -> Args {
                 top_k = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(2000);
                 i += 2;
             }
+            "--obs" => {
+                match argv.get(i + 1) {
+                    Some(path) => obs = Some(path.clone()),
+                    None => {
+                        eprintln!("--obs requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
             c if !c.starts_with("--") => {
                 command = c.to_string();
                 i += 1;
@@ -62,12 +80,40 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { command, scale, top_k, json }
+    let recorder = if obs.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    Args {
+        command,
+        scale,
+        top_k,
+        json,
+        obs,
+        recorder,
+    }
+}
+
+/// Write the metrics report to `--obs <path>` (JSON) and print the
+/// per-stage time table to stderr. No-op when `--obs` was not given.
+fn dump_obs(args: &Args) {
+    let Some(path) = &args.obs else { return };
+    let report = args.recorder.snapshot();
+    let json = facet_jsonio::to_json_string_pretty(&report).expect("metrics serialize");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("\n-- stage times ({path}) --\n{}", report.stage_table());
 }
 
 fn show(table: &facet_eval::Table, args: &Args) {
     if args.json {
-        println!("{}", facet_jsonio::to_json_string_pretty(table).expect("table serializes"));
+        println!(
+            "{}",
+            facet_jsonio::to_json_string_pretty(table).expect("table serializes")
+        );
     } else {
         println!("{}", table.render());
     }
@@ -75,8 +121,11 @@ fn show(table: &facet_eval::Table, args: &Args) {
 
 fn recall_precision(kind: RecipeKind, which: &str, args: &Args) {
     let (recall, precision, gold_n, _bundle) =
-        drivers::run_dataset_tables(kind, args.scale, args.top_k);
-    println!("Gold standard: {gold_n} distinct facet terms ({}).", kind.name());
+        drivers::run_dataset_tables_recorded(kind, args.scale, args.top_k, &args.recorder);
+    println!(
+        "Gold standard: {gold_n} distinct facet terms ({}).",
+        kind.name()
+    );
     match which {
         "recall" => show(&recall, args),
         "precision" => show(&precision, args),
@@ -133,16 +182,28 @@ fn main() {
             println!("{}", drivers::run_ablation(args.scale, args.top_k).render());
         }
         "baselines" => {
-            println!("{}", drivers::run_baselines(args.scale, args.top_k).render());
+            println!(
+                "{}",
+                drivers::run_baselines(args.scale, args.top_k).render()
+            );
         }
         "sensitivity" => {
-            println!("{}", drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render());
+            println!(
+                "{}",
+                drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render()
+            );
         }
         "efficiency" => {
-            println!("{}", drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render());
+            println!(
+                "{}",
+                drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render()
+            );
         }
         "userstudy" => {
-            println!("{}", drivers::run_user_study_experiment(args.scale).render());
+            println!(
+                "{}",
+                drivers::run_user_study_experiment(args.scale).render()
+            );
         }
         "all" => {
             let (t, missing) = drivers::run_pilot(args.scale);
@@ -161,17 +222,30 @@ fn main() {
                 recall_precision(kind, "both", &args);
             }
             println!("{}", drivers::run_ablation(args.scale, args.top_k).render());
-            println!("{}", drivers::run_baselines(args.scale, args.top_k).render());
+            println!(
+                "{}",
+                drivers::run_baselines(args.scale, args.top_k).render()
+            );
             let (dims, comp) = drivers::run_dimensions(RecipeKind::Snyt, args.scale, args.top_k);
             println!("{}", dims.render());
             println!("{}", comp.render());
-            println!("{}", drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render());
-            println!("{}", drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render());
-            println!("{}", drivers::run_user_study_experiment(args.scale).render());
+            println!(
+                "{}",
+                drivers::run_sensitivity(RecipeKind::Snyt, args.scale).render()
+            );
+            println!(
+                "{}",
+                drivers::run_efficiency(RecipeKind::Snyt, args.scale, 200).render()
+            );
+            println!(
+                "{}",
+                drivers::run_user_study_experiment(args.scale).render()
+            );
         }
         other => {
             eprintln!("unknown command {other}; see the doc comment for usage");
             std::process::exit(2);
         }
     }
+    dump_obs(&args);
 }

@@ -32,16 +32,42 @@ pub fn run_dataset_tables(
     scale: f64,
     top_k: usize,
 ) -> (Table, Table, usize, DatasetBundle) {
-    let mut bundle = scaled_bundle(kind, scale);
-    let gold = dataset_gold(&bundle, 1000);
-    let gold_terms: Vec<String> =
-        gold.gold_terms(&bundle.world).into_iter().map(str::to_string).collect();
+    run_dataset_tables_recorded(kind, scale, top_k, facet_obs::Recorder::disabled_ref())
+}
+
+/// [`run_dataset_tables`] with an observability recorder threaded into
+/// the grid: stage spans, per-resource query counts and latencies, web
+/// query counts, and cache hit/miss counters all land in `recorder`.
+pub fn run_dataset_tables_recorded(
+    kind: RecipeKind,
+    scale: f64,
+    top_k: usize,
+    recorder: &facet_obs::Recorder,
+) -> (Table, Table, usize, DatasetBundle) {
+    let mut bundle = {
+        let _span = recorder.span("build_bundle");
+        scaled_bundle(kind, scale)
+    };
+    let gold = {
+        let _span = recorder.span("gold");
+        dataset_gold(&bundle, 1000)
+    };
+    let gold_terms: Vec<String> = gold
+        .gold_terms(&bundle.world)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     let options = GridOptions {
-        pipeline: PipelineOptions { top_k, ..Default::default() },
+        pipeline: PipelineOptions {
+            top_k,
+            ..Default::default()
+        },
         build_hierarchies: true,
         subsumption_doc_cap: 3000,
+        recorder: recorder.clone(),
     };
     let cells = run_grid(&mut bundle, &options);
+    let _score_span = recorder.span("score");
     let name = kind.name();
     let gold_refs: Vec<&str> = gold_terms.iter().map(String::as_str).collect();
     let recall = recall_grid(
@@ -91,7 +117,10 @@ pub fn run_figure4(scale: f64, top: usize) -> Vec<(String, usize)> {
 pub fn run_figure5(scale: f64, top: usize) -> Vec<String> {
     let bundle = scaled_bundle(RecipeKind::Snyt, scale);
     let (terms, _forest) = raw_subsumption_terms(&bundle.corpus.db, &bundle.vocab, top);
-    terms.iter().map(|&t| bundle.vocab.term(t).to_string()).collect()
+    terms
+        .iter()
+        .map(|&t| bundle.vocab.term(t).to_string())
+        .collect()
 }
 
 /// The Section V-B sensitivity study: facet-term discovery vs. sample
@@ -111,11 +140,22 @@ pub fn run_sensitivity(kind: RecipeKind, scale: f64) -> Table {
         &steps,
     );
     let mut t = Table::new(
-        &format!("Facet-term discovery vs annotated sample size ({})", kind.name()),
-        &["Documents", "Distinct facet terms", "Fraction of full gold set"],
+        &format!(
+            "Facet-term discovery vs annotated sample size ({})",
+            kind.name()
+        ),
+        &[
+            "Documents",
+            "Distinct facet terms",
+            "Fraction of full gold set",
+        ],
     );
     for p in curve {
-        t.row(&[p.docs.to_string(), p.terms.to_string(), format!("{:.2}", p.fraction)]);
+        t.row(&[
+            p.docs.to_string(),
+            p.terms.to_string(),
+            format!("{:.2}", p.fraction),
+        ]);
     }
     t
 }
@@ -153,14 +193,21 @@ pub fn run_ablation(scale: f64, top_k: usize) -> Table {
     use facet_eval::judge_model::JudgeModel;
     use facet_eval::precision::PrecisionJudge;
     use facet_ner::NerTagger;
-    use facet_resources::{CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource};
-    use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+    use facet_resources::{
+        CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource,
+    };
+    use facet_termx::{
+        NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor,
+    };
     use facet_wikipedia::{TitleIndex, WikipediaGraph};
 
     let mut bundle = scaled_bundle(RecipeKind::Snyt, scale);
     let gold = default_gold(&bundle, 1000);
-    let gold_terms: Vec<String> =
-        gold.gold_terms(&bundle.world).into_iter().map(str::to_string).collect();
+    let gold_terms: Vec<String> = gold
+        .gold_terms(&bundle.world)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
 
     let tagger = NerTagger::from_world(&bundle.world);
     let ne = NamedEntityExtractor::new(tagger);
@@ -178,24 +225,45 @@ pub fn run_ablation(scale: f64, top_k: usize) -> Table {
     );
 
     for (label, statistic, evidence) in [
-        ("log-likelihood + subsumption (paper)", SelectionStatistic::LogLikelihood, false),
-        ("chi-square + subsumption", SelectionStatistic::ChiSquare, false),
-        ("log-likelihood + evidence hierarchy", SelectionStatistic::LogLikelihood, true),
+        (
+            "log-likelihood + subsumption (paper)",
+            SelectionStatistic::LogLikelihood,
+            false,
+        ),
+        (
+            "chi-square + subsumption",
+            SelectionStatistic::ChiSquare,
+            false,
+        ),
+        (
+            "log-likelihood + evidence hierarchy",
+            SelectionStatistic::LogLikelihood,
+            true,
+        ),
     ] {
         let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo, &wiki_x];
         let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
         let pipeline = FacetPipeline::new(
             extractors,
             resources,
-            facet_core::PipelineOptions { top_k, ..Default::default() },
+            facet_core::PipelineOptions {
+                top_k,
+                ..Default::default()
+            },
         )
         .with_statistic(statistic);
         let extraction = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
 
         // Recall.
-        let selected: std::collections::HashSet<&str> =
-            extraction.candidates.iter().map(|c| bundle.vocab.term(c.term)).collect();
-        let recall = gold_terms.iter().filter(|g| selected.contains(g.as_str())).count() as f64
+        let selected: std::collections::HashSet<&str> = extraction
+            .candidates
+            .iter()
+            .map(|c| bundle.vocab.term(c.term))
+            .collect();
+        let recall = gold_terms
+            .iter()
+            .filter(|g| selected.contains(g.as_str()))
+            .count() as f64
             / gold_terms.len().max(1) as f64;
 
         // Hierarchy: plain subsumption or evidence combination.
@@ -266,7 +334,11 @@ pub fn run_ablation(scale: f64, top_k: usize) -> Table {
         };
         let model = JudgeModel::new(&bundle.world);
         let precision = judge.precision_with_model(&cell, &model);
-        table.row(&[label.to_string(), format!("{recall:.3}"), format!("{precision:.3}")]);
+        table.row(&[
+            label.to_string(),
+            format!("{recall:.3}"),
+            format!("{precision:.3}"),
+        ]);
     }
     table
 }
@@ -280,11 +352,17 @@ pub fn run_baselines(scale: f64, top_k: usize) -> Table {
 
     let mut bundle = scaled_bundle(RecipeKind::Snyt, scale);
     let gold = default_gold(&bundle, 1000);
-    let gold_terms: Vec<String> =
-        gold.gold_terms(&bundle.world).into_iter().map(str::to_string).collect();
+    let gold_terms: Vec<String> = gold
+        .gold_terms(&bundle.world)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     let recall_of = |terms: &[String]| -> f64 {
         let set: std::collections::HashSet<&str> = terms.iter().map(String::as_str).collect();
-        gold_terms.iter().filter(|g| set.contains(g.as_str())).count() as f64
+        gold_terms
+            .iter()
+            .filter(|g| set.contains(g.as_str()))
+            .count() as f64
             / gold_terms.len().max(1) as f64
     };
 
@@ -295,8 +373,11 @@ pub fn run_baselines(scale: f64, top_k: usize) -> Table {
 
     // Figure 5 baseline.
     let fig5 = facet_core::raw_subsumption_terms(&bundle.corpus.db, &bundle.vocab, 400);
-    let fig5_terms: Vec<String> =
-        fig5.0.iter().map(|&t| bundle.vocab.term(t).to_string()).collect();
+    let fig5_terms: Vec<String> = fig5
+        .0
+        .iter()
+        .map(|&t| bundle.vocab.term(t).to_string())
+        .collect();
     table.row(&[
         "raw subsumption (Figure 5)".into(),
         fig5_terms.len().to_string(),
@@ -326,9 +407,13 @@ pub fn run_baselines(scale: f64, top_k: usize) -> Table {
 
     // Our pipeline (All × All).
     let options = GridOptions {
-        pipeline: facet_core::PipelineOptions { top_k, ..Default::default() },
+        pipeline: facet_core::PipelineOptions {
+            top_k,
+            ..Default::default()
+        },
         build_hierarchies: false,
         subsumption_doc_cap: 3000,
+        ..Default::default()
     };
     let cells = run_grid(&mut bundle, &options);
     let ours = cells
@@ -354,9 +439,13 @@ pub fn run_dimensions(kind: RecipeKind, scale: f64, top_k: usize) -> (Table, Tab
     let mut bundle = scaled_bundle(kind, scale);
     let gold = default_gold(&bundle, 1000);
     let options = GridOptions {
-        pipeline: facet_core::PipelineOptions { top_k, ..Default::default() },
+        pipeline: facet_core::PipelineOptions {
+            top_k,
+            ..Default::default()
+        },
         build_hierarchies: false,
         subsumption_doc_cap: 3000,
+        ..Default::default()
     };
     let cells = run_grid(&mut bundle, &options);
     let all = cells

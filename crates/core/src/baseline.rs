@@ -30,8 +30,9 @@ pub fn raw_subsumption_terms(
     by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     by_freq.truncate(top_n);
     let terms: Vec<TermId> = by_freq.into_iter().map(|(t, _)| t).collect();
-    let doc_terms: Vec<Vec<TermId>> =
-        (0..db.len()).map(|i| db.doc_terms(facet_corpus::DocId(i as u32)).to_vec()).collect();
+    let doc_terms: Vec<Vec<TermId>> = (0..db.len())
+        .map(|i| db.doc_terms(facet_corpus::DocId(i as u32)).to_vec())
+        .collect();
     let forest = build_subsumption_forest(&terms, &doc_terms, SubsumptionParams::default());
     (terms, forest)
 }

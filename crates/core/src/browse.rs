@@ -47,7 +47,11 @@ impl BrowseEngine {
                 }
             }
         }
-        Self { forest, doc_terms, postings }
+        Self {
+            forest,
+            doc_terms,
+            postings,
+        }
     }
 
     /// The facet forest.
@@ -72,8 +76,7 @@ impl BrowseEngine {
             return (0..self.doc_terms.len() as u32).map(DocId).collect();
         }
         // Intersect postings, smallest list first.
-        let mut lists: Vec<&[DocId]> =
-            selection.iter().map(|&t| self.docs_with(t)).collect();
+        let mut lists: Vec<&[DocId]> = selection.iter().map(|&t| self.docs_with(t)).collect();
         lists.sort_by_key(|l| l.len());
         let mut result: Vec<DocId> = lists[0].to_vec();
         for l in &lists[1..] {
@@ -103,7 +106,11 @@ impl BrowseEngine {
         };
         let mut out = Vec::new();
         for c in candidates {
-            let count = self.docs_with(c.term).iter().filter(|d| current_set.contains(d)).count();
+            let count = self
+                .docs_with(c.term)
+                .iter()
+                .filter(|d| current_set.contains(d))
+                .count();
             if count > 0 {
                 out.push((c.term, c.label.clone(), count));
             }
@@ -135,8 +142,10 @@ impl BrowseEngine {
 
     /// Convenience: select by facet-term labels.
     pub fn select_by_labels(&self, vocab: &Vocabulary, labels: &[&str]) -> Vec<DocId> {
-        let terms: Vec<TermId> =
-            labels.iter().filter_map(|l| vocab.get(&l.to_lowercase())).collect();
+        let terms: Vec<TermId> = labels
+            .iter()
+            .filter_map(|l| vocab.get(&l.to_lowercase()))
+            .collect();
         if terms.len() != labels.len() {
             return Vec::new();
         }
@@ -230,7 +239,10 @@ mod tests {
         // election retaining 1 document.
         let politics_node = e.forest().trees[0].root.clone();
         let refs = e.refinements(&[france], Some(&politics_node));
-        assert_eq!(refs, vec![(vocab.get("election").unwrap(), "election".into(), 1)]);
+        assert_eq!(
+            refs,
+            vec![(vocab.get("election").unwrap(), "election".into(), 1)]
+        );
     }
 
     #[test]

@@ -88,8 +88,7 @@ pub fn build_evidence_forest(
     hints: &HypernymHints,
     params: EvidenceParams,
 ) -> SubsumptionForest {
-    let term_pos: HashMap<TermId, usize> =
-        terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let term_pos: HashMap<TermId, usize> = terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let n = terms.len();
 
     let mut df = vec![0u64; n];
@@ -133,7 +132,11 @@ pub fn build_evidence_forest(
                 continue;
             }
             let base_rate = df[x] as f64 / doc_terms.len().max(1) as f64;
-            let lift = if base_rate > 0.0 { p_x_given_y / base_rate } else { f64::INFINITY };
+            let lift = if base_rate > 0.0 {
+                p_x_given_y / base_rate
+            } else {
+                f64::INFINITY
+            };
             let hinted = hints.contains(terms[y], terms[x]);
             // Without a hint, the base guards must hold; a hint can carry
             // an edge over the lift guard (the resource *knows* the
@@ -176,7 +179,10 @@ pub fn build_evidence_forest(
         }
     }
 
-    SubsumptionForest { terms: terms.to_vec(), parent }
+    SubsumptionForest {
+        terms: terms.to_vec(),
+        parent,
+    }
 }
 
 #[cfg(test)]
@@ -211,21 +217,18 @@ mod tests {
             &hints,
             EvidenceParams::default(),
         );
-        assert_eq!(forest.parent[0], Some(1), "hint must select the right parent");
+        assert_eq!(
+            forest.parent[0],
+            Some(1),
+            "hint must select the right parent"
+        );
     }
 
     #[test]
     fn no_hints_degenerates_to_subsumption_like_forest() {
         let a = TermId(0);
         let b = TermId(1);
-        let docs = vec![
-            vec![a, b],
-            vec![a, b],
-            vec![a],
-            vec![a],
-            vec![],
-            vec![],
-        ];
+        let docs = vec![vec![a, b], vec![a, b], vec![a], vec![a], vec![], vec![]];
         let forest = build_evidence_forest(
             &[a, b],
             &docs,
@@ -245,19 +248,14 @@ mod tests {
         let docs = vec![vec![a, b], vec![a], vec![a], vec![b], vec![b], vec![b]];
         let mut hints = HypernymHints::new();
         hints.add(b, a);
-        let forest =
-            build_evidence_forest(&[a, b], &docs, &hints, EvidenceParams::default());
+        let forest = build_evidence_forest(&[a, b], &docs, &hints, EvidenceParams::default());
         assert_eq!(forest.parent[1], None, "hint must not override the data");
     }
 
     #[test]
     fn empty_everything() {
-        let forest = build_evidence_forest(
-            &[],
-            &[],
-            &HypernymHints::new(),
-            EvidenceParams::default(),
-        );
+        let forest =
+            build_evidence_forest(&[], &[], &HypernymHints::new(), EvidenceParams::default());
         assert!(forest.terms.is_empty());
     }
 }

@@ -25,7 +25,11 @@ impl TreeNode {
 
     /// Depth of the deepest leaf below this node (0 for a leaf).
     pub fn height(&self) -> usize {
-        self.children.iter().map(|c| c.height() + 1).max().unwrap_or(0)
+        self.children
+            .iter()
+            .map(|c| c.height() + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Find a node by label in this subtree.
@@ -85,7 +89,9 @@ impl FacetForest {
         let mut trees: Vec<FacetTree> = forest
             .roots()
             .into_iter()
-            .map(|r| FacetTree { root: build(r, forest, vocab, &doc_count) })
+            .map(|r| FacetTree {
+                root: build(r, forest, vocab, &doc_count),
+            })
             .collect();
         trees.sort_by(|a, b| {
             b.root

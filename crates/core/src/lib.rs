@@ -28,19 +28,19 @@
 //! for the ablation study).
 
 pub mod baseline;
-pub mod evidence;
 pub mod browse;
 pub mod config;
+pub mod evidence;
 pub mod hierarchy;
 pub mod pipeline;
 pub mod selection;
 pub mod subsumption;
 
+pub use baseline::raw_subsumption_terms;
 pub use browse::BrowseEngine;
 pub use config::PipelineOptions;
+pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use hierarchy::{FacetForest, FacetTree, TreeNode};
 pub use pipeline::{FacetExtraction, FacetPipeline};
 pub use selection::{select_facet_terms, FacetCandidate, SelectionInputs, SelectionStatistic};
-pub use baseline::raw_subsumption_terms;
-pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use subsumption::{build_subsumption_forest, SubsumptionForest, SubsumptionParams};

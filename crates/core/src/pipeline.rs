@@ -5,7 +5,8 @@ use crate::hierarchy::FacetForest;
 use crate::selection::{select_facet_terms, FacetCandidate, SelectionInputs, SelectionStatistic};
 use crate::subsumption::{build_subsumption_forest, SubsumptionParams};
 use facet_corpus::TextDatabase;
-use facet_resources::{expand_database, ContextResource, ContextualizedDatabase};
+use facet_obs::Recorder;
+use facet_resources::{expand_database_recorded, ContextResource, ContextualizedDatabase};
 use facet_termx::{extract_important_terms, TermExtractor};
 use facet_textkit::Vocabulary;
 
@@ -36,6 +37,7 @@ pub struct FacetPipeline<'a> {
     resources: Vec<&'a dyn ContextResource>,
     options: PipelineOptions,
     statistic: SelectionStatistic,
+    recorder: Recorder,
 }
 
 impl<'a> FacetPipeline<'a> {
@@ -46,7 +48,13 @@ impl<'a> FacetPipeline<'a> {
         resources: Vec<&'a dyn ContextResource>,
         options: PipelineOptions,
     ) -> Self {
-        Self { extractors, resources, options, statistic: SelectionStatistic::LogLikelihood }
+        Self {
+            extractors,
+            resources,
+            options,
+            statistic: SelectionStatistic::LogLikelihood,
+            recorder: Recorder::disabled(),
+        }
     }
 
     /// Switch the ranking statistic (ablation).
@@ -55,17 +63,39 @@ impl<'a> FacetPipeline<'a> {
         self
     }
 
+    /// Attach an observability recorder: each stage (extract, expand,
+    /// select, subsumption) records a span, and expansion records
+    /// per-resource query counts and latency histograms.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The configured options.
     pub fn options(&self) -> &PipelineOptions {
         &self.options
     }
 
+    /// The attached recorder (disabled unless set via
+    /// [`FacetPipeline::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Step 1 only: important terms per document.
     pub fn extract_important(&self, db: &TextDatabase) -> Vec<Vec<String>> {
-        db.docs()
+        let _span = self.recorder.span("extract");
+        let out: Vec<Vec<String>> = db
+            .docs()
             .iter()
             .map(|d| extract_important_terms(&self.extractors, &d.full_text()))
-            .collect()
+            .collect();
+        self.recorder.add("extract.docs", out.len() as u64);
+        self.recorder.add(
+            "extract.important_terms",
+            out.iter().map(|t| t.len() as u64).sum(),
+        );
+        out
     }
 
     /// Run Steps 1–3. Context terms are interned into `vocab`.
@@ -82,21 +112,38 @@ impl<'a> FacetPipeline<'a> {
         vocab: &mut Vocabulary,
         important_terms: Vec<Vec<String>>,
     ) -> FacetExtraction {
-        let contextualized = expand_database(
-            db,
-            &important_terms,
-            &self.resources,
-            vocab,
-            &self.options.expansion,
-        );
-        let df = db.df_table_resized(vocab.len());
-        let candidates = select_facet_terms(
-            SelectionInputs { df: &df, df_c: contextualized.df_table(), n_docs: db.len() as u64 },
-            self.statistic,
-            self.options.top_k,
-            self.options.min_df_c,
-        );
-        FacetExtraction { important_terms, contextualized, candidates }
+        let contextualized = {
+            let _span = self.recorder.span("expand");
+            expand_database_recorded(
+                db,
+                &important_terms,
+                &self.resources,
+                vocab,
+                &self.options.expansion,
+                &self.recorder,
+            )
+        };
+        let candidates = {
+            let _span = self.recorder.span("select");
+            let df = db.df_table_resized(vocab.len());
+            select_facet_terms(
+                SelectionInputs {
+                    df: &df,
+                    df_c: contextualized.df_table(),
+                    n_docs: db.len() as u64,
+                },
+                self.statistic,
+                self.options.top_k,
+                self.options.min_df_c,
+            )
+        };
+        self.recorder
+            .add("select.candidates", candidates.len() as u64);
+        FacetExtraction {
+            important_terms,
+            contextualized,
+            candidates,
+        }
     }
 
     /// Step 4: build the facet hierarchies over an extraction's candidate
@@ -106,11 +153,15 @@ impl<'a> FacetPipeline<'a> {
         extraction: &FacetExtraction,
         vocab: &Vocabulary,
     ) -> FacetForest {
+        let _span = self.recorder.span("subsumption");
         let terms: Vec<_> = extraction.candidates.iter().map(|c| c.term).collect();
         let sub = build_subsumption_forest(
             &terms,
             &extraction.contextualized.doc_terms,
-            SubsumptionParams { threshold: self.options.subsumption_threshold, ..Default::default() },
+            SubsumptionParams {
+                threshold: self.options.subsumption_threshold,
+                ..Default::default()
+            },
         );
         FacetForest::from_subsumption(&sub, vocab, |t| extraction.contextualized.df_c(t))
     }
@@ -145,7 +196,10 @@ mod tests {
             "Fixed"
         }
         fn context_terms(&self, term: &str) -> Vec<String> {
-            self.0.get(term).map(|v| v.iter().map(|s| s.to_string()).collect()).unwrap_or_default()
+            self.0
+                .get(term)
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default()
         }
     }
 
@@ -181,8 +235,14 @@ mod tests {
         let mut map = HashMap::new();
         map.insert("jacques chirac", vec!["political leaders", "france"]);
         let r = FixedResource(map);
-        let pipeline =
-            FacetPipeline::new(vec![&e], vec![&r], PipelineOptions { top_k: 10, ..Default::default() });
+        let pipeline = FacetPipeline::new(
+            vec![&e],
+            vec![&r],
+            PipelineOptions {
+                top_k: 10,
+                ..Default::default()
+            },
+        );
         let out = pipeline.run(&db, &mut vocab);
         let terms = out.facet_terms(&vocab);
         assert!(terms.contains(&"political leaders"), "{terms:?}");
@@ -198,11 +258,44 @@ mod tests {
         let mut map = HashMap::new();
         map.insert("jacques chirac", vec!["political leaders", "france"]);
         let r = FixedResource(map);
-        let pipeline =
-            FacetPipeline::new(vec![&e], vec![&r], PipelineOptions { top_k: 10, ..Default::default() });
+        let pipeline = FacetPipeline::new(
+            vec![&e],
+            vec![&r],
+            PipelineOptions {
+                top_k: 10,
+                ..Default::default()
+            },
+        );
         let out = pipeline.run(&db, &mut vocab);
         let forest = pipeline.build_hierarchies(&out, &vocab);
         assert!(forest.total_terms() >= 2);
+    }
+
+    #[test]
+    fn recorder_captures_stage_spans() {
+        let (db, mut vocab) = db();
+        let e = FixedExtractor;
+        let mut map = HashMap::new();
+        map.insert("jacques chirac", vec!["political leaders", "france"]);
+        let r = FixedResource(map);
+        let recorder = facet_obs::Recorder::enabled();
+        let pipeline = FacetPipeline::new(
+            vec![&e],
+            vec![&r],
+            PipelineOptions {
+                top_k: 10,
+                ..Default::default()
+            },
+        )
+        .with_recorder(recorder.clone());
+        let out = pipeline.run(&db, &mut vocab);
+        let _forest = pipeline.build_hierarchies(&out, &vocab);
+        let counts = recorder.snapshot_counts_only();
+        assert_eq!(counts["span.extract.count"], 1);
+        assert_eq!(counts["span.expand.count"], 1);
+        assert_eq!(counts["span.select.count"], 1);
+        assert_eq!(counts["span.subsumption.count"], 1);
+        assert!(counts["counter.resource.Fixed.queries"] >= 1);
     }
 
     #[test]

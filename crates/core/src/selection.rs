@@ -122,7 +122,11 @@ mod tests {
     fn facet_term_selected_background_not() {
         let (df, df_c) = tables();
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 1000,
+            },
             SelectionStatistic::LogLikelihood,
             100,
             1,
@@ -137,7 +141,11 @@ mod tests {
     fn ranked_by_score_descending() {
         let (df, df_c) = tables();
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 1000,
+            },
             SelectionStatistic::LogLikelihood,
             100,
             1,
@@ -151,7 +159,11 @@ mod tests {
     fn top_k_truncates() {
         let (df, df_c) = tables();
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 1000,
+            },
             SelectionStatistic::LogLikelihood,
             1,
             1,
@@ -166,7 +178,11 @@ mod tests {
         let df = vec![0, 0, 100, 50, 30, 10];
         let df_c = vec![2, 50, 100, 50, 30, 10];
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 100 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 100,
+            },
             SelectionStatistic::LogLikelihood,
             10,
             3,
@@ -181,7 +197,11 @@ mod tests {
         let df = vec![10u64];
         let df_c = vec![12u64, 40];
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 100 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 100,
+            },
             SelectionStatistic::LogLikelihood,
             10,
             1,
@@ -193,7 +213,11 @@ mod tests {
     fn chi_square_variant_runs() {
         let (df, df_c) = tables();
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 1000,
+            },
             SelectionStatistic::ChiSquare,
             100,
             1,
@@ -205,7 +229,11 @@ mod tests {
     fn shifts_recorded() {
         let (df, df_c) = tables();
         let out = select_facet_terms(
-            SelectionInputs { df: &df, df_c: &df_c, n_docs: 1000 },
+            SelectionInputs {
+                df: &df,
+                df_c: &df_c,
+                n_docs: 1000,
+            },
             SelectionStatistic::LogLikelihood,
             100,
             1,

@@ -53,12 +53,16 @@ pub struct SubsumptionForest {
 impl SubsumptionForest {
     /// Indices of the root terms.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.terms.len()).filter(|&i| self.parent[i].is_none()).collect()
+        (0..self.terms.len())
+            .filter(|&i| self.parent[i].is_none())
+            .collect()
     }
 
     /// Indices of the children of term `i`.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        (0..self.terms.len()).filter(|&j| self.parent[j] == Some(i)).collect()
+        (0..self.terms.len())
+            .filter(|&j| self.parent[j] == Some(i))
+            .collect()
     }
 
     /// Depth of term `i` (roots have depth 0).
@@ -81,8 +85,7 @@ pub fn build_subsumption_forest(
     doc_terms: &[Vec<TermId>],
     params: SubsumptionParams,
 ) -> SubsumptionForest {
-    let term_pos: HashMap<TermId, usize> =
-        terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let term_pos: HashMap<TermId, usize> = terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let n = terms.len();
 
     // Document frequency and pairwise co-document frequency restricted to
@@ -90,8 +93,7 @@ pub fn build_subsumption_forest(
     let mut df = vec![0u64; n];
     let mut co: HashMap<(usize, usize), u64> = HashMap::new();
     for d in doc_terms {
-        let present: Vec<usize> =
-            d.iter().filter_map(|t| term_pos.get(t).copied()).collect();
+        let present: Vec<usize> = d.iter().filter_map(|t| term_pos.get(t).copied()).collect();
         for &i in &present {
             df[i] += 1;
         }
@@ -121,8 +123,7 @@ pub fn build_subsumption_forest(
         }
         // (index, confidence bucket) of the current best parent.
         let mut best: Option<(usize, u32)> = None;
-        let max_parent_df =
-            (params.max_parent_df_fraction * doc_terms.len() as f64).ceil() as u64;
+        let max_parent_df = (params.max_parent_df_fraction * doc_terms.len() as f64).ceil() as u64;
         for x in 0..n {
             if x == y || df[x] == 0 || df[x] > max_parent_df {
                 continue;
@@ -134,7 +135,11 @@ pub fn build_subsumption_forest(
             let p_x_given_y = cxy as f64 / df[y] as f64;
             let p_y_given_x = cxy as f64 / df[x] as f64;
             let base_rate = df[x] as f64 / doc_terms.len().max(1) as f64;
-            let lift = if base_rate > 0.0 { p_x_given_y / base_rate } else { f64::INFINITY };
+            let lift = if base_rate > 0.0 {
+                p_x_given_y / base_rate
+            } else {
+                f64::INFINITY
+            };
             if p_x_given_y >= params.threshold && p_y_given_x < 1.0 && lift >= params.min_lift {
                 let bucket = (p_x_given_y * 20.0).floor() as u32;
                 let better = match best {
@@ -164,7 +169,10 @@ pub fn build_subsumption_forest(
         }
     }
 
-    SubsumptionForest { terms: terms.to_vec(), parent }
+    SubsumptionForest {
+        terms: terms.to_vec(),
+        parent,
+    }
 }
 
 #[cfg(test)]
@@ -238,9 +246,23 @@ mod tests {
         let x = TermId(0);
         let y = TermId(1);
         let docs = vec![vec![x, y], vec![x, y], vec![y], vec![x], vec![x]];
-        let strict = build_subsumption_forest(&[x, y], &docs, SubsumptionParams { threshold: 0.8, ..relaxed() });
+        let strict = build_subsumption_forest(
+            &[x, y],
+            &docs,
+            SubsumptionParams {
+                threshold: 0.8,
+                ..relaxed()
+            },
+        );
         assert_eq!(strict.parent[1], None);
-        let loose = build_subsumption_forest(&[x, y], &docs, SubsumptionParams { threshold: 0.6, ..relaxed() });
+        let loose = build_subsumption_forest(
+            &[x, y],
+            &docs,
+            SubsumptionParams {
+                threshold: 0.6,
+                ..relaxed()
+            },
+        );
         assert_eq!(loose.parent[1], Some(0));
     }
 
@@ -260,16 +282,19 @@ mod tests {
         // excluded as a parent even though it trivially subsumes "rare".
         let everywhere = TermId(0);
         let rare = TermId(1);
-        let docs: Vec<Vec<TermId>> =
-            (0..10).map(|i| if i < 2 { vec![everywhere, rare] } else { vec![everywhere] }).collect();
-        let guarded = build_subsumption_forest(
-            &[everywhere, rare],
-            &docs,
-            SubsumptionParams::default(),
-        );
+        let docs: Vec<Vec<TermId>> = (0..10)
+            .map(|i| {
+                if i < 2 {
+                    vec![everywhere, rare]
+                } else {
+                    vec![everywhere]
+                }
+            })
+            .collect();
+        let guarded =
+            build_subsumption_forest(&[everywhere, rare], &docs, SubsumptionParams::default());
         assert_eq!(guarded.parent[1], None, "universal term must not parent");
-        let permissive =
-            build_subsumption_forest(&[everywhere, rare], &docs, relaxed());
+        let permissive = build_subsumption_forest(&[everywhere, rare], &docs, relaxed());
         assert_eq!(permissive.parent[1], Some(0));
     }
 
@@ -298,7 +323,10 @@ mod tests {
         let f = build_subsumption_forest(
             &[x, y],
             &docs,
-            SubsumptionParams { min_lift: 1.3, ..relaxed() },
+            SubsumptionParams {
+                min_lift: 1.3,
+                ..relaxed()
+            },
         );
         assert_eq!(f.parent[1], None, "chance co-occurrence must not subsume");
     }

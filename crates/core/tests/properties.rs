@@ -1,8 +1,8 @@
 //! Property-based tests for the core pipeline invariants.
 
 use facet_core::{
-    build_subsumption_forest, select_facet_terms, FacetForest, SelectionInputs,
-    SelectionStatistic, SubsumptionParams,
+    build_subsumption_forest, select_facet_terms, FacetForest, SelectionInputs, SelectionStatistic,
+    SubsumptionParams,
 };
 use facet_textkit::{TermId, Vocabulary};
 use proptest::prelude::*;
@@ -72,7 +72,7 @@ proptest! {
         let forest = build_subsumption_forest(&terms, &doc_terms, params);
 
         // df per term for the generality check.
-        let mut df = vec![0u64; 20];
+        let mut df = [0u64; 20];
         for d in &doc_terms {
             for t in d {
                 df[t.index()] += 1;

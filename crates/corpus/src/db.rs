@@ -8,7 +8,7 @@
 //! as single terms in the shared vocabulary, exactly like these bigrams.
 
 use crate::document::{DocId, Document};
-use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind, TermId, Vocabulary};
+use facet_textkit::{is_stopword, normalize_term, tokens, TermId, TokenKind, Vocabulary};
 
 /// Options controlling how documents are reduced to counted terms.
 #[derive(Debug, Clone)]
@@ -21,7 +21,10 @@ pub struct TermingOptions {
 
 impl Default for TermingOptions {
     fn default() -> Self {
-        Self { bigrams: true, min_len: 2 }
+        Self {
+            bigrams: true,
+            min_len: 2,
+        }
     }
 }
 
@@ -41,7 +44,12 @@ pub struct TextDatabase {
 /// Extract the distinct, normalized, counted terms of `text` into `out`
 /// (term ids via `vocab`). Shared by the database build and the
 /// contextualized-database build.
-pub fn extract_terms(text: &str, options: &TermingOptions, vocab: &mut Vocabulary, out: &mut Vec<TermId>) {
+pub fn extract_terms(
+    text: &str,
+    options: &TermingOptions,
+    vocab: &mut Vocabulary,
+    out: &mut Vec<TermId>,
+) {
     let toks = tokens(text);
     let mut prev_word: Option<String> = None;
     for t in &toks {
@@ -84,7 +92,12 @@ impl TextDatabase {
                 df[t.index()] += 1;
             }
         }
-        Self { docs, doc_terms, df, options }
+        Self {
+            docs,
+            doc_terms,
+            df,
+            options,
+        }
     }
 
     /// Number of documents.
@@ -146,7 +159,13 @@ mod tests {
     use super::*;
 
     fn doc(id: u32, title: &str, text: &str) -> Document {
-        Document { id: DocId(id), source: 0, day: 0, title: title.into(), text: text.into() }
+        Document {
+            id: DocId(id),
+            source: 0,
+            day: 0,
+            title: title.into(),
+            text: text.into(),
+        }
     }
 
     #[test]
@@ -192,7 +211,10 @@ mod tests {
         let _db = TextDatabase::build(
             docs,
             &mut vocab,
-            TermingOptions { bigrams: false, min_len: 2 },
+            TermingOptions {
+                bigrams: false,
+                min_len: 2,
+            },
         );
         assert!(vocab.get("real estate").is_none());
         assert!(vocab.get("real").is_some());

@@ -126,7 +126,8 @@ impl<'w> CorpusGenerator<'w> {
                 // Spread documents over days uniformly.
                 ((di * self.config.n_days as usize) / self.config.n_docs) as u16
             };
-            let (doc, g) = self.generate_article(di as u32, source, day, &topic_zipf, &bg_zipf, &mut rng);
+            let (doc, g) =
+                self.generate_article(di as u32, source, day, &topic_zipf, &bg_zipf, &mut rng);
             docs.push(doc);
             gold.push(g);
         }
@@ -186,7 +187,9 @@ impl<'w> CorpusGenerator<'w> {
             }
         }
         for _ in 0..rng.gen_range(1..=3) {
-            concepts.push(facet_knowledge::ConceptId(rng.gen_range(0..w.concepts.len() as u32)));
+            concepts.push(facet_knowledge::ConceptId(
+                rng.gen_range(0..w.concepts.len() as u32),
+            ));
         }
         concepts.sort();
         concepts.dedup();
@@ -300,8 +303,20 @@ impl<'w> CorpusGenerator<'w> {
             concept_word(rng, &concepts),
         );
 
-        let doc = Document { id: DocId(id), source, day, title, text: body };
-        let g = DocGold { topic: topic.id, entities, concepts, facets, leaked_facets: leaked };
+        let doc = Document {
+            id: DocId(id),
+            source,
+            day,
+            title,
+            text: body,
+        };
+        let g = DocGold {
+            topic: topic.id,
+            entities,
+            concepts,
+            facets,
+            leaked_facets: leaked,
+        };
         (doc, g)
     }
 }
@@ -332,8 +347,14 @@ mod tests {
     fn generates_requested_count() {
         let w = small_world();
         let mut vocab = Vocabulary::new();
-        let corpus = CorpusGenerator::new(&w, GeneratorConfig { n_docs: 25, ..Default::default() })
-            .generate(&mut vocab);
+        let corpus = CorpusGenerator::new(
+            &w,
+            GeneratorConfig {
+                n_docs: 25,
+                ..Default::default()
+            },
+        )
+        .generate(&mut vocab);
         assert_eq!(corpus.db.len(), 25);
         assert_eq!(corpus.gold.len(), 25);
     }
@@ -343,9 +364,18 @@ mod tests {
         let w = small_world();
         let gen = |w: &World| {
             let mut vocab = Vocabulary::new();
-            let c = CorpusGenerator::new(w, GeneratorConfig { n_docs: 10, ..Default::default() })
-                .generate(&mut vocab);
-            c.db.docs().iter().map(|d| d.text.clone()).collect::<Vec<_>>()
+            let c = CorpusGenerator::new(
+                w,
+                GeneratorConfig {
+                    n_docs: 10,
+                    ..Default::default()
+                },
+            )
+            .generate(&mut vocab);
+            c.db.docs()
+                .iter()
+                .map(|d| d.text.clone())
+                .collect::<Vec<_>>()
         };
         assert_eq!(gen(&w), gen(&w));
     }
@@ -354,8 +384,14 @@ mod tests {
     fn protagonist_always_mentioned() {
         let w = small_world();
         let mut vocab = Vocabulary::new();
-        let corpus = CorpusGenerator::new(&w, GeneratorConfig { n_docs: 30, ..Default::default() })
-            .generate(&mut vocab);
+        let corpus = CorpusGenerator::new(
+            &w,
+            GeneratorConfig {
+                n_docs: 30,
+                ..Default::default()
+            },
+        )
+        .generate(&mut vocab);
         for (doc, gold) in corpus.db.docs().iter().zip(&corpus.gold) {
             let protagonist = w.topic(gold.topic).entities[0];
             assert_eq!(gold.entities[0], protagonist);
@@ -374,7 +410,10 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let corpus = CorpusGenerator::new(
             &w,
-            GeneratorConfig { n_docs: 60, ..Default::default() },
+            GeneratorConfig {
+                n_docs: 60,
+                ..Default::default()
+            },
         )
         .generate(&mut vocab);
         let mut present = 0usize;
@@ -393,7 +432,10 @@ mod tests {
         // appear in text. (Location names pull the rate up because cities
         // and countries are mentioned as entities.)
         assert!(rate < 0.55, "facet-term presence rate too high: {rate}");
-        assert!(rate > 0.02, "facet-term presence rate implausibly low: {rate}");
+        assert!(
+            rate > 0.02,
+            "facet-term presence rate implausibly low: {rate}"
+        );
     }
 
     #[test]
@@ -402,7 +444,11 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let corpus = CorpusGenerator::new(
             &w,
-            GeneratorConfig { n_docs: 40, facet_leak_rate: 0.3, ..Default::default() },
+            GeneratorConfig {
+                n_docs: 40,
+                facet_leak_rate: 0.3,
+                ..Default::default()
+            },
         )
         .generate(&mut vocab);
         for (doc, gold) in corpus.db.docs().iter().zip(&corpus.gold) {
@@ -423,7 +469,12 @@ mod tests {
         let mut vocab = Vocabulary::new();
         let corpus = CorpusGenerator::new(
             &w,
-            GeneratorConfig { n_docs: 48, n_sources: 24, n_days: 4, ..Default::default() },
+            GeneratorConfig {
+                n_docs: 48,
+                n_sources: 24,
+                n_days: 4,
+                ..Default::default()
+            },
         )
         .generate(&mut vocab);
         let sources: std::collections::HashSet<u16> =

@@ -68,7 +68,11 @@ impl DatasetRecipe {
             RecipeKind::Mnyt => (30_000, 1, 30, 0xA11D0, 0xB0B3, 460),
         };
         let n_docs = ((n_docs as f64 * scale) as usize).max(50);
-        let world = WorldConfig { seed: world_seed, topics, ..WorldConfig::default() };
+        let world = WorldConfig {
+            seed: world_seed,
+            topics,
+            ..WorldConfig::default()
+        };
         let generator = GeneratorConfig {
             seed: gen_seed,
             n_docs,
@@ -76,7 +80,11 @@ impl DatasetRecipe {
             n_days,
             ..GeneratorConfig::default()
         };
-        Self { kind, world, generator }
+        Self {
+            kind,
+            world,
+            generator,
+        }
     }
 
     /// Generate the world for this recipe.
@@ -98,7 +106,10 @@ mod tests {
     fn paper_scale_counts() {
         assert_eq!(DatasetRecipe::new(RecipeKind::Snyt).generator.n_docs, 1000);
         assert_eq!(DatasetRecipe::new(RecipeKind::Snb).generator.n_docs, 17_000);
-        assert_eq!(DatasetRecipe::new(RecipeKind::Mnyt).generator.n_docs, 30_000);
+        assert_eq!(
+            DatasetRecipe::new(RecipeKind::Mnyt).generator.n_docs,
+            30_000
+        );
     }
 
     #[test]
@@ -141,8 +152,10 @@ mod tests {
 
     #[test]
     fn distinct_recipes_have_distinct_seeds() {
-        let seeds: std::collections::HashSet<u64> =
-            RecipeKind::ALL.iter().map(|&k| DatasetRecipe::new(k).world.seed).collect();
+        let seeds: std::collections::HashSet<u64> = RecipeKind::ALL
+            .iter()
+            .map(|&k| DatasetRecipe::new(k).world.seed)
+            .collect();
         assert_eq!(seeds.len(), 3);
     }
 }

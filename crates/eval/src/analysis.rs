@@ -18,7 +18,11 @@ pub fn recall_by_dimension(
     let extracted: HashSet<&str> = cell.terms().into_iter().collect();
     let mut per_root: HashMap<String, (usize, usize)> = HashMap::new();
     for &(node, _) in &gold.term_counts {
-        let root = world.ontology.node(world.ontology.root_of(node)).term.clone();
+        let root = world
+            .ontology
+            .node(world.ontology.root_of(node))
+            .term
+            .clone();
         let term = &world.ontology.node(node).term;
         let entry = per_root.entry(root).or_insert((0, 0));
         entry.0 += 1;
@@ -92,9 +96,13 @@ mod tests {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let gold = default_gold(&bundle, 100);
         let options = GridOptions {
-            pipeline: PipelineOptions { top_k: 400, ..Default::default() },
+            pipeline: PipelineOptions {
+                top_k: 400,
+                ..Default::default()
+            },
             build_hierarchies: false,
             subsumption_doc_cap: 500,
+            ..Default::default()
         };
         let cells = run_grid(&mut bundle, &options);
         (bundle, cells, gold)
@@ -103,10 +111,17 @@ mod tests {
     #[test]
     fn dimensions_cover_gold_and_rates_are_valid() {
         let (bundle, cells, gold) = setup();
-        let all = cells.iter().find(|c| c.extractor == "All" && c.resource == "All").unwrap();
+        let all = cells
+            .iter()
+            .find(|c| c.extractor == "All" && c.resource == "All")
+            .unwrap();
         let dims = recall_by_dimension(all, &bundle.world, &gold);
         let total: usize = dims.iter().map(|(_, n, _)| n).sum();
-        assert_eq!(total, gold.n_terms(), "dimension partition must cover the gold set");
+        assert_eq!(
+            total,
+            gold.n_terms(),
+            "dimension partition must cover the gold set"
+        );
         for (root, _, r) in &dims {
             assert!((0.0..=1.0).contains(r), "{root} recall {r}");
         }
@@ -115,7 +130,10 @@ mod tests {
     #[test]
     fn composition_partitions_candidates() {
         let (bundle, cells, _gold) = setup();
-        let all = cells.iter().find(|c| c.extractor == "All" && c.resource == "All").unwrap();
+        let all = cells
+            .iter()
+            .find(|c| c.extractor == "All" && c.resource == "All")
+            .unwrap();
         let comp = candidate_composition(all, &bundle.world);
         let total: usize = comp.iter().map(|(_, n)| n).sum();
         assert_eq!(total, all.candidates.len());
@@ -124,7 +142,10 @@ mod tests {
     #[test]
     fn table_renders() {
         let (bundle, cells, gold) = setup();
-        let all = cells.iter().find(|c| c.extractor == "All" && c.resource == "All").unwrap();
+        let all = cells
+            .iter()
+            .find(|c| c.extractor == "All" && c.resource == "All")
+            .unwrap();
         let t = dimension_table("by dimension", all, &bundle.world, &gold);
         assert!(t.render().contains("location"));
     }

@@ -61,7 +61,10 @@ pub struct GoldAnnotations {
 impl GoldAnnotations {
     /// The distinct gold facet terms as strings.
     pub fn gold_terms<'w>(&self, world: &'w World) -> Vec<&'w str> {
-        self.term_counts.iter().map(|&(n, _)| world.ontology.node(n).term.as_str()).collect()
+        self.term_counts
+            .iter()
+            .map(|&(n, _)| world.ontology.node(n).term.as_str())
+            .collect()
     }
 
     /// Number of distinct gold facet terms.
@@ -133,11 +136,7 @@ pub fn annotate_sample(
                 })
                 .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
-            let mut listed = 0usize;
-            for (n, _) in scored {
-                if listed >= config.max_terms {
-                    break;
-                }
+            for (n, _) in scored.into_iter().take(config.max_terms) {
                 if rng.gen_bool(config.idiosyncrasy_rate) {
                     // Idiosyncratic pick: a random ontology node instead.
                     let random = FacetNodeId(rng.gen_range(0..world.ontology.len() as u32));
@@ -145,7 +144,6 @@ pub fn annotate_sample(
                 } else {
                     *votes.entry(n).or_insert(0) += 1;
                 }
-                listed += 1;
             }
         }
         let mut agreed: Vec<FacetNodeId> = votes
@@ -163,7 +161,11 @@ pub fn annotate_sample(
     let mut term_counts: Vec<(FacetNodeId, usize)> = counts.into_iter().collect();
     term_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
-    GoldAnnotations { sample: sample.to_vec(), per_doc, term_counts }
+    GoldAnnotations {
+        sample: sample.to_vec(),
+        per_doc,
+        term_counts,
+    }
 }
 
 #[cfg(test)]
@@ -189,9 +191,14 @@ mod tests {
             background_words: 80,
         });
         let mut vocab = Vocabulary::new();
-        let corpus =
-            CorpusGenerator::new(&world, GeneratorConfig { n_docs: 40, ..Default::default() })
-                .generate(&mut vocab);
+        let corpus = CorpusGenerator::new(
+            &world,
+            GeneratorConfig {
+                n_docs: 40,
+                ..Default::default()
+            },
+        )
+        .generate(&mut vocab);
         (world, corpus)
     }
 
@@ -203,13 +210,19 @@ mod tests {
             &world,
             &corpus,
             &sample,
-            &AnnotatorConfig { agreement: 2, ..Default::default() },
+            &AnnotatorConfig {
+                agreement: 2,
+                ..Default::default()
+            },
         );
         let lax = annotate_sample(
             &world,
             &corpus,
             &sample,
-            &AnnotatorConfig { agreement: 1, ..Default::default() },
+            &AnnotatorConfig {
+                agreement: 1,
+                ..Default::default()
+            },
         );
         assert!(
             lax.n_terms() > strict.n_terms(),
@@ -237,7 +250,10 @@ mod tests {
         }
         assert!(total > 0);
         let frac = latent as f64 / total as f64;
-        assert!(frac > 0.9, "agreement should suppress idiosyncratic votes: {frac}");
+        assert!(
+            frac > 0.9,
+            "agreement should suppress idiosyncratic votes: {frac}"
+        );
     }
 
     #[test]
@@ -257,7 +273,11 @@ mod tests {
         for agreed in &gold.per_doc {
             // At most annotators × max_terms / agreement distinct terms,
             // loosely bounded by max_terms × annotators.
-            assert!(agreed.len() <= 25, "implausibly many agreed terms: {}", agreed.len());
+            assert!(
+                agreed.len() <= 25,
+                "implausibly many agreed terms: {}",
+                agreed.len()
+            );
         }
     }
 

@@ -25,7 +25,11 @@ use std::collections::HashSet;
 /// Castanet-style extraction: WordNet hypernym-path terms of the
 /// database's frequent content terms. Returns the distinct facet-term
 /// candidates (normalized strings).
-pub fn castanet_baseline(bundle: &DatasetBundle, wordnet: &WordNet, top_terms: usize) -> Vec<String> {
+pub fn castanet_baseline(
+    bundle: &DatasetBundle,
+    wordnet: &WordNet,
+    top_terms: usize,
+) -> Vec<String> {
     // Frequent content terms of D.
     let mut by_freq: Vec<(TermId, u64)> = bundle
         .vocab
@@ -77,8 +81,10 @@ pub fn supervised_baseline(
     by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     by_freq.truncate(top_terms);
 
-    let mut out: Vec<(String, Vec<String>)> =
-        training_terms.iter().map(|t| (t.clone(), Vec::new())).collect();
+    let mut out: Vec<(String, Vec<String>)> = training_terms
+        .iter()
+        .map(|t| (t.clone(), Vec::new()))
+        .collect();
     for (id, _) in by_freq {
         let term = bundle.vocab.term(id);
         let hypernyms = wordnet.hypernym_terms(term, 6);
@@ -135,7 +141,11 @@ mod tests {
         let wn = build_wordnet(&b.world);
         let terms: HashSet<String> = castanet_baseline(&b, &wn, 300).into_iter().collect();
         // People are not in WordNet, hence never in the Castanet output.
-        for e in b.world.entities_of_kind(facet_knowledge::EntityKind::Person).take(10) {
+        for e in b
+            .world
+            .entities_of_kind(facet_knowledge::EntityKind::Person)
+            .take(10)
+        {
             assert!(!terms.contains(&e.name.to_lowercase()));
         }
     }

@@ -16,14 +16,16 @@
 
 use crate::harness::DatasetBundle;
 use crate::report::Table;
-use facet_core::{select_facet_terms, SelectionInputs, SelectionStatistic};
 use facet_core::{build_subsumption_forest, SubsumptionParams};
+use facet_core::{select_facet_terms, SelectionInputs, SelectionStatistic};
 use facet_ner::NerTagger;
 use facet_resources::{
     expand_database, ContextResource, ExpansionOptions, GoogleResource, WikiGraphResource,
     WikiSynonymsResource, WordNetHypernymsResource,
 };
-use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+use facet_termx::{
+    NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor,
+};
 use facet_wikipedia::{TitleIndex, WikipediaGraph, WikipediaSynonyms};
 use std::time::Instant;
 
@@ -49,8 +51,10 @@ pub struct EfficiencyRow {
 /// Measure all stages over (a sample of) the bundle's corpus.
 pub fn measure_efficiency(bundle: &mut DatasetBundle, sample_docs: usize) -> Vec<EfficiencyRow> {
     let n = bundle.corpus.db.len().min(sample_docs).max(1);
-    let docs: Vec<String> =
-        bundle.corpus.db.docs()[..n].iter().map(|d| d.full_text()).collect();
+    let docs: Vec<String> = bundle.corpus.db.docs()[..n]
+        .iter()
+        .map(|d| d.full_text())
+        .collect();
 
     let mut rows = Vec::new();
     let throughput = |elapsed_s: f64, n: usize| -> f64 {
@@ -87,7 +91,11 @@ pub fn measure_efficiency(bundle: &mut DatasetBundle, sample_docs: usize) -> Vec
             }
         }
         let local = throughput(start.elapsed().as_secs_f64(), n);
-        let derived = if latency > 0.0 { with_latency(local, latency) } else { local };
+        let derived = if latency > 0.0 {
+            with_latency(local, latency)
+        } else {
+            local
+        };
         rows.push(EfficiencyRow {
             component: format!("extract: {}", e.name()),
             measured: format!("{local:.0} docs/s"),
@@ -98,8 +106,11 @@ pub fn measure_efficiency(bundle: &mut DatasetBundle, sample_docs: usize) -> Vec
 
     // ---- expansion -----------------------------------------------------------
     let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
-    let synonyms =
-        WikipediaSynonyms::new(&bundle.wiki.wiki, &bundle.wiki.redirects, &bundle.wiki.anchors);
+    let synonyms = WikipediaSynonyms::new(
+        &bundle.wiki.wiki,
+        &bundle.wiki.redirects,
+        &bundle.wiki.anchors,
+    );
     let google = GoogleResource::new(&bundle.web);
     let wn_res = WordNetHypernymsResource::new(&bundle.wordnet);
     let syn_res = WikiSynonymsResource::new(&synonyms);
@@ -125,7 +136,11 @@ pub fn measure_efficiency(bundle: &mut DatasetBundle, sample_docs: usize) -> Vec
             &ExpansionOptions::default(),
         );
         let local = throughput(start.elapsed().as_secs_f64(), n);
-        let derived = if latency > 0.0 { with_latency(local, latency) } else { local };
+        let derived = if latency > 0.0 {
+            with_latency(local, latency)
+        } else {
+            local
+        };
         rows.push(EfficiencyRow {
             component: format!("expand: {}", r.name()),
             measured: format!("{local:.0} docs/s"),
@@ -178,7 +193,15 @@ pub fn measure_efficiency(bundle: &mut DatasetBundle, sample_docs: usize) -> Vec
 
 /// Render the measurements as a table.
 pub fn efficiency_table(title: &str, rows: &[EfficiencyRow]) -> Table {
-    let mut t = Table::new(title, &["Component", "Measured", "With simulated web latency", "Paper"]);
+    let mut t = Table::new(
+        title,
+        &[
+            "Component",
+            "Measured",
+            "With simulated web latency",
+            "Paper",
+        ],
+    );
     for r in rows {
         t.row(&[
             r.component.clone(),
@@ -200,7 +223,11 @@ mod tests {
     fn all_stages_measured() {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let rows = measure_efficiency(&mut bundle, 20);
-        assert_eq!(rows.len(), 3 + 4 + 2, "3 extractors + 4 resources + 2 stages");
+        assert_eq!(
+            rows.len(),
+            3 + 4 + 2,
+            "3 extractors + 4 resources + 2 stages"
+        );
         let t = efficiency_table("Efficiency", &rows);
         assert!(t.render().contains("extract: Yahoo"));
     }
@@ -209,7 +236,10 @@ mod tests {
     fn simulated_latency_dominates_web_components() {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let rows = measure_efficiency(&mut bundle, 20);
-        let yahoo = rows.iter().find(|r| r.component == "extract: Yahoo").unwrap();
+        let yahoo = rows
+            .iter()
+            .find(|r| r.component == "extract: Yahoo")
+            .unwrap();
         // With 2.5 s/doc latency the derived throughput must be < 0.5
         // docs/s — the paper's "2-3 seconds per document".
         let v: f64 = yahoo

@@ -9,10 +9,14 @@ use facet_resources::{
     CachedResource, ContextResource, GoogleResource, WikiGraphResource, WikiSynonymsResource,
     WordNetHypernymsResource,
 };
-use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+use facet_termx::{
+    NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor,
+};
 use facet_textkit::Vocabulary;
 use facet_websearch::{generate_web, SearchEngine, WebGenConfig};
-use facet_wikipedia::{build_wikipedia, TitleIndex, WikiBundle, WikipediaConfig, WikipediaGraph, WikipediaSynonyms};
+use facet_wikipedia::{
+    build_wikipedia, TitleIndex, WikiBundle, WikipediaConfig, WikipediaGraph, WikipediaSynonyms,
+};
 use facet_wordnet::{build_wordnet, WordNet};
 
 /// Everything needed to evaluate one dataset.
@@ -47,7 +51,15 @@ impl DatasetBundle {
         let wiki = build_wikipedia(&world, &WikipediaConfig::default());
         let wordnet = build_wordnet(&world);
         let web = SearchEngine::new(generate_web(&world, &WebGenConfig::default()));
-        Self { recipe, world, vocab, corpus, wiki, wordnet, web }
+        Self {
+            recipe,
+            world,
+            vocab,
+            corpus,
+            wiki,
+            wordnet,
+            web,
+        }
     }
 }
 
@@ -58,12 +70,18 @@ pub fn default_gold(bundle: &DatasetBundle, sample_size: usize) -> crate::GoldAn
     use crate::annotators::{annotate_sample, AnnotatorConfig};
     let n = bundle.corpus.db.len().min(sample_size);
     let stride = (bundle.corpus.db.len() / n).max(1);
-    let sample: Vec<usize> = (0..bundle.corpus.db.len()).step_by(stride).take(n).collect();
+    let sample: Vec<usize> = (0..bundle.corpus.db.len())
+        .step_by(stride)
+        .take(n)
+        .collect();
     annotate_sample(
         &bundle.world,
         &bundle.corpus,
         &sample,
-        &AnnotatorConfig { seed: 0xA770 ^ bundle.recipe.world.seed, ..Default::default() },
+        &AnnotatorConfig {
+            seed: 0xA770 ^ bundle.recipe.world.seed,
+            ..Default::default()
+        },
     )
 }
 
@@ -79,6 +97,9 @@ pub struct GridOptions {
     /// stride when the corpus is larger; keeps hierarchy construction
     /// tractable at MNYT scale).
     pub subsumption_doc_cap: usize,
+    /// Observability recorder threaded into every pipeline run, the web
+    /// search engine, and the resource caches (disabled by default).
+    pub recorder: facet_obs::Recorder,
 }
 
 impl Default for GridOptions {
@@ -87,6 +108,7 @@ impl Default for GridOptions {
             pipeline: PipelineOptions::default(),
             build_hierarchies: true,
             subsumption_doc_cap: 3000,
+            recorder: facet_obs::Recorder::disabled(),
         }
     }
 }
@@ -129,12 +151,21 @@ impl GridCell {
 /// The extractor column labels, in paper order.
 pub const EXTRACTOR_LABELS: [&str; 4] = ["NE", "Yahoo", "Wikipedia", "All"];
 /// The resource row labels, in paper order.
-pub const RESOURCE_LABELS: [&str; 5] =
-    ["Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph", "All"];
+pub const RESOURCE_LABELS: [&str; 5] = [
+    "Google",
+    "WordNet Hypernyms",
+    "Wikipedia Synonyms",
+    "Wikipedia Graph",
+    "All",
+];
 
 /// Run the full 4 × 5 grid over the bundle. Returns 20 cells in
 /// row-major order (resource rows × extractor columns).
 pub fn run_grid(bundle: &mut DatasetBundle, options: &GridOptions) -> Vec<GridCell> {
+    let recorder = options.recorder.clone();
+    let _grid_span = recorder.span("grid");
+    bundle.web.instrument(&recorder);
+
     // ---- substrate-backed extractors ---------------------------------------
     let tagger = NerTagger::from_world(&bundle.world);
     let ne = NamedEntityExtractor::new(tagger);
@@ -144,18 +175,21 @@ pub fn run_grid(bundle: &mut DatasetBundle, options: &GridOptions) -> Vec<GridCe
 
     // Precompute I(d) per base extractor once.
     let extractors: [&dyn TermExtractor; 3] = [&ne, &yahoo, &wiki_x];
-    let per_extractor: Vec<Vec<Vec<String>>> = extractors
-        .iter()
-        .map(|e| {
-            bundle
-                .corpus
-                .db
-                .docs()
-                .iter()
-                .map(|d| e.extract(&d.full_text()))
-                .collect()
-        })
-        .collect();
+    let per_extractor: Vec<Vec<Vec<String>>> = {
+        let _span = recorder.span("extract");
+        extractors
+            .iter()
+            .map(|e| {
+                bundle
+                    .corpus
+                    .db
+                    .docs()
+                    .iter()
+                    .map(|d| e.extract(&d.full_text()))
+                    .collect()
+            })
+            .collect()
+    };
 
     // ---- resources -----------------------------------------------------------
     let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
@@ -196,8 +230,9 @@ pub fn run_grid(bundle: &mut DatasetBundle, options: &GridOptions) -> Vec<GridCe
                     })
                     .collect()
             };
-            let pipeline =
-                FacetPipeline::new(vec![], resources.clone(), options.pipeline.clone());
+            let _cell_span = recorder.span("cell");
+            let pipeline = FacetPipeline::new(vec![], resources.clone(), options.pipeline.clone())
+                .with_recorder(recorder.clone());
             let extraction =
                 pipeline.run_with_important(&bundle.corpus.db, &mut bundle.vocab, important);
             let candidates: Vec<CandidateOut> = extraction
@@ -223,6 +258,18 @@ pub fn run_grid(bundle: &mut DatasetBundle, options: &GridOptions) -> Vec<GridCe
             });
         }
     }
+
+    // Flush cache effectiveness into counters: `cache.<resource>.hits`
+    // and `cache.<resource>.misses`.
+    let flush = |name: &str, stats: facet_resources::CacheStats| {
+        recorder.add(&format!("cache.{name}.hits"), stats.hits);
+        recorder.add(&format!("cache.{name}.misses"), stats.misses);
+    };
+    flush(google.name(), google.stats());
+    flush(wn_res.name(), wn_res.stats());
+    flush(syn_res.name(), syn_res.stats());
+    flush(graph_res.name(), graph_res.stats());
+
     cells
 }
 
@@ -236,6 +283,7 @@ fn hierarchy_parents(
     options: &GridOptions,
 ) -> Vec<(String, Option<String>)> {
     use facet_core::{build_subsumption_forest, SubsumptionParams};
+    let _span = pipeline.recorder().span("subsumption");
     let terms: Vec<_> = extraction.candidates.iter().map(|c| c.term).collect();
     let n = extraction.contextualized.doc_terms.len();
     let cap = options.subsumption_doc_cap.max(1);
@@ -250,7 +298,10 @@ fn hierarchy_parents(
     let forest = build_subsumption_forest(
         &terms,
         &sampled,
-        SubsumptionParams { threshold: pipeline.options().subsumption_threshold, ..Default::default() },
+        SubsumptionParams {
+            threshold: pipeline.options().subsumption_threshold,
+            ..Default::default()
+        },
     );
     forest
         .terms
@@ -287,9 +338,13 @@ mod tests {
     fn grid_produces_twenty_cells() {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let options = GridOptions {
-            pipeline: PipelineOptions { top_k: 200, ..Default::default() },
+            pipeline: PipelineOptions {
+                top_k: 200,
+                ..Default::default()
+            },
             build_hierarchies: false,
             subsumption_doc_cap: 500,
+            ..Default::default()
         };
         let cells = run_grid(&mut bundle, &options);
         assert_eq!(cells.len(), 20);
@@ -298,16 +353,24 @@ mod tests {
             .iter()
             .find(|c| c.extractor == "All" && c.resource == "All")
             .unwrap();
-        assert!(all.candidates.len() > 20, "only {} candidates", all.candidates.len());
+        assert!(
+            all.candidates.len() > 20,
+            "only {} candidates",
+            all.candidates.len()
+        );
     }
 
     #[test]
     fn all_column_dominates_each_single_extractor_on_candidates() {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let options = GridOptions {
-            pipeline: PipelineOptions { top_k: 500, ..Default::default() },
+            pipeline: PipelineOptions {
+                top_k: 500,
+                ..Default::default()
+            },
             build_hierarchies: false,
             subsumption_doc_cap: 500,
+            ..Default::default()
         };
         let cells = run_grid(&mut bundle, &options);
         let count = |e: &str, r: &str| {

@@ -40,9 +40,17 @@ impl<'w> JudgeModel<'w> {
                 surface.entry(form.to_lowercase()).or_insert(e.id);
             }
         }
-        let concepts =
-            world.concepts.iter().enumerate().map(|(i, c)| (c.noun.as_str(), i)).collect();
-        Self { world, surface, concepts }
+        let concepts = world
+            .concepts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.noun.as_str(), i))
+            .collect();
+        Self {
+            world,
+            surface,
+            concepts,
+        }
     }
 
     /// The dimension roots an entity belongs to.
@@ -101,11 +109,9 @@ impl<'w> JudgeModel<'w> {
                 None => true,
                 Some(p) => {
                     concept.hypernyms.iter().any(|h| h == p)
-                        || ontology
-                            .find(p)
-                            .is_some_and(|pn| {
-                                ontology.root_of(pn) == ontology.root_of(concept.facet)
-                            })
+                        || ontology.find(p).is_some_and(|pn| {
+                            ontology.root_of(pn) == ontology.root_of(concept.facet)
+                        })
                 }
             };
         }
@@ -140,8 +146,14 @@ mod tests {
         let w = world();
         let j = JudgeModel::new(&w);
         assert!(j.ideal_judgment("war", Some("social phenomenon")));
-        assert!(j.ideal_judgment("terrorism", Some("politics")), "same dimension accepted");
-        assert!(!j.ideal_judgment("war", Some("nature")), "cross-dimension rejected");
+        assert!(
+            j.ideal_judgment("terrorism", Some("politics")),
+            "same dimension accepted"
+        );
+        assert!(
+            !j.ideal_judgment("war", Some("nature")),
+            "cross-dimension rejected"
+        );
         assert!(j.ideal_judgment("war", None));
     }
 
@@ -166,7 +178,10 @@ mod tests {
         let person = w.entities_of_kind(EntityKind::Person).next().unwrap();
         let name = person.name.to_lowercase();
         assert!(j.ideal_judgment(&name, Some("people")));
-        assert!(j.ideal_judgment(&name, Some("location")), "people have a location dimension");
+        assert!(
+            j.ideal_judgment(&name, Some("location")),
+            "people have a location dimension"
+        );
         assert!(!j.ideal_judgment(&name, Some("nature")));
     }
 

@@ -56,7 +56,11 @@ pub fn pilot_study(
             }
         }
     }
-    let missing_rate = if total == 0 { 0.0 } else { 1.0 - present as f64 / total as f64 };
+    let missing_rate = if total == 0 {
+        0.0
+    } else {
+        1.0 - present as f64 / total as f64
+    };
 
     // ---- facets by dimension ----------------------------------------------
     let mut per_root: HashMap<String, (usize, HashMap<String, usize>)> = HashMap::new();
@@ -80,7 +84,11 @@ pub fn pilot_study(
         .map(|(root, (count, subs))| {
             let mut subs: Vec<(String, usize)> = subs.into_iter().collect();
             subs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            (root, count, subs.into_iter().take(2).map(|(s, _)| s).collect())
+            (
+                root,
+                count,
+                subs.into_iter().take(2).map(|(s, _)| s).collect(),
+            )
         })
         .collect();
     dimensions.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -91,7 +99,12 @@ pub fn pilot_study(
         .map(|&(n, c)| (world.ontology.node(n).term.clone(), c))
         .collect();
 
-    PilotResult { dimensions, missing_rate, top_terms, gold }
+    PilotResult {
+        dimensions,
+        missing_rate,
+        top_terms,
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -117,9 +130,14 @@ mod tests {
             background_words: 100,
         });
         let mut vocab = Vocabulary::new();
-        let corpus =
-            CorpusGenerator::new(&world, GeneratorConfig { n_docs: 60, ..Default::default() })
-                .generate(&mut vocab);
+        let corpus = CorpusGenerator::new(
+            &world,
+            GeneratorConfig {
+                n_docs: 60,
+                ..Default::default()
+            },
+        )
+        .generate(&mut vocab);
         (world, corpus)
     }
 
@@ -128,10 +146,17 @@ mod tests {
         let (world, corpus) = setup();
         let sample: Vec<usize> = (0..60).collect();
         let pilot = pilot_study(&world, &corpus, &sample, 12, 7);
-        let roots: Vec<&str> = pilot.dimensions.iter().map(|(r, _, _)| r.as_str()).collect();
+        let roots: Vec<&str> = pilot
+            .dimensions
+            .iter()
+            .map(|(r, _, _)| r.as_str())
+            .collect();
         // The Table I dimensions must appear.
         for expected in ["location", "people", "event"] {
-            assert!(roots.contains(&expected), "missing dimension {expected}: {roots:?}");
+            assert!(
+                roots.contains(&expected),
+                "missing dimension {expected}: {roots:?}"
+            );
         }
     }
 

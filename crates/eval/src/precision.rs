@@ -65,7 +65,11 @@ impl PrecisionJudge {
                 qualified.push(error_rate);
             }
         }
-        assert_eq!(qualified.len(), self.judges_per_term, "judge pool exhausted");
+        assert_eq!(
+            qualified.len(),
+            self.judges_per_term,
+            "judge pool exhausted"
+        );
         qualified
     }
 
@@ -114,7 +118,10 @@ pub fn precision_grid(
     judge: &PrecisionJudge,
 ) -> Table {
     let model = JudgeModel::new(world);
-    let mut table = Table::new(title, &["External Resource", "NE", "Yahoo", "Wikipedia", "All"]);
+    let mut table = Table::new(
+        title,
+        &["External Resource", "NE", "Yahoo", "Wikipedia", "All"],
+    );
     for r in RESOURCE_LABELS {
         let mut row = vec![r.to_string()];
         for e in EXTRACTOR_LABELS {
@@ -158,7 +165,12 @@ mod tests {
             resource: "All".into(),
             candidates: terms
                 .iter()
-                .map(|(t, _)| CandidateOut { term: t.to_string(), df: 0, df_c: 5, score: 1.0 })
+                .map(|(t, _)| CandidateOut {
+                    term: t.to_string(),
+                    df: 0,
+                    df_c: 5,
+                    score: 1.0,
+                })
                 .collect(),
             parents: terms
                 .iter()

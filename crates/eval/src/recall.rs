@@ -13,14 +13,20 @@ pub fn recall_of(cell: &GridCell, gold_terms: &[&str]) -> f64 {
         return 0.0;
     }
     let extracted: HashSet<&str> = cell.terms().into_iter().collect();
-    let hit = gold_terms.iter().filter(|t| extracted.contains(**t)).count();
+    let hit = gold_terms
+        .iter()
+        .filter(|t| extracted.contains(**t))
+        .count();
     hit as f64 / gold_terms.len() as f64
 }
 
 /// Build the full recall table (resource rows × extractor columns) in the
 /// paper's layout.
 pub fn recall_grid(title: &str, cells: &[GridCell], gold_terms: &[&str]) -> Table {
-    let mut table = Table::new(title, &["External Resource", "NE", "Yahoo", "Wikipedia", "All"]);
+    let mut table = Table::new(
+        title,
+        &["External Resource", "NE", "Yahoo", "Wikipedia", "All"],
+    );
     for r in RESOURCE_LABELS {
         let mut row = vec![r.to_string()];
         for e in EXTRACTOR_LABELS {
@@ -46,7 +52,12 @@ mod tests {
             resource: resource.into(),
             candidates: terms
                 .iter()
-                .map(|t| CandidateOut { term: t.to_string(), df: 0, df_c: 5, score: 1.0 })
+                .map(|t| CandidateOut {
+                    term: t.to_string(),
+                    df: 0,
+                    df_c: 5,
+                    score: 1.0,
+                })
                 .collect(),
             parents: vec![],
         }

@@ -77,9 +77,14 @@ mod tests {
             background_words: 100,
         });
         let mut vocab = Vocabulary::new();
-        let corpus =
-            CorpusGenerator::new(&world, GeneratorConfig { n_docs: 100, ..Default::default() })
-                .generate(&mut vocab);
+        let corpus = CorpusGenerator::new(
+            &world,
+            GeneratorConfig {
+                n_docs: 100,
+                ..Default::default()
+            },
+        )
+        .generate(&mut vocab);
         (world, corpus)
     }
 

@@ -22,8 +22,12 @@ use crate::harness::DatasetBundle;
 use crate::report::Table;
 use facet_core::{BrowseEngine, FacetForest, FacetPipeline, PipelineOptions};
 use facet_ner::NerTagger;
-use facet_resources::{CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource};
-use facet_termx::{NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor};
+use facet_resources::{
+    CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource,
+};
+use facet_termx::{
+    NamedEntityExtractor, TermExtractor, WikipediaTitleExtractor, YahooTermExtractor,
+};
 use facet_websearch::{SearchEngine, WebDocId, WebPage};
 use facet_wikipedia::{TitleIndex, WikipediaGraph};
 use rand::rngs::StdRng;
@@ -65,7 +69,12 @@ pub struct UserStudyConfig {
 
 impl Default for UserStudyConfig {
     fn default() -> Self {
-        Self { seed: 0x0CE5, users: 5, sessions: 5, targets_per_task: 5 }
+        Self {
+            seed: 0x0CE5,
+            users: 5,
+            sessions: 5,
+            targets_per_task: 5,
+        }
     }
 }
 
@@ -96,7 +105,11 @@ pub fn run_user_study(bundle: &mut DatasetBundle, config: &UserStudyConfig) -> V
         .db
         .docs()
         .iter()
-        .map(|d| WebPage { id: WebDocId(d.id.0), title: d.title.clone(), text: d.text.clone() })
+        .map(|d| WebPage {
+            id: WebDocId(d.id.0),
+            title: d.title.clone(),
+            text: d.text.clone(),
+        })
         .collect();
     let news_search = SearchEngine::new(news_pages);
 
@@ -202,7 +215,10 @@ fn simulate_task(
             results.sort_by_key(|&d| {
                 let terms = &doc_terms[d as usize];
                 std::cmp::Reverse(
-                    facet_terms.iter().filter(|t| terms.binary_search(t).is_ok()).count(),
+                    facet_terms
+                        .iter()
+                        .filter(|t| terms.binary_search(t).is_ok())
+                        .count(),
                 )
             });
         } else if results.is_empty() {
@@ -243,7 +259,13 @@ fn simulate_task(
 pub fn user_study_table(title: &str, stats: &[SessionStats]) -> Table {
     let mut t = Table::new(
         title,
-        &["Session", "Keyword queries", "Facet clicks", "Task time (s)", "Satisfaction (0-3)"],
+        &[
+            "Session",
+            "Keyword queries",
+            "Facet clicks",
+            "Task time (s)",
+            "Satisfaction (0-3)",
+        ],
     );
     for s in stats {
         t.row(&[
@@ -283,16 +305,21 @@ mod tests {
         let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
         let stats = run_user_study(
             &mut bundle,
-            &UserStudyConfig { users: 10, ..Default::default() },
+            &UserStudyConfig {
+                users: 10,
+                ..Default::default()
+            },
         );
         let first = stats.first().unwrap();
-        let late_queries =
-            (stats[3].keyword_queries + stats[4].keyword_queries) / 2.0;
+        let late_queries = (stats[3].keyword_queries + stats[4].keyword_queries) / 2.0;
         let late_time = (stats[3].time_seconds + stats[4].time_seconds) / 2.0;
         assert!(
             late_queries < first.keyword_queries,
             "keyword use should decline: {stats:?}"
         );
-        assert!(late_time < first.time_seconds, "task time should decline: {stats:?}");
+        assert!(
+            late_time < first.time_seconds,
+            "task time should decline: {stats:?}"
+        );
     }
 }

@@ -41,7 +41,10 @@ mod tests {
     fn struct_roundtrip_shape() {
         let r = Report {
             title: "Recall (SNYT)".into(),
-            rows: vec![Row { name: "Google".into(), values: vec![0.53, 0.7] }],
+            rows: vec![Row {
+                name: "Google".into(),
+                values: vec![0.53, 0.7],
+            }],
             total: 485,
             ratio: 0.5,
             note: None,
@@ -96,9 +99,18 @@ mod tests {
             Struct { a: u32 },
         }
         assert_eq!(to_json_string(&Kind::Unit).unwrap(), r#""Unit""#);
-        assert_eq!(to_json_string(&Kind::Newtype(7)).unwrap(), r#"{"Newtype":7}"#);
-        assert_eq!(to_json_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
-        assert_eq!(to_json_string(&Kind::Struct { a: 5 }).unwrap(), r#"{"Struct":{"a":5}}"#);
+        assert_eq!(
+            to_json_string(&Kind::Newtype(7)).unwrap(),
+            r#"{"Newtype":7}"#
+        );
+        assert_eq!(
+            to_json_string(&Kind::Tuple(1, 2)).unwrap(),
+            r#"{"Tuple":[1,2]}"#
+        );
+        assert_eq!(
+            to_json_string(&Kind::Struct { a: 5 }).unwrap(),
+            r#"{"Struct":{"a":5}}"#
+        );
     }
 
     #[test]
@@ -116,7 +128,11 @@ mod tests {
             a: u32,
             b: Vec<u32>,
         }
-        let json = to_json_string_pretty(&P { a: 1, b: vec![2, 3] }).unwrap();
+        let json = to_json_string_pretty(&P {
+            a: 1,
+            b: vec![2, 3],
+        })
+        .unwrap();
         let expected = "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}";
         assert_eq!(json, expected);
     }
@@ -130,7 +146,6 @@ mod tests {
 
     #[test]
     fn bytes_as_array() {
-        use serde::Serializer as _;
         struct B<'a>(&'a [u8]);
         impl serde::Serialize for B<'_> {
             fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {

@@ -24,14 +24,22 @@ impl ser::Error for JsonError {
 
 /// Serialize `value` to a compact JSON string.
 pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, JsonError> {
-    let mut s = JsonSerializer { out: String::new(), indent: None, depth: 0 };
+    let mut s = JsonSerializer {
+        out: String::new(),
+        indent: None,
+        depth: 0,
+    };
     value.serialize(&mut s)?;
     Ok(s.out)
 }
 
 /// Serialize `value` to an indented JSON string (two spaces per level).
 pub fn to_json_string_pretty<T: Serialize>(value: &T) -> Result<String, JsonError> {
-    let mut s = JsonSerializer { out: String::new(), indent: Some(2), depth: 0 };
+    let mut s = JsonSerializer {
+        out: String::new(),
+        indent: Some(2),
+        depth: 0,
+    };
     value.serialize(&mut s)?;
     Ok(s.out)
 }
@@ -108,7 +116,12 @@ impl Compound<'_> {
     }
 
     fn finish(self) -> Result<(), JsonError> {
-        let Compound { ser, first, close, wrap_object } = self;
+        let Compound {
+            ser,
+            first,
+            close,
+            wrap_object,
+        } = self;
         ser.depth -= 1;
         if !first {
             ser.newline_indent();
@@ -244,7 +257,12 @@ impl<'a> ser::Serializer for &'a mut JsonSerializer {
     fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
         self.out.push('[');
         self.depth += 1;
-        Ok(Compound { ser: self, first: true, close: ']', wrap_object: false })
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+            wrap_object: false,
+        })
     }
     fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, JsonError> {
         self.serialize_seq(Some(len))
@@ -273,12 +291,22 @@ impl<'a> ser::Serializer for &'a mut JsonSerializer {
         }
         self.out.push('[');
         self.depth += 1;
-        Ok(Compound { ser: self, first: true, close: ']', wrap_object: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+            wrap_object: true,
+        })
     }
     fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
         self.out.push('{');
         self.depth += 1;
-        Ok(Compound { ser: self, first: true, close: '}', wrap_object: false })
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+            wrap_object: false,
+        })
     }
     fn serialize_struct(
         self,
@@ -287,7 +315,12 @@ impl<'a> ser::Serializer for &'a mut JsonSerializer {
     ) -> Result<Self::SerializeStruct, JsonError> {
         self.out.push('{');
         self.depth += 1;
-        Ok(Compound { ser: self, first: true, close: '}', wrap_object: false })
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+            wrap_object: false,
+        })
     }
     fn serialize_struct_variant(
         self,
@@ -306,7 +339,12 @@ impl<'a> ser::Serializer for &'a mut JsonSerializer {
         }
         self.out.push('{');
         self.depth += 1;
-        Ok(Compound { ser: self, first: true, close: '}', wrap_object: true })
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+            wrap_object: true,
+        })
     }
 }
 

@@ -13,47 +13,164 @@ use std::collections::HashSet;
 
 /// Curated given names used for person entities.
 pub const GIVEN_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy", "Kevin", "Carol",
-    "Brian", "Amanda", "George", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie",
-    "Timothy", "Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
-    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Helen", "Jonathan", "Anna",
-    "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Nicole", "Scott", "Samantha", "Brandon",
-    "Katherine", "Benjamin", "Christine", "Samuel", "Emma", "Gregory", "Catherine", "Frank",
-    "Virginia", "Alexander", "Rachel", "Raymond", "Janet", "Patrick", "Maria", "Jack", "Diane",
-    "Dennis", "Julie", "Jerry", "Joyce",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Dorothy",
+    "Kevin",
+    "Carol",
+    "Brian",
+    "Amanda",
+    "George",
+    "Melissa",
+    "Edward",
+    "Deborah",
+    "Ronald",
+    "Stephanie",
+    "Timothy",
+    "Rebecca",
+    "Jason",
+    "Sharon",
+    "Jeffrey",
+    "Laura",
+    "Ryan",
+    "Cynthia",
+    "Jacob",
+    "Kathleen",
+    "Gary",
+    "Amy",
+    "Nicholas",
+    "Angela",
+    "Eric",
+    "Helen",
+    "Jonathan",
+    "Anna",
+    "Stephen",
+    "Brenda",
+    "Larry",
+    "Pamela",
+    "Justin",
+    "Nicole",
+    "Scott",
+    "Samantha",
+    "Brandon",
+    "Katherine",
+    "Benjamin",
+    "Christine",
+    "Samuel",
+    "Emma",
+    "Gregory",
+    "Catherine",
+    "Frank",
+    "Virginia",
+    "Alexander",
+    "Rachel",
+    "Raymond",
+    "Janet",
+    "Patrick",
+    "Maria",
+    "Jack",
+    "Diane",
+    "Dennis",
+    "Julie",
+    "Jerry",
+    "Joyce",
 ];
 
 /// Honorific titles, used to generate person-name variants and to drive
 /// the rule-based NER substrate.
 pub const HONORIFICS: &[&str] = &[
-    "President", "Senator", "Governor", "Minister", "Chancellor", "Professor", "Dr", "General",
-    "Judge", "Mayor", "Secretary", "Ambassador",
+    "President",
+    "Senator",
+    "Governor",
+    "Minister",
+    "Chancellor",
+    "Professor",
+    "Dr",
+    "General",
+    "Judge",
+    "Mayor",
+    "Secretary",
+    "Ambassador",
 ];
 
 /// Onset consonant clusters for generated syllables.
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
-    "pr", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr",
+    "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
 ];
 /// Vowel nuclei for generated syllables.
-const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "a", "e", "o", "ai", "ea", "ou", "io"];
+const NUCLEI: &[&str] = &[
+    "a", "e", "i", "o", "u", "a", "e", "o", "ai", "ea", "ou", "io",
+];
 /// Coda consonants for generated syllables.
 const CODAS: &[&str] = &["", "", "", "n", "r", "l", "s", "m", "k", "nd", "rt", "x"];
 
 /// Suffixes for country names.
 const COUNTRY_SUFFIXES: &[&str] = &["ia", "land", "stan", "onia", "ar", "istan", "ovia"];
 /// Suffixes for city names.
-const CITY_SUFFIXES: &[&str] = &["ville", "burg", "ton", "port", "ford", "holm", "grad", "city"];
+const CITY_SUFFIXES: &[&str] = &[
+    "ville", "burg", "ton", "port", "ford", "holm", "grad", "city",
+];
 /// Suffixes for corporation names.
-const CORP_SUFFIXES: &[&str] =
-    &["Corp", "Systems", "Group", "Industries", "Holdings", "Labs", "Partners", "Energy"];
+const CORP_SUFFIXES: &[&str] = &[
+    "Corp",
+    "Systems",
+    "Group",
+    "Industries",
+    "Holdings",
+    "Labs",
+    "Partners",
+    "Energy",
+];
 /// Suffixes for organization/institute names.
-const ORG_SUFFIXES: &[&str] =
-    &["Institute", "University", "Foundation", "Agency", "Council", "Commission", "Ministry"];
+const ORG_SUFFIXES: &[&str] = &[
+    "Institute",
+    "University",
+    "Foundation",
+    "Agency",
+    "Council",
+    "Commission",
+    "Ministry",
+];
 
 /// A collision-avoiding generator of world names.
 #[derive(Debug)]
@@ -64,7 +181,9 @@ pub struct NameForge {
 impl NameForge {
     /// New forge with an empty used-name set.
     pub fn new() -> Self {
-        Self { used: HashSet::new() }
+        Self {
+            used: HashSet::new(),
+        }
     }
 
     fn syllable(&self, rng: &mut StdRng) -> String {
@@ -95,7 +214,11 @@ impl NameForge {
     /// candidates whose words are (case-insensitively) stopwords — a
     /// syllable generator can emit "The" or "In", which would poison
     /// downstream dictionaries (gazetteer, Wikipedia titles).
-    fn fresh(&mut self, rng: &mut StdRng, mut make: impl FnMut(&mut Self, &mut StdRng) -> String) -> String {
+    fn fresh(
+        &mut self,
+        rng: &mut StdRng,
+        mut make: impl FnMut(&mut Self, &mut StdRng) -> String,
+    ) -> String {
         for _ in 0..1000 {
             let candidate = make(self, rng);
             if candidate.split(' ').any(|w| is_stopword(&w.to_lowercase())) {
@@ -194,16 +317,104 @@ impl Default for NameForge {
 /// subsumption baseline of Figure 5 produce useless facet terms
 /// ("year", "new", "time", "people", …).
 pub const GENERIC_NEWS_WORDS: &[&str] = &[
-    "year", "new", "time", "people", "state", "work", "school", "home", "report", "game",
-    "million", "week", "percent", "help", "right", "plan", "house", "high", "world", "american",
-    "month", "live", "call", "thing", "day", "man", "woman", "child", "life", "hand", "part",
-    "place", "case", "point", "company", "number", "group", "problem", "fact", "official",
-    "news", "story", "public", "member", "question", "end", "kind", "head", "area", "money",
-    "night", "water", "room", "mother", "father", "moment", "study", "book", "eye", "job",
-    "word", "business", "issue", "side", "result", "change", "morning", "reason", "research",
-    "girl", "boy", "guy", "food", "decision", "power", "office", "door", "wife", "husband",
-    "effect", "program", "price", "cost", "value", "source", "street", "team", "minute",
-    "idea", "body", "information", "back", "parent", "face", "level", "car", "city", "name",
+    "year",
+    "new",
+    "time",
+    "people",
+    "state",
+    "work",
+    "school",
+    "home",
+    "report",
+    "game",
+    "million",
+    "week",
+    "percent",
+    "help",
+    "right",
+    "plan",
+    "house",
+    "high",
+    "world",
+    "american",
+    "month",
+    "live",
+    "call",
+    "thing",
+    "day",
+    "man",
+    "woman",
+    "child",
+    "life",
+    "hand",
+    "part",
+    "place",
+    "case",
+    "point",
+    "company",
+    "number",
+    "group",
+    "problem",
+    "fact",
+    "official",
+    "news",
+    "story",
+    "public",
+    "member",
+    "question",
+    "end",
+    "kind",
+    "head",
+    "area",
+    "money",
+    "night",
+    "water",
+    "room",
+    "mother",
+    "father",
+    "moment",
+    "study",
+    "book",
+    "eye",
+    "job",
+    "word",
+    "business",
+    "issue",
+    "side",
+    "result",
+    "change",
+    "morning",
+    "reason",
+    "research",
+    "girl",
+    "boy",
+    "guy",
+    "food",
+    "decision",
+    "power",
+    "office",
+    "door",
+    "wife",
+    "husband",
+    "effect",
+    "program",
+    "price",
+    "cost",
+    "value",
+    "source",
+    "street",
+    "team",
+    "minute",
+    "idea",
+    "body",
+    "information",
+    "back",
+    "parent",
+    "face",
+    "level",
+    "car",
+    "city",
+    "name",
 ];
 
 #[cfg(test)]

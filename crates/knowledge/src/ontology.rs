@@ -77,7 +77,13 @@ impl FacetOntology {
         }
         let id = FacetNodeId(u32::try_from(self.nodes.len()).expect("ontology overflow"));
         let depth = parent.map_or(0, |p| self.nodes[p.index()].depth + 1);
-        self.nodes.push(FacetNode { id, term: term.clone(), parent, children: Vec::new(), depth });
+        self.nodes.push(FacetNode {
+            id,
+            term: term.clone(),
+            parent,
+            children: Vec::new(),
+            depth,
+        });
         match parent {
             Some(p) => self.nodes[p.index()].children.push(id),
             None => self.roots.push(id),

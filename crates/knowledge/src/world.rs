@@ -87,14 +87,39 @@ pub struct World {
 
 /// World regions (location facet children). Real continent names keep the
 /// generated output readable; everything below them is synthetic.
-pub const REGIONS: &[&str] = &["Europe", "Asia", "Africa", "Americas", "Oceania", "Middle East"];
+pub const REGIONS: &[&str] = &[
+    "Europe",
+    "Asia",
+    "Africa",
+    "Americas",
+    "Oceania",
+    "Middle East",
+];
 
 /// Person occupation facets: (parent occupation, sub-occupations).
 const OCCUPATIONS: &[(&str, &[&str])] = &[
-    ("political leaders", &["presidents", "senators", "ministers", "governors", "diplomats"]),
-    ("business executives", &["chief executives", "founders", "investors"]),
-    ("athletes", &["tennis players", "footballers", "sprinters", "swimmers"]),
-    ("artists", &["painters", "novelists", "film directors", "musicians"]),
+    (
+        "political leaders",
+        &[
+            "presidents",
+            "senators",
+            "ministers",
+            "governors",
+            "diplomats",
+        ],
+    ),
+    (
+        "business executives",
+        &["chief executives", "founders", "investors"],
+    ),
+    (
+        "athletes",
+        &["tennis players", "footballers", "sprinters", "swimmers"],
+    ),
+    (
+        "artists",
+        &["painters", "novelists", "film directors", "musicians"],
+    ),
     ("scientists", &["physicists", "biologists", "economists"]),
     ("journalists", &["columnists", "correspondents"]),
     ("religious leaders", &["bishops", "imams"]),
@@ -103,7 +128,10 @@ const OCCUPATIONS: &[(&str, &[&str])] = &[
 
 /// Corporate sector facets: (sector, subsectors).
 const SECTORS: &[(&str, &[&str])] = &[
-    ("technology", &["software", "semiconductors", "internet services"]),
+    (
+        "technology",
+        &["software", "semiconductors", "internet services"],
+    ),
     ("energy", &["oil and gas", "renewables", "utilities"]),
     ("finance", &["banking", "insurance", "hedge funds"]),
     ("retail", &["supermarkets", "fashion"]),
@@ -124,20 +152,47 @@ const INSTITUTES: &[&str] = &[
 
 /// Social-phenomenon facets.
 const SOCIAL: &[&str] = &[
-    "politics", "war", "terrorism", "crime", "education", "health", "religion", "poverty",
-    "corruption", "migration", "protest", "human rights", "censorship", "inequality",
+    "politics",
+    "war",
+    "terrorism",
+    "crime",
+    "education",
+    "health",
+    "religion",
+    "poverty",
+    "corruption",
+    "migration",
+    "protest",
+    "human rights",
+    "censorship",
+    "inequality",
 ];
 
 /// Nature facets.
 const NATURE: &[&str] = &[
-    "weather", "climate change", "natural disaster", "wildlife", "conservation", "pollution",
-    "oceans", "forests",
+    "weather",
+    "climate change",
+    "natural disaster",
+    "wildlife",
+    "conservation",
+    "pollution",
+    "oceans",
+    "forests",
 ];
 
 /// Event-kind facets.
 const EVENT_KINDS: &[&str] = &[
-    "election", "summit", "trial", "championship", "festival", "merger", "scandal", "strike",
-    "ceremony", "invasion", "negotiation",
+    "election",
+    "summit",
+    "trial",
+    "championship",
+    "festival",
+    "merger",
+    "scandal",
+    "strike",
+    "ceremony",
+    "invasion",
+    "negotiation",
 ];
 
 /// History facets.
@@ -150,7 +205,10 @@ const MARKET_TERMS: &[&str] = &["stocks", "trade", "employment", "inflation"];
 /// second-level skeleton; gives annotators specific terms to choose
 /// ("civil war", "global warming") and the ontology paper-scale breadth.
 const REFINEMENTS: &[(&str, &[&str])] = &[
-    ("politics", &["domestic policy", "foreign policy", "diplomacy"]),
+    (
+        "politics",
+        &["domestic policy", "foreign policy", "diplomacy"],
+    ),
     ("war", &["civil war", "military conflict"]),
     ("terrorism", &["counterterrorism"]),
     ("crime", &["organized crime", "white collar crime"]),
@@ -192,7 +250,10 @@ const REFINEMENTS: &[(&str, &[&str])] = &[
     ("employment", &["labor market"]),
     ("inflation", &["cost of living"]),
     ("universities", &["medical schools", "law schools"]),
-    ("government agencies", &["regulators", "intelligence services"]),
+    (
+        "government agencies",
+        &["regulators", "intelligence services"],
+    ),
     ("international organizations", &["development agencies"]),
     ("research institutes", &["think tanks"]),
     ("museums", &["art museums"]),
@@ -533,7 +594,11 @@ impl World {
             let country_idx = rng.gen_range(0..country_entities.len());
             let short = name.split(' ').next().unwrap_or(&name).to_string();
             // A short form only when it is a safe, distinctive token.
-            let variants = if short != name && short.len() >= 4 { vec![short] } else { vec![] };
+            let variants = if short != name && short.len() >= 4 {
+                vec![short]
+            } else {
+                vec![]
+            };
             let id = push_entity(
                 &mut entities,
                 Entity {
@@ -591,7 +656,13 @@ impl World {
                 let name = format!("{year} {country_name} {kind_title}");
                 if !forge.is_used(&name) {
                     forge.reserve(&name);
-                    break (event_leaves[kind_idx], country_idx, name, kind_title, country_name);
+                    break (
+                        event_leaves[kind_idx],
+                        country_idx,
+                        name,
+                        kind_title,
+                        country_name,
+                    );
                 }
             };
             let variants = vec![format!("{country_name} {kind_title}")];
@@ -629,9 +700,9 @@ impl World {
         // ---- Concepts -------------------------------------------------------
         let mut concepts: Vec<Concept> = Vec::new();
         for (noun, leaf_term) in CURATED_CONCEPTS {
-            let leaf = ontology
-                .find(leaf_term)
-                .unwrap_or_else(|| panic!("curated concept {noun} references unknown facet {leaf_term}"));
+            let leaf = ontology.find(leaf_term).unwrap_or_else(|| {
+                panic!("curated concept {noun} references unknown facet {leaf_term}")
+            });
             let chain: Vec<String> = {
                 let mut p = ontology.path(leaf);
                 p.reverse(); // leaf-most ancestor first
@@ -746,7 +817,14 @@ impl World {
             background.push(forge.filler_word(&mut rng));
         }
 
-        World { config, ontology, entities, concepts, topics, background }
+        World {
+            config,
+            ontology,
+            entities,
+            concepts,
+            topics,
+            background,
+        }
     }
 
     /// The entity with the given id.
@@ -785,7 +863,9 @@ impl World {
     /// used by evaluation code, not by the pipeline).
     pub fn find_entity(&self, name: &str) -> Option<&Entity> {
         let lower = name.to_lowercase();
-        self.entities.iter().find(|e| e.name.to_lowercase() == lower)
+        self.entities
+            .iter()
+            .find(|e| e.name.to_lowercase() == lower)
     }
 }
 
@@ -866,8 +946,14 @@ mod tests {
             REGIONS.len() + cfg.countries + cfg.countries * cfg.cities_per_country
         );
         assert_eq!(w.entities_of_kind(EntityKind::Person).count(), cfg.people);
-        assert_eq!(w.entities_of_kind(EntityKind::Corporation).count(), cfg.corporations);
-        assert_eq!(w.entities_of_kind(EntityKind::Organization).count(), cfg.organizations);
+        assert_eq!(
+            w.entities_of_kind(EntityKind::Corporation).count(),
+            cfg.corporations
+        );
+        assert_eq!(
+            w.entities_of_kind(EntityKind::Organization).count(),
+            cfg.organizations
+        );
         assert_eq!(w.entities_of_kind(EntityKind::Event).count(), cfg.events);
         assert_eq!(w.topics.len(), cfg.topics);
     }
@@ -876,7 +962,9 @@ mod tests {
     fn location_entities_are_facet_nodes() {
         let w = World::generate(small_config());
         for e in w.entities_of_kind(EntityKind::Location) {
-            let node = e.self_facet.expect("location entities double as facet nodes");
+            let node = e
+                .self_facet
+                .expect("location entities double as facet nodes");
             assert_eq!(w.ontology.node(node).term, e.name.to_lowercase());
         }
     }
@@ -884,7 +972,9 @@ mod tests {
     #[test]
     fn people_not_in_wordnet_geography_is() {
         let w = World::generate(small_config());
-        assert!(w.entities_of_kind(EntityKind::Person).all(|e| !e.in_wordnet));
+        assert!(w
+            .entities_of_kind(EntityKind::Person)
+            .all(|e| !e.in_wordnet));
         // Countries and regions are always covered.
         for e in w.entities_of_kind(EntityKind::Location) {
             let node = e.self_facet.unwrap();
@@ -900,7 +990,10 @@ mod tests {
         for c in &w.concepts {
             let last = c.hypernyms.last().expect("nonempty chain");
             let node = w.ontology.find(last).expect("chain terms are facet terms");
-            assert!(w.ontology.node(node).parent.is_none(), "chain must end at a root");
+            assert!(
+                w.ontology.node(node).parent.is_none(),
+                "chain must end at a root"
+            );
             // First chain element is the leaf facet.
             let first = &c.hypernyms[0];
             assert_eq!(w.ontology.find(first), Some(c.facet));

@@ -38,7 +38,11 @@ impl Gazetteer {
     /// Insert a surface form. First insertion wins (ambiguous forms keep
     /// their first sense, a realistic dictionary behavior).
     pub fn insert(&mut self, form: &str, entity: EntityId, kind: EntityKind) {
-        let words: Vec<String> = form.to_lowercase().split_whitespace().map(str::to_string).collect();
+        let words: Vec<String> = form
+            .to_lowercase()
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
         if words.is_empty() {
             return;
         }

@@ -7,16 +7,59 @@ use facet_textkit::{tokens, Token, TokenKind};
 /// Capitalized-but-common sentence starters that must not be absorbed
 /// into an entity span ("Yesterday Jacques Chirac…").
 const COMMON_STARTERS: &[&str] = &[
-    "Yesterday", "Today", "Tomorrow", "Meanwhile", "However", "Still", "Earlier", "Later",
-    "Analysts", "Officials", "Critics", "Supporters", "Commentators", "Observers", "Readers",
-    "People", "Shares", "After", "Before", "During", "The", "A", "An", "In", "On", "At", "He",
-    "She", "They", "It", "More", "Unrelatedly", "See", "Commentary",
+    "Yesterday",
+    "Today",
+    "Tomorrow",
+    "Meanwhile",
+    "However",
+    "Still",
+    "Earlier",
+    "Later",
+    "Analysts",
+    "Officials",
+    "Critics",
+    "Supporters",
+    "Commentators",
+    "Observers",
+    "Readers",
+    "People",
+    "Shares",
+    "After",
+    "Before",
+    "During",
+    "The",
+    "A",
+    "An",
+    "In",
+    "On",
+    "At",
+    "He",
+    "She",
+    "They",
+    "It",
+    "More",
+    "Unrelatedly",
+    "See",
+    "Commentary",
 ];
 
 /// Suffix words that mark an organization/corporation name.
 const ORG_SUFFIX_WORDS: &[&str] = &[
-    "Corp", "Systems", "Group", "Industries", "Holdings", "Labs", "Partners", "Energy",
-    "Institute", "University", "Foundation", "Agency", "Council", "Commission", "Ministry",
+    "Corp",
+    "Systems",
+    "Group",
+    "Industries",
+    "Holdings",
+    "Labs",
+    "Partners",
+    "Energy",
+    "Institute",
+    "University",
+    "Foundation",
+    "Agency",
+    "Council",
+    "Commission",
+    "Ministry",
 ];
 
 /// Detect entity-like spans by rule:

@@ -1,0 +1,183 @@
+//! Serializable snapshots of a recorder's state.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregated timings of one span path (e.g. `"run.expand"`).
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanReport {
+    /// Dot-joined span path, reflecting nesting at record time.
+    pub path: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total wall-clock time spent inside, in microseconds.
+    pub total_us: u64,
+}
+
+/// Final value of one named counter.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterReport {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketReport {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations that fell into it.
+    pub count: u64,
+}
+
+/// Summary of one named histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramReport {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty power-of-two buckets, ascending.
+    pub buckets: Vec<BucketReport>,
+}
+
+/// A full snapshot of a [`crate::Recorder`]: spans, counters, and
+/// histograms, each sorted by name.
+///
+/// Serialization is deterministic modulo the timing fields (`total_us`,
+/// histogram `sum`/`min`/`max`/bucket layout of latency histograms);
+/// for byte-identical output across runs use
+/// [`crate::Recorder::snapshot_counts_only`].
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    /// Span timings, sorted by path.
+    pub spans: Vec<SpanReport>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterReport>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
+impl MetricsReport {
+    /// Counts only — no wall-clock-dependent fields. Keys are prefixed
+    /// by kind (`span.`, `counter.`, `histogram.`) to avoid collisions.
+    pub fn counts_only(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for s in &self.spans {
+            out.insert(format!("span.{}.count", s.path), s.count);
+        }
+        for c in &self.counters {
+            out.insert(format!("counter.{}", c.name), c.value);
+        }
+        for h in &self.histograms {
+            out.insert(format!("histogram.{}.count", h.name), h.count);
+        }
+        out
+    }
+
+    /// A human-readable per-stage table (for stderr): span paths with
+    /// call counts, total time, and mean time per call.
+    pub fn stage_table(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        let width = self
+            .spans
+            .iter()
+            .map(|s| s.path.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        out.push_str(&format!(
+            "{:width$}  {:>8}  {:>12}  {:>12}\n",
+            "stage", "calls", "total", "mean"
+        ));
+        for s in &self.spans {
+            let mean_us = s.total_us.checked_div(s.count).unwrap_or(0);
+            out.push_str(&format!(
+                "{:width$}  {:>8}  {:>12}  {:>12}\n",
+                s.path,
+                s.count,
+                fmt_us(s.total_us),
+                fmt_us(mean_us),
+            ));
+        }
+        out
+    }
+}
+
+/// Render microseconds with a readable unit.
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 10_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        MetricsReport {
+            spans: vec![
+                SpanReport {
+                    path: "run".into(),
+                    count: 1,
+                    total_us: 12_345_678,
+                },
+                SpanReport {
+                    path: "run.expand".into(),
+                    count: 2,
+                    total_us: 44_000,
+                },
+            ],
+            counters: vec![CounterReport {
+                name: "resource.google.queries".into(),
+                value: 7,
+            }],
+            histograms: vec![HistogramReport {
+                name: "resource.google.latency_us".into(),
+                count: 7,
+                sum: 700,
+                min: 10,
+                max: 400,
+                buckets: vec![BucketReport { le: 511, count: 7 }],
+            }],
+        }
+    }
+
+    #[test]
+    fn counts_only_strips_timing() {
+        let counts = sample().counts_only();
+        assert_eq!(counts["span.run.count"], 1);
+        assert_eq!(counts["span.run.expand.count"], 2);
+        assert_eq!(counts["counter.resource.google.queries"], 7);
+        assert_eq!(counts["histogram.resource.google.latency_us.count"], 7);
+        assert!(!counts
+            .keys()
+            .any(|k| k.contains("total") || k.contains("sum")));
+    }
+
+    #[test]
+    fn stage_table_renders_units() {
+        let t = sample().stage_table();
+        assert!(t.contains("run.expand"));
+        assert!(t.contains("12.35s"));
+        assert!(t.contains("44.00ms"));
+        assert!(t.contains("calls"));
+    }
+}

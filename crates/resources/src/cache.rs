@@ -10,22 +10,59 @@
 use crate::resource::ContextResource;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss totals of a [`CachedResource`], as observed so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that had to consult the wrapped resource.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the memo (0.0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Memoizing decorator for a [`ContextResource`].
 pub struct CachedResource<R> {
     inner: R,
     cache: RwLock<HashMap<String, Vec<String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<R: ContextResource> CachedResource<R> {
     /// Wrap `inner` with an empty cache.
     pub fn new(inner: R) -> Self {
-        Self { inner, cache: RwLock::new(HashMap::new()) }
+        Self {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Number of memoized queries.
     pub fn cached_queries(&self) -> usize {
         self.cache.read().len()
+    }
+
+    /// Hit/miss totals so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// The wrapped resource.
@@ -41,10 +78,21 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
 
     fn context_terms(&self, term: &str) -> Vec<String> {
         if let Some(hit) = self.cache.read().get(term) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Computed outside the write lock so concurrent misses on
+        // *different* terms don't serialize behind one slow resource
+        // query. Two threads racing on the *same* term may both compute
+        // it (resources are deterministic by contract, so the results
+        // are equal); `entry` keeps the first insert and every miss is
+        // counted, so `stats()` reflects the duplicated work honestly.
         let computed = self.inner.context_terms(term);
-        self.cache.write().insert(term.to_string(), computed.clone());
+        self.cache
+            .write()
+            .entry(term.to_string())
+            .or_insert_with(|| computed.clone());
         computed
     }
 }
@@ -80,5 +128,39 @@ mod tests {
         c.context_terms("x");
         c.context_terms("y");
         assert_eq!(c.inner().0.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let c = CachedResource::new(Counting(AtomicUsize::new(0)));
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 0 });
+        c.context_terms("x");
+        c.context_terms("x");
+        c.context_terms("x");
+        c.context_terms("y");
+        let s = c.stats();
+        assert_eq!(s, CacheStats { hits: 2, misses: 2 });
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_queries_stay_consistent() {
+        let c = CachedResource::new(Counting(AtomicUsize::new(0)));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..50 {
+                        let term = format!("t{}", i % 5);
+                        assert_eq!(c.context_terms(&term), vec![format!("ctx of {term}")]);
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 50);
+        assert_eq!(c.cached_queries(), 5);
+        // Racing threads may double-compute a term, but never more than
+        // once per thread in flight.
+        assert!(s.misses >= 5 && s.misses <= 5 * 8);
     }
 }

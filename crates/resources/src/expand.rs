@@ -9,9 +9,11 @@
 
 use crate::resource::ContextResource;
 use facet_corpus::TextDatabase;
+use facet_obs::{Counter, HistogramHandle, Recorder};
 use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Options for the expansion engine.
 #[derive(Debug, Clone)]
@@ -73,6 +75,38 @@ pub fn expand_database(
     vocab: &mut Vocabulary,
     options: &ExpansionOptions,
 ) -> ContextualizedDatabase {
+    expand_database_recorded(
+        db,
+        important_terms,
+        resources,
+        vocab,
+        options,
+        Recorder::disabled_ref(),
+    )
+}
+
+/// Per-resource instrumentation handles, pre-resolved so the per-query
+/// hot path never formats names or takes registry locks.
+struct ResourceMetrics {
+    queries: Counter,
+    latency: HistogramHandle,
+}
+
+/// [`expand_database`] with observability: records per-resource query
+/// counts (`resource.<name>.queries`) and latency histograms
+/// (`resource.<name>.latency_us`), the distribution of context terms
+/// produced per distinct important term
+/// (`expand.context_terms_per_query`), and summary counters
+/// (`expand.distinct_terms`). With a disabled recorder this is exactly
+/// [`expand_database`].
+pub fn expand_database_recorded(
+    db: &TextDatabase,
+    important_terms: &[Vec<String>],
+    resources: &[&dyn ContextResource],
+    vocab: &mut Vocabulary,
+    options: &ExpansionOptions,
+    recorder: &Recorder,
+) -> ContextualizedDatabase {
     assert_eq!(db.len(), important_terms.len(), "one I(d) per document");
 
     // ---- distinct important terms -----------------------------------------
@@ -86,19 +120,32 @@ pub fn expand_database(
         set.into_iter().collect()
     };
     distinct.sort_unstable(); // deterministic order
+    recorder.add("expand.distinct_terms", distinct.len() as u64);
+
+    let metrics: Vec<ResourceMetrics> = resources
+        .iter()
+        .map(|r| ResourceMetrics {
+            queries: recorder.counter(&format!("resource.{}.queries", r.name())),
+            latency: recorder.histogram(&format!("resource.{}.latency_us", r.name())),
+        })
+        .collect();
+    let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
+    let timing = recorder.is_enabled();
 
     // ---- resolve context terms per distinct term (parallel) ----------------
+    let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query, timing);
     let resolved: HashMap<&str, Vec<String>> = if options.threads <= 1 || distinct.len() < 32 {
-        distinct.iter().map(|&t| (t, resolve_term(t, resources))).collect()
+        distinct.iter().map(|&t| (t, resolve(t))).collect()
     } else {
         let results: Mutex<HashMap<&str, Vec<String>>> = Mutex::new(HashMap::new());
         let chunk = distinct.len().div_ceil(options.threads);
         crossbeam::scope(|s| {
             for part in distinct.chunks(chunk) {
                 let results = &results;
+                let resolve = &resolve;
                 s.spawn(move |_| {
                     let local: Vec<(&str, Vec<String>)> =
-                        part.iter().map(|&t| (t, resolve_term(t, resources))).collect();
+                        part.iter().map(|&t| (t, resolve(t))).collect();
                     results.lock().extend(local);
                 });
             }
@@ -139,14 +186,36 @@ pub fn expand_database(
     }
     df_c.resize(df_c.len().max(vocab.len()), 0);
 
-    ContextualizedDatabase { doc_terms, df_c, doc_context_terms }
+    ContextualizedDatabase {
+        doc_terms,
+        df_c,
+        doc_context_terms,
+    }
 }
 
 /// Query every resource for one term; union, normalize, filter.
-fn resolve_term(term: &str, resources: &[&dyn ContextResource]) -> Vec<String> {
+///
+/// `metrics[i]` instruments `resources[i]`; `timing` gates the
+/// wall-clock reads so a disabled recorder costs nothing measurable.
+fn resolve_term(
+    term: &str,
+    resources: &[&dyn ContextResource],
+    metrics: &[ResourceMetrics],
+    ctx_per_query: &HistogramHandle,
+    timing: bool,
+) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
-    for r in resources {
-        for raw in r.context_terms(term) {
+    for (r, m) in resources.iter().zip(metrics) {
+        m.queries.incr();
+        let raw_terms = if timing {
+            let start = Instant::now();
+            let raw_terms = r.context_terms(term);
+            m.latency.record_duration(start.elapsed());
+            raw_terms
+        } else {
+            r.context_terms(term)
+        };
+        for raw in raw_terms {
             let c = normalize_term(&raw);
             if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {
                 continue;
@@ -156,6 +225,7 @@ fn resolve_term(term: &str, resources: &[&dyn ContextResource]) -> Vec<String> {
             }
         }
     }
+    ctx_per_query.record(out.len() as u64);
     out
 }
 
@@ -171,7 +241,10 @@ mod tests {
             self.0
         }
         fn context_terms(&self, term: &str) -> Vec<String> {
-            self.1.get(term).map(|v| v.iter().map(|s| s.to_string()).collect()).unwrap_or_default()
+            self.1
+                .get(term)
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default()
         }
     }
 
@@ -211,8 +284,16 @@ mod tests {
     fn context_terms_raise_df_c() {
         let (db, mut vocab, important) = fixture();
         let r = chirac_resource();
-        let c = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
-        let leaders = vocab.get("political leaders").expect("context term interned");
+        let c = expand_database(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+        );
+        let leaders = vocab
+            .get("political leaders")
+            .expect("context term interned");
         assert_eq!(c.df_c(leaders), 2, "context term in both documents");
         assert_eq!(db.df(leaders), 0, "absent from the original database");
     }
@@ -221,7 +302,13 @@ mod tests {
     fn stopwords_filtered_from_context() {
         let (db, mut vocab, important) = fixture();
         let r = chirac_resource();
-        let _ = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
+        let _ = expand_database(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+        );
         assert!(vocab.get("the").is_none());
     }
 
@@ -229,7 +316,13 @@ mod tests {
     fn original_terms_kept() {
         let (db, mut vocab, important) = fixture();
         let r = chirac_resource();
-        let c = expand_database(&db, &important, &[&r], &mut vocab, &ExpansionOptions::default());
+        let c = expand_database(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+        );
         let summit = vocab.get("summit").unwrap();
         assert_eq!(c.df_c(summit), 1);
         assert!(c.doc_terms[0].contains(&summit));
@@ -257,8 +350,14 @@ mod tests {
         assert_eq!(serial.doc_terms.len(), parallel.doc_terms.len());
         // Same terms by string (vocab ids may differ in interning order).
         for i in 0..serial.doc_terms.len() {
-            let s: Vec<&str> = serial.doc_terms[i].iter().map(|&t| vocab1.term(t)).collect();
-            let p: Vec<&str> = parallel.doc_terms[i].iter().map(|&t| vocab2.term(t)).collect();
+            let s: Vec<&str> = serial.doc_terms[i]
+                .iter()
+                .map(|&t| vocab1.term(t))
+                .collect();
+            let p: Vec<&str> = parallel.doc_terms[i]
+                .iter()
+                .map(|&t| vocab2.term(t))
+                .collect();
             let mut s = s.clone();
             let mut p = p.clone();
             s.sort_unstable();
@@ -270,11 +369,43 @@ mod tests {
     #[test]
     fn no_resources_means_no_change_in_terms() {
         let (db, mut vocab, important) = fixture();
-        let c = expand_database(&db, &important, &[], &mut vocab, &ExpansionOptions::default());
+        let c = expand_database(
+            &db,
+            &important,
+            &[],
+            &mut vocab,
+            &ExpansionOptions::default(),
+        );
         for i in 0..db.len() {
             assert_eq!(c.doc_terms[i], db.doc_terms(DocId(i as u32)));
             assert!(c.doc_context_terms[i].is_empty());
         }
+    }
+
+    #[test]
+    fn recorded_expansion_counts_queries() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let rec = facet_obs::Recorder::enabled();
+        let c = expand_database_recorded(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+            &rec,
+        );
+        let counts = rec.snapshot_counts_only();
+        // One distinct important term, queried against one resource.
+        assert_eq!(counts["counter.resource.F.queries"], 1);
+        assert_eq!(counts["counter.expand.distinct_terms"], 1);
+        assert_eq!(counts["histogram.resource.F.latency_us.count"], 1);
+        assert_eq!(counts["histogram.expand.context_terms_per_query.count"], 1);
+        // Instrumentation must not change the expansion itself.
+        let leaders = vocab
+            .get("political leaders")
+            .expect("context term interned");
+        assert_eq!(c.df_c(leaders), 2);
     }
 
     #[test]

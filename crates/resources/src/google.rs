@@ -27,7 +27,12 @@ pub struct GoogleResource<'a> {
 impl<'a> GoogleResource<'a> {
     /// Wrap a search engine with default mining parameters.
     pub fn new(engine: &'a SearchEngine) -> Self {
-        Self { engine, top_results: 10, max_context_terms: 30, min_snippet_count: 2 }
+        Self {
+            engine,
+            top_results: 10,
+            max_context_terms: 30,
+            min_snippet_count: 2,
+        }
     }
 }
 
@@ -98,7 +103,11 @@ impl ContextResource for GoogleResource<'_> {
             .filter(|(_, c)| *c >= self.min_snippet_count)
             .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        ranked.into_iter().take(self.max_context_terms).map(|(t, _)| t).collect()
+        ranked
+            .into_iter()
+            .take(self.max_context_terms)
+            .map(|(t, _)| t)
+            .collect()
     }
 }
 
@@ -135,7 +144,10 @@ mod tests {
         let e = engine();
         let g = GoogleResource::new(&e);
         let terms = g.context_terms("Chirac");
-        assert!(terms.contains(&"political leaders".to_string()), "{terms:?}");
+        assert!(
+            terms.contains(&"political leaders".to_string()),
+            "{terms:?}"
+        );
         assert!(terms.contains(&"france".to_string()), "{terms:?}");
     }
 

@@ -18,7 +18,10 @@ pub struct WordNetHypernymsResource<'a> {
 impl<'a> WordNetHypernymsResource<'a> {
     /// Wrap a WordNet with the default depth (4 levels).
     pub fn new(wordnet: &'a WordNet) -> Self {
-        Self { wordnet, max_depth: 4 }
+        Self {
+            wordnet,
+            max_depth: 4,
+        }
     }
 }
 

@@ -31,8 +31,10 @@ pub mod resource;
 pub mod wiki_graph;
 pub mod wiki_synonyms;
 
-pub use cache::CachedResource;
-pub use expand::{expand_database, ContextualizedDatabase, ExpansionOptions};
+pub use cache::{CacheStats, CachedResource};
+pub use expand::{
+    expand_database, expand_database_recorded, ContextualizedDatabase, ExpansionOptions,
+};
 pub use google::GoogleResource;
 pub use hypernyms::WordNetHypernymsResource;
 pub use resource::{ContextResource, ResourceSet};

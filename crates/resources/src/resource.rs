@@ -25,7 +25,10 @@ impl std::fmt::Debug for ResourceSet<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResourceSet")
             .field("label", &self.label)
-            .field("resources", &self.resources.iter().map(|r| r.name()).collect::<Vec<_>>())
+            .field(
+                "resources",
+                &self.resources.iter().map(|r| r.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -47,7 +50,10 @@ mod tests {
     #[test]
     fn trait_object_usable() {
         let e = Echo;
-        let set = ResourceSet { label: "solo", resources: vec![&e] };
+        let set = ResourceSet {
+            label: "solo",
+            resources: vec![&e],
+        };
         assert_eq!(set.resources[0].context_terms("x"), vec!["about x"]);
         assert!(format!("{set:?}").contains("Echo"));
     }

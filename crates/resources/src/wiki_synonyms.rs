@@ -40,8 +40,11 @@ mod tests {
     #[test]
     fn variants_returned() {
         let mut w = Wikipedia::new();
-        let hrc =
-            w.add_page("Hillary Rodham Clinton", String::new(), PageSubject::Entity(EntityId(0)));
+        let hrc = w.add_page(
+            "Hillary Rodham Clinton",
+            String::new(),
+            PageSubject::Entity(EntityId(0)),
+        );
         let mut r = RedirectTable::new();
         r.add("Hillary Clinton", hrc);
         let a = AnchorTable::new();

@@ -23,8 +23,11 @@ impl ContextResource for PoolResource {
     }
 }
 
-fn scenario() -> impl Strategy<Value = (Vec<String>, Vec<Vec<String>>, HashMap<String, Vec<String>>)>
-{
+/// A generated scenario: document texts, per-document important terms,
+/// and the term → context-phrases pool.
+type Scenario = (Vec<String>, Vec<Vec<String>>, HashMap<String, Vec<String>>);
+
+fn scenario() -> impl Strategy<Value = Scenario> {
     let texts = proptest::collection::vec("[a-z]{3,8}( [a-z]{3,8}){0,15}", 1..20);
     texts.prop_flat_map(|texts| {
         let n = texts.len();
@@ -38,12 +41,13 @@ fn scenario() -> impl Strategy<Value = (Vec<String>, Vec<Vec<String>>, HashMap<S
             .collect::<Vec<_>>();
         (Just(texts), important, Just(n)).prop_flat_map(|(texts, important, _n)| {
             // Context pool: map some important terms to context phrases.
-            let all_terms: Vec<String> =
-                important.iter().flatten().cloned().collect::<Vec<_>>();
+            let all_terms: Vec<String> = important.iter().flatten().cloned().collect::<Vec<_>>();
             let map = proptest::collection::hash_map(
-                proptest::sample::select(
-                    if all_terms.is_empty() { vec!["none".to_string()] } else { all_terms },
-                ),
+                proptest::sample::select(if all_terms.is_empty() {
+                    vec!["none".to_string()]
+                } else {
+                    all_terms
+                }),
                 proptest::collection::vec("[a-z]{4,9}( [a-z]{4,9})?", 1..4),
                 0..6,
             );

@@ -66,7 +66,10 @@ pub fn ranks_by_frequency(freqs: &[u64]) -> Vec<u64> {
 /// Compute the rank bin of every term in a frequency table:
 /// `bins[i] = ⌈log2(Rank(term i))⌉`.
 pub fn rank_bins(freqs: &[u64]) -> Vec<RankBin> {
-    ranks_by_frequency(freqs).into_iter().map(rank_bin).collect()
+    ranks_by_frequency(freqs)
+        .into_iter()
+        .map(rank_bin)
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,7 +104,10 @@ mod tests {
     #[test]
     fn ranks_with_ties() {
         // freqs: 7, 7, 3, 3, 3, 1 → ranks 1,1,3,3,3,6 (competition ranking)
-        assert_eq!(ranks_by_frequency(&[7, 7, 3, 3, 3, 1]), vec![1, 1, 3, 3, 3, 6]);
+        assert_eq!(
+            ranks_by_frequency(&[7, 7, 3, 3, 3, 1]),
+            vec![1, 1, 3, 3, 3, 6]
+        );
     }
 
     #[test]

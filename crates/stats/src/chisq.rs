@@ -58,7 +58,8 @@ mod tests {
     fn textbook_value() {
         // Table: [[10, 20], [30, 40]] → chi2 = 100*(400-600)^2/(30*70*40*60)
         let chi = chi_square_2x2(10, 20, 30, 40);
-        let expected = 100.0 * (10.0 * 40.0 - 20.0 * 30.0_f64).powi(2) / (30.0 * 70.0 * 40.0 * 60.0);
+        let expected =
+            100.0 * (10.0 * 40.0 - 20.0 * 30.0_f64).powi(2) / (30.0 * 70.0 * 40.0 * 60.0);
         assert!((chi - expected).abs() < 1e-12);
     }
 

@@ -37,8 +37,11 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
 pub fn skew_divergence(p: &[f64], q: &[f64], alpha: f64) -> f64 {
     assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
     assert_eq!(p.len(), q.len(), "distribution lengths differ");
-    let mixed: Vec<f64> =
-        p.iter().zip(q).map(|(&pi, &qi)| alpha * qi + (1.0 - alpha) * pi).collect();
+    let mixed: Vec<f64> = p
+        .iter()
+        .zip(q)
+        .map(|(&pi, &qi)| alpha * qi + (1.0 - alpha) * pi)
+        .collect();
     kl_divergence(p, &mixed)
 }
 

@@ -16,8 +16,8 @@
 //!   and `Shift_r`.
 
 pub mod binning;
-pub mod divergence;
 pub mod chisq;
+pub mod divergence;
 pub mod loglik;
 pub mod shift;
 

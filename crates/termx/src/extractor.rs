@@ -25,7 +25,10 @@ impl std::fmt::Debug for ExtractorSet<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExtractorSet")
             .field("label", &self.label)
-            .field("extractors", &self.extractors.iter().map(|e| e.name()).collect::<Vec<_>>())
+            .field(
+                "extractors",
+                &self.extractors.iter().map(|e| e.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

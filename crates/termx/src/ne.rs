@@ -64,7 +64,10 @@ mod tests {
     fn ignores_topical_nouns() {
         let e = extractor();
         let terms = e.extract("the summit discussed trade and markets");
-        assert!(terms.is_empty(), "NE extractor must not return topical nouns: {terms:?}");
+        assert!(
+            terms.is_empty(),
+            "NE extractor must not return topical nouns: {terms:?}"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ mod tests {
 
     fn fixture() -> (Wikipedia, RedirectTable) {
         let mut w = Wikipedia::new();
-        let chirac = w.add_page("Jacques Chirac", String::new(), PageSubject::Entity(EntityId(0)));
+        let chirac = w.add_page(
+            "Jacques Chirac",
+            String::new(),
+            PageSubject::Entity(EntityId(0)),
+        );
         w.add_page("France", String::new(), PageSubject::Entity(EntityId(1)));
         let mut r = RedirectTable::new();
         r.add("President Chirac", chirac);

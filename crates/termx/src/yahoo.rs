@@ -33,12 +33,20 @@ impl YahooTermExtractor {
                 df.insert(term.to_string(), f);
             }
         }
-        Self { df, n_docs: db.len() as u64, max_terms: 15 }
+        Self {
+            df,
+            n_docs: db.len() as u64,
+            max_terms: 15,
+        }
     }
 
     /// Construct from an explicit df table (for tests).
     pub fn from_table(df: HashMap<String, u64>, n_docs: u64) -> Self {
-        Self { df, n_docs, max_terms: 15 }
+        Self {
+            df,
+            n_docs,
+            max_terms: 15,
+        }
     }
 
     fn idf(&self, term: &str) -> f64 {
@@ -116,7 +124,10 @@ mod tests {
         let terms = e.extract(text);
         let chirac_pos = terms.iter().position(|t| t == "chirac").unwrap();
         let report_pos = terms.iter().position(|t| t == "report").unwrap();
-        assert!(chirac_pos < report_pos, "rare term should rank higher: {terms:?}");
+        assert!(
+            chirac_pos < report_pos,
+            "rare term should rank higher: {terms:?}"
+        );
     }
 
     #[test]
@@ -149,8 +160,8 @@ mod tests {
 
     #[test]
     fn fit_from_database() {
-        use facet_corpus::{DocId, Document, TextDatabase};
         use facet_corpus::db::TermingOptions;
+        use facet_corpus::{DocId, Document, TextDatabase};
         let docs = vec![Document {
             id: DocId(0),
             source: 0,

@@ -101,17 +101,26 @@ mod tests {
 
     #[test]
     fn unigrams_equal_words() {
-        assert_eq!(ngrams("alpha beta gamma", 1), vec!["alpha", "beta", "gamma"]);
+        assert_eq!(
+            ngrams("alpha beta gamma", 1),
+            vec!["alpha", "beta", "gamma"]
+        );
     }
 
     #[test]
     fn bigrams() {
-        assert_eq!(ngrams("alpha beta gamma", 2), vec!["alpha beta", "beta gamma"]);
+        assert_eq!(
+            ngrams("alpha beta gamma", 2),
+            vec!["alpha beta", "beta gamma"]
+        );
     }
 
     #[test]
     fn ngrams_do_not_cross_punctuation() {
-        assert_eq!(ngrams("alpha beta. gamma delta", 2), vec!["alpha beta", "gamma delta"]);
+        assert_eq!(
+            ngrams("alpha beta. gamma delta", 2),
+            vec!["alpha beta", "gamma delta"]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn porter_stem(word: &str) -> String {
     if word.len() < 3 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_string();
     }
-    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() };
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len(),
+    };
     s.step1ab();
     s.step1c();
     s.step2();
@@ -177,7 +180,9 @@ impl Stemmer {
                 false
             };
             if matched {
-                if self.ends("at").is_some() || self.ends("bl").is_some() || self.ends("iz").is_some()
+                if self.ends("at").is_some()
+                    || self.ends("bl").is_some()
+                    || self.ends("iz").is_some()
                 {
                     self.b.push(b'e');
                     self.k += 1;

@@ -87,7 +87,12 @@ pub fn tokens(text: &str) -> Vec<Token<'_>> {
                     break;
                 }
             }
-            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Word });
+            out.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+                kind: TokenKind::Word,
+            });
         } else if c.is_ascii_digit() {
             let mut end = start + 1;
             iter.next();
@@ -111,11 +116,21 @@ pub fn tokens(text: &str) -> Vec<Token<'_>> {
                     break;
                 }
             }
-            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Number });
+            out.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+                kind: TokenKind::Number,
+            });
         } else {
             let end = start + c.len_utf8();
             iter.next();
-            out.push(Token { text: &text[start..end], start, end, kind: TokenKind::Punct });
+            out.push(Token {
+                text: &text[start..end],
+                start,
+                end,
+                kind: TokenKind::Punct,
+            });
         }
         debug_assert!(out.last().unwrap().end <= bytes_len);
     }
@@ -128,8 +143,8 @@ pub fn tokens(text: &str) -> Vec<Token<'_>> {
 pub fn sentences(text: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut sent_start = 0usize;
-    let mut chars = text.char_indices().peekable();
-    while let Some((i, c)) = chars.next() {
+    let chars = text.char_indices().peekable();
+    for (i, c) in chars {
         if c == '.' || c == '!' || c == '?' {
             // Look ahead: whitespace then uppercase/quote/end.
             let rest = &text[i + c.len_utf8()..];
@@ -171,7 +186,10 @@ mod tests {
     fn words_and_numbers() {
         let toks = tokens("The G8 summit cost 1,000 dollars.");
         let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
-        assert_eq!(texts, vec!["The", "G", "8", "summit", "cost", "1,000", "dollars", "."]);
+        assert_eq!(
+            texts,
+            vec!["The", "G", "8", "summit", "cost", "1,000", "dollars", "."]
+        );
         assert_eq!(toks[5].kind, TokenKind::Number);
         assert_eq!(toks[7].kind, TokenKind::Punct);
     }

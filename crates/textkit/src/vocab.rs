@@ -46,7 +46,10 @@ impl Vocabulary {
 
     /// Create an empty vocabulary with capacity for `n` terms.
     pub fn with_capacity(n: usize) -> Self {
-        Self { by_term: HashMap::with_capacity(n), terms: Vec::with_capacity(n) }
+        Self {
+            by_term: HashMap::with_capacity(n),
+            terms: Vec::with_capacity(n),
+        }
     }
 
     /// Intern `term`, returning its id (allocating a new one if unseen).

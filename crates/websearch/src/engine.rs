@@ -2,7 +2,9 @@
 
 use crate::index::{index_terms, InvertedIndex, WebDocId, WebPage};
 use crate::rank::{bm25_rank, Bm25Params};
+use facet_obs::{Counter, HistogramHandle, Recorder};
 use facet_textkit::tokens;
+use std::time::Instant;
 
 /// One search result.
 #[derive(Debug, Clone)]
@@ -23,13 +25,35 @@ pub struct SearchEngine {
     params: Bm25Params,
     /// Snippet radius in tokens on each side of the first hit.
     pub snippet_radius: usize,
+    /// Total queries served (`web.queries` when instrumented).
+    queries: Counter,
+    /// Per-query latency (`web.latency_us` when instrumented).
+    latency: HistogramHandle,
+    /// Whether latency timing is live (avoids clock reads otherwise).
+    timing: bool,
 }
 
 impl SearchEngine {
     /// Index `pages` and return the engine.
     pub fn new(pages: Vec<WebPage>) -> Self {
         let index = InvertedIndex::build(&pages);
-        Self { pages, index, params: Bm25Params::default(), snippet_radius: 40 }
+        Self {
+            pages,
+            index,
+            params: Bm25Params::default(),
+            snippet_radius: 40,
+            queries: Counter::noop(),
+            latency: HistogramHandle::noop(),
+            timing: false,
+        }
+    }
+
+    /// Attach an observability recorder: every [`SearchEngine::search`]
+    /// call increments `web.queries` and records `web.latency_us`.
+    pub fn instrument(&mut self, recorder: &Recorder) {
+        self.queries = recorder.counter("web.queries");
+        self.latency = recorder.histogram("web.latency_us");
+        self.timing = recorder.is_enabled();
     }
 
     /// The underlying index (read-only).
@@ -55,9 +79,11 @@ impl SearchEngine {
     /// Search with a free-text query; returns the top `k` hits with
     /// snippets.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.queries.incr();
+        let start = self.timing.then(Instant::now);
         let q_terms = index_terms(query);
         let ranked = bm25_rank(&self.index, &q_terms, self.params);
-        ranked
+        let hits = ranked
             .into_iter()
             .take(k)
             .map(|(doc, score)| SearchHit {
@@ -65,7 +91,11 @@ impl SearchEngine {
                 score,
                 snippet: self.snippet(doc, &q_terms),
             })
-            .collect()
+            .collect();
+        if let Some(start) = start {
+            self.latency.record_duration(start.elapsed());
+        }
+        hits
     }
 
     /// Build a snippet for `doc`: a window of `snippet_radius` tokens on
@@ -78,7 +108,7 @@ impl SearchEngine {
             .iter()
             .position(|t| {
                 let w = t.text.to_lowercase();
-                q_terms.iter().any(|q| *q == w)
+                q_terms.contains(&w)
             })
             .unwrap_or(0);
         let start = hit.saturating_sub(self.snippet_radius);
@@ -133,6 +163,18 @@ mod tests {
         let e = engine();
         assert!(e.search("zebra", 5).is_empty());
         assert!(e.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn instrumented_engine_counts_queries() {
+        let mut e = engine();
+        let rec = facet_obs::Recorder::enabled();
+        e.instrument(&rec);
+        e.search("France", 5);
+        e.search("markets", 5);
+        let counts = rec.snapshot_counts_only();
+        assert_eq!(counts["counter.web.queries"], 2);
+        assert_eq!(counts["histogram.web.latency_us.count"], 2);
     }
 
     #[test]

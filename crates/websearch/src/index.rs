@@ -87,7 +87,11 @@ impl InvertedIndex {
         for list in postings.values_mut() {
             list.sort_by_key(|p| p.doc);
         }
-        Self { postings, doc_len, total_len }
+        Self {
+            postings,
+            doc_len,
+            total_len,
+        }
     }
 
     /// Postings for a term (empty if unseen).
@@ -131,8 +135,16 @@ mod tests {
 
     fn pages() -> Vec<WebPage> {
         vec![
-            WebPage { id: WebDocId(0), title: "France".into(), text: "France hosted the summit in Paris.".into() },
-            WebPage { id: WebDocId(1), title: "Markets".into(), text: "The markets rallied after the summit.".into() },
+            WebPage {
+                id: WebDocId(0),
+                title: "France".into(),
+                text: "France hosted the summit in Paris.".into(),
+            },
+            WebPage {
+                id: WebDocId(1),
+                title: "Markets".into(),
+                text: "The markets rallied after the summit.".into(),
+            },
         ]
     }
 

@@ -60,9 +60,21 @@ mod tests {
 
     fn index() -> InvertedIndex {
         InvertedIndex::build(&[
-            WebPage { id: WebDocId(0), title: "A".into(), text: "summit summit summit in France".into() },
-            WebPage { id: WebDocId(1), title: "B".into(), text: "summit once, about markets and trade".into() },
-            WebPage { id: WebDocId(2), title: "C".into(), text: "nothing relevant here at all".into() },
+            WebPage {
+                id: WebDocId(0),
+                title: "A".into(),
+                text: "summit summit summit in France".into(),
+            },
+            WebPage {
+                id: WebDocId(1),
+                title: "B".into(),
+                text: "summit once, about markets and trade".into(),
+            },
+            WebPage {
+                id: WebDocId(2),
+                title: "C".into(),
+                text: "nothing relevant here at all".into(),
+            },
         ])
     }
 
@@ -84,7 +96,11 @@ mod tests {
     #[test]
     fn multi_term_union() {
         let idx = index();
-        let hits = bm25_rank(&idx, &["summit".into(), "markets".into()], Bm25Params::default());
+        let hits = bm25_rank(
+            &idx,
+            &["summit".into(), "markets".into()],
+            Bm25Params::default(),
+        );
         // Doc 1 matches both terms; despite lower tf on "summit" the extra
         // term can lift it — just verify both docs present and scores
         // positive.

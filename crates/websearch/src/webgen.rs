@@ -90,8 +90,9 @@ pub fn generate_web(world: &World, config: &WebGenConfig) -> Vec<WebPage> {
     for e in &world.entities {
         // Even obscure entities have a few pages about them on the real
         // web; popularity adds more.
-        let n_pages =
-            3 + (e.popularity * config.max_pages_per_entity.saturating_sub(3) as f64).round() as usize;
+        let n_pages = 3
+            + (e.popularity * config.max_pages_per_entity.saturating_sub(3) as f64).round()
+                as usize;
         for pi in 0..n_pages {
             let mut text = String::new();
             let lead = LEAD_TEMPLATES[rng.gen_range(0..LEAD_TEMPLATES.len())];
@@ -109,7 +110,9 @@ pub fn generate_web(world: &World, config: &WebGenConfig) -> Vec<WebPage> {
                     let t = FACET_TEMPLATES[rng.gen_range(0..FACET_TEMPLATES.len())];
                     let b = world.background[rng.gen_range(0..world.background.len())].clone();
                     text.push_str(
-                        &t.replace("{E}", &e.name).replace("{T}", term).replace("{B}", &b),
+                        &t.replace("{E}", &e.name)
+                            .replace("{T}", term)
+                            .replace("{B}", &b),
                     );
                 }
             }
@@ -207,9 +210,15 @@ mod tests {
     #[test]
     fn page_counts_scale_with_popularity() {
         let w = world();
-        let cfg = WebGenConfig { chatter_pages: 10, ..Default::default() };
+        let cfg = WebGenConfig {
+            chatter_pages: 10,
+            ..Default::default()
+        };
         let pages = generate_web(&w, &cfg);
-        assert!(pages.len() > w.entities.len(), "at least one page per entity plus chatter");
+        assert!(
+            pages.len() > w.entities.len(),
+            "at least one page per entity plus chatter"
+        );
         // Dense ids.
         for (i, p) in pages.iter().enumerate() {
             assert_eq!(p.id.index(), i);

@@ -44,12 +44,17 @@ impl AnchorTable {
 
     /// `tf(p, t)`: times `phrase` was used to link to `target`.
     pub fn tf(&self, phrase: &str, target: PageId) -> u32 {
-        self.counts.get(&(phrase.to_lowercase(), target)).copied().unwrap_or(0)
+        self.counts
+            .get(&(phrase.to_lowercase(), target))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// `f(p)`: number of distinct targets `phrase` points to.
     pub fn fanout(&self, phrase: &str) -> u32 {
-        self.targets.get(&phrase.to_lowercase()).map_or(0, |v| v.len() as u32)
+        self.targets
+            .get(&phrase.to_lowercase())
+            .map_or(0, |v| v.len() as u32)
     }
 
     /// The paper's anchor score `s(p, t) = tf(p, t) / f(p)`; 0 if the
@@ -70,7 +75,10 @@ impl AnchorTable {
             .by_target
             .get(&target)
             .map(|phrases| {
-                phrases.iter().map(|p| (p.clone(), self.score(p, target))).collect()
+                phrases
+                    .iter()
+                    .map(|p| (p.clone(), self.score(p, target)))
+                    .collect()
             })
             .unwrap_or_default();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));

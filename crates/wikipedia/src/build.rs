@@ -105,10 +105,7 @@ pub fn build_wikipedia(world: &World, config: &WikipediaConfig) -> WikiBundle {
     for node in world.ontology.iter() {
         if let Some(p) = node.parent {
             wiki.add_link(concept_pages[node.id.index()], concept_pages[p.index()]);
-            anchors.record(
-                &world.ontology.node(p).term,
-                concept_pages[p.index()],
-            );
+            anchors.record(&world.ontology.node(p).term, concept_pages[p.index()]);
         }
         for &c in node.children.iter().take(5) {
             wiki.add_link(concept_pages[node.id.index()], concept_pages[c.index()]);
@@ -129,12 +126,18 @@ pub fn build_wikipedia(world: &World, config: &WikipediaConfig) -> WikiBundle {
             noun_pages.push(None);
             continue;
         }
-        let text = format!("{} is commonly discussed in the context of {}.", title, world.ontology.node(c.facet).term);
+        let text = format!(
+            "{} is commonly discussed in the context of {}.",
+            title,
+            world.ontology.node(c.facet).term
+        );
         let id = wiki.add_page(&title, text, PageSubject::Noun(c.id));
         noun_pages.push(Some(id));
     }
     for c in &world.concepts {
-        let Some(from) = noun_pages[c.id.index()] else { continue };
+        let Some(from) = noun_pages[c.id.index()] else {
+            continue;
+        };
         for node in world.ontology.path(c.facet) {
             wiki.add_link(from, concept_pages[node.index()]);
         }
@@ -223,7 +226,13 @@ pub fn build_wikipedia(world: &World, config: &WikipediaConfig) -> WikiBundle {
         }
     }
 
-    WikiBundle { wiki, redirects, anchors, concept_pages, entity_pages }
+    WikiBundle {
+        wiki,
+        redirects,
+        anchors,
+        concept_pages,
+        entity_pages,
+    }
 }
 
 /// Record anchor text for a link to entity `target_entity`'s page.
@@ -311,7 +320,10 @@ mod tests {
         let page = bundle.entity_pages[person.id.index()];
         // At least one variant resolves to the page (collisions may divert
         // others to an earlier entity).
-        let resolved = person.variants.iter().filter_map(|v| bundle.redirects.resolve(v));
+        let resolved = person
+            .variants
+            .iter()
+            .filter_map(|v| bundle.redirects.resolve(v));
         assert!(resolved.into_iter().any(|p| p == page));
     }
 

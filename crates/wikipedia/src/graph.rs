@@ -40,12 +40,19 @@ impl<'a> WikipediaGraph<'a> {
                 in_degree[l.index()] += 1;
             }
         }
-        Self { wiki, redirects, in_degree, k }
+        Self {
+            wiki,
+            redirects,
+            in_degree,
+            k,
+        }
     }
 
     /// Resolve a term to a page via exact title or redirect.
     pub fn resolve(&self, term: &str) -> Option<PageId> {
-        self.wiki.find_title(term).or_else(|| self.redirects.resolve(term))
+        self.wiki
+            .find_title(term)
+            .or_else(|| self.redirects.resolve(term))
     }
 
     /// In-degree of a page.
@@ -78,8 +85,11 @@ impl<'a> WikipediaGraph<'a> {
             return Vec::new();
         };
         let page = self.wiki.page(page_id);
-        let mut scored: Vec<(PageId, f64)> =
-            page.links.iter().map(|&to| (to, self.raw_score(page_id, to))).collect();
+        let mut scored: Vec<(PageId, f64)> = page
+            .links
+            .iter()
+            .map(|&to| (to, self.raw_score(page_id, to)))
+            .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         scored
             .into_iter()

@@ -61,9 +61,18 @@ impl Wikipedia {
     /// Panics on duplicate titles (the builder guarantees uniqueness).
     pub fn add_page(&mut self, title: &str, text: String, subject: PageSubject) -> PageId {
         let key = title.to_lowercase();
-        assert!(!self.by_title.contains_key(&key), "duplicate page title {title}");
+        assert!(
+            !self.by_title.contains_key(&key),
+            "duplicate page title {title}"
+        );
         let id = PageId(u32::try_from(self.pages.len()).expect("too many pages"));
-        self.pages.push(Page { id, title: title.to_string(), text, links: Vec::new(), subject });
+        self.pages.push(Page {
+            id,
+            title: title.to_string(),
+            text,
+            links: Vec::new(),
+            subject,
+        });
         self.by_title.insert(key, id);
         id
     }
@@ -119,7 +128,11 @@ mod tests {
     #[test]
     fn add_and_find() {
         let mut w = Wikipedia::new();
-        let id = w.add_page("Jacques Chirac", "President.".into(), PageSubject::Entity(EntityId(0)));
+        let id = w.add_page(
+            "Jacques Chirac",
+            "President.".into(),
+            PageSubject::Entity(EntityId(0)),
+        );
         assert_eq!(w.find_title("jacques chirac"), Some(id));
         assert_eq!(w.find_title("JACQUES CHIRAC"), Some(id));
         assert_eq!(w.find_title("nobody"), None);
@@ -130,8 +143,16 @@ mod tests {
     #[should_panic]
     fn duplicate_title_panics() {
         let mut w = Wikipedia::new();
-        w.add_page("France", String::new(), PageSubject::Concept(FacetNodeId(0)));
-        w.add_page("france", String::new(), PageSubject::Concept(FacetNodeId(1)));
+        w.add_page(
+            "France",
+            String::new(),
+            PageSubject::Concept(FacetNodeId(0)),
+        );
+        w.add_page(
+            "france",
+            String::new(),
+            PageSubject::Concept(FacetNodeId(1)),
+        );
     }
 
     #[test]

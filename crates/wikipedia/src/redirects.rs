@@ -31,7 +31,10 @@ impl RedirectTable {
             return;
         }
         self.forward.insert(key, target);
-        self.reverse.entry(target).or_default().push(variant.to_string());
+        self.reverse
+            .entry(target)
+            .or_default()
+            .push(variant.to_string());
     }
 
     /// Resolve a title through the redirect table. Returns the canonical

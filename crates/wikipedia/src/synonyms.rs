@@ -24,8 +24,17 @@ pub struct WikipediaSynonyms<'a> {
 
 impl<'a> WikipediaSynonyms<'a> {
     /// Build the resource with the default anchor-score threshold (0.5).
-    pub fn new(wiki: &'a Wikipedia, redirects: &'a RedirectTable, anchors: &'a AnchorTable) -> Self {
-        Self { wiki, redirects, anchors, min_anchor_score: 0.5 }
+    pub fn new(
+        wiki: &'a Wikipedia,
+        redirects: &'a RedirectTable,
+        anchors: &'a AnchorTable,
+    ) -> Self {
+        Self {
+            wiki,
+            redirects,
+            anchors,
+            min_anchor_score: 0.5,
+        }
     }
 
     /// Query with a term: returns the term's synonym set (normalized
@@ -76,7 +85,11 @@ mod tests {
             String::new(),
             PageSubject::Entity(EntityId(0)),
         );
-        let other = w.add_page("Other Person", String::new(), PageSubject::Entity(EntityId(1)));
+        let other = w.add_page(
+            "Other Person",
+            String::new(),
+            PageSubject::Entity(EntityId(1)),
+        );
         let mut r = RedirectTable::new();
         r.add("Hillary Clinton", hrc);
         r.add("Hillary R. Clinton", hrc);
@@ -97,7 +110,10 @@ mod tests {
         let out = syn.query("Hillary Clinton");
         assert!(out.contains(&"hillary rodham clinton".to_string()));
         assert!(out.contains(&"hillary r. clinton".to_string()));
-        assert!(!out.contains(&"hillary clinton".to_string()), "query term excluded");
+        assert!(
+            !out.contains(&"hillary clinton".to_string()),
+            "query term excluded"
+        );
     }
 
     #[test]

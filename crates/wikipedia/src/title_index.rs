@@ -52,7 +52,10 @@ impl TitleIndex {
                 insert(variant, p.id);
             }
         }
-        Self { map, first_word_max }
+        Self {
+            map,
+            first_word_max,
+        }
     }
 
     /// Number of distinct indexed titles.
@@ -136,8 +139,11 @@ mod tests {
 
     fn fixture() -> (Wikipedia, RedirectTable) {
         let mut w = Wikipedia::new();
-        let chirac =
-            w.add_page("Jacques Chirac", String::new(), PageSubject::Entity(EntityId(0)));
+        let chirac = w.add_page(
+            "Jacques Chirac",
+            String::new(),
+            PageSubject::Entity(EntityId(0)),
+        );
         w.add_page("France", String::new(), PageSubject::Entity(EntityId(1)));
         w.add_page("Summit", String::new(), PageSubject::Entity(EntityId(2)));
         let mut r = RedirectTable::new();

@@ -24,7 +24,10 @@ pub fn build_wordnet(world: &World) -> WordNet {
 
     // Synsets for all facet terms, except location-subtree nodes that are
     // covered by the geography pass below (their coverage is conditional).
-    let location_root = world.ontology.find("location").expect("location root exists");
+    let location_root = world
+        .ontology
+        .find("location")
+        .expect("location root exists");
     for node in world.ontology.iter() {
         let in_location_subtree =
             node.id == location_root || world.ontology.is_ancestor(location_root, node.id);
@@ -126,10 +129,18 @@ mod tests {
         let w = world();
         let wn = build_wordnet(&w);
         for e in w.entities_of_kind(EntityKind::Person) {
-            assert!(!wn.contains(&e.name.to_lowercase()), "{} should be absent", e.name);
+            assert!(
+                !wn.contains(&e.name.to_lowercase()),
+                "{} should be absent",
+                e.name
+            );
         }
         for e in w.entities_of_kind(EntityKind::Corporation) {
-            assert!(!wn.contains(&e.name.to_lowercase()), "{} should be absent", e.name);
+            assert!(
+                !wn.contains(&e.name.to_lowercase()),
+                "{} should be absent",
+                e.name
+            );
         }
     }
 
@@ -145,7 +156,12 @@ mod tests {
             })
             .unwrap();
         let terms = wn.hypernym_terms(&country.name.to_lowercase(), 10);
-        assert!(terms.contains(&"location".to_string()), "{} misses location: {:?}", country.name, terms);
+        assert!(
+            terms.contains(&"location".to_string()),
+            "{} misses location: {:?}",
+            country.name,
+            terms
+        );
         // The region is the nearest hypernym.
         let region_node = w.ontology.node(country.self_facet.unwrap()).parent.unwrap();
         let region_term = &w.ontology.node(region_node).term;
@@ -170,7 +186,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered > 0 && uncovered > 0, "coverage split should be nontrivial");
+        assert!(
+            covered > 0 && uncovered > 0,
+            "coverage split should be nontrivial"
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl WordNet {
         for l in &lemmas {
             self.by_lemma.entry(l.clone()).or_default().push(id);
         }
-        self.synsets.push(Synset { id, lemmas, gloss: gloss.to_string() });
+        self.synsets.push(Synset {
+            id,
+            lemmas,
+            gloss: gloss.to_string(),
+        });
         self.hypernyms.push(Vec::new());
         id
     }
@@ -180,7 +184,10 @@ mod tests {
         wn.add_hypernym(object, entity);
         wn.add_hypernym(vehicle, object);
         wn.add_hypernym(car, vehicle);
-        assert_eq!(wn.hypernym_terms("car", 10), vec!["vehicle", "object", "entity"]);
+        assert_eq!(
+            wn.hypernym_terms("car", 10),
+            vec!["vehicle", "object", "entity"]
+        );
         assert_eq!(wn.hypernym_terms("car", 2), vec!["vehicle", "object"]);
         assert!(wn.hypernym_terms("car", 0).is_empty());
     }

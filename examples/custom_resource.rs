@@ -81,7 +81,10 @@ fn main() {
     let pipeline = FacetPipeline::new(
         extractors,
         resources,
-        PipelineOptions { top_k: 500, ..Default::default() },
+        PipelineOptions {
+            top_k: 500,
+            ..Default::default()
+        },
     );
     let extraction = pipeline.run(&corpus.db, &mut vocab);
 
@@ -107,7 +110,10 @@ fn main() {
     for t in &domain_terms {
         let id = vocab.get(t).expect("selected terms are interned");
         let c = extraction.candidates.iter().find(|c| c.term == id).unwrap();
-        println!("  {:<28} df={} df_C={} -logλ={:.1}", t, c.df, c.df_c, c.score);
+        println!(
+            "  {:<28} df={} df_C={} -logλ={:.1}",
+            t, c.df, c.df_c, c.score
+        );
     }
     if domain_terms.is_empty() {
         println!("  (none passed the shift tests on this corpus sample)");

@@ -1,0 +1,100 @@
+//! An instrumented pipeline run: attach a [`Recorder`], run the paper's
+//! pipeline, and inspect where the time went and which resources were
+//! queried how often.
+//!
+//! ```sh
+//! cargo run --release --example instrumented_run
+//! ```
+//!
+//! The same recorder can be threaded through the experiment harness
+//! (`GridOptions::recorder`) or enabled on the `experiments`/`diag`
+//! binaries with `--obs <path.json>`.
+
+use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
+use facet_hierarchies::ner::NerTagger;
+use facet_hierarchies::obs::Recorder;
+use facet_hierarchies::resources::{
+    CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource,
+};
+use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
+use facet_hierarchies::textkit::Vocabulary;
+use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
+use facet_hierarchies::wordnet::build_wordnet;
+
+fn main() {
+    // Corpus and substrates, as in the quickstart.
+    let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.2);
+    let world = recipe.build_world();
+    let mut vocab = Vocabulary::new();
+    let corpus = recipe.build_corpus(&world, &mut vocab);
+    let wiki = build_wikipedia(&world, &WikipediaConfig::default());
+    let wordnet = build_wordnet(&world);
+    let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
+    let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let wn_res = CachedResource::new(WordNetHypernymsResource::new(&wordnet));
+    let tagger = NerTagger::from_world(&world);
+    let ne = NamedEntityExtractor::new(tagger);
+
+    // The recorder. `Recorder::disabled()` would make every record call
+    // a no-op without touching the pipeline code below.
+    let recorder = Recorder::enabled();
+
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+    let pipeline = FacetPipeline::new(
+        extractors,
+        resources,
+        PipelineOptions {
+            top_k: 400,
+            ..Default::default()
+        },
+    )
+    .with_recorder(recorder.clone());
+
+    let extraction = pipeline.run(&corpus.db, &mut vocab);
+    let forest = pipeline.build_hierarchies(&extraction, &vocab);
+    println!(
+        "{} documents -> {} candidates -> {} facet trees\n",
+        corpus.db.len(),
+        extraction.candidates.len(),
+        forest.trees.len()
+    );
+
+    // Where the time went, per stage.
+    let report = recorder.snapshot();
+    print!("{}", report.stage_table());
+
+    // Which resources were hot.
+    println!("\ncounters:");
+    for c in &report.counters {
+        println!("  {:<40} {}", c.name, c.value);
+    }
+    println!("\nlatency/fan-out histograms (latency values are us):");
+    for h in &report.histograms {
+        println!(
+            "  {:<40} n={} mean={} max={}",
+            h.name,
+            h.count,
+            h.sum.checked_div(h.count).unwrap_or(0),
+            h.max
+        );
+    }
+
+    // Cache effectiveness (also exported via `GridOptions::recorder` in
+    // the experiment harness).
+    let s = graph_res.stats();
+    println!(
+        "\nwiki-graph cache: {} hits / {} misses ({:.0}% hit rate)",
+        s.hits,
+        s.misses,
+        s.hit_rate() * 100.0
+    );
+
+    // The same report as machine-readable JSON (what `--obs` writes).
+    let json = facet_hierarchies::jsonio::to_json_string_pretty(&report).expect("serialize");
+    println!("\nJSON report is {} bytes; first lines:", json.len());
+    for line in json.lines().take(12) {
+        println!("  {line}");
+    }
+}

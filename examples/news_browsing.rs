@@ -37,7 +37,10 @@ fn main() {
     let pipeline = FacetPipeline::new(
         extractors,
         resources,
-        PipelineOptions { top_k: 600, ..Default::default() },
+        PipelineOptions {
+            top_k: 600,
+            ..Default::default()
+        },
     );
     let extraction = pipeline.run(&corpus.db, &mut vocab);
     let forest = pipeline.build_hierarchies(&extraction, &vocab);

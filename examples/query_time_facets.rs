@@ -34,7 +34,11 @@ fn main() {
         .db
         .docs()
         .iter()
-        .map(|d| WebPage { id: WebDocId(d.id.0), title: d.title.clone(), text: d.text.clone() })
+        .map(|d| WebPage {
+            id: WebDocId(d.id.0),
+            title: d.title.clone(),
+            text: d.text.clone(),
+        })
         .collect();
     let search = SearchEngine::new(pages);
 
@@ -79,7 +83,11 @@ fn main() {
     let pipeline = FacetPipeline::new(
         extractors,
         resources,
-        PipelineOptions { top_k: 150, min_df_c: 2, ..Default::default() },
+        PipelineOptions {
+            top_k: 150,
+            min_df_c: 2,
+            ..Default::default()
+        },
     );
     let extraction = pipeline.run(&result_db, &mut vocab);
     let forest = pipeline.build_hierarchies(&extraction, &vocab);

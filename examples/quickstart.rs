@@ -49,10 +49,16 @@ fn main() {
     let pipeline = FacetPipeline::new(
         extractors,
         resources,
-        PipelineOptions { top_k: 400, ..Default::default() },
+        PipelineOptions {
+            top_k: 400,
+            ..Default::default()
+        },
     );
     let extraction = pipeline.run(&corpus.db, &mut vocab);
-    println!("selected {} candidate facet terms", extraction.candidates.len());
+    println!(
+        "selected {} candidate facet terms",
+        extraction.candidates.len()
+    );
     println!("top 15 by log-likelihood:");
     for c in extraction.candidates.iter().take(15) {
         println!(
@@ -68,7 +74,9 @@ fn main() {
     let forest = pipeline.build_hierarchies(&extraction, &vocab);
     println!("\nfacet hierarchy (top 3 facets, 5 children each):");
     for tree in forest.trees.iter().take(3) {
-        let mini = facet_hierarchies::core::FacetForest { trees: vec![tree.clone()] };
+        let mini = facet_hierarchies::core::FacetForest {
+            trees: vec![tree.clone()],
+        };
         print!("{}", mini.render(5));
     }
 }

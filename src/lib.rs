@@ -11,8 +11,10 @@
 pub use facet_core as core;
 pub use facet_corpus as corpus;
 pub use facet_eval as eval;
+pub use facet_jsonio as jsonio;
 pub use facet_knowledge as knowledge;
 pub use facet_ner as ner;
+pub use facet_obs as obs;
 pub use facet_resources as resources;
 pub use facet_stats as stats;
 pub use facet_termx as termx;

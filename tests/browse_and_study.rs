@@ -21,12 +21,18 @@ fn engine() -> (BrowseEngine, usize) {
     let pipeline = FacetPipeline::new(
         extractors,
         resources,
-        PipelineOptions { top_k: 300, ..Default::default() },
+        PipelineOptions {
+            top_k: 300,
+            ..Default::default()
+        },
     );
     let out = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
     let forest = pipeline.build_hierarchies(&out, &bundle.vocab);
     let n = bundle.corpus.db.len();
-    (BrowseEngine::new(forest, out.contextualized.doc_terms.clone()), n)
+    (
+        BrowseEngine::new(forest, out.contextualized.doc_terms.clone()),
+        n,
+    )
 }
 
 #[test]
@@ -39,7 +45,11 @@ fn selection_narrows_monotonically() {
     for (term, _, count) in top.iter().take(3) {
         selection.push(*term);
         let docs = engine.select(&selection);
-        assert!(docs.len() <= last, "selection must narrow: {} > {last}", docs.len());
+        assert!(
+            docs.len() <= last,
+            "selection must narrow: {} > {last}",
+            docs.len()
+        );
         assert!(docs.len() <= *count || selection.len() > 1);
         last = docs.len();
     }
@@ -51,7 +61,11 @@ fn refinement_counts_match_actual_selection() {
     let top = engine.refinements(&[], None);
     for (term, _, count) in top.iter().take(5) {
         let docs = engine.select(&[*term]);
-        assert_eq!(docs.len(), *count, "refinement count must equal selection size");
+        assert_eq!(
+            docs.len(),
+            *count,
+            "refinement count must equal selection size"
+        );
     }
 }
 
@@ -68,6 +82,9 @@ fn user_study_reproduces_section_v_e_shape() {
     assert!(last.time_seconds < first.time_seconds);
     // Satisfaction flat around 2.5/3.
     for s in &stats {
-        assert!(s.satisfaction > 1.6 && s.satisfaction <= 3.0, "satisfaction {s:?}");
+        assert!(
+            s.satisfaction > 1.6 && s.satisfaction <= 3.0,
+            "satisfaction {s:?}"
+        );
     }
 }

@@ -30,7 +30,10 @@ fn facet_terms_with_threads(threads: usize) -> Vec<String> {
         },
     );
     let out = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
-    out.facet_terms(&bundle.vocab).into_iter().map(str::to_string).collect()
+    out.facet_terms(&bundle.vocab)
+        .into_iter()
+        .map(str::to_string)
+        .collect()
 }
 
 #[test]
@@ -55,6 +58,78 @@ fn bundles_are_reproducible() {
     for (da, db) in a.corpus.db.docs().iter().zip(b.corpus.db.docs()) {
         assert_eq!(da.text, db.text);
     }
+}
+
+/// One candidate as bytes-comparable data: (term, df, df_c, score bits).
+type CandidateRow = (String, u64, u64, String);
+
+/// Run the full pipeline (including hierarchy construction) under the
+/// given recorder and export every output as plain bytes-comparable
+/// data: candidates with their statistics, plus the forest edges.
+fn pipeline_outputs(
+    recorder: facet_hierarchies::obs::Recorder,
+) -> (Vec<CandidateRow>, Vec<(String, String)>) {
+    let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res];
+    let pipeline = FacetPipeline::new(
+        extractors,
+        resources,
+        PipelineOptions {
+            top_k: 300,
+            ..Default::default()
+        },
+    )
+    .with_recorder(recorder);
+    let out = pipeline.run(&bundle.corpus.db, &mut bundle.vocab);
+    let forest = pipeline.build_hierarchies(&out, &bundle.vocab);
+    let candidates = out
+        .candidates
+        .iter()
+        .map(|c| {
+            // Compare the float score by its exact bit pattern.
+            (
+                bundle.vocab.term(c.term).to_string(),
+                c.df,
+                c.df_c,
+                format!("{:x}", c.score.to_bits()),
+            )
+        })
+        .collect();
+    (candidates, forest.edges())
+}
+
+#[test]
+fn recorder_does_not_change_results() {
+    use facet_hierarchies::obs::Recorder;
+    let enabled = Recorder::enabled();
+    let with_recorder = pipeline_outputs(enabled.clone());
+    let without = pipeline_outputs(Recorder::disabled());
+    assert_eq!(
+        with_recorder, without,
+        "instrumentation must be observation-only"
+    );
+    // And the recorder did observe the run.
+    let counts = enabled.snapshot_counts_only();
+    assert_eq!(counts["span.extract.count"], 1);
+    assert_eq!(counts["span.expand.count"], 1);
+    assert_eq!(counts["span.select.count"], 1);
+    assert_eq!(counts["span.subsumption.count"], 1);
+    assert!(counts["counter.resource.Wikipedia Graph.queries"] >= 1);
+}
+
+#[test]
+fn count_snapshots_are_reproducible() {
+    use facet_hierarchies::obs::Recorder;
+    let a = Recorder::enabled();
+    let b = Recorder::enabled();
+    let _ = pipeline_outputs(a.clone());
+    let _ = pipeline_outputs(b.clone());
+    assert_eq!(a.snapshot_counts_only(), b.snapshot_counts_only());
 }
 
 #[test]

@@ -2,22 +2,33 @@
 //! complete dataset bundle, asserting the *qualitative findings of the
 //! paper* rather than exact numbers.
 
+use facet_hierarchies::core::PipelineOptions;
+use facet_hierarchies::corpus::RecipeKind;
 use facet_hierarchies::eval::harness::default_gold;
 use facet_hierarchies::eval::harness::{run_grid, tiny_recipe, DatasetBundle, GridOptions};
 use facet_hierarchies::eval::precision::PrecisionJudge;
 use facet_hierarchies::eval::recall::recall_of;
-use facet_hierarchies::core::PipelineOptions;
-use facet_hierarchies::corpus::RecipeKind;
 
-fn grid() -> (DatasetBundle, Vec<facet_hierarchies::eval::harness::GridCell>, Vec<String>) {
+fn grid() -> (
+    DatasetBundle,
+    Vec<facet_hierarchies::eval::harness::GridCell>,
+    Vec<String>,
+) {
     let mut bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
     let gold = default_gold(&bundle, 200);
-    let gold_terms: Vec<String> =
-        gold.gold_terms(&bundle.world).into_iter().map(str::to_string).collect();
+    let gold_terms: Vec<String> = gold
+        .gold_terms(&bundle.world)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
     let options = GridOptions {
-        pipeline: PipelineOptions { top_k: 800, ..Default::default() },
+        pipeline: PipelineOptions {
+            top_k: 800,
+            ..Default::default()
+        },
         build_hierarchies: true,
         subsumption_doc_cap: 500,
+        ..Default::default()
     };
     let cells = run_grid(&mut bundle, &options);
     (bundle, cells, gold_terms)
@@ -99,7 +110,11 @@ fn facet_terms_are_mostly_absent_from_documents() {
     // selected facet terms should be much rarer in D than in C(D).
     let (_bundle, cells, _gold) = grid();
     let c = cell(&cells, "All", "All");
-    let rare_in_d = c.candidates.iter().filter(|x| x.df_c >= 3 * x.df.max(1)).count();
+    let rare_in_d = c
+        .candidates
+        .iter()
+        .filter(|x| x.df_c >= 3 * x.df.max(1))
+        .count();
     assert!(
         rare_in_d * 2 > c.candidates.len(),
         "most facet terms should be far more frequent in C(D) than D: {rare_in_d}/{}",

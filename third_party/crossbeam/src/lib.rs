@@ -1,0 +1,66 @@
+//! Minimal offline shim for the `crossbeam` scoped-thread API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the surface this workspace uses is provided: [`scope`] and
+//! [`thread::Scope::spawn`] where the spawned closure receives the scope
+//! (crossbeam's signature) and the scope call returns a `Result`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// A scope handle passed to [`scope`](super::scope) closures; spawned
+    /// closures receive a fresh handle so they can spawn further work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to this scope. Mirrors
+        /// `crossbeam::thread::Scope::spawn`: the closure receives the
+        /// scope as its argument.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller's
+/// stack. All spawned threads are joined before `scope` returns.
+///
+/// Returns `Ok(r)` with the closure's result. Unlike crossbeam, a panic
+/// in a spawned thread propagates when the scope exits (std semantics)
+/// instead of surfacing as `Err`; callers that `.expect()` the result
+/// behave identically either way.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&thread::Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(
+                        chunk.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::SeqCst,
+                    );
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+}

@@ -1,0 +1,808 @@
+//! Minimal offline shim for the `proptest` 1.x API surface this
+//! workspace uses (vendored; the build environment has no crates.io
+//! access).
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * no shrinking — a failing case panics with the assert message only;
+//! * the regex string strategy supports the subset of regex syntax the
+//!   workspace's tests use (char classes, literals, groups, `{m,n}`,
+//!   `?`, `*`, `+`, and `\PC` for printable chars);
+//! * case generation is seeded deterministically from the test's module
+//!   path and name, so every run explores the same inputs.
+//!
+//! Provided: [`strategy::Strategy`] (`prop_map`, `prop_flat_map`),
+//! [`strategy::Just`], range/tuple/`Vec<S>` strategies, regex string
+//! strategies on `&str`, [`collection`] (`vec`, `btree_set`,
+//! `hash_map`), [`sample`] (`select`, `subsequence`),
+//! [`ProptestConfig`], and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` macros.
+
+/// Per-test configuration. Only the `cases` knob is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic RNG driving value generation.
+
+    /// xoshiro256++ generator; seeded from the test name so each
+    /// property explores a stable input stream across runs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed deterministically from an arbitrary label (test name).
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, then SplitMix64 to fill the state.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut sm = h;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then build and sample a dependent strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// A `Vec` of strategies generates element-wise.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.new_value(rng)).collect()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),+) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn new_value(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64 + 1;
+                    (start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Regex-subset string strategy: `&str` patterns generate matching
+    /// strings. Supported syntax: literals, `[...]` classes (with
+    /// ranges), `(...)` groups, `\PC` (printable), and the quantifiers
+    /// `{m,n}`, `{n}`, `?`, `*`, `+`.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let atoms = parse_pattern(self);
+            let mut out = String::new();
+            gen_seq(&atoms, rng, &mut out);
+            out
+        }
+    }
+
+    enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+        Printable,
+        Group(Vec<(Atom, usize, usize)>),
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let seq = parse_seq(&chars, &mut i, pat);
+        assert!(i >= chars.len(), "unbalanced pattern {pat:?}");
+        seq
+    }
+
+    fn parse_seq(chars: &[char], i: &mut usize, pat: &str) -> Vec<(Atom, usize, usize)> {
+        let mut seq = Vec::new();
+        while *i < chars.len() && chars[*i] != ')' {
+            let atom = match chars[*i] {
+                '[' => {
+                    *i += 1;
+                    Atom::Class(parse_class(chars, i, pat))
+                }
+                '(' => {
+                    *i += 1;
+                    let inner = parse_seq(chars, i, pat);
+                    assert!(
+                        *i < chars.len() && chars[*i] == ')',
+                        "unclosed group in {pat:?}"
+                    );
+                    *i += 1;
+                    Atom::Group(inner)
+                }
+                '\\' => {
+                    *i += 1;
+                    match chars.get(*i) {
+                        Some('P') | Some('p') => {
+                            // Only `\PC` (printable / non-control) is used.
+                            *i += 1;
+                            assert!(
+                                matches!(chars.get(*i), Some('C')),
+                                "unsupported \\P category in {pat:?}"
+                            );
+                            *i += 1;
+                            Atom::Printable
+                        }
+                        Some(&c) => {
+                            *i += 1;
+                            Atom::Lit(c)
+                        }
+                        None => panic!("dangling escape in {pat:?}"),
+                    }
+                }
+                c => {
+                    *i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (lo, hi) = parse_quantifier(chars, i, pat);
+            seq.push((atom, lo, hi));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], i: &mut usize, pat: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        while *i < chars.len() && chars[*i] != ']' {
+            let c = if chars[*i] == '\\' {
+                *i += 1;
+                *chars
+                    .get(*i)
+                    .unwrap_or_else(|| panic!("dangling escape in {pat:?}"))
+            } else {
+                chars[*i]
+            };
+            *i += 1;
+            // A range like `a-z` (a trailing `-` is a literal).
+            if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&n| n != ']') {
+                let hi = chars[*i + 1];
+                *i += 2;
+                assert!(c <= hi, "inverted class range in {pat:?}");
+                for v in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        assert!(*i < chars.len(), "unclosed class in {pat:?}");
+        *i += 1; // consume ']'
+        assert!(!set.is_empty(), "empty class in {pat:?}");
+        set
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pat: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *i += 1;
+                let mut lo = String::new();
+                while chars.get(*i).is_some_and(char::is_ascii_digit) {
+                    lo.push(chars[*i]);
+                    *i += 1;
+                }
+                let lo: usize = lo
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+                let hi = if chars.get(*i) == Some(&',') {
+                    *i += 1;
+                    let mut hi = String::new();
+                    while chars.get(*i).is_some_and(char::is_ascii_digit) {
+                        hi.push(chars[*i]);
+                        *i += 1;
+                    }
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"))
+                } else {
+                    lo
+                };
+                assert!(
+                    chars.get(*i) == Some(&'}') && lo <= hi,
+                    "bad repeat in {pat:?}"
+                );
+                *i += 1;
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Printable sample pool for `\PC`: ASCII printables plus a few
+    /// multi-byte characters so UTF-8 handling gets exercised.
+    const EXTRA_PRINTABLE: [char; 4] = ['é', 'ß', 'λ', 'ü'];
+
+    fn gen_seq(seq: &[(Atom, usize, usize)], rng: &mut TestRng, out: &mut String) {
+        for (atom, lo, hi) in seq {
+            let n = *lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Printable => {
+                        if rng.below(16) == 0 {
+                            out.push(EXTRA_PRINTABLE[rng.below(4) as usize]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                    Atom::Group(inner) => gen_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Size specification for collection strategies: built from
+/// `Range<usize>`, `RangeInclusive<usize>`, or an exact `usize`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_incl: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut test_runner::TestRng) -> usize {
+        self.lo + rng.below((self.hi_incl - self.lo + 1) as u64) as usize
+    }
+
+    fn clamped(&self, max: usize) -> SizeRange {
+        SizeRange {
+            lo: self.lo.min(max),
+            hi_incl: self.hi_incl.min(max),
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_incl: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi_incl: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi_incl: n }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `btree_set`, `hash_map`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::SizeRange;
+    use std::collections::{BTreeMap, BTreeSet, HashMap};
+    use std::hash::Hash;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` with size drawn from `size` (best effort when the
+    /// element domain is too small to reach the target).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 100 {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// A `HashMap` with size drawn from `size` (best effort when the key
+    /// domain is too small to reach the target).
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Hash + Eq,
+    {
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_map`].
+    #[derive(Debug, Clone)]
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Hash + Eq,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut map = HashMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 10 + 100 {
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// A `BTreeMap` variant of [`hash_map`], for ordered keys.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 10 + 100 {
+                map.insert(self.key.new_value(rng), self.value.new_value(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed pools: `select`, `subsequence`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::SizeRange;
+
+    /// Pick one element of `items`, uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select on empty pool");
+        Select { items }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Pick an order-preserving subsequence of `items` whose length is
+    /// drawn from `size` (clamped to the pool size).
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.size.clamped(self.items.len()).pick(rng);
+            // Partial Fisher–Yates over indices, then restore order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..k {
+                let j = i + rng.below((idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut chosen: Vec<usize> = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that evaluates the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cases ($cfg).cases; $($rest)*);
+    };
+    (@cases $cases:expr;) => {};
+    (@cases $cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases: u32 = $cases;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@cases $cases; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cases $crate::ProptestConfig::default().cases; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[a-z]{3,8}( [a-z]{3,8}){0,2}", &mut rng);
+            for word in s.split(' ') {
+                assert!((3..=8).contains(&word.len()), "bad word {word:?} in {s:?}");
+                assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+            let opt = Strategy::new_value(&"[a-z]{4,9}( [a-z]{4,9})?", &mut rng);
+            assert!(opt.split(' ').count() <= 2);
+            let p = Strategy::new_value(&"\\PC{0,50}", &mut rng);
+            assert!(p.chars().count() <= 50);
+            assert!(!p.chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::deterministic("coll");
+        for _ in 0..100 {
+            let v = Strategy::new_value(&crate::collection::vec(0u64..50, 1..60), &mut rng);
+            assert!((1..60).contains(&v.len()));
+            let s = Strategy::new_value(&crate::collection::btree_set(0u32..20, 0..8), &mut rng);
+            assert!(s.len() < 8);
+            let m = Strategy::new_value(
+                &crate::collection::hash_map(0u32..100, "[a-z]{1,4}", 0..6),
+                &mut rng,
+            );
+            assert!(m.len() < 6);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::deterministic("subseq");
+        let pool: Vec<u32> = (0..30).collect();
+        for _ in 0..100 {
+            let sub =
+                Strategy::new_value(&crate::sample::subsequence(pool.clone(), 0..=35), &mut rng);
+            assert!(sub.len() <= 30);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies, and asserts together.
+        #[test]
+        fn macro_smoke((a, b) in (0u64..10, 0u64..10), s in "[a-z]{1,5}") {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 5);
+            prop_assert_eq!(s.len(), s.len());
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

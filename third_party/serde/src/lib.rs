@@ -1,0 +1,18 @@
+//! Minimal offline implementation of the **serde serialization data
+//! model** (vendored; the build environment has no crates.io access).
+//!
+//! Provides the [`Serialize`] / [`Serializer`] traits, the seven compound
+//! serializer traits, [`ser::Impossible`], and `Serialize` impls for the
+//! std types this workspace serializes. Deserialization is intentionally
+//! absent — nothing in the workspace reads serialized data back.
+//!
+//! With the `derive` feature, `#[derive(Serialize)]` is provided by the
+//! vendored `serde_derive` proc macro (named structs, tuple structs, and
+//! enums of all four variant shapes).
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

@@ -1,0 +1,510 @@
+//! The serialization half of the serde data model.
+
+use std::fmt::Display;
+
+/// Error trait every serializer error type must implement.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde serializer.
+pub trait Serialize {
+    /// Serialize `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format that can serialize any data structure supported by serde.
+///
+/// The 29 `serialize_*` methods mirror upstream serde exactly so code
+/// written against the real crate compiles unchanged.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sequence sub-serializer.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple sub-serializer.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct sub-serializer.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant sub-serializer.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Map sub-serializer.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant sub-serializer.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit struct.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a variable-length sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a fixed-length tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begin a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begin a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begin a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// Sub-serializer for sequence elements.
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuple elements.
+pub trait SerializeTuple {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuple-struct fields.
+pub trait SerializeTupleStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for tuple-variant fields.
+pub trait SerializeTupleVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for map entries.
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one key.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serialize one value.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serialize one key-value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finish the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for struct fields.
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer for struct-variant fields.
+pub trait SerializeStructVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Uninhabited compound-serializer placeholder for serializers that
+/// reject a category of input (e.g. map keys that must be scalars).
+pub struct Impossible<Ok, Error> {
+    void: std::convert::Infallible,
+    marker: std::marker::PhantomData<(Ok, Error)>,
+}
+
+macro_rules! impossible_impl {
+    ($trait_:ident, $method:ident $(, $key:ty)?) => {
+        impl<Ok, E: Error> $trait_ for Impossible<Ok, E> {
+            type Ok = Ok;
+            type Error = E;
+            fn $method<T: Serialize + ?Sized>(
+                &mut self,
+                $(_key: $key,)?
+                _value: &T,
+            ) -> Result<(), E> {
+                match self.void {}
+            }
+            fn end(self) -> Result<Ok, E> {
+                match self.void {}
+            }
+        }
+    };
+}
+
+impossible_impl!(SerializeSeq, serialize_element);
+impossible_impl!(SerializeTuple, serialize_element);
+impossible_impl!(SerializeTupleStruct, serialize_field);
+impossible_impl!(SerializeTupleVariant, serialize_field);
+impossible_impl!(SerializeStruct, serialize_field, &'static str);
+impossible_impl!(SerializeStructVariant, serialize_field, &'static str);
+
+impl<Ok, E: Error> SerializeMap for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, _key: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, _value: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+// ---- Serialize impls for std types -----------------------------------------
+
+macro_rules! primitive_impl {
+    ($ty:ty, $method:ident) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool);
+primitive_impl!(i8, serialize_i8);
+primitive_impl!(i16, serialize_i16);
+primitive_impl!(i32, serialize_i32);
+primitive_impl!(i64, serialize_i64);
+primitive_impl!(u8, serialize_u8);
+primitive_impl!(u16, serialize_u16);
+primitive_impl!(u32, serialize_u32);
+primitive_impl!(u64, serialize_u64);
+primitive_impl!(f32, serialize_f32);
+primitive_impl!(f64, serialize_f64);
+primitive_impl!(char, serialize_char);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(
+            (*self)
+                .try_into()
+                .map_err(|_| Error::custom("i128 out of i64 range"))?,
+        )
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(
+            (*self)
+                .try_into()
+                .map_err(|_| Error::custom("u128 out of u64 range"))?,
+        )
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ToOwned + ?Sized> Serialize for std::borrow::Cow<'_, T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+fn serialize_iter<S: Serializer, T: Serialize>(
+    serializer: S,
+    len: usize,
+    iter: impl Iterator<Item = T>,
+) -> Result<S::Ok, S::Error> {
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_tuple(N)?;
+        for item in self {
+            SerializeTuple::serialize_element(&mut seq, item)?;
+        }
+        SerializeTuple::end(seq)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize, H> Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self.iter())
+    }
+}
+
+fn serialize_map_iter<'a, S, K, V, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = serializer.serialize_map(Some(len))?;
+    for (k, v) in iter {
+        map.serialize_entry(k, v)?;
+    }
+    map.end()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self.iter())
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self.iter())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($idx:tt $name:ident))+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(SerializeTuple::serialize_element(&mut tup, &self.$idx)?;)+
+                SerializeTuple::end(tup)
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (0 T0));
+tuple_impl!(2 => (0 T0) (1 T1));
+tuple_impl!(3 => (0 T0) (1 T1) (2 T2));
+tuple_impl!(4 => (0 T0) (1 T1) (2 T2) (3 T3));
+tuple_impl!(5 => (0 T0) (1 T1) (2 T2) (3 T3) (4 T4));
+tuple_impl!(6 => (0 T0) (1 T1) (2 T2) (3 T3) (4 T4) (5 T5));
+tuple_impl!(7 => (0 T0) (1 T1) (2 T2) (3 T3) (4 T4) (5 T5) (6 T6));
+tuple_impl!(8 => (0 T0) (1 T1) (2 T2) (3 T3) (4 T4) (5 T5) (6 T6) (7 T7));
+
+impl Serialize for std::time::Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Duration", 2)?;
+        SerializeStruct::serialize_field(&mut st, "secs", &self.as_secs())?;
+        SerializeStruct::serialize_field(&mut st, "nanos", &self.subsec_nanos())?;
+        SerializeStruct::end(st)
+    }
+}

@@ -1,0 +1,279 @@
+//! `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Hand-rolled token parsing (the build environment has no crates.io
+//! access, so `syn`/`quote` are unavailable). Supported input shapes —
+//! everything this workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field = newtype),
+//! * unit structs,
+//! * enums whose variants are unit, newtype, tuple, or struct-like.
+//!
+//! Generics, discriminants, and serde attributes are rejected with a
+//! compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(peek_punct(&toks, i), Some('<')) {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+
+    let body = match kw.as_str() {
+        "struct" => derive_struct(&name, &toks, &mut i),
+        "enum" => derive_enum(&name, &toks, &mut i),
+        other => panic!("serde shim derive: cannot derive Serialize for `{other}`"),
+    };
+
+    let out = format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         impl _serde::Serialize for {name} {{\n\
+         fn serialize<__S: _serde::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n\
+         }};"
+    );
+    out.parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
+
+fn derive_struct(name: &str, toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            let mut body = format!(
+                "let mut __st = _serde::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "_serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("_serde::ser::SerializeStruct::end(__st)");
+            body
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            match n {
+                0 => format!("_serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"),
+                1 => format!(
+                    "_serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                ),
+                n => {
+                    let mut body = format!(
+                        "let mut __st = _serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+                    );
+                    for idx in 0..n {
+                        body.push_str(&format!(
+                            "_serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{idx})?;\n"
+                        ));
+                    }
+                    body.push_str("_serde::ser::SerializeTupleStruct::end(__st)");
+                    body
+                }
+            }
+        }
+        _ => format!("_serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"),
+    }
+}
+
+fn derive_enum(name: &str, toks: &[TokenTree], i: &mut usize) -> String {
+    let Some(TokenTree::Group(g)) = toks.get(*i) else {
+        panic!("serde shim derive: expected enum body for `{name}`");
+    };
+    assert_eq!(
+        g.delimiter(),
+        Delimiter::Brace,
+        "serde shim derive: expected braced enum body"
+    );
+    let vtoks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut vi = 0usize;
+    let mut arms = String::new();
+    let mut index = 0u32;
+    while vi < vtoks.len() {
+        skip_attrs_and_vis(&vtoks, &mut vi);
+        if vi >= vtoks.len() {
+            break;
+        }
+        let variant = expect_ident(&vtoks, &mut vi);
+        let arm = match vtoks.get(vi) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                vi += 1;
+                let n = count_tuple_fields(g.stream());
+                let binders: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                if n == 1 {
+                    format!(
+                        "{name}::{variant}({b}) => _serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", {b}),\n",
+                        b = binders[0]
+                    )
+                } else {
+                    let mut arm = format!(
+                        "{name}::{variant}({bs}) => {{\nlet mut __sv = _serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", {n}usize)?;\n",
+                        bs = binders.join(", ")
+                    );
+                    for b in &binders {
+                        arm.push_str(&format!(
+                            "_serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                        ));
+                    }
+                    arm.push_str("_serde::ser::SerializeTupleVariant::end(__sv)\n},\n");
+                    arm
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                vi += 1;
+                let fields = parse_named_fields(g.stream());
+                let mut arm = format!(
+                    "{name}::{variant} {{ {fs} }} => {{\nlet mut __sv = _serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{variant}\", {n}usize)?;\n",
+                    fs = fields.join(", "),
+                    n = fields.len()
+                );
+                for f in &fields {
+                    arm.push_str(&format!(
+                        "_serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                    ));
+                }
+                arm.push_str("_serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                arm
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive: enum discriminants are not supported ({name}::{variant})");
+            }
+            _ => format!(
+                "{name}::{variant} => _serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{variant}\"),\n"
+            ),
+        };
+        arms.push_str(&arm);
+        index += 1;
+        if matches!(peek_punct(&vtoks, vi), Some(',')) {
+            vi += 1;
+        }
+    }
+    if arms.is_empty() {
+        // Uninhabited enum: no values can exist to serialize.
+        return "match *self {}".to_string();
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+/// Field names of a braced field list, skipping attributes, visibility,
+/// and types (angle-bracket aware so `Map<K, V>` commas don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        match peek_punct(&toks, i) {
+            Some(':') => i += 1,
+            _ => panic!(
+                "serde shim derive: expected `:` after field `{}`",
+                fields.last().unwrap()
+            ),
+        }
+        skip_type(&toks, &mut i);
+        if matches!(peek_punct(&toks, i), Some(',')) {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple body (top-level comma count, angle aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut n = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(peek_punct(&toks, i), Some(',')) {
+            i += 1;
+        }
+    }
+    n
+}
+
+/// Advance past one type, stopping at a top-level `,` or end of tokens.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle == 0 => return,
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                '-' => {
+                    // `->` in fn-pointer types: consume both so the `>`
+                    // doesn't unbalance the angle depth.
+                    if matches!(peek_punct(toks, *i + 1), Some('>')) {
+                        *i += 1;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Group(_) | TokenTree::Ident(_) | TokenTree::Literal(_) => {}
+        }
+        *i += 1;
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match toks.get(*i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 2,
+                _ => return,
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(toks: &[TokenTree], i: usize) -> Option<char> {
+    match toks.get(i) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
