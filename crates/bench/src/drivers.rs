@@ -429,6 +429,139 @@ pub fn run_baselines(scale: f64, top_k: usize) -> Table {
     table
 }
 
+/// One batch of the incremental-vs-rebuild benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct IncrementalBenchBatch {
+    /// 1-based batch number.
+    pub batch: usize,
+    /// Documents in this batch.
+    pub docs: usize,
+    /// Wall time of `FacetIndex::append` for this batch.
+    pub append_ms: f64,
+    /// Wall time of a from-scratch `FacetIndex::build` over the prefix.
+    pub rebuild_ms: f64,
+    /// Resource queries the append issued (new-distinct terms only).
+    pub append_resource_queries: u64,
+    /// Resource queries the rebuild issued (every distinct term).
+    pub rebuild_resource_queries: u64,
+}
+
+/// The incremental-vs-rebuild benchmark report (`BENCH_2.json`).
+#[derive(Debug, serde::Serialize)]
+pub struct IncrementalBenchReport {
+    /// Dataset recipe name.
+    pub dataset: String,
+    /// Total documents indexed.
+    pub total_docs: usize,
+    /// Number of append batches.
+    pub n_batches: usize,
+    /// Total wall time across all appends.
+    pub append_total_ms: f64,
+    /// Total wall time across all from-scratch rebuilds.
+    pub rebuild_total_ms: f64,
+    /// `rebuild_total_ms / append_total_ms`.
+    pub speedup: f64,
+    /// Indexing throughput of the incremental path.
+    pub append_docs_per_sec: f64,
+    /// Indexing throughput of the rebuild path (same docs, re-indexed
+    /// once per batch).
+    pub rebuild_docs_per_sec: f64,
+    /// Total resource queries on the incremental path.
+    pub append_resource_queries: u64,
+    /// Total resource queries across the rebuilds.
+    pub rebuild_resource_queries: u64,
+    /// Per-batch breakdown.
+    pub batches: Vec<IncrementalBenchBatch>,
+}
+
+/// Benchmark the incremental `FacetIndex::append` path against repeated
+/// full rebuilds over a growing SNYT-style archive: the corpus arrives
+/// in `n_batches` slices, and after each slice both strategies must have
+/// an up-to-date facet index. Rebuilds use a fresh resource cache per
+/// round (a real rebuild starts cold); the incremental index keeps its
+/// cross-batch expansion cache, which is exactly the advantage being
+/// measured.
+pub fn run_incremental_bench(scale: f64, n_batches: usize) -> IncrementalBenchReport {
+    use facet_core::FacetIndex;
+    use facet_ner::NerTagger;
+    use facet_obs::Recorder;
+    use facet_resources::{CachedResource, ContextResource, WikiGraphResource};
+    use facet_termx::{NamedEntityExtractor, TermExtractor};
+    use facet_wikipedia::WikipediaGraph;
+    use std::time::Instant;
+
+    let bundle = scaled_bundle(RecipeKind::Snyt, scale);
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let per = docs.len().div_ceil(n_batches.max(1));
+    let options = PipelineOptions::default();
+    let queries_of = |r: &Recorder| {
+        r.snapshot_counts_only()
+            .get("counter.resource.Wikipedia Graph.queries")
+            .copied()
+            .unwrap_or(0)
+    };
+
+    // Incremental path: one persistent index, one persistent cache.
+    let inc_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let inc_recorder = Recorder::enabled();
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&inc_res];
+    let mut index =
+        FacetIndex::new(extractors, resources, options.clone()).with_recorder(inc_recorder.clone());
+
+    let mut batches = Vec::new();
+    let mut prev_queries = 0u64;
+    for (i, chunk) in docs.chunks(per).enumerate() {
+        let t = Instant::now();
+        index.append(chunk.to_vec());
+        let append_ms = t.elapsed().as_secs_f64() * 1e3;
+        let append_queries = queries_of(&inc_recorder) - prev_queries;
+        prev_queries += append_queries;
+
+        // Rebuild path: index the whole prefix from scratch, cold caches.
+        let prefix_end = (per * (i + 1)).min(docs.len());
+        let rebuild_res = CachedResource::new(WikiGraphResource::new(&graph));
+        let rebuild_recorder = Recorder::enabled();
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+        let resources: Vec<&dyn ContextResource> = vec![&rebuild_res];
+        let t = Instant::now();
+        let rebuilt = FacetIndex::new(extractors, resources, options.clone())
+            .with_recorder(rebuild_recorder.clone());
+        let mut rebuilt = rebuilt;
+        rebuilt.append(docs[..prefix_end].to_vec());
+        let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        batches.push(IncrementalBenchBatch {
+            batch: i + 1,
+            docs: chunk.len(),
+            append_ms,
+            rebuild_ms,
+            append_resource_queries: append_queries,
+            rebuild_resource_queries: queries_of(&rebuild_recorder),
+        });
+    }
+
+    let append_total_ms: f64 = batches.iter().map(|b| b.append_ms).sum();
+    let rebuild_total_ms: f64 = batches.iter().map(|b| b.rebuild_ms).sum();
+    let rebuild_docs: usize = (1..=batches.len()).map(|i| (per * i).min(docs.len())).sum();
+    IncrementalBenchReport {
+        dataset: RecipeKind::Snyt.name().to_string(),
+        total_docs: docs.len(),
+        n_batches: batches.len(),
+        append_total_ms,
+        rebuild_total_ms,
+        speedup: rebuild_total_ms / append_total_ms.max(1e-9),
+        append_docs_per_sec: docs.len() as f64 / (append_total_ms / 1e3).max(1e-9),
+        rebuild_docs_per_sec: rebuild_docs as f64 / (rebuild_total_ms / 1e3).max(1e-9),
+        append_resource_queries: batches.iter().map(|b| b.append_resource_queries).sum(),
+        rebuild_resource_queries: batches.iter().map(|b| b.rebuild_resource_queries).sum(),
+        batches,
+    }
+}
+
 /// Supplementary analysis: recall per facet dimension plus the
 /// composition of the All×All candidate list (what fraction of extracted
 /// terms are facet concepts, entity names, concept nouns, or other

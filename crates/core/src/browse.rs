@@ -11,13 +11,19 @@ use crate::hierarchy::{FacetForest, TreeNode};
 use facet_corpus::DocId;
 use facet_textkit::{TermId, Vocabulary};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A browsing engine over one database and its facet forest.
+///
+/// The per-document term sets are held behind an [`Arc`], so an engine
+/// built from a [`crate::index::FacetSnapshot`] shares the snapshot's
+/// frozen state instead of copying it — the read path never needs a
+/// `&mut` anything.
 #[derive(Debug)]
 pub struct BrowseEngine {
     forest: FacetForest,
     /// Per-document term sets (contextualized), sorted.
-    doc_terms: Vec<Vec<TermId>>,
+    doc_terms: Arc<Vec<Vec<TermId>>>,
     /// Inverted: facet term → documents carrying it.
     postings: HashMap<TermId, Vec<DocId>>,
 }
@@ -26,6 +32,12 @@ impl BrowseEngine {
     /// Build the engine. `doc_terms[d]` are the (sorted, distinct) terms
     /// of document `d` in the contextualized database.
     pub fn new(forest: FacetForest, doc_terms: Vec<Vec<TermId>>) -> Self {
+        Self::from_shared(forest, Arc::new(doc_terms))
+    }
+
+    /// Build the engine over already-shared per-document term sets
+    /// (zero-copy from a snapshot).
+    pub fn from_shared(forest: FacetForest, doc_terms: Arc<Vec<Vec<TermId>>>) -> Self {
         let mut postings: HashMap<TermId, Vec<DocId>> = HashMap::new();
         let facet_terms: Vec<TermId> = {
             fn collect(n: &TreeNode, out: &mut Vec<TermId>) {

@@ -1,0 +1,601 @@
+//! The persistent, incrementally-updatable facet index.
+//!
+//! The paper's MNYT experiment (Section V) is a *growing* archive: the
+//! corpus expands month by month, yet the one-shot pipeline recomputes
+//! Steps 1–4 from scratch on every run. [`FacetIndex`] keeps the full
+//! pipeline state alive between updates:
+//!
+//! * the appendable [`TextDatabase`] with its delta-maintained df table,
+//! * the shared [`Vocabulary`],
+//! * the per-document important terms `I(d)`,
+//! * the cross-batch [`ExpansionCache`] of resolved important terms,
+//! * the contextualized database `C(D)` with its delta-maintained `df_C`
+//!   table, and
+//! * the current [`FacetSnapshot`].
+//!
+//! [`FacetIndex::append`] ingests a batch of new documents by
+//! re-extracting *only the new documents*, resolving *only
+//! newly-distinct* important terms against the resources, delta-updating
+//! both frequency tables, and re-running selection + subsumption over the
+//! updated tables. Each append atomically swaps in a fresh
+//! [`FacetSnapshot`] — an immutable, `Arc`-shared view that browse
+//! engines and evaluation harnesses read lock-free while further appends
+//! proceed.
+//!
+//! **Equivalence invariant:** appending a corpus in any batch partition
+//! yields a snapshot whose facet terms, rankings, and hierarchies are
+//! identical (as strings) to one batch build of the whole corpus. Term
+//! *ids* may differ between partitions — context terms interleave with
+//! later batches' corpus terms — which is why ranking uses
+//! [`select_facet_terms_stable`] (string tie-breaks) and every other
+//! stage is id-order-independent by construction.
+
+use crate::browse::BrowseEngine;
+use crate::config::PipelineOptions;
+use crate::hierarchy::FacetForest;
+use crate::selection::{
+    select_facet_terms_stable, FacetCandidate, SelectionInputs, SelectionStatistic,
+};
+use crate::subsumption::{build_subsumption_forest, SubsumptionParams};
+use facet_corpus::db::TermingOptions;
+use facet_corpus::{DocId, Document, TextDatabase};
+use facet_obs::Recorder;
+use facet_resources::{
+    expand_append_recorded, ContextResource, ContextualizedDatabase, ExpansionCache,
+};
+use facet_termx::{extract_important_terms, TermExtractor};
+use facet_textkit::{FrozenVocabulary, TermId, Vocabulary};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// An immutable view of the index at one generation.
+///
+/// Snapshots are what readers hold: obtaining one is an `Arc` clone under
+/// a short read lock, and everything inside is frozen — the vocabulary is
+/// a [`FrozenVocabulary`], the per-document term sets are `Arc`-shared
+/// with any [`BrowseEngine`] built from the snapshot, and no method takes
+/// `&mut`. A snapshot stays valid (and cheap to query) no matter how many
+/// appends land after it was taken.
+#[derive(Debug)]
+pub struct FacetSnapshot {
+    generation: u64,
+    vocab: FrozenVocabulary,
+    doc_terms: Arc<Vec<Vec<TermId>>>,
+    candidates: Vec<FacetCandidate>,
+    forest: FacetForest,
+}
+
+impl FacetSnapshot {
+    /// The append generation this snapshot was taken at (0 = empty index,
+    /// incremented once per [`FacetIndex::append`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of documents in the snapshot.
+    pub fn n_docs(&self) -> usize {
+        self.doc_terms.len()
+    }
+
+    /// The frozen vocabulary: resolves every term id appearing in this
+    /// snapshot, unaffected by later appends.
+    pub fn vocab(&self) -> &FrozenVocabulary {
+        &self.vocab
+    }
+
+    /// The ranked candidate facet terms.
+    pub fn candidates(&self) -> &[FacetCandidate] {
+        &self.candidates
+    }
+
+    /// The candidate facet terms as strings, in rank order.
+    pub fn facet_terms(&self) -> Vec<&str> {
+        self.candidates
+            .iter()
+            .map(|c| self.vocab.term(c.term))
+            .collect()
+    }
+
+    /// The facet hierarchies.
+    pub fn forest(&self) -> &FacetForest {
+        &self.forest
+    }
+
+    /// The contextualized per-document term sets (sorted, distinct),
+    /// shared with any browse engine built from this snapshot.
+    pub fn doc_terms(&self) -> &Arc<Vec<Vec<TermId>>> {
+        &self.doc_terms
+    }
+
+    /// Build a [`BrowseEngine`] over this snapshot. The engine shares the
+    /// snapshot's document state (no copy of the term sets) and is
+    /// entirely read-only — the OLAP-style slice/dice/pivot path never
+    /// sees a `&mut Vocabulary`.
+    pub fn browse(&self) -> BrowseEngine {
+        BrowseEngine::from_shared(self.forest.clone(), Arc::clone(&self.doc_terms))
+    }
+}
+
+/// What one [`FacetIndex::append`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Documents ingested by this append.
+    pub docs: usize,
+    /// Important terms resolved against the resources for the first time.
+    pub new_distinct_terms: usize,
+    /// Distinct important terms of this batch answered from the
+    /// cross-batch cache (resource queries saved per resource).
+    pub reused_terms: usize,
+    /// Resource queries issued (`new_distinct_terms × resources`).
+    pub resource_queries: u64,
+    /// The generation of the snapshot this append published.
+    pub generation: u64,
+}
+
+impl AppendStats {
+    /// Fraction of this batch's distinct important terms served from the
+    /// cross-batch cache (0.0 for the first batch or an empty batch).
+    pub fn cache_reuse_ratio(&self) -> f64 {
+        let total = self.new_distinct_terms + self.reused_terms;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused_terms as f64 / total as f64
+        }
+    }
+}
+
+/// The incrementally-updatable facet index.
+///
+/// Owns every piece of pipeline state; configured like a
+/// [`crate::pipeline::FacetPipeline`] with extractors, resources, and
+/// [`PipelineOptions`]. See the [module docs](self) for the lifecycle.
+///
+/// ```no_run
+/// # use facet_core::index::FacetIndex;
+/// # use facet_core::PipelineOptions;
+/// # fn demo(extractors: Vec<&dyn facet_termx::TermExtractor>,
+/// #         resources: Vec<&dyn facet_resources::ContextResource>,
+/// #         january: Vec<facet_corpus::Document>,
+/// #         february: Vec<facet_corpus::Document>) {
+/// let mut index = FacetIndex::new(extractors, resources, PipelineOptions::default());
+/// index.append(january);               // initial build
+/// let snapshot = index.snapshot();     // Arc<FacetSnapshot>, lock-free reads
+/// let stats = index.append(february);  // incremental: only new terms resolved
+/// assert!(snapshot.generation() < index.snapshot().generation());
+/// # }
+/// ```
+pub struct FacetIndex<'a> {
+    extractors: Vec<&'a dyn TermExtractor>,
+    resources: Vec<&'a dyn ContextResource>,
+    options: PipelineOptions,
+    statistic: SelectionStatistic,
+    recorder: Recorder,
+    vocab: Vocabulary,
+    db: TextDatabase,
+    /// `I(d)` per document, aligned with `db`.
+    important: Vec<Vec<String>>,
+    /// Cross-batch memo of resolved important terms.
+    cache: ExpansionCache,
+    /// The contextualized database, delta-updated per append.
+    ctx: ContextualizedDatabase,
+    /// The current published snapshot, swapped atomically per append.
+    snapshot: RwLock<Arc<FacetSnapshot>>,
+    generation: u64,
+}
+
+impl<'a> FacetIndex<'a> {
+    /// An empty index with the paper's configuration (log-likelihood
+    /// ranking, default terming).
+    pub fn new(
+        extractors: Vec<&'a dyn TermExtractor>,
+        resources: Vec<&'a dyn ContextResource>,
+        options: PipelineOptions,
+    ) -> Self {
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(Vec::new(), &mut vocab, TermingOptions::default());
+        let snapshot = Arc::new(FacetSnapshot {
+            generation: 0,
+            vocab: vocab.freeze(),
+            doc_terms: Arc::new(Vec::new()),
+            candidates: Vec::new(),
+            forest: FacetForest::default(),
+        });
+        Self {
+            extractors,
+            resources,
+            options,
+            statistic: SelectionStatistic::LogLikelihood,
+            recorder: Recorder::disabled(),
+            vocab,
+            db,
+            important: Vec::new(),
+            cache: ExpansionCache::new(),
+            ctx: ContextualizedDatabase::empty(),
+            snapshot: RwLock::new(snapshot),
+            generation: 0,
+        }
+    }
+
+    /// Build an index over an initial corpus: [`FacetIndex::new`]
+    /// followed by one [`FacetIndex::append`].
+    pub fn build(
+        docs: Vec<Document>,
+        extractors: Vec<&'a dyn TermExtractor>,
+        resources: Vec<&'a dyn ContextResource>,
+        options: PipelineOptions,
+    ) -> Self {
+        let mut index = Self::new(extractors, resources, options);
+        index.append(docs);
+        index
+    }
+
+    /// Switch the ranking statistic (ablation). Only meaningful before
+    /// the first append.
+    pub fn with_statistic(mut self, statistic: SelectionStatistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+
+    /// Attach an observability recorder. Appends record `append.*` spans
+    /// (`ingest`, `extract`, `expand`, `select`, `subsumption`, `swap`)
+    /// and counters (`append.docs`, `append.new_distinct_terms`,
+    /// `append.reused_terms`, `append.snapshot_swaps`).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Number of documents currently indexed.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True if no documents have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// The underlying text database.
+    pub fn database(&self) -> &TextDatabase {
+        &self.db
+    }
+
+    /// The live (mutable-side) vocabulary. Readers should prefer
+    /// [`FacetSnapshot::vocab`].
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The contextualized database `C(D)` in its current state.
+    pub fn contextualized(&self) -> &ContextualizedDatabase {
+        &self.ctx
+    }
+
+    /// Distinct important terms resolved so far (cache size).
+    pub fn resolved_terms(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The current snapshot. An `Arc` clone under a short read lock:
+    /// callers keep the returned snapshot for as long as they like,
+    /// entirely unaffected by concurrent appends publishing newer
+    /// generations.
+    pub fn snapshot(&self) -> Arc<FacetSnapshot> {
+        self.snapshot.read().clone()
+    }
+
+    /// Append a batch of documents and publish a new snapshot.
+    ///
+    /// Only the new documents go through Step-1 extraction; only their
+    /// newly-distinct important terms are resolved against the resources
+    /// (Step 2); both df tables are delta-updated; selection and
+    /// subsumption (Steps 3–4) re-run over the updated tables. Documents
+    /// are renumbered to positional ids — the index owns id assignment,
+    /// so month batches whose ids restart from zero can be fed directly.
+    pub fn append(&mut self, mut batch: Vec<Document>) -> AppendStats {
+        let _append_span = self.recorder.span("append");
+        let start = self.db.len();
+        for (i, d) in batch.iter_mut().enumerate() {
+            d.id = DocId((start + i) as u32);
+        }
+        let docs = batch.len();
+        {
+            let _span = self.recorder.span("ingest");
+            self.db.append(batch, &mut self.vocab);
+        }
+
+        let new_important: Vec<Vec<String>> = {
+            let _span = self.recorder.span("extract");
+            self.db.docs()[start..]
+                .iter()
+                .map(|d| extract_important_terms(&self.extractors, &d.full_text()))
+                .collect()
+        };
+
+        let outcome = {
+            let _span = self.recorder.span("expand");
+            expand_append_recorded(
+                &self.db,
+                start..self.db.len(),
+                &new_important,
+                &self.resources,
+                &mut self.vocab,
+                &self.options.expansion,
+                &self.recorder,
+                &mut self.cache,
+                &mut self.ctx,
+            )
+            .expect("index append ranges are maintained internally")
+        };
+        self.important.extend(new_important);
+
+        let candidates = {
+            let _span = self.recorder.span("select");
+            let df = self.db.df_table_resized(self.vocab.len());
+            select_facet_terms_stable(
+                SelectionInputs {
+                    df: &df,
+                    df_c: self.ctx.df_table(),
+                    n_docs: self.db.len() as u64,
+                },
+                self.statistic,
+                self.options.top_k,
+                self.options.min_df_c,
+                &self.vocab,
+            )
+        };
+
+        let forest = {
+            let _span = self.recorder.span("subsumption");
+            let terms: Vec<TermId> = candidates.iter().map(|c| c.term).collect();
+            let sub = build_subsumption_forest(
+                &terms,
+                &self.ctx.doc_terms,
+                SubsumptionParams {
+                    threshold: self.options.subsumption_threshold,
+                    ..Default::default()
+                },
+            );
+            FacetForest::from_subsumption(&sub, &self.vocab, |t| self.ctx.df_c(t))
+        };
+
+        self.generation += 1;
+        {
+            let _span = self.recorder.span("swap");
+            let snapshot = Arc::new(FacetSnapshot {
+                generation: self.generation,
+                vocab: self.vocab.freeze(),
+                doc_terms: Arc::new(self.ctx.doc_terms.clone()),
+                candidates,
+                forest,
+            });
+            *self.snapshot.write() = snapshot;
+        }
+
+        self.recorder.add("append.docs", docs as u64);
+        self.recorder.add(
+            "append.new_distinct_terms",
+            outcome.new_distinct_terms as u64,
+        );
+        self.recorder
+            .add("append.reused_terms", outcome.reused_terms as u64);
+        self.recorder.incr("append.snapshot_swaps");
+
+        AppendStats {
+            docs,
+            new_distinct_terms: outcome.new_distinct_terms,
+            reused_terms: outcome.reused_terms,
+            resource_queries: (outcome.new_distinct_terms * self.resources.len()) as u64,
+            generation: self.generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct FixedExtractor;
+    impl TermExtractor for FixedExtractor {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn extract(&self, text: &str) -> Vec<String> {
+            let mut out = Vec::new();
+            if text.contains("Jacques Chirac") {
+                out.push("jacques chirac".into());
+            }
+            if text.contains("Angela Merkel") {
+                out.push("angela merkel".into());
+            }
+            out
+        }
+    }
+
+    struct FixedResource(HashMap<&'static str, Vec<&'static str>>);
+    impl ContextResource for FixedResource {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            self.0
+                .get(term)
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default()
+        }
+    }
+
+    fn resource() -> FixedResource {
+        let mut map = HashMap::new();
+        map.insert("jacques chirac", vec!["political leaders", "france"]);
+        map.insert("angela merkel", vec!["political leaders", "germany"]);
+        FixedResource(map)
+    }
+
+    fn doc(id: u32, text: &str) -> Document {
+        Document {
+            id: DocId(id),
+            source: 0,
+            day: 0,
+            title: "Story".into(),
+            text: text.into(),
+        }
+    }
+
+    fn chirac_docs(n: usize) -> Vec<Document> {
+        (0..n as u32)
+            .map(|i| {
+                doc(
+                    i,
+                    "Jacques Chirac discussed matters with advisers in the capital.",
+                )
+            })
+            .collect()
+    }
+
+    fn merkel_docs(n: usize) -> Vec<Document> {
+        (0..n as u32)
+            .map(|i| doc(i, "Angela Merkel spoke with ministers about the budget."))
+            .collect()
+    }
+
+    fn options() -> PipelineOptions {
+        PipelineOptions {
+            top_k: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_index_has_generation_zero() {
+        let e = FixedExtractor;
+        let r = resource();
+        let index = FacetIndex::new(vec![&e], vec![&r], options());
+        let snap = index.snapshot();
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.n_docs(), 0);
+        assert!(snap.facet_terms().is_empty());
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn build_selects_context_facets() {
+        let e = FixedExtractor;
+        let r = resource();
+        let index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        let snap = index.snapshot();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.n_docs(), 12);
+        let terms = snap.facet_terms();
+        assert!(terms.contains(&"political leaders"), "{terms:?}");
+        assert!(terms.contains(&"france"), "{terms:?}");
+    }
+
+    #[test]
+    fn append_reuses_resolved_terms() {
+        let e = FixedExtractor;
+        let r = resource();
+        let mut index = FacetIndex::new(vec![&e], vec![&r], options());
+        let first = index.append(chirac_docs(8));
+        assert_eq!(first.docs, 8);
+        assert_eq!(first.new_distinct_terms, 1);
+        assert_eq!(first.reused_terms, 0);
+        assert_eq!(first.resource_queries, 1);
+
+        // Same entity again: fully served from the cache.
+        let second = index.append(chirac_docs(4));
+        assert_eq!(second.new_distinct_terms, 0);
+        assert_eq!(second.reused_terms, 1);
+        assert_eq!(second.resource_queries, 0);
+        assert!((second.cache_reuse_ratio() - 1.0).abs() < 1e-12);
+
+        // A new entity costs exactly one resolution.
+        let third = index.append(merkel_docs(6));
+        assert_eq!(third.new_distinct_terms, 1);
+        assert_eq!(third.generation, 3);
+        assert_eq!(index.len(), 18);
+        assert_eq!(index.resolved_terms(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_appends() {
+        let e = FixedExtractor;
+        let r = resource();
+        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        let old = index.snapshot();
+        let old_terms: Vec<String> = old.facet_terms().iter().map(|s| s.to_string()).collect();
+        index.append(merkel_docs(12));
+        // The old snapshot still answers from its frozen state.
+        assert_eq!(old.n_docs(), 12);
+        assert_eq!(
+            old.facet_terms()
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            old_terms
+        );
+        assert_eq!(old.vocab().get("germany"), None, "frozen before merkel");
+        // The new snapshot sees the new entity.
+        let new = index.snapshot();
+        assert_eq!(new.n_docs(), 24);
+        assert!(new.facet_terms().contains(&"germany"));
+        assert!(new.generation() > old.generation());
+    }
+
+    #[test]
+    fn snapshot_browse_is_read_only_and_shared() {
+        let e = FixedExtractor;
+        let r = resource();
+        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        index.append(merkel_docs(12));
+        let snap = index.snapshot();
+        let engine = snap.browse();
+        assert_eq!(engine.n_docs(), 24);
+        let leaders = snap.vocab().get("political leaders").unwrap();
+        assert_eq!(engine.docs_with(leaders).len(), 24);
+        let france = snap.vocab().get("france").unwrap();
+        assert_eq!(engine.docs_with(france).len(), 12);
+        // Reads work from plain `&` across threads (Arc-shared state).
+        let snap2 = Arc::clone(&snap);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let engine = snap2.browse();
+                assert_eq!(engine.select(&[france]).len(), 12);
+            });
+        });
+    }
+
+    #[test]
+    fn append_counters_recorded() {
+        let e = FixedExtractor;
+        let r = resource();
+        let recorder = Recorder::enabled();
+        let mut index =
+            FacetIndex::new(vec![&e], vec![&r], options()).with_recorder(recorder.clone());
+        index.append(chirac_docs(8));
+        index.append(chirac_docs(4));
+        let counts = recorder.snapshot_counts_only();
+        assert_eq!(counts["counter.append.docs"], 12);
+        assert_eq!(counts["counter.append.new_distinct_terms"], 1);
+        assert_eq!(counts["counter.append.reused_terms"], 1);
+        assert_eq!(counts["counter.append.snapshot_swaps"], 2);
+        assert_eq!(counts["span.append.count"], 2);
+        assert_eq!(counts["span.append.expand.count"], 2);
+        assert_eq!(counts["span.append.select.count"], 2);
+        assert_eq!(counts["span.append.subsumption.count"], 2);
+        // Resource queried exactly once across both appends.
+        assert_eq!(counts["counter.resource.Fixed.queries"], 1);
+    }
+}

@@ -22,16 +22,20 @@
 //!    per-facet trees; [`browse`] exposes the resulting OLAP-style
 //!    faceted browsing engine.
 //!
-//! [`pipeline::FacetPipeline`] ties everything together behind one call;
-//! [`baseline`] holds the comparison systems (the raw-subsumption
-//! hierarchy of the paper's Figure 5, and a chi-square selection variant
-//! for the ablation study).
+//! [`pipeline::FacetPipeline`] ties everything together behind one call
+//! for one-shot batch runs; [`index::FacetIndex`] is the persistent,
+//! incrementally-updatable form of the same engine, serving reads
+//! through atomically-swapped [`index::FacetSnapshot`]s; [`baseline`]
+//! holds the comparison systems (the raw-subsumption hierarchy of the
+//! paper's Figure 5, and a chi-square selection variant for the
+//! ablation study).
 
 pub mod baseline;
 pub mod browse;
 pub mod config;
 pub mod evidence;
 pub mod hierarchy;
+pub mod index;
 pub mod pipeline;
 pub mod selection;
 pub mod subsumption;
@@ -41,6 +45,10 @@ pub use browse::BrowseEngine;
 pub use config::PipelineOptions;
 pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use hierarchy::{FacetForest, FacetTree, TreeNode};
+pub use index::{AppendStats, FacetIndex, FacetSnapshot};
 pub use pipeline::{FacetExtraction, FacetPipeline};
-pub use selection::{select_facet_terms, FacetCandidate, SelectionInputs, SelectionStatistic};
+pub use selection::{
+    select_facet_terms, select_facet_terms_stable, FacetCandidate, SelectionInputs,
+    SelectionStatistic,
+};
 pub use subsumption::{build_subsumption_forest, SubsumptionForest, SubsumptionParams};

@@ -1,8 +1,18 @@
 //! The end-to-end facet pipeline (Steps 1–3 plus hierarchy construction).
+//!
+//! [`FacetPipeline`] is the one-shot batch facade: it borrows a
+//! [`TextDatabase`] and runs the stages once. It shares its building
+//! blocks — the append-based expansion engine and the interning-order
+//! independent [`select_facet_terms_stable`] ranking — with the
+//! incremental [`crate::index::FacetIndex`], so a batch run and a
+//! sequence of index appends over the same corpus produce identical
+//! facet terms, rankings, and hierarchies.
 
 use crate::config::PipelineOptions;
 use crate::hierarchy::FacetForest;
-use crate::selection::{select_facet_terms, FacetCandidate, SelectionInputs, SelectionStatistic};
+use crate::selection::{
+    select_facet_terms_stable, FacetCandidate, SelectionInputs, SelectionStatistic,
+};
 use crate::subsumption::{build_subsumption_forest, SubsumptionParams};
 use facet_corpus::TextDatabase;
 use facet_obs::Recorder;
@@ -126,7 +136,7 @@ impl<'a> FacetPipeline<'a> {
         let candidates = {
             let _span = self.recorder.span("select");
             let df = db.df_table_resized(vocab.len());
-            select_facet_terms(
+            select_facet_terms_stable(
                 SelectionInputs {
                     df: &df,
                     df_c: contextualized.df_table(),
@@ -135,6 +145,7 @@ impl<'a> FacetPipeline<'a> {
                 self.statistic,
                 self.options.top_k,
                 self.options.min_df_c,
+                vocab,
             )
         };
         self.recorder

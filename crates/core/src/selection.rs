@@ -9,7 +9,7 @@
 //! (or, for the ablation study, by chi-square).
 
 use facet_stats::{chi_square_df, log_likelihood_ratio, rank_bins};
-use facet_textkit::TermId;
+use facet_textkit::{TermId, Vocabulary};
 
 /// Which significance statistic ranks the candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,13 +50,13 @@ pub struct SelectionInputs<'a> {
     pub n_docs: u64,
 }
 
-/// Run the selection: returns candidates with both shifts positive,
-/// ranked by `statistic` descending, truncated to `top_k`.
-/// `min_df_c` filters terms too rare in `C(D)` to be meaningful facets.
-pub fn select_facet_terms(
+/// Collect every candidate passing the shift and `min_df_c` filters,
+/// unranked. The candidate *set* depends only on the frequency tables
+/// (rank bins use competition ranking, so ties share a bin), never on
+/// term-id assignment order.
+fn collect_candidates(
     inputs: SelectionInputs<'_>,
     statistic: SelectionStatistic,
-    top_k: usize,
     min_df_c: u64,
 ) -> Vec<FacetCandidate> {
     let vocab_len = inputs.df_c.len().max(inputs.df.len());
@@ -91,10 +91,61 @@ pub fn select_facet_terms(
             score,
         });
     }
+    candidates
+}
+
+/// Run the selection: returns candidates with both shifts positive,
+/// ranked by `statistic` descending, truncated to `top_k`.
+/// `min_df_c` filters terms too rare in `C(D)` to be meaningful facets.
+///
+/// Score ties break on [`TermId`], i.e. interning order. When the same
+/// corpus can be reached through different interning histories (batch
+/// build vs incremental appends), use [`select_facet_terms_stable`],
+/// whose ordering is independent of id assignment.
+pub fn select_facet_terms(
+    inputs: SelectionInputs<'_>,
+    statistic: SelectionStatistic,
+    top_k: usize,
+    min_df_c: u64,
+) -> Vec<FacetCandidate> {
+    let mut candidates = collect_candidates(inputs, statistic, min_df_c);
     candidates.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
             .expect("scores are finite")
+            .then_with(|| a.term.cmp(&b.term))
+    });
+    candidates.truncate(top_k);
+    candidates
+}
+
+/// [`select_facet_terms`] with an interning-order-independent ranking:
+/// score ties break on the term *string* (then id, unreachable for
+/// distinct strings in one vocabulary).
+///
+/// This is the ordering the incremental [`crate::index::FacetIndex`] and
+/// the one-shot [`crate::pipeline::FacetPipeline`] share: appending a
+/// corpus in batches interleaves context-term interning with later
+/// batches' corpus terms, so ids differ from a one-shot build, but the
+/// string-ranked candidate list comes out identical.
+pub fn select_facet_terms_stable(
+    inputs: SelectionInputs<'_>,
+    statistic: SelectionStatistic,
+    top_k: usize,
+    min_df_c: u64,
+    vocab: &Vocabulary,
+) -> Vec<FacetCandidate> {
+    let mut candidates = collect_candidates(inputs, statistic, min_df_c);
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| {
+                vocab
+                    .try_term(a.term)
+                    .unwrap_or("")
+                    .cmp(vocab.try_term(b.term).unwrap_or(""))
+            })
             .then_with(|| a.term.cmp(&b.term))
     });
     candidates.truncate(top_k);
@@ -207,6 +258,41 @@ mod tests {
             1,
         );
         assert!(out.iter().any(|c| c.term == TermId(1)));
+    }
+
+    #[test]
+    fn stable_ranking_breaks_ties_by_string_not_id() {
+        // "zebra" is interned before "apple"; both have identical
+        // statistics, so their scores tie exactly.
+        let mut vocab = Vocabulary::new();
+        vocab.intern("zebra");
+        vocab.intern("apple");
+        let mut df = vec![0u64, 0];
+        let mut df_c = vec![420u64, 420];
+        for i in 0..20 {
+            vocab.intern(&format!("filler{i:02}"));
+            df.push(300 - i * 10);
+            df_c.push(305 - i * 10);
+        }
+        let inputs = SelectionInputs {
+            df: &df,
+            df_c: &df_c,
+            n_docs: 1000,
+        };
+        let plain = select_facet_terms(inputs, SelectionStatistic::LogLikelihood, 100, 1);
+        let stable =
+            select_facet_terms_stable(inputs, SelectionStatistic::LogLikelihood, 100, 1, &vocab);
+        // Same candidate set either way.
+        let mut p: Vec<u32> = plain.iter().map(|c| c.term.0).collect();
+        let mut s: Vec<u32> = stable.iter().map(|c| c.term.0).collect();
+        p.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(p, s);
+        // Tie order: plain follows ids (zebra first), stable follows
+        // strings (apple first).
+        assert_eq!(plain[0].term, TermId(0), "id order puts zebra first");
+        assert_eq!(stable[0].term, TermId(1), "string order puts apple first");
+        assert_eq!(stable[1].term, TermId(0));
     }
 
     #[test]

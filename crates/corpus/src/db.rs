@@ -100,6 +100,43 @@ impl TextDatabase {
         }
     }
 
+    /// Append `docs` to the database, interning their terms into `vocab`
+    /// and delta-updating the document-frequency table. Returns the index
+    /// range of the newly-added documents.
+    ///
+    /// Appending in batches is equivalent to building once from the
+    /// concatenation: the df table ends up with identical counts, and the
+    /// per-document term sets are extracted with the same
+    /// [`TermingOptions`] the database was built with. Documents are
+    /// expected to carry positional ids (`docs[i].id == DocId(len + i)`),
+    /// matching the invariant `build` establishes.
+    pub fn append(
+        &mut self,
+        docs: Vec<Document>,
+        vocab: &mut Vocabulary,
+    ) -> std::ops::Range<usize> {
+        let start = self.docs.len();
+        let mut scratch = Vec::new();
+        for (offset, d) in docs.iter().enumerate() {
+            debug_assert_eq!(
+                d.id.index(),
+                start + offset,
+                "appended documents must carry positional ids"
+            );
+            scratch.clear();
+            extract_terms(&d.full_text(), &self.options, vocab, &mut scratch);
+            self.doc_terms.push(scratch.clone());
+        }
+        self.df.resize(self.df.len().max(vocab.len()), 0);
+        for terms in &self.doc_terms[start..] {
+            for t in terms {
+                self.df[t.index()] += 1;
+            }
+        }
+        self.docs.extend(docs);
+        start..self.docs.len()
+    }
+
     /// Number of documents.
     pub fn len(&self) -> usize {
         self.docs.len()
@@ -260,5 +297,50 @@ mod tests {
         let db = TextDatabase::build(vec![], &mut vocab, TermingOptions::default());
         assert!(db.is_empty());
         assert_eq!(db.len(), 0);
+    }
+
+    #[test]
+    fn append_matches_batch_build() {
+        let all = vec![
+            doc(0, "A", "the war escalated in the capital"),
+            doc(1, "B", "peace talks resumed near the border"),
+            doc(2, "C", "markets rallied as war fears eased"),
+            doc(3, "D", "the border patrol reported calm"),
+        ];
+        // One-shot build.
+        let mut vocab_batch = Vocabulary::new();
+        let batch = TextDatabase::build(all.clone(), &mut vocab_batch, TermingOptions::default());
+        // Incremental: empty build + two appends.
+        let mut vocab_inc = Vocabulary::new();
+        let mut inc = TextDatabase::build(vec![], &mut vocab_inc, TermingOptions::default());
+        let r1 = inc.append(all[..2].to_vec(), &mut vocab_inc);
+        assert_eq!(r1, 0..2);
+        let r2 = inc.append(all[2..].to_vec(), &mut vocab_inc);
+        assert_eq!(r2, 2..4);
+        assert_eq!(inc.len(), batch.len());
+        // Same interleaving (docs in order) → identical ids and tables.
+        assert_eq!(vocab_inc.len(), vocab_batch.len());
+        for i in 0..batch.len() {
+            assert_eq!(
+                inc.doc_terms(DocId(i as u32)),
+                batch.doc_terms(DocId(i as u32))
+            );
+        }
+        assert_eq!(inc.df_table(), batch.df_table());
+    }
+
+    #[test]
+    fn append_df_accounts_only_new_docs() {
+        let mut vocab = Vocabulary::new();
+        let mut db = TextDatabase::build(
+            vec![doc(0, "A", "alpha beta")],
+            &mut vocab,
+            TermingOptions::default(),
+        );
+        db.append(vec![doc(1, "B", "beta gamma")], &mut vocab);
+        assert_eq!(db.df(vocab.get("alpha").unwrap()), 1);
+        assert_eq!(db.df(vocab.get("beta").unwrap()), 2);
+        assert_eq!(db.df(vocab.get("gamma").unwrap()), 1);
+        assert_eq!(db.len(), 2);
     }
 }

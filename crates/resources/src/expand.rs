@@ -6,6 +6,14 @@
 //! document. Since the same important term recurs across many documents,
 //! resource queries are resolved once per *distinct* term (memoized), and
 //! the distinct-term resolution fans out across threads with crossbeam.
+//!
+//! The engine is **incremental**: [`expand_append_recorded`] expands only
+//! a suffix of the database (newly-appended documents) into an existing
+//! [`ContextualizedDatabase`], resolving only the important terms that an
+//! [`ExpansionCache`] has not seen in any earlier batch. The one-shot
+//! [`expand_database`] entry points are the degenerate single-batch case
+//! of the same code path, which is what makes batch and incremental
+//! expansion produce identical results.
 
 use crate::resource::ContextResource;
 use facet_corpus::TextDatabase;
@@ -13,7 +21,105 @@ use facet_obs::{Counter, HistogramHandle, Recorder};
 use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 use std::time::Instant;
+
+/// A structural mismatch between the expansion inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpansionError {
+    /// `important_terms` does not align one-to-one with the documents to
+    /// expand (one `I(d)` list per document is required).
+    DocumentCountMismatch {
+        /// Documents the caller asked to expand.
+        documents: usize,
+        /// `I(d)` lists supplied.
+        important: usize,
+    },
+    /// An incremental append's document range does not continue the
+    /// existing contextualized state (`ctx.len()` must equal the range
+    /// start, and the range must end at the database's current length).
+    AppendMisaligned {
+        /// Documents already present in the contextualized database.
+        ctx_docs: usize,
+        /// The requested document range.
+        range: Range<usize>,
+        /// Documents in the underlying database.
+        db_docs: usize,
+    },
+}
+
+impl std::fmt::Display for ExpansionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpansionError::DocumentCountMismatch {
+                documents,
+                important,
+            } => write!(
+                f,
+                "one I(d) per document required: {documents} documents but {important} \
+                 important-term lists"
+            ),
+            ExpansionError::AppendMisaligned {
+                ctx_docs,
+                range,
+                db_docs,
+            } => write!(
+                f,
+                "append range {range:?} does not continue the contextualized database \
+                 ({ctx_docs} documents expanded, {db_docs} in the database)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExpansionError {}
+
+/// Cross-batch memo of resolved important terms.
+///
+/// Holds `term → context terms` for every distinct important term ever
+/// resolved through it, so a later [`expand_append_recorded`] batch
+/// queries the resources only for terms no earlier batch has seen.
+/// Resources are deterministic by contract ([`ContextResource`]), so
+/// reuse is transparent.
+#[derive(Debug, Default)]
+pub struct ExpansionCache {
+    resolved: HashMap<String, Vec<String>>,
+}
+
+impl ExpansionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct important terms resolved so far.
+    pub fn len(&self) -> usize {
+        self.resolved.len()
+    }
+
+    /// True if no terms have been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.resolved.is_empty()
+    }
+
+    /// True if `term` has already been resolved.
+    pub fn contains(&self, term: &str) -> bool {
+        self.resolved.contains_key(term)
+    }
+}
+
+/// What one incremental expansion batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Documents expanded in this batch.
+    pub docs: usize,
+    /// Distinct important terms resolved against the resources for the
+    /// first time (each costs one query per resource).
+    pub new_distinct_terms: usize,
+    /// Distinct important terms of this batch answered from the
+    /// [`ExpansionCache`] without touching any resource.
+    pub reused_terms: usize,
+}
 
 /// Options for the expansion engine.
 #[derive(Debug, Clone)]
@@ -41,6 +147,16 @@ pub struct ContextualizedDatabase {
 }
 
 impl ContextualizedDatabase {
+    /// An empty contextualized database, ready to receive appends via
+    /// [`expand_append_recorded`].
+    pub fn empty() -> Self {
+        Self {
+            doc_terms: Vec::new(),
+            df_c: Vec::new(),
+            doc_context_terms: Vec::new(),
+        }
+    }
+
     /// Document frequency of a term in `C(D)`.
     pub fn df_c(&self, t: TermId) -> u64 {
         self.df_c.get(t.index()).copied().unwrap_or(0)
@@ -99,6 +215,10 @@ struct ResourceMetrics {
 /// (`expand.context_terms_per_query`), and summary counters
 /// (`expand.distinct_terms`). With a disabled recorder this is exactly
 /// [`expand_database`].
+///
+/// # Panics
+/// Panics if `important_terms` does not align with the documents. The
+/// fallible form is [`try_expand_database_recorded`].
 pub fn expand_database_recorded(
     db: &TextDatabase,
     important_terms: &[Vec<String>],
@@ -107,20 +227,104 @@ pub fn expand_database_recorded(
     options: &ExpansionOptions,
     recorder: &Recorder,
 ) -> ContextualizedDatabase {
-    assert_eq!(db.len(), important_terms.len(), "one I(d) per document");
+    match try_expand_database_recorded(db, important_terms, resources, vocab, options, recorder) {
+        Ok(ctx) => ctx,
+        Err(e) => panic!("{e}"),
+    }
+}
 
-    // ---- distinct important terms -----------------------------------------
-    let mut distinct: Vec<&str> = {
-        let mut set: HashSet<&str> = HashSet::new();
+/// Fallible [`expand_database_recorded`]: returns a typed
+/// [`ExpansionError`] instead of panicking on malformed input.
+///
+/// Implemented as a single [`expand_append_recorded`] batch over the whole
+/// database with a fresh [`ExpansionCache`], so the one-shot and
+/// incremental paths cannot drift apart.
+pub fn try_expand_database_recorded(
+    db: &TextDatabase,
+    important_terms: &[Vec<String>],
+    resources: &[&dyn ContextResource],
+    vocab: &mut Vocabulary,
+    options: &ExpansionOptions,
+    recorder: &Recorder,
+) -> Result<ContextualizedDatabase, ExpansionError> {
+    let mut cache = ExpansionCache::new();
+    let mut ctx = ContextualizedDatabase::empty();
+    expand_append_recorded(
+        db,
+        0..db.len(),
+        important_terms,
+        resources,
+        vocab,
+        options,
+        recorder,
+        &mut cache,
+        &mut ctx,
+    )?;
+    Ok(ctx)
+}
+
+/// Incrementally expand the documents `doc_range` (a suffix of `db`,
+/// typically just appended) into `ctx`.
+///
+/// * `important_terms[i]` is `I(d)` for document `doc_range.start + i`.
+/// * Only important terms absent from `cache` are sent to the resources;
+///   everything else is answered from the memo. The cache is updated in
+///   place, so successive batches keep getting cheaper.
+/// * `ctx` gains one entry per new document and its `df_c` table is
+///   delta-updated; documents already expanded are untouched.
+///
+/// Appending a corpus in any batch partition yields a `ctx` identical to
+/// one whole-corpus expansion **given the same vocabulary interning
+/// history**; term *strings* and frequencies are identical under any
+/// partition (ids can differ because context terms interleave with later
+/// batches' corpus terms).
+#[allow(clippy::too_many_arguments)]
+pub fn expand_append_recorded(
+    db: &TextDatabase,
+    doc_range: Range<usize>,
+    important_terms: &[Vec<String>],
+    resources: &[&dyn ContextResource],
+    vocab: &mut Vocabulary,
+    options: &ExpansionOptions,
+    recorder: &Recorder,
+    cache: &mut ExpansionCache,
+    ctx: &mut ContextualizedDatabase,
+) -> Result<AppendOutcome, ExpansionError> {
+    if doc_range.len() != important_terms.len() {
+        return Err(ExpansionError::DocumentCountMismatch {
+            documents: doc_range.len(),
+            important: important_terms.len(),
+        });
+    }
+    if ctx.len() != doc_range.start || doc_range.end != db.len() {
+        return Err(ExpansionError::AppendMisaligned {
+            ctx_docs: ctx.len(),
+            range: doc_range,
+            db_docs: db.len(),
+        });
+    }
+
+    // ---- distinct important terms not yet resolved --------------------------
+    let (new_distinct, batch_distinct) = {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut fresh: Vec<&str> = Vec::new();
         for terms in important_terms {
             for t in terms {
-                set.insert(t.as_str());
+                if seen.insert(t.as_str()) && !cache.contains(t) {
+                    fresh.push(t.as_str());
+                }
             }
         }
-        set.into_iter().collect()
+        fresh.sort_unstable(); // deterministic order
+        (fresh, seen.len())
     };
-    distinct.sort_unstable(); // deterministic order
-    recorder.add("expand.distinct_terms", distinct.len() as u64);
+    let outcome = AppendOutcome {
+        docs: doc_range.len(),
+        new_distinct_terms: new_distinct.len(),
+        reused_terms: batch_distinct - new_distinct.len(),
+    };
+    recorder.add("expand.distinct_terms", new_distinct.len() as u64);
+    recorder.add("expand.reused_terms", outcome.reused_terms as u64);
 
     let metrics: Vec<ResourceMetrics> = resources
         .iter()
@@ -132,15 +336,18 @@ pub fn expand_database_recorded(
     let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
     let timing = recorder.is_enabled();
 
-    // ---- resolve context terms per distinct term (parallel) ----------------
+    // ---- resolve context terms per new distinct term (parallel) -------------
     let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query, timing);
-    let resolved: HashMap<&str, Vec<String>> = if options.threads <= 1 || distinct.len() < 32 {
-        distinct.iter().map(|&t| (t, resolve(t))).collect()
+    if options.threads <= 1 || new_distinct.len() < 32 {
+        for &t in &new_distinct {
+            let terms = resolve(t);
+            cache.resolved.insert(t.to_string(), terms);
+        }
     } else {
-        let results: Mutex<HashMap<&str, Vec<String>>> = Mutex::new(HashMap::new());
-        let chunk = distinct.len().div_ceil(options.threads);
+        let results: Mutex<Vec<(&str, Vec<String>)>> = Mutex::new(Vec::new());
+        let chunk = new_distinct.len().div_ceil(options.threads);
         crossbeam::scope(|s| {
-            for part in distinct.chunks(chunk) {
+            for part in new_distinct.chunks(chunk) {
                 let results = &results;
                 let resolve = &resolve;
                 s.spawn(move |_| {
@@ -151,18 +358,18 @@ pub fn expand_database_recorded(
             }
         })
         .expect("expansion worker panicked");
-        results.into_inner()
-    };
+        for (t, terms) in results.into_inner() {
+            cache.resolved.insert(t.to_string(), terms);
+        }
+    }
 
-    // ---- per-document union and frequency count -----------------------------
-    let mut doc_terms = Vec::with_capacity(db.len());
-    let mut doc_context_terms = Vec::with_capacity(db.len());
-    let mut df_c: Vec<u64> = Vec::new();
+    // ---- per-document union and frequency delta -----------------------------
     for (i, terms) in important_terms.iter().enumerate() {
+        let doc_index = doc_range.start + i;
         let mut context_ids: Vec<TermId> = Vec::new();
         for t in terms {
-            if let Some(ctx) = resolved.get(t.as_str()) {
-                for c in ctx {
+            if let Some(ctx_terms) = cache.resolved.get(t.as_str()) {
+                for c in ctx_terms {
                     context_ids.push(vocab.intern(c));
                 }
             }
@@ -170,27 +377,23 @@ pub fn expand_database_recorded(
         context_ids.sort_unstable();
         context_ids.dedup();
 
-        let mut all: Vec<TermId> = db.doc_terms(facet_corpus::DocId(i as u32)).to_vec();
+        let mut all: Vec<TermId> = db.doc_terms(facet_corpus::DocId(doc_index as u32)).to_vec();
         all.extend(context_ids.iter().copied());
         all.sort_unstable();
         all.dedup();
 
         for &t in &all {
-            if t.index() >= df_c.len() {
-                df_c.resize(t.index() + 1, 0);
+            if t.index() >= ctx.df_c.len() {
+                ctx.df_c.resize(t.index() + 1, 0);
             }
-            df_c[t.index()] += 1;
+            ctx.df_c[t.index()] += 1;
         }
-        doc_terms.push(all);
-        doc_context_terms.push(context_ids);
+        ctx.doc_terms.push(all);
+        ctx.doc_context_terms.push(context_ids);
     }
-    df_c.resize(df_c.len().max(vocab.len()), 0);
+    ctx.df_c.resize(ctx.df_c.len().max(vocab.len()), 0);
 
-    ContextualizedDatabase {
-        doc_terms,
-        df_c,
-        doc_context_terms,
-    }
+    Ok(outcome)
 }
 
 /// Query every resource for one term; union, normalize, filter.
@@ -204,7 +407,11 @@ fn resolve_term(
     ctx_per_query: &HistogramHandle,
     timing: bool,
 ) -> Vec<String> {
+    // Order-preserving dedup: the Vec keeps first-seen order (resource
+    // priority), the HashSet makes membership O(1) instead of the old
+    // O(n²) `Vec::contains` scan per retrieved term.
     let mut out: Vec<String> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
     for (r, m) in resources.iter().zip(metrics) {
         m.queries.incr();
         let raw_terms = if timing {
@@ -220,7 +427,7 @@ fn resolve_term(
             if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {
                 continue;
             }
-            if !out.contains(&c) {
+            if seen.insert(c.clone()) {
                 out.push(c);
             }
         }
@@ -330,6 +537,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
+        // Interning happens post-resolution in document order, so TermId
+        // assignments must be *byte-identical* across thread counts — not
+        // merely equal as string sets. This invariant is what lets
+        // downstream tables be compared across configurations.
         let (db, mut vocab1, important) = fixture();
         let r = chirac_resource();
         let serial = expand_database(
@@ -347,23 +558,15 @@ mod tests {
             &mut vocab2,
             &ExpansionOptions { threads: 4 },
         );
-        assert_eq!(serial.doc_terms.len(), parallel.doc_terms.len());
-        // Same terms by string (vocab ids may differ in interning order).
-        for i in 0..serial.doc_terms.len() {
-            let s: Vec<&str> = serial.doc_terms[i]
-                .iter()
-                .map(|&t| vocab1.term(t))
-                .collect();
-            let p: Vec<&str> = parallel.doc_terms[i]
-                .iter()
-                .map(|&t| vocab2.term(t))
-                .collect();
-            let mut s = s.clone();
-            let mut p = p.clone();
-            s.sort_unstable();
-            p.sort_unstable();
-            assert_eq!(s, p);
+        // Identical vocabularies: same terms assigned the same ids.
+        assert_eq!(vocab1.len(), vocab2.len());
+        for (id, term) in vocab1.iter() {
+            assert_eq!(vocab2.term(id), term, "TermId {id:?} must agree");
         }
+        // Identical per-document id sets and frequency tables, bit for bit.
+        assert_eq!(serial.doc_terms, parallel.doc_terms);
+        assert_eq!(serial.doc_context_terms, parallel.doc_context_terms);
+        assert_eq!(serial.df_table(), parallel.df_table());
     }
 
     #[test]
@@ -409,9 +612,134 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mismatched_lengths_panic() {
+    fn mismatched_lengths_typed_error() {
+        let (db, mut vocab, _) = fixture();
+        let err = try_expand_database_recorded(
+            &db,
+            &[],
+            &[],
+            &mut vocab,
+            &ExpansionOptions::default(),
+            Recorder::disabled_ref(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExpansionError::DocumentCountMismatch {
+                documents: 2,
+                important: 0,
+            }
+        );
+        assert!(err.to_string().contains("one I(d) per document"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one I(d) per document")]
+    fn mismatched_lengths_panicking_wrapper() {
+        // The infallible wrapper keeps the historical panic for callers
+        // (FacetPipeline) that treat the mismatch as a programming error.
         let (db, mut vocab, _) = fixture();
         let _ = expand_database(&db, &[], &[], &mut vocab, &ExpansionOptions::default());
+    }
+
+    #[test]
+    fn misaligned_append_rejected() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let mut cache = ExpansionCache::new();
+        let mut ctx = ContextualizedDatabase::empty();
+        // Range does not start at ctx.len().
+        let err = expand_append_recorded(
+            &db,
+            1..2,
+            &important[1..],
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExpansionError::AppendMisaligned { .. }));
+    }
+
+    #[test]
+    fn incremental_append_reuses_cache() {
+        let (db, _vocab, important) = fixture();
+        let r = chirac_resource();
+        let rec = facet_obs::Recorder::enabled();
+        let mut cache = ExpansionCache::new();
+        let mut ctx = ContextualizedDatabase::empty();
+
+        // Rebuild the same two-document database one document at a time.
+        let docs = db.docs().to_vec();
+        let mut vocab_inc = Vocabulary::new();
+        let mut inc_db = TextDatabase::build(vec![], &mut vocab_inc, TermingOptions::default());
+        inc_db.append(docs[..1].to_vec(), &mut vocab_inc);
+        let first = expand_append_recorded(
+            &inc_db,
+            0..1,
+            &important[..1],
+            &[&r],
+            &mut vocab_inc,
+            &ExpansionOptions::default(),
+            &rec,
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(first.new_distinct_terms, 1);
+        assert_eq!(first.reused_terms, 0);
+
+        inc_db.append(docs[1..].to_vec(), &mut vocab_inc);
+        let second = expand_append_recorded(
+            &inc_db,
+            1..2,
+            &important[1..],
+            &[&r],
+            &mut vocab_inc,
+            &ExpansionOptions::default(),
+            &rec,
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        // "jacques chirac" was already resolved: no new resource queries.
+        assert_eq!(second.new_distinct_terms, 0);
+        assert_eq!(second.reused_terms, 1);
+        let counts = rec.snapshot_counts_only();
+        assert_eq!(counts["counter.resource.F.queries"], 1);
+
+        // The incremental ctx matches the one-shot expansion of the same
+        // vocabulary history (single resource, both docs share the term).
+        let mut vocab_batch = Vocabulary::new();
+        let mut batch_db = TextDatabase::build(vec![], &mut vocab_batch, TermingOptions::default());
+        batch_db.append(docs, &mut vocab_batch);
+        let batch = expand_database(
+            &batch_db,
+            &important,
+            &[&r],
+            &mut vocab_batch,
+            &ExpansionOptions::default(),
+        );
+        // Compare as per-document *string sets*: ids interleave differently
+        // when context terms land between batches.
+        let to_strings = |v: &Vocabulary, terms: &[Vec<TermId>]| -> Vec<Vec<String>> {
+            terms
+                .iter()
+                .map(|ts| {
+                    let mut s: Vec<String> = ts.iter().map(|&t| v.term(t).to_string()).collect();
+                    s.sort_unstable();
+                    s
+                })
+                .collect()
+        };
+        assert_eq!(
+            to_strings(&vocab_inc, &ctx.doc_terms),
+            to_strings(&vocab_batch, &batch.doc_terms)
+        );
+        let leaders = vocab_inc.get("political leaders").unwrap();
+        assert_eq!(ctx.df_c(leaders), 2);
     }
 }

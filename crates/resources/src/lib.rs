@@ -33,7 +33,9 @@ pub mod wiki_synonyms;
 
 pub use cache::{CacheStats, CachedResource};
 pub use expand::{
-    expand_database, expand_database_recorded, ContextualizedDatabase, ExpansionOptions,
+    expand_append_recorded, expand_database, expand_database_recorded,
+    try_expand_database_recorded, AppendOutcome, ContextualizedDatabase, ExpansionCache,
+    ExpansionError, ExpansionOptions,
 };
 pub use google::GoogleResource;
 pub use hypernyms::WordNetHypernymsResource;

@@ -30,7 +30,7 @@ pub use phrase::{ngrams, proper_noun_phrases};
 pub use stem::porter_stem;
 pub use stopwords::is_stopword;
 pub use tokenize::{sentences, tokens, Token, TokenKind};
-pub use vocab::{TermId, Vocabulary};
+pub use vocab::{FrozenVocabulary, TermId, Vocabulary};
 pub use zipf::Zipf;
 
 /// Normalize a raw term for frequency counting: lowercase and collapse

@@ -5,6 +5,7 @@
 //! so frequency tables are dense `Vec`s and set operations are cheap.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense identifier for an interned term. Valid only with respect to the
 /// [`Vocabulary`] that produced it.
@@ -98,6 +99,72 @@ impl Vocabulary {
             .enumerate()
             .map(|(i, s)| (TermId(i as u32), s.as_str()))
     }
+
+    /// Take an immutable, shareable snapshot of the current state.
+    ///
+    /// The frozen view is detached: later `intern` calls on `self` do not
+    /// affect it, and every clone of the returned [`FrozenVocabulary`]
+    /// shares one allocation. This is what read paths (snapshot serving,
+    /// browse engines) hold instead of a `&mut Vocabulary`.
+    pub fn freeze(&self) -> FrozenVocabulary {
+        FrozenVocabulary {
+            inner: Arc::new(self.clone()),
+        }
+    }
+}
+
+/// An immutable, cheaply-clonable snapshot of a [`Vocabulary`].
+///
+/// Produced by [`Vocabulary::freeze`]; exposes the read-only half of the
+/// vocabulary API. Term ids resolved against the frozen view are exactly
+/// the ids the source vocabulary had assigned at freeze time (interning
+/// is append-only, so ids never change meaning — a frozen view simply
+/// does not know about terms interned after it was taken).
+#[derive(Debug, Clone)]
+pub struct FrozenVocabulary {
+    inner: Arc<Vocabulary>,
+}
+
+impl FrozenVocabulary {
+    /// Look up an interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.inner.get(term)
+    }
+
+    /// Resolve an id back to its term string.
+    ///
+    /// # Panics
+    /// Panics if `id` was interned after this snapshot was frozen (or
+    /// belongs to a different vocabulary).
+    pub fn term(&self, id: TermId) -> &str {
+        self.inner.term(id)
+    }
+
+    /// Resolve an id if it is valid for this snapshot.
+    pub fn try_term(&self, id: TermId) -> Option<&str> {
+        self.inner.try_term(id)
+    }
+
+    /// Number of terms known to this snapshot.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if the snapshot holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.inner.iter()
+    }
+
+    /// A full read-only view of the underlying vocabulary, for APIs that
+    /// take `&Vocabulary`.
+    pub fn as_vocabulary(&self) -> &Vocabulary {
+        &self.inner
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +211,24 @@ mod tests {
         v.intern("y");
         let all: Vec<_> = v.iter().map(|(i, s)| (i.0, s.to_string())).collect();
         assert_eq!(all, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn frozen_snapshot_detached_from_later_interns() {
+        let mut v = Vocabulary::new();
+        let x = v.intern("x");
+        let frozen = v.freeze();
+        let y = v.intern("y");
+        assert_eq!(frozen.get("x"), Some(x));
+        assert_eq!(frozen.get("y"), None, "frozen before y was interned");
+        assert_eq!(frozen.try_term(y), None);
+        assert_eq!(frozen.len(), 1);
+        assert_eq!(v.len(), 2);
+        // Shared ids keep their meaning.
+        assert_eq!(frozen.term(x), v.term(x));
+        // Clones share state.
+        let c = frozen.clone();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.as_vocabulary().get("x"), Some(x));
     }
 }

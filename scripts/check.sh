@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
-# Usage: scripts/check.sh
+#
+# Usage: scripts/check.sh [--tier1]
+#
+#   --tier1   Run exactly the tier-1 gate (release build + tests), the
+#             command CI and the roadmap treat as the must-stay-green bar.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tier1" ]]; then
+    echo "== tier-1: cargo build --release && cargo test -q"
+    cargo build --release
+    cargo test -q
+    echo "Tier-1 gate passed."
+    exit 0
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --all --check

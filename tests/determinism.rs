@@ -47,6 +47,22 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn thread_count_sweep_is_stable() {
+    // Any thread count must reproduce the serial result exactly — the
+    // parallel expansion path merges worker results back in term order,
+    // so even byte-level term-id assignment is identical (see
+    // facet-resources' `parallel_matches_serial`).
+    let serial = facet_terms_with_threads(1);
+    for threads in 2..=6 {
+        assert_eq!(
+            serial,
+            facet_terms_with_threads(threads),
+            "threads={threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
 fn bundles_are_reproducible() {
     let a = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
     let b = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
