@@ -461,11 +461,21 @@ pub struct IncrementalBenchReport {
     pub rebuild_total_ms: f64,
     /// `rebuild_total_ms / append_total_ms`.
     pub speedup: f64,
-    /// Indexing throughput of the incremental path.
+    /// Indexing throughput of the incremental path: net-new documents
+    /// divided by total append wall time.
     pub append_docs_per_sec: f64,
-    /// Indexing throughput of the rebuild path (same docs, re-indexed
-    /// once per batch).
+    /// Indexing throughput of the rebuild path **on the same basis**:
+    /// net-new documents divided by total rebuild wall time. Directly
+    /// comparable with `append_docs_per_sec` — the wall-clock `speedup`
+    /// equals their ratio.
     pub rebuild_docs_per_sec: f64,
+    /// The rebuild path's internal processing rate: cumulatively
+    /// re-indexed documents (each prefix counted once per rebuild)
+    /// divided by total rebuild wall time. This measures how fast the
+    /// rebuild loop chews through documents, *not* archive growth — it
+    /// exceeds `rebuild_docs_per_sec` by roughly (n_batches+1)/2 because
+    /// the same early documents are re-processed every round.
+    pub rebuild_reprocessed_docs_per_sec: f64,
     /// Total resource queries on the incremental path.
     pub append_resource_queries: u64,
     /// Total resource queries across the rebuilds.
@@ -516,7 +526,9 @@ pub fn run_incremental_bench(scale: f64, n_batches: usize) -> IncrementalBenchRe
     let mut prev_queries = 0u64;
     for (i, chunk) in docs.chunks(per).enumerate() {
         let t = Instant::now();
-        index.append(chunk.to_vec());
+        index
+            .append(chunk.to_vec())
+            .expect("bench batches are well-formed");
         let append_ms = t.elapsed().as_secs_f64() * 1e3;
         let append_queries = queries_of(&inc_recorder) - prev_queries;
         prev_queries += append_queries;
@@ -531,7 +543,9 @@ pub fn run_incremental_bench(scale: f64, n_batches: usize) -> IncrementalBenchRe
         let rebuilt = FacetIndex::new(extractors, resources, options.clone())
             .with_recorder(rebuild_recorder.clone());
         let mut rebuilt = rebuilt;
-        rebuilt.append(docs[..prefix_end].to_vec());
+        rebuilt
+            .append(docs[..prefix_end].to_vec())
+            .expect("bench batches are well-formed");
         let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
 
         batches.push(IncrementalBenchBatch {
@@ -555,10 +569,139 @@ pub fn run_incremental_bench(scale: f64, n_batches: usize) -> IncrementalBenchRe
         rebuild_total_ms,
         speedup: rebuild_total_ms / append_total_ms.max(1e-9),
         append_docs_per_sec: docs.len() as f64 / (append_total_ms / 1e3).max(1e-9),
-        rebuild_docs_per_sec: rebuild_docs as f64 / (rebuild_total_ms / 1e3).max(1e-9),
+        rebuild_docs_per_sec: docs.len() as f64 / (rebuild_total_ms / 1e3).max(1e-9),
+        rebuild_reprocessed_docs_per_sec: rebuild_docs as f64 / (rebuild_total_ms / 1e3).max(1e-9),
         append_resource_queries: batches.iter().map(|b| b.append_resource_queries).sum(),
         rebuild_resource_queries: batches.iter().map(|b| b.rebuild_resource_queries).sum(),
         batches,
+    }
+}
+
+/// One shard count of the sharded-append benchmark sweep.
+#[derive(Debug, serde::Serialize)]
+pub struct ShardBenchRun {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Total wall time across all appends.
+    pub append_total_ms: f64,
+    /// Net-new documents divided by total append wall time.
+    pub append_docs_per_sec: f64,
+    /// Unsharded `FacetIndex` wall time divided by this run's wall time
+    /// (>1 means the sharded path was faster).
+    pub speedup_vs_unsharded: f64,
+    /// Whether this run's snapshot is string-identical (facet terms,
+    /// statistics, score bits, forest edges) to the unsharded build.
+    pub identical_to_batch: bool,
+    /// Queries that reached the wrapped resource (shared-cache misses).
+    pub resource_queries: u64,
+}
+
+/// The sharded-append benchmark report (`BENCH_3.json`).
+#[derive(Debug, serde::Serialize)]
+pub struct ShardBenchReport {
+    /// Dataset recipe name.
+    pub dataset: String,
+    /// Total documents indexed.
+    pub total_docs: usize,
+    /// Number of append batches per run.
+    pub n_batches: usize,
+    /// Cores the host offered the process. Shard workers are OS threads,
+    /// so this bounds any parallel speedup: on a single-core host every
+    /// sharded run pays partition/merge overhead with no parallelism to
+    /// buy it back.
+    pub host_cpus: usize,
+    /// Unsharded `FacetIndex` wall time over the same batches (baseline).
+    pub unsharded_total_ms: f64,
+    /// The sweep, in shard-count order.
+    pub runs: Vec<ShardBenchRun>,
+}
+
+/// Benchmark `ShardedFacetIndex` against the unsharded `FacetIndex` over
+/// the same growing SNYT-style archive: the corpus arrives in `n_batches`
+/// slices and each shard count in `shard_counts` indexes all of them.
+/// Every sharded run is also checked string-identical to the unsharded
+/// build — a sweep that gets faster by diverging is worthless.
+pub fn run_shard_bench(scale: f64, n_batches: usize, shard_counts: &[usize]) -> ShardBenchReport {
+    use facet_core::{FacetIndex, FacetSnapshot, ShardedFacetIndex};
+    use facet_ner::NerTagger;
+    use facet_resources::{CachedResource, ContextResource, WikiGraphResource};
+    use facet_termx::{NamedEntityExtractor, TermExtractor};
+    use facet_wikipedia::WikipediaGraph;
+    use std::time::Instant;
+
+    let bundle = scaled_bundle(RecipeKind::Snyt, scale);
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let per = docs.len().div_ceil(n_batches.max(1));
+    let options = PipelineOptions::default();
+
+    // Id-free view of a snapshot, for the identical-to-batch check:
+    // candidate rows (term, df, df_c, score bits) plus forest edges.
+    type SnapshotOutputs = (Vec<(String, u64, u64, u64)>, Vec<(String, String)>);
+    let outputs = |snap: &FacetSnapshot| -> SnapshotOutputs {
+        let rows = snap
+            .candidates()
+            .iter()
+            .map(|c| {
+                (
+                    snap.vocab().term(c.term).to_string(),
+                    c.df,
+                    c.df_c,
+                    c.score.to_bits(),
+                )
+            })
+            .collect();
+        (rows, snap.forest().edges())
+    };
+
+    // Baseline: the unsharded index over the same batches.
+    let base_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&base_res];
+    let mut baseline = FacetIndex::new(extractors, resources, options.clone());
+    let t = Instant::now();
+    for chunk in docs.chunks(per) {
+        baseline
+            .append(chunk.to_vec())
+            .expect("bench batches are well-formed");
+    }
+    let unsharded_total_ms = t.elapsed().as_secs_f64() * 1e3;
+    let expected = outputs(&baseline.snapshot());
+
+    let mut runs = Vec::new();
+    for &shards in shard_counts {
+        let res = CachedResource::new(WikiGraphResource::new(&graph));
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+        let resources: Vec<&dyn ContextResource> = vec![&res];
+        let mut index = ShardedFacetIndex::new(shards, extractors, resources, options.clone());
+        let t = Instant::now();
+        for chunk in docs.chunks(per) {
+            index
+                .append(chunk.to_vec())
+                .expect("bench batches are well-formed");
+        }
+        let append_total_ms = t.elapsed().as_secs_f64() * 1e3;
+        runs.push(ShardBenchRun {
+            shards,
+            append_total_ms,
+            append_docs_per_sec: docs.len() as f64 / (append_total_ms / 1e3).max(1e-9),
+            speedup_vs_unsharded: unsharded_total_ms / append_total_ms.max(1e-9),
+            identical_to_batch: outputs(&index.snapshot()) == expected,
+            resource_queries: index.resource_cache_stats().iter().map(|s| s.misses).sum(),
+        });
+    }
+
+    ShardBenchReport {
+        dataset: RecipeKind::Snyt.name().to_string(),
+        total_docs: docs.len(),
+        n_batches: docs.chunks(per).count(),
+        host_cpus: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        unsharded_total_ms,
+        runs,
     }
 }
 

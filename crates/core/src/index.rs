@@ -41,12 +41,48 @@ use facet_corpus::db::TermingOptions;
 use facet_corpus::{DocId, Document, TextDatabase};
 use facet_obs::Recorder;
 use facet_resources::{
-    expand_append_recorded, ContextResource, ContextualizedDatabase, ExpansionCache,
+    expand_append_recorded, ContextResource, ContextualizedDatabase, ExpansionCache, ExpansionError,
 };
 use facet_termx::{extract_important_terms, TermExtractor};
 use facet_textkit::{FrozenVocabulary, TermId, Vocabulary};
 use parking_lot::RwLock;
 use std::sync::Arc;
+
+/// A failure while updating a facet index.
+///
+/// Appends validate their internal state (document ranges, per-document
+/// term alignment) before touching the published snapshot; a corrupted
+/// range surfaces as a typed error to the caller instead of aborting a
+/// serving process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The expansion layer rejected the append: the document range or
+    /// the per-document important-term lists do not line up with the
+    /// index's contextualized state.
+    Expansion(ExpansionError),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Expansion(e) => write!(f, "index append rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Expansion(e) => Some(e),
+        }
+    }
+}
+
+impl From<ExpansionError> for IndexError {
+    fn from(e: ExpansionError) -> Self {
+        IndexError::Expansion(e)
+    }
+}
 
 /// An immutable view of the index at one generation.
 ///
@@ -114,6 +150,70 @@ impl FacetSnapshot {
     pub fn browse(&self) -> BrowseEngine {
         BrowseEngine::from_shared(self.forest.clone(), Arc::clone(&self.doc_terms))
     }
+
+    /// Assemble a snapshot from its parts. Crate-internal: the sharded
+    /// index publishes merged snapshots through the same type.
+    pub(crate) fn assemble(
+        generation: u64,
+        vocab: FrozenVocabulary,
+        doc_terms: Arc<Vec<Vec<TermId>>>,
+        candidates: Vec<FacetCandidate>,
+        forest: FacetForest,
+    ) -> Self {
+        Self {
+            generation,
+            vocab,
+            doc_terms,
+            candidates,
+            forest,
+        }
+    }
+}
+
+/// Re-run Steps 3–4 (selection + subsumption) over up-to-date frequency
+/// tables and materialize the ranked candidates and hierarchy forest.
+///
+/// This is the post-update half of every index publish, shared by
+/// [`FacetIndex::append`] and the sharded merge path
+/// ([`crate::shard::ShardedFacetIndex`]) so the two cannot drift apart:
+/// given string-equal tables (`df`, `df_c`, `n_docs`, per-document term
+/// sets), both produce string-identical candidates and forests
+/// regardless of term-id assignment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_and_build_forest(
+    df: &[u64],
+    df_c: &[u64],
+    n_docs: u64,
+    doc_terms: &[Vec<TermId>],
+    vocab: &Vocabulary,
+    statistic: SelectionStatistic,
+    options: &PipelineOptions,
+    recorder: &Recorder,
+) -> (Vec<FacetCandidate>, FacetForest) {
+    let candidates = {
+        let _span = recorder.span("select");
+        select_facet_terms_stable(
+            SelectionInputs { df, df_c, n_docs },
+            statistic,
+            options.top_k,
+            options.min_df_c,
+            vocab,
+        )
+    };
+    let forest = {
+        let _span = recorder.span("subsumption");
+        let terms: Vec<TermId> = candidates.iter().map(|c| c.term).collect();
+        let sub = build_subsumption_forest(
+            &terms,
+            doc_terms,
+            SubsumptionParams {
+                threshold: options.subsumption_threshold,
+                ..Default::default()
+            },
+        );
+        FacetForest::from_subsumption(&sub, vocab, |t| df_c.get(t.index()).copied().unwrap_or(0))
+    };
+    (candidates, forest)
 }
 
 /// What one [`FacetIndex::append`] did.
@@ -157,12 +257,14 @@ impl AppendStats {
 /// # fn demo(extractors: Vec<&dyn facet_termx::TermExtractor>,
 /// #         resources: Vec<&dyn facet_resources::ContextResource>,
 /// #         january: Vec<facet_corpus::Document>,
-/// #         february: Vec<facet_corpus::Document>) {
+/// #         february: Vec<facet_corpus::Document>)
+/// #     -> Result<(), facet_core::index::IndexError> {
 /// let mut index = FacetIndex::new(extractors, resources, PipelineOptions::default());
-/// index.append(january);               // initial build
-/// let snapshot = index.snapshot();     // Arc<FacetSnapshot>, lock-free reads
-/// let stats = index.append(february);  // incremental: only new terms resolved
+/// index.append(january)?;               // initial build
+/// let snapshot = index.snapshot();      // Arc<FacetSnapshot>, lock-free reads
+/// let stats = index.append(february)?;  // incremental: only new terms resolved
 /// assert!(snapshot.generation() < index.snapshot().generation());
+/// # Ok(())
 /// # }
 /// ```
 pub struct FacetIndex<'a> {
@@ -226,7 +328,9 @@ impl<'a> FacetIndex<'a> {
         options: PipelineOptions,
     ) -> Self {
         let mut index = Self::new(extractors, resources, options);
-        index.append(docs);
+        index
+            .append(docs)
+            .expect("append to a freshly-created index cannot have a range mismatch");
         index
     }
 
@@ -303,7 +407,13 @@ impl<'a> FacetIndex<'a> {
     /// subsumption (Steps 3–4) re-run over the updated tables. Documents
     /// are renumbered to positional ids — the index owns id assignment,
     /// so month batches whose ids restart from zero can be fed directly.
-    pub fn append(&mut self, mut batch: Vec<Document>) -> AppendStats {
+    ///
+    /// # Errors
+    /// Returns [`IndexError`] if the index's internal append state is
+    /// corrupted (the expansion layer rejects the document range); the
+    /// published snapshot is left untouched, so a serving process can
+    /// log the error and keep answering from the previous generation.
+    pub fn append(&mut self, mut batch: Vec<Document>) -> Result<AppendStats, IndexError> {
         let _append_span = self.recorder.span("append");
         let start = self.db.len();
         for (i, d) in batch.iter_mut().enumerate() {
@@ -335,51 +445,32 @@ impl<'a> FacetIndex<'a> {
                 &self.recorder,
                 &mut self.cache,
                 &mut self.ctx,
-            )
-            .expect("index append ranges are maintained internally")
+            )?
         };
         self.important.extend(new_important);
 
-        let candidates = {
-            let _span = self.recorder.span("select");
-            let df = self.db.df_table_resized(self.vocab.len());
-            select_facet_terms_stable(
-                SelectionInputs {
-                    df: &df,
-                    df_c: self.ctx.df_table(),
-                    n_docs: self.db.len() as u64,
-                },
-                self.statistic,
-                self.options.top_k,
-                self.options.min_df_c,
-                &self.vocab,
-            )
-        };
-
-        let forest = {
-            let _span = self.recorder.span("subsumption");
-            let terms: Vec<TermId> = candidates.iter().map(|c| c.term).collect();
-            let sub = build_subsumption_forest(
-                &terms,
-                &self.ctx.doc_terms,
-                SubsumptionParams {
-                    threshold: self.options.subsumption_threshold,
-                    ..Default::default()
-                },
-            );
-            FacetForest::from_subsumption(&sub, &self.vocab, |t| self.ctx.df_c(t))
-        };
+        let df = self.db.df_table_resized(self.vocab.len());
+        let (candidates, forest) = rank_and_build_forest(
+            &df,
+            self.ctx.df_table(),
+            self.db.len() as u64,
+            &self.ctx.doc_terms,
+            &self.vocab,
+            self.statistic,
+            &self.options,
+            &self.recorder,
+        );
 
         self.generation += 1;
         {
             let _span = self.recorder.span("swap");
-            let snapshot = Arc::new(FacetSnapshot {
-                generation: self.generation,
-                vocab: self.vocab.freeze(),
-                doc_terms: Arc::new(self.ctx.doc_terms.clone()),
+            let snapshot = Arc::new(FacetSnapshot::assemble(
+                self.generation,
+                self.vocab.freeze(),
+                Arc::new(self.ctx.doc_terms.clone()),
                 candidates,
                 forest,
-            });
+            ));
             *self.snapshot.write() = snapshot;
         }
 
@@ -392,13 +483,13 @@ impl<'a> FacetIndex<'a> {
             .add("append.reused_terms", outcome.reused_terms as u64);
         self.recorder.incr("append.snapshot_swaps");
 
-        AppendStats {
+        Ok(AppendStats {
             docs,
             new_distinct_terms: outcome.new_distinct_terms,
             reused_terms: outcome.reused_terms,
             resource_queries: (outcome.new_distinct_terms * self.resources.len()) as u64,
             generation: self.generation,
-        }
+        })
     }
 }
 
@@ -508,21 +599,21 @@ mod tests {
         let e = FixedExtractor;
         let r = resource();
         let mut index = FacetIndex::new(vec![&e], vec![&r], options());
-        let first = index.append(chirac_docs(8));
+        let first = index.append(chirac_docs(8)).unwrap();
         assert_eq!(first.docs, 8);
         assert_eq!(first.new_distinct_terms, 1);
         assert_eq!(first.reused_terms, 0);
         assert_eq!(first.resource_queries, 1);
 
         // Same entity again: fully served from the cache.
-        let second = index.append(chirac_docs(4));
+        let second = index.append(chirac_docs(4)).unwrap();
         assert_eq!(second.new_distinct_terms, 0);
         assert_eq!(second.reused_terms, 1);
         assert_eq!(second.resource_queries, 0);
         assert!((second.cache_reuse_ratio() - 1.0).abs() < 1e-12);
 
         // A new entity costs exactly one resolution.
-        let third = index.append(merkel_docs(6));
+        let third = index.append(merkel_docs(6)).unwrap();
         assert_eq!(third.new_distinct_terms, 1);
         assert_eq!(third.generation, 3);
         assert_eq!(index.len(), 18);
@@ -536,7 +627,7 @@ mod tests {
         let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
         let old = index.snapshot();
         let old_terms: Vec<String> = old.facet_terms().iter().map(|s| s.to_string()).collect();
-        index.append(merkel_docs(12));
+        index.append(merkel_docs(12)).unwrap();
         // The old snapshot still answers from its frozen state.
         assert_eq!(old.n_docs(), 12);
         assert_eq!(
@@ -559,7 +650,7 @@ mod tests {
         let e = FixedExtractor;
         let r = resource();
         let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
-        index.append(merkel_docs(12));
+        index.append(merkel_docs(12)).unwrap();
         let snap = index.snapshot();
         let engine = snap.browse();
         assert_eq!(engine.n_docs(), 24);
@@ -584,8 +675,8 @@ mod tests {
         let recorder = Recorder::enabled();
         let mut index =
             FacetIndex::new(vec![&e], vec![&r], options()).with_recorder(recorder.clone());
-        index.append(chirac_docs(8));
-        index.append(chirac_docs(4));
+        index.append(chirac_docs(8)).unwrap();
+        index.append(chirac_docs(4)).unwrap();
         let counts = recorder.snapshot_counts_only();
         assert_eq!(counts["counter.append.docs"], 12);
         assert_eq!(counts["counter.append.new_distinct_terms"], 1);

@@ -38,6 +38,7 @@ pub mod hierarchy;
 pub mod index;
 pub mod pipeline;
 pub mod selection;
+pub mod shard;
 pub mod subsumption;
 
 pub use baseline::raw_subsumption_terms;
@@ -45,10 +46,11 @@ pub use browse::BrowseEngine;
 pub use config::PipelineOptions;
 pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use hierarchy::{FacetForest, FacetTree, TreeNode};
-pub use index::{AppendStats, FacetIndex, FacetSnapshot};
+pub use index::{AppendStats, FacetIndex, FacetSnapshot, IndexError};
 pub use pipeline::{FacetExtraction, FacetPipeline};
 pub use selection::{
     select_facet_terms, select_facet_terms_stable, FacetCandidate, SelectionInputs,
     SelectionStatistic,
 };
+pub use shard::{ShardedAppendStats, ShardedFacetIndex};
 pub use subsumption::{build_subsumption_forest, SubsumptionForest, SubsumptionParams};

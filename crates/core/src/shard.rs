@@ -1,0 +1,661 @@
+//! The sharded facet index: parallel per-shard appends, one merged
+//! snapshot.
+//!
+//! [`crate::index::FacetIndex`] runs its append pipeline on one thread.
+//! For archive-scale ingest the expensive half of an append — Step-1
+//! extraction, Step-2 expansion, and the df delta updates — is
+//! embarrassingly parallel across documents, while Steps 3–4 (selection
+//! and subsumption) are global computations over the full frequency
+//! tables. [`ShardedFacetIndex`] exploits exactly that split:
+//!
+//! 1. **Partition.** Documents are assigned round-robin by global
+//!    [`DocId`]: document `g` lives in shard `g % N` at shard-local
+//!    position `g / N`. The key is a pure function of the id, so a
+//!    document's shard never changes as the archive grows and any batch
+//!    partition of the corpus lands every document in the same shard.
+//! 2. **Parallel shard appends.** Each shard owns a full private copy of
+//!    the per-document pipeline state — [`Vocabulary`], [`TextDatabase`]
+//!    with its df slice, [`ExpansionCache`], and
+//!    [`ContextualizedDatabase`] with its `df_C` slice — so the per-shard
+//!    appends run with zero locking via `rayon::scope`. The shards share
+//!    one [`CachedResource`] wrapper per external resource: its per-term
+//!    latch guarantees each distinct important term hits the wrapped
+//!    resource exactly once no matter how many shards race on it.
+//! 3. **Deterministic merge.** Per-shard term ids are private, so the
+//!    merge keeps one `shard id → merged id` mapping per shard
+//!    (append-only, extended in shard order) and replays only the *new*
+//!    documents, in global id order, into the merged df/`df_C` tables and
+//!    per-document term sets — O(new documents), not O(corpus).
+//! 4. **Global ranking.** Selection and subsumption run over the merged
+//!    tables through the same [`rank_and_build_forest`] code path the
+//!    unsharded index uses, and the result is published through the same
+//!    atomically-swapped [`FacetSnapshot`].
+//!
+//! **Equivalence invariant:** for every shard count N and thread count,
+//! the published snapshot is string-identical — facet terms, df/`df_C`
+//! statistics, score bits, and forest edges — to a
+//! [`crate::index::FacetIndex`] build of the same corpus. Term ids may
+//! differ (each path interns in its own order), which is why every
+//! ranking decision downstream of the tables is id-order-independent.
+//!
+//! The merge is serial and the shard workers are OS threads, so the
+//! speedup ceiling is the parallel fraction of an append (extraction +
+//! expansion + ingest) times the host's core count; on a single-core
+//! host the sharded index degrades to the batch path plus a small
+//! partition/merge overhead.
+
+use crate::config::PipelineOptions;
+use crate::hierarchy::FacetForest;
+use crate::index::{rank_and_build_forest, FacetSnapshot, IndexError};
+use crate::selection::SelectionStatistic;
+use facet_corpus::db::TermingOptions;
+use facet_corpus::{DocId, Document, TextDatabase};
+use facet_obs::Recorder;
+use facet_resources::{
+    expand_append_recorded, AppendOutcome, CacheStats, CachedResource, ContextResource,
+    ContextualizedDatabase, ExpansionCache, ExpansionError, ExpansionOptions,
+};
+use facet_termx::{extract_important_terms, TermExtractor};
+use facet_textkit::{TermId, Vocabulary};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// What one [`ShardedFacetIndex::append`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedAppendStats {
+    /// Documents ingested by this append (across all shards).
+    pub docs: usize,
+    /// Documents each shard received from the round-robin partition.
+    pub docs_per_shard: Vec<usize>,
+    /// Important terms resolved for the first time, summed over shards.
+    /// A term new to several shards in the same append counts once per
+    /// shard here; the shared resource cache still answers all but the
+    /// first shard from memory (see `resource_queries`).
+    pub new_distinct_terms: usize,
+    /// Distinct important terms answered from per-shard expansion caches,
+    /// summed over shards.
+    pub reused_terms: usize,
+    /// Queries that actually reached the wrapped resources during this
+    /// append: exactly one per globally-new distinct important term per
+    /// resource, however many shards asked.
+    pub resource_queries: u64,
+    /// The generation of the snapshot this append published.
+    pub generation: u64,
+}
+
+/// One shard's private pipeline state. Term ids in here are meaningful
+/// only against this shard's vocabulary; `to_merged` translates them.
+struct Shard {
+    vocab: Vocabulary,
+    db: TextDatabase,
+    cache: ExpansionCache,
+    ctx: ContextualizedDatabase,
+    /// `shard TermId → merged TermId`, extended (never rewritten) at each
+    /// merge.
+    to_merged: Vec<TermId>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        let mut vocab = Vocabulary::new();
+        let db = TextDatabase::build(Vec::new(), &mut vocab, TermingOptions::default());
+        Self {
+            vocab,
+            db,
+            cache: ExpansionCache::new(),
+            ctx: ContextualizedDatabase::empty(),
+            to_merged: Vec::new(),
+        }
+    }
+}
+
+/// The sharded, incrementally-updatable facet index. See the
+/// [module docs](self) for the partition/merge design and the
+/// equivalence invariant against [`crate::index::FacetIndex`].
+pub struct ShardedFacetIndex<'a> {
+    extractors: Vec<&'a dyn TermExtractor>,
+    /// One shared memo per external resource; all shards query through
+    /// these, so the wrapped resource sees each distinct term once.
+    shared: Vec<CachedResource<&'a dyn ContextResource>>,
+    options: PipelineOptions,
+    statistic: SelectionStatistic,
+    recorder: Recorder,
+    shards: Vec<Shard>,
+    /// The merge-side vocabulary: the union of all shard vocabularies,
+    /// interned in merge order.
+    merged_vocab: Vocabulary,
+    /// df over `D` in merged ids, delta-updated per append.
+    merged_df: Vec<u64>,
+    /// df over `C(D)` in merged ids, delta-updated per append.
+    merged_df_c: Vec<u64>,
+    /// Contextualized term sets per document, in global id order.
+    merged_doc_terms: Vec<Vec<TermId>>,
+    n_docs: usize,
+    snapshot: RwLock<Arc<FacetSnapshot>>,
+    generation: u64,
+}
+
+impl<'a> ShardedFacetIndex<'a> {
+    /// An empty index over `n_shards` shards (clamped to at least 1) with
+    /// the paper's configuration.
+    pub fn new(
+        n_shards: usize,
+        extractors: Vec<&'a dyn TermExtractor>,
+        resources: Vec<&'a dyn ContextResource>,
+        options: PipelineOptions,
+    ) -> Self {
+        let n_shards = n_shards.max(1);
+        let vocab = Vocabulary::new();
+        let snapshot = Arc::new(FacetSnapshot::assemble(
+            0,
+            vocab.freeze(),
+            Arc::new(Vec::new()),
+            Vec::new(),
+            FacetForest::default(),
+        ));
+        Self {
+            extractors,
+            shared: resources.into_iter().map(CachedResource::new).collect(),
+            options,
+            statistic: SelectionStatistic::LogLikelihood,
+            recorder: Recorder::disabled(),
+            shards: (0..n_shards).map(|_| Shard::new()).collect(),
+            merged_vocab: vocab,
+            merged_df: Vec::new(),
+            merged_df_c: Vec::new(),
+            merged_doc_terms: Vec::new(),
+            n_docs: 0,
+            snapshot: RwLock::new(snapshot),
+            generation: 0,
+        }
+    }
+
+    /// Build an index over an initial corpus: [`ShardedFacetIndex::new`]
+    /// followed by one [`ShardedFacetIndex::append`].
+    pub fn build(
+        docs: Vec<Document>,
+        n_shards: usize,
+        extractors: Vec<&'a dyn TermExtractor>,
+        resources: Vec<&'a dyn ContextResource>,
+        options: PipelineOptions,
+    ) -> Self {
+        let mut index = Self::new(n_shards, extractors, resources, options);
+        index
+            .append(docs)
+            .expect("append to a freshly-created index cannot have a range mismatch");
+        index
+    }
+
+    /// Switch the ranking statistic (ablation). Only meaningful before
+    /// the first append.
+    pub fn with_statistic(mut self, statistic: SelectionStatistic) -> Self {
+        self.statistic = statistic;
+        self
+    }
+
+    /// Attach an observability recorder. Appends record the same
+    /// `append.*` counters as [`crate::index::FacetIndex`], plus
+    /// per-shard span timers (`append.shard0`, `append.shard1`, …; the
+    /// shard workers run on their own threads, so their spans are roots)
+    /// and `append.partition` / `append.merge` around the serial halves.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Number of documents currently indexed (across all shards).
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    /// True if no documents have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    /// Hit/miss totals of the shared per-resource caches, in resource
+    /// order. The miss counts are exactly the queries that reached the
+    /// wrapped resources.
+    pub fn resource_cache_stats(&self) -> Vec<CacheStats> {
+        self.shared.iter().map(CachedResource::stats).collect()
+    }
+
+    /// The current snapshot. An `Arc` clone under a short read lock,
+    /// exactly as for [`crate::index::FacetIndex::snapshot`].
+    pub fn snapshot(&self) -> Arc<FacetSnapshot> {
+        self.snapshot.read().clone()
+    }
+
+    /// Append a batch of documents and publish a new merged snapshot.
+    ///
+    /// Documents get global ids `len()..len()+batch.len()` and are
+    /// round-robined to the shards; the per-shard pipelines (ingest,
+    /// extract, expand) run in parallel, then the serial merge folds only
+    /// the new documents into the merged tables before selection and
+    /// subsumption re-run globally.
+    ///
+    /// # Errors
+    /// Returns [`IndexError`] if a shard's expansion state is corrupted.
+    /// The published snapshot is left untouched; the index itself should
+    /// be discarded, since the failing shard may have ingested documents
+    /// it could not expand.
+    pub fn append(&mut self, mut batch: Vec<Document>) -> Result<ShardedAppendStats, IndexError> {
+        let _append_span = self.recorder.span("append");
+        let n = self.shards.len();
+        let start = self.n_docs;
+        let docs = batch.len();
+
+        // ---- partition: round-robin by global id ------------------------
+        let mut per_shard: Vec<Vec<Document>> = {
+            let _span = self.recorder.span("partition");
+            let mut per_shard: Vec<Vec<Document>> = (0..n).map(|_| Vec::new()).collect();
+            for (i, mut d) in batch.drain(..).enumerate() {
+                let g = start + i;
+                d.id = DocId(g as u32);
+                per_shard[g % n].push(d);
+            }
+            per_shard
+        };
+        let docs_per_shard: Vec<usize> = per_shard.iter().map(Vec::len).collect();
+        let queries_before: u64 = self.shared.iter().map(|c| c.stats().misses).sum();
+
+        // ---- parallel per-shard ingest + extract + expand ---------------
+        // Splitting the configured expansion threads across shards keeps
+        // the total worker count at the configured level instead of
+        // multiplying it by the shard count.
+        let exp = ExpansionOptions {
+            threads: (self.options.expansion.threads / n).max(1),
+        };
+        let extractors = &self.extractors;
+        let shared = &self.shared;
+        let recorder = &self.recorder;
+        let mut results: Vec<Option<Result<AppendOutcome, ExpansionError>>> =
+            (0..n).map(|_| None).collect();
+        rayon::scope(|s| {
+            for ((i, shard), (docs, slot)) in self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .zip(per_shard.drain(..).zip(results.iter_mut()))
+            {
+                let exp = exp.clone();
+                s.spawn(move |_| {
+                    // The worker runs on its own thread (fresh span
+                    // stack), so the shard span carries the full dotted
+                    // name explicitly.
+                    let _span = recorder.span(&format!("append.shard{i}"));
+                    let range = shard.db.append_detached(docs, &mut shard.vocab);
+                    let new_important: Vec<Vec<String>> = shard.db.docs()[range.clone()]
+                        .iter()
+                        .map(|d| extract_important_terms(extractors, &d.full_text()))
+                        .collect();
+                    let resources: Vec<&dyn ContextResource> =
+                        shared.iter().map(|c| c as &dyn ContextResource).collect();
+                    *slot = Some(expand_append_recorded(
+                        &shard.db,
+                        range,
+                        &new_important,
+                        &resources,
+                        &mut shard.vocab,
+                        &exp,
+                        recorder,
+                        &mut shard.cache,
+                        &mut shard.ctx,
+                    ));
+                });
+            }
+        });
+        let mut new_distinct_terms = 0;
+        let mut reused_terms = 0;
+        for outcome in results {
+            let outcome = outcome.expect("every shard worker fills its slot")?;
+            new_distinct_terms += outcome.new_distinct_terms;
+            reused_terms += outcome.reused_terms;
+        }
+
+        // ---- serial merge: replay the new documents in global order -----
+        {
+            let _span = self.recorder.span("merge");
+            // Extend the id mappings for terms the shards interned in this
+            // append. Shard-order extension is deterministic because each
+            // shard's interning order depends only on its own documents.
+            for shard in &mut self.shards {
+                for idx in shard.to_merged.len()..shard.vocab.len() {
+                    let term = shard.vocab.term(TermId(idx as u32));
+                    shard.to_merged.push(self.merged_vocab.intern(term));
+                }
+            }
+            self.merged_df.resize(self.merged_vocab.len(), 0);
+            self.merged_df_c.resize(self.merged_vocab.len(), 0);
+            for g in start..start + docs {
+                let shard = &self.shards[g % n];
+                let pos = g / n;
+                for t in shard.db.doc_terms(DocId(pos as u32)) {
+                    self.merged_df[shard.to_merged[t.index()].index()] += 1;
+                }
+                // The shard→merged mapping is injective (distinct strings
+                // map to distinct merged ids), so sorting suffices.
+                let mut terms: Vec<TermId> = shard.ctx.doc_terms[pos]
+                    .iter()
+                    .map(|t| shard.to_merged[t.index()])
+                    .collect();
+                terms.sort_unstable();
+                for t in &terms {
+                    self.merged_df_c[t.index()] += 1;
+                }
+                self.merged_doc_terms.push(terms);
+            }
+            self.n_docs += docs;
+        }
+
+        // ---- global ranking + publish -----------------------------------
+        let (candidates, forest) = rank_and_build_forest(
+            &self.merged_df,
+            &self.merged_df_c,
+            self.n_docs as u64,
+            &self.merged_doc_terms,
+            &self.merged_vocab,
+            self.statistic,
+            &self.options,
+            &self.recorder,
+        );
+        self.generation += 1;
+        {
+            let _span = self.recorder.span("swap");
+            let snapshot = Arc::new(FacetSnapshot::assemble(
+                self.generation,
+                self.merged_vocab.freeze(),
+                Arc::new(self.merged_doc_terms.clone()),
+                candidates,
+                forest,
+            ));
+            *self.snapshot.write() = snapshot;
+        }
+
+        let queries_after: u64 = self.shared.iter().map(|c| c.stats().misses).sum();
+        self.recorder.add("append.docs", docs as u64);
+        self.recorder
+            .add("append.new_distinct_terms", new_distinct_terms as u64);
+        self.recorder
+            .add("append.reused_terms", reused_terms as u64);
+        self.recorder.incr("append.snapshot_swaps");
+
+        Ok(ShardedAppendStats {
+            docs,
+            docs_per_shard,
+            new_distinct_terms,
+            reused_terms,
+            resource_queries: queries_after - queries_before,
+            generation: self.generation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::FacetIndex;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct FixedExtractor;
+    impl TermExtractor for FixedExtractor {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn extract(&self, text: &str) -> Vec<String> {
+            let mut out = Vec::new();
+            for entity in ["jacques chirac", "angela merkel", "tony blair"] {
+                let needle: String = entity
+                    .split(' ')
+                    .map(|w| {
+                        let mut c = w.chars();
+                        c.next()
+                            .map(|f| f.to_uppercase().to_string())
+                            .unwrap_or_default()
+                            + c.as_str()
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if text.contains(&needle) {
+                    out.push(entity.to_string());
+                }
+            }
+            out
+        }
+    }
+
+    struct CountingResource {
+        map: HashMap<&'static str, Vec<&'static str>>,
+        queries: AtomicUsize,
+    }
+    impl CountingResource {
+        fn new() -> Self {
+            let mut map = HashMap::new();
+            map.insert("jacques chirac", vec!["political leaders", "france"]);
+            map.insert("angela merkel", vec!["political leaders", "germany"]);
+            map.insert("tony blair", vec!["political leaders", "britain"]);
+            Self {
+                map,
+                queries: AtomicUsize::new(0),
+            }
+        }
+    }
+    impl ContextResource for CountingResource {
+        fn name(&self) -> &'static str {
+            "Counting"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            self.queries.fetch_add(1, Ordering::SeqCst);
+            self.map
+                .get(term)
+                .map(|v| v.iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default()
+        }
+    }
+
+    fn corpus(n: usize) -> Vec<Document> {
+        let texts = [
+            "Jacques Chirac discussed matters with advisers in the capital.",
+            "Angela Merkel spoke with ministers about the budget.",
+            "Tony Blair met union leaders over the strike.",
+            "Jacques Chirac and Angela Merkel held a joint summit briefing.",
+        ];
+        (0..n)
+            .map(|i| Document {
+                id: DocId(i as u32),
+                source: 0,
+                day: 0,
+                title: "Story".into(),
+                text: texts[i % texts.len()].into(),
+            })
+            .collect()
+    }
+
+    fn options() -> PipelineOptions {
+        PipelineOptions {
+            top_k: 20,
+            ..Default::default()
+        }
+    }
+
+    /// String-level view of a snapshot: (term, df, df_c, score bits) rows
+    /// plus forest edges by label.
+    type SnapshotView = (Vec<(String, u64, u64, String)>, Vec<(String, String)>);
+
+    fn outputs(snap: &FacetSnapshot) -> SnapshotView {
+        let rows = snap
+            .candidates()
+            .iter()
+            .map(|c| {
+                (
+                    snap.vocab().term(c.term).to_string(),
+                    c.df,
+                    c.df_c,
+                    format!("{:x}", c.score.to_bits()),
+                )
+            })
+            .collect();
+        (rows, snap.forest().edges())
+    }
+
+    #[test]
+    fn empty_index_has_generation_zero() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let index = ShardedFacetIndex::new(4, vec![&e], vec![&r], options());
+        assert!(index.is_empty());
+        assert_eq!(index.n_shards(), 4);
+        assert_eq!(index.snapshot().generation(), 0);
+    }
+
+    #[test]
+    fn zero_shards_clamped_to_one() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let index = ShardedFacetIndex::new(0, vec![&e], vec![&r], options());
+        assert_eq!(index.n_shards(), 1);
+    }
+
+    #[test]
+    fn round_robin_partition_is_even() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let mut index = ShardedFacetIndex::new(3, vec![&e], vec![&r], options());
+        let stats = index.append(corpus(8)).unwrap();
+        assert_eq!(stats.docs, 8);
+        assert_eq!(stats.docs_per_shard, vec![3, 3, 2]);
+        assert_eq!(index.len(), 8);
+        // A second append keeps the global round-robin going: doc 8 → shard 2.
+        let stats = index.append(corpus(1)).unwrap();
+        assert_eq!(stats.docs_per_shard, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_for_all_shard_counts() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let batch = FacetIndex::build(corpus(24), vec![&e], vec![&r], options());
+        let expected = outputs(&batch.snapshot());
+        assert!(!expected.0.is_empty(), "the corpus must yield facet terms");
+        for n in [1, 2, 3, 4, 8] {
+            let r = CountingResource::new();
+            let sharded = ShardedFacetIndex::build(corpus(24), n, vec![&e], vec![&r], options());
+            assert_eq!(
+                outputs(&sharded.snapshot()),
+                expected,
+                "{n} shards must match the unsharded index"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_sharded_appends_match_one_shot() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let one_shot = ShardedFacetIndex::build(corpus(24), 3, vec![&e], vec![&r], options());
+        let r2 = CountingResource::new();
+        let mut incremental = ShardedFacetIndex::new(3, vec![&e], vec![&r2], options());
+        let docs = corpus(24);
+        for chunk in docs.chunks(7) {
+            incremental.append(chunk.to_vec()).unwrap();
+        }
+        assert_eq!(incremental.snapshot().generation(), 4);
+        assert_eq!(
+            outputs(&incremental.snapshot()),
+            outputs(&one_shot.snapshot())
+        );
+    }
+
+    #[test]
+    fn shared_cache_deduplicates_across_shards() {
+        // All three entities appear in documents of every shard, yet the
+        // wrapped resource must be queried exactly once per entity.
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let mut index = ShardedFacetIndex::new(4, vec![&e], vec![&r], options());
+        let stats = index.append(corpus(16)).unwrap();
+        assert_eq!(r.queries.load(Ordering::SeqCst), 3);
+        assert_eq!(stats.resource_queries, 3);
+        // Per-shard caches each discovered the terms independently…
+        assert!(stats.new_distinct_terms >= 3);
+        // …and the shared cache absorbed every duplicate.
+        let cache = &index.resource_cache_stats()[0];
+        assert_eq!(cache.misses, 3);
+        assert_eq!(
+            cache.hits + cache.misses,
+            stats.new_distinct_terms as u64,
+            "every per-shard resolution went through the shared cache"
+        );
+
+        // A later append re-resolves nothing.
+        let stats = index.append(corpus(4)).unwrap();
+        assert_eq!(stats.resource_queries, 0);
+        assert_eq!(r.queries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn append_records_per_shard_spans() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let recorder = Recorder::enabled();
+        let mut index = ShardedFacetIndex::new(2, vec![&e], vec![&r], options())
+            .with_recorder(recorder.clone());
+        index.append(corpus(8)).unwrap();
+        let counts = recorder.snapshot_counts_only();
+        assert_eq!(counts["span.append.count"], 1);
+        assert_eq!(counts["span.append.partition.count"], 1);
+        assert_eq!(counts["span.append.shard0.count"], 1);
+        assert_eq!(counts["span.append.shard1.count"], 1);
+        assert_eq!(counts["span.append.merge.count"], 1);
+        assert_eq!(counts["span.append.select.count"], 1);
+        assert_eq!(counts["span.append.subsumption.count"], 1);
+        assert_eq!(counts["span.append.swap.count"], 1);
+        assert_eq!(counts["counter.append.docs"], 8);
+        assert_eq!(counts["counter.append.snapshot_swaps"], 1);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_appends() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let mut index = ShardedFacetIndex::build(corpus(8), 2, vec![&e], vec![&r], options());
+        let old = index.snapshot();
+        let old_rows = outputs(&old);
+        index.append(corpus(8)).unwrap();
+        assert_eq!(outputs(&old), old_rows, "frozen snapshot unchanged");
+        assert!(index.snapshot().generation() > old.generation());
+        assert_eq!(index.snapshot().n_docs(), 16);
+    }
+
+    #[test]
+    fn browse_engine_sees_global_doc_order() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let index = ShardedFacetIndex::build(corpus(12), 3, vec![&e], vec![&r], options());
+        let snap = index.snapshot();
+        let engine = snap.browse();
+        assert_eq!(engine.n_docs(), 12);
+        // "france" comes from chirac docs: global ids 0, 3, 4, 7, 8, 11
+        // (texts cycle with period 4; chirac appears in texts 0 and 3).
+        let france = snap.vocab().get("france").unwrap();
+        let docs = engine.docs_with(france);
+        let ids: Vec<u32> = docs.iter().map(|d| d.0).collect();
+        assert_eq!(ids, vec![0, 3, 4, 7, 8, 11]);
+    }
+}

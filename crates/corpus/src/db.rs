@@ -116,13 +116,31 @@ impl TextDatabase {
         vocab: &mut Vocabulary,
     ) -> std::ops::Range<usize> {
         let start = self.docs.len();
-        let mut scratch = Vec::new();
         for (offset, d) in docs.iter().enumerate() {
             debug_assert_eq!(
                 d.id.index(),
                 start + offset,
                 "appended documents must carry positional ids"
             );
+        }
+        self.append_detached(docs, vocab)
+    }
+
+    /// [`TextDatabase::append`] for documents whose `id` fields carry
+    /// *external* ids — e.g. the global archive ids of a sharded index,
+    /// where each shard stores every N-th document. The documents are
+    /// stored at the next positional slots (so positional accessors like
+    /// [`TextDatabase::doc_terms`] keep working shard-locally) while
+    /// `Document::id` keeps the caller's id; the df table is
+    /// delta-updated exactly as in [`TextDatabase::append`].
+    pub fn append_detached(
+        &mut self,
+        docs: Vec<Document>,
+        vocab: &mut Vocabulary,
+    ) -> std::ops::Range<usize> {
+        let start = self.docs.len();
+        let mut scratch = Vec::new();
+        for d in &docs {
             scratch.clear();
             extract_terms(&d.full_text(), &self.options, vocab, &mut scratch);
             self.doc_terms.push(scratch.clone());
@@ -327,6 +345,32 @@ mod tests {
             );
         }
         assert_eq!(inc.df_table(), batch.df_table());
+    }
+
+    #[test]
+    fn append_detached_keeps_external_ids_and_df_deltas() {
+        // Round-robin partition of 4 docs into 2 shards: each shard
+        // stores its docs at positions 0..2 while the ids stay global.
+        let all = [
+            doc(0, "A", "the war escalated in the capital"),
+            doc(1, "B", "peace talks resumed near the border"),
+            doc(2, "C", "markets rallied as war fears eased"),
+            doc(3, "D", "the border patrol reported calm"),
+        ];
+        let mut vocab = Vocabulary::new();
+        let mut shard = TextDatabase::build(vec![], &mut vocab, TermingOptions::default());
+        let r = shard.append_detached(vec![all[0].clone(), all[2].clone()], &mut vocab);
+        assert_eq!(r, 0..2);
+        // Positional accessors address shard slots; ids stay global.
+        assert_eq!(shard.docs()[1].id, DocId(2));
+        let war = vocab.get("war").unwrap();
+        assert_eq!(shard.df(war), 2, "df delta counts both shard docs");
+        assert!(!shard.doc_terms(DocId(1)).is_empty());
+        // A second detached append keeps delta-updating.
+        shard.append_detached(vec![all[1].clone()], &mut vocab);
+        let border = vocab.get("border").unwrap();
+        assert_eq!(shard.df(border), 1);
+        assert_eq!(shard.len(), 3);
     }
 
     #[test]

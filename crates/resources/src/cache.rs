@@ -6,18 +6,29 @@
 //! resource with an interior-mutability memo so repeated queries are
 //! answered from memory. Resources are deterministic by contract
 //! ([`ContextResource`]), so caching is transparent.
+//!
+//! The memo is safe to share across threads — sharded index appends hang
+//! one `CachedResource` per resource in front of every shard — and it
+//! guarantees the wrapped resource is queried **exactly once per distinct
+//! term** no matter how many threads race on it: each term owns a
+//! [`OnceLock`] latch, so concurrent callers of the same term block on
+//! the single in-flight query instead of re-issuing it, while queries for
+//! *different* terms proceed in parallel.
 
 use crate::resource::ContextResource;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Hit/miss totals of a [`CachedResource`], as observed so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Queries answered from the memo.
+    /// Queries answered from the memo (including callers that blocked on
+    /// another thread's in-flight query for the same term).
     pub hits: u64,
-    /// Queries that had to consult the wrapped resource.
+    /// Queries that had to consult the wrapped resource — exactly one
+    /// per distinct term ever asked.
     pub misses: u64,
 }
 
@@ -36,7 +47,9 @@ impl CacheStats {
 /// Memoizing decorator for a [`ContextResource`].
 pub struct CachedResource<R> {
     inner: R,
-    cache: RwLock<HashMap<String, Vec<String>>>,
+    /// One latch per term: inserted under the write lock, initialized
+    /// exactly once (by whichever thread wins `get_or_init`) outside it.
+    cache: RwLock<HashMap<String, Arc<OnceLock<Vec<String>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -77,23 +90,40 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
     }
 
     fn context_terms(&self, term: &str) -> Vec<String> {
-        if let Some(hit) = self.cache.read().get(term) {
+        // Fast path: the term's latch already exists (resolved or
+        // in-flight) — a short read lock suffices.
+        let latch = self.cache.read().get(term).cloned();
+        let latch = match latch {
+            Some(l) => l,
+            None => {
+                // Double-check under the write lock: another thread may
+                // have inserted the latch between our read and write.
+                let mut cache = self.cache.write();
+                Arc::clone(
+                    cache
+                        .entry(term.to_string())
+                        .or_insert_with(|| Arc::new(OnceLock::new())),
+                )
+            }
+        };
+        // Exactly one caller runs the closure (std `OnceLock::get_or_init`
+        // semantics); racers on the same term block here until the value
+        // is ready instead of re-querying the wrapped resource, and are
+        // counted as hits. The query itself runs outside the map locks so
+        // misses on *different* terms never serialize behind it.
+        let mut queried_inner = false;
+        let out = latch
+            .get_or_init(|| {
+                queried_inner = true;
+                self.inner.context_terms(term)
+            })
+            .clone();
+        if queried_inner {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Computed outside the write lock so concurrent misses on
-        // *different* terms don't serialize behind one slow resource
-        // query. Two threads racing on the *same* term may both compute
-        // it (resources are deterministic by contract, so the results
-        // are equal); `entry` keeps the first insert and every miss is
-        // counted, so `stats()` reflects the duplicated work honestly.
-        let computed = self.inner.context_terms(term);
-        self.cache
-            .write()
-            .entry(term.to_string())
-            .or_insert_with(|| computed.clone());
-        computed
+        out
     }
 }
 
@@ -159,8 +189,29 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 50);
         assert_eq!(c.cached_queries(), 5);
-        // Racing threads may double-compute a term, but never more than
-        // once per thread in flight.
-        assert!(s.misses >= 5 && s.misses <= 5 * 8);
+        // The latch guarantees exactly one inner query — and thus one
+        // counted miss — per distinct term, no matter the interleaving.
+        assert_eq!(s.misses, 5);
+        assert_eq!(c.inner().0.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn racing_threads_query_inner_exactly_once_per_term() {
+        // Many threads, same term, synchronized to maximize the racing
+        // window on a cold cache: the wrapped resource must be queried
+        // exactly once, with every other caller counted as a hit.
+        let c = CachedResource::new(Counting(AtomicUsize::new(0)));
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    barrier.wait();
+                    assert_eq!(c.context_terms("hot"), vec!["ctx of hot"]);
+                });
+            }
+        });
+        assert_eq!(c.inner().0.load(Ordering::SeqCst), 1, "one inner query");
+        let s = c.stats();
+        assert_eq!(s, CacheStats { hits: 7, misses: 1 });
     }
 }

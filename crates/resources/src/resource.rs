@@ -13,6 +13,19 @@ pub trait ContextResource: Send + Sync {
     fn context_terms(&self, term: &str) -> Vec<String>;
 }
 
+/// References delegate, so adapters like
+/// [`crate::CachedResource`] can wrap a borrowed resource (including a
+/// borrowed trait object) without taking ownership.
+impl<R: ContextResource + ?Sized> ContextResource for &R {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        (**self).context_terms(term)
+    }
+}
+
 /// A labelled selection of resources, one table row of the paper.
 pub struct ResourceSet<'a> {
     /// Display label ("Google", …, or "All").

@@ -67,7 +67,7 @@ fn main() {
         if batch.is_empty() {
             continue;
         }
-        let stats = index.append(batch);
+        let stats = index.append(batch).expect("day batches are well-formed");
         let snapshot = index.snapshot();
         println!(
             "{:>4} {:>6} {:>10} {:>8} {:>8} {:>7}",

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1]
+# Usage: scripts/check.sh [--tier1|--bench-smoke]
 #
-#   --tier1   Run exactly the tier-1 gate (release build + tests), the
-#             command CI and the roadmap treat as the must-stay-green bar.
+#   --tier1        Run exactly the tier-1 gate (release build + tests), the
+#                  command CI and the roadmap treat as the must-stay-green
+#                  bar, plus the sharded-index determinism sweep.
+#   --bench-smoke  Run the shard benchmark on a tiny recipe with its
+#                  invariant assertions on (equivalence to the batch build,
+#                  rate arithmetic), so bench-math regressions fail fast.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +16,21 @@ if [[ "${1:-}" == "--tier1" ]]; then
     echo "== tier-1: cargo build --release && cargo test -q"
     cargo build --release
     cargo test -q
+    echo "== tier-1: sharded-index determinism sweep"
+    # The shard-count x thread-count equivalence tests, named explicitly
+    # so a filtered or partial test run cannot silently skip them.
+    cargo test -q --test determinism shard
+    cargo test -q -p facet-core shard::
     echo "Tier-1 gate passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    echo "== bench smoke: shard_bench --smoke on a tiny recipe"
+    cargo run --release -p facet-bench --bin shard_bench -- \
+        --scale 0.05 --batches 3 --shards 1,2 --smoke \
+        --out target/BENCH_3.smoke.json
+    echo "Bench smoke passed."
     exit 0
 fi
 

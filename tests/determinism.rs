@@ -1,8 +1,10 @@
 //! Reproducibility: the whole stack — world, corpus, substrates, pipeline
 //! — must be bit-stable given the recipe seeds, including under different
-//! expansion thread counts.
+//! expansion thread counts and index shard counts.
 
-use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::core::{
+    FacetIndex, FacetPipeline, FacetSnapshot, PipelineOptions, ShardedFacetIndex,
+};
 use facet_hierarchies::corpus::RecipeKind;
 use facet_hierarchies::eval::harness::{tiny_recipe, DatasetBundle};
 use facet_hierarchies::ner::NerTagger;
@@ -146,6 +148,134 @@ fn count_snapshots_are_reproducible() {
     let _ = pipeline_outputs(a.clone());
     let _ = pipeline_outputs(b.clone());
     assert_eq!(a.snapshot_counts_only(), b.snapshot_counts_only());
+}
+
+/// String-level view of an index snapshot: candidate rows with exact
+/// score bits, plus forest edges by label.
+fn snapshot_rows(snap: &FacetSnapshot) -> (Vec<CandidateRow>, Vec<(String, String)>) {
+    let rows = snap
+        .candidates()
+        .iter()
+        .map(|c| {
+            (
+                snap.vocab().term(c.term).to_string(),
+                c.df,
+                c.df_c,
+                format!("{:x}", c.score.to_bits()),
+            )
+        })
+        .collect();
+    (rows, snap.forest().edges())
+}
+
+/// A resource wrapper that counts how many queries reach the inner
+/// resource (what a `CachedResource` is supposed to minimize).
+struct CountedInner<'a> {
+    inner: WikiGraphResource<'a>,
+    queries: std::sync::atomic::AtomicUsize,
+}
+
+impl ContextResource for CountedInner<'_> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        self.queries
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.inner.context_terms(term)
+    }
+}
+
+#[test]
+fn shard_and_thread_sweep_matches_batch_pipeline() {
+    // The sharded index must reproduce the unsharded build exactly — all
+    // candidate statistics bit-for-bit and all forest edges — for every
+    // shard count and expansion thread count, whether the corpus arrives
+    // in one batch or many.
+    let bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let options = |threads: usize| PipelineOptions {
+        top_k: 300,
+        expansion: ExpansionOptions { threads },
+        ..Default::default()
+    };
+
+    let batch_res = CachedResource::new(WikiGraphResource::new(&graph));
+    let batch = FacetIndex::build(docs.clone(), vec![&ne], vec![&batch_res], options(1));
+    let expected = snapshot_rows(&batch.snapshot());
+    assert!(!expected.0.is_empty(), "the corpus must yield facet terms");
+
+    for n_shards in [1, 2, 4, 8] {
+        for threads in [1, 4] {
+            let res = CachedResource::new(WikiGraphResource::new(&graph));
+            let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+            let resources: Vec<&dyn ContextResource> = vec![&res];
+            let mut index =
+                ShardedFacetIndex::new(n_shards, extractors, resources, options(threads));
+            for chunk in docs.chunks(docs.len().div_ceil(3)) {
+                index.append(chunk.to_vec()).expect("well-formed batches");
+            }
+            assert_eq!(
+                snapshot_rows(&index.snapshot()),
+                expected,
+                "shards={n_shards} threads={threads} diverged from the batch build"
+            );
+        }
+    }
+}
+
+#[test]
+fn racing_shards_query_each_term_once() {
+    // The shared resource cache must collapse cross-shard duplicate
+    // queries: however many shards race on the same important terms, the
+    // wrapped resource answers each distinct term exactly once — the same
+    // query count a 1-shard build issues.
+    let bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let options = PipelineOptions {
+        top_k: 300,
+        ..Default::default()
+    };
+
+    let counted_queries = |n_shards: usize| {
+        let counted = CountedInner {
+            inner: WikiGraphResource::new(&graph),
+            queries: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let res = CachedResource::new(&counted as &dyn ContextResource);
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+        let resources: Vec<&dyn ContextResource> = vec![&res];
+        let index = ShardedFacetIndex::build(
+            docs.clone(),
+            n_shards,
+            extractors,
+            resources,
+            options.clone(),
+        );
+        let stats = index.resource_cache_stats()[0];
+        let inner = counted.queries.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(
+            inner as u64, stats.misses,
+            "every inner query must be a counted miss"
+        );
+        inner
+    };
+
+    let serial = counted_queries(1);
+    assert!(serial > 0, "the corpus must produce resource queries");
+    for n_shards in [2, 4, 8] {
+        assert_eq!(
+            counted_queries(n_shards),
+            serial,
+            "{n_shards} shards re-queried terms another shard already resolved"
+        );
+    }
 }
 
 #[test]

@@ -131,7 +131,7 @@ fn run_all(enabled: bool, n_batches: usize) -> (Outputs, Outputs, IncrementalRun
     let mut appends = Vec::new();
     let mut last_queries = 0u64;
     for batch in batches(&docs, n_batches) {
-        let stats = index.append(batch);
+        let stats = index.append(batch).expect("append batches are well-formed");
         let queries = if enabled {
             inc_recorder.snapshot_counts_only()["counter.resource.Wikipedia Graph.queries"]
         } else {

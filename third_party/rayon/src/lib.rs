@@ -1,0 +1,131 @@
+//! Minimal offline shim for the `rayon` task-parallelism API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the surface this workspace uses is provided: [`scope`] with
+//! [`Scope::spawn`] (fire-and-forget tasks joined at scope exit, rayon's
+//! signature where the closure receives the scope), [`join`], and
+//! [`current_num_threads`]. Unlike real rayon there is no work-stealing
+//! pool — every spawned task is an OS thread — which is the right
+//! trade-off for this workspace's coarse-grained fan-out (one task per
+//! index shard, shard counts in the single digits).
+
+/// A scope handle passed to [`scope`] closures; spawned tasks receive a
+/// fresh handle so they can spawn further work, mirroring
+/// `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task scoped to this scope. Mirrors `rayon::Scope::spawn`:
+    /// the closure receives the scope as its argument and no join handle
+    /// is returned — all tasks are joined when the enclosing [`scope`]
+    /// call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Create a scope for spawning tasks that may borrow from the caller's
+/// stack. All spawned tasks complete before `scope` returns, and a panic
+/// in any task propagates to the caller (std scoped-thread semantics,
+/// matching rayon's panic propagation).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+/// Mirrors `rayon::join`; here the second closure runs on a scoped
+/// thread while the first runs on the caller's thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join task panicked"))
+    })
+}
+
+/// The parallelism the host offers (rayon reports its pool size; the
+/// shim reports `std::thread::available_parallelism`, 1 when unknown).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_tasks_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn scope_returns_closure_result() {
+        let r = super::scope(|_| 41 + 1);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn tasks_can_spawn_subtasks() {
+        let total = AtomicU64::new(0);
+        super::scope(|s| {
+            let total = &total;
+            s.spawn(move |s| {
+                total.fetch_add(1, Ordering::SeqCst);
+                s.spawn(move |_| {
+                    total.fetch_add(2, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(total.into_inner(), 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "b");
+        assert_eq!(a, 4);
+        assert_eq!(b, "b");
+    }
+
+    #[test]
+    fn disjoint_mut_borrows_across_tasks() {
+        let mut parts = vec![0u64; 4];
+        super::scope(|s| {
+            for (i, p) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *p = i as u64 + 1);
+            }
+        });
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
