@@ -60,12 +60,21 @@ pub enum IndexError {
     /// the per-document important-term lists do not line up with the
     /// index's contextualized state.
     Expansion(ExpansionError),
+    /// A shard worker terminated without filling its result slot
+    /// (sharded appends only); the published snapshot is untouched.
+    ShardIncomplete {
+        /// Index of the shard whose outcome never arrived.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for IndexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IndexError::Expansion(e) => write!(f, "index append rejected: {e}"),
+            IndexError::ShardIncomplete { shard } => {
+                write!(f, "index append aborted: shard {shard} produced no outcome")
+            }
         }
     }
 }
@@ -74,6 +83,7 @@ impl std::error::Error for IndexError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IndexError::Expansion(e) => Some(e),
+            IndexError::ShardIncomplete { .. } => None,
         }
     }
 }
@@ -326,12 +336,10 @@ impl<'a> FacetIndex<'a> {
         extractors: Vec<&'a dyn TermExtractor>,
         resources: Vec<&'a dyn ContextResource>,
         options: PipelineOptions,
-    ) -> Self {
+    ) -> Result<Self, IndexError> {
         let mut index = Self::new(extractors, resources, options);
-        index
-            .append(docs)
-            .expect("append to a freshly-created index cannot have a range mismatch");
-        index
+        index.append(docs)?;
+        Ok(index)
     }
 
     /// Switch the ranking statistic (ablation). Only meaningful before
@@ -585,7 +593,7 @@ mod tests {
     fn build_selects_context_facets() {
         let e = FixedExtractor;
         let r = resource();
-        let index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        let index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options()).unwrap();
         let snap = index.snapshot();
         assert_eq!(snap.generation(), 1);
         assert_eq!(snap.n_docs(), 12);
@@ -624,7 +632,7 @@ mod tests {
     fn snapshots_are_isolated_from_later_appends() {
         let e = FixedExtractor;
         let r = resource();
-        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options()).unwrap();
         let old = index.snapshot();
         let old_terms: Vec<String> = old.facet_terms().iter().map(|s| s.to_string()).collect();
         index.append(merkel_docs(12)).unwrap();
@@ -649,7 +657,7 @@ mod tests {
     fn snapshot_browse_is_read_only_and_shared() {
         let e = FixedExtractor;
         let r = resource();
-        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options());
+        let mut index = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options()).unwrap();
         index.append(merkel_docs(12)).unwrap();
         let snap = index.snapshot();
         let engine = snap.browse();

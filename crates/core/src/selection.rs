@@ -111,8 +111,7 @@ pub fn select_facet_terms(
     let mut candidates = collect_candidates(inputs, statistic, min_df_c);
     candidates.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
+            .total_cmp(&a.score)
             .then_with(|| a.term.cmp(&b.term))
     });
     candidates.truncate(top_k);
@@ -138,8 +137,7 @@ pub fn select_facet_terms_stable(
     let mut candidates = collect_candidates(inputs, statistic, min_df_c);
     candidates.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
+            .total_cmp(&a.score)
             .then_with(|| {
                 vocab
                     .try_term(a.term)

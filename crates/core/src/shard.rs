@@ -178,12 +178,10 @@ impl<'a> ShardedFacetIndex<'a> {
         extractors: Vec<&'a dyn TermExtractor>,
         resources: Vec<&'a dyn ContextResource>,
         options: PipelineOptions,
-    ) -> Self {
+    ) -> Result<Self, IndexError> {
         let mut index = Self::new(n_shards, extractors, resources, options);
-        index
-            .append(docs)
-            .expect("append to a freshly-created index cannot have a range mismatch");
-        index
+        index.append(docs)?;
+        Ok(index)
     }
 
     /// Switch the ranking statistic (ablation). Only meaningful before
@@ -322,8 +320,8 @@ impl<'a> ShardedFacetIndex<'a> {
         });
         let mut new_distinct_terms = 0;
         let mut reused_terms = 0;
-        for outcome in results {
-            let outcome = outcome.expect("every shard worker fills its slot")?;
+        for (shard, outcome) in results.into_iter().enumerate() {
+            let outcome = outcome.ok_or(IndexError::ShardIncomplete { shard })??;
             new_distinct_terms += outcome.new_distinct_terms;
             reused_terms += outcome.reused_terms;
         }
@@ -550,12 +548,13 @@ mod tests {
     fn sharded_matches_unsharded_for_all_shard_counts() {
         let e = FixedExtractor;
         let r = CountingResource::new();
-        let batch = FacetIndex::build(corpus(24), vec![&e], vec![&r], options());
+        let batch = FacetIndex::build(corpus(24), vec![&e], vec![&r], options()).unwrap();
         let expected = outputs(&batch.snapshot());
         assert!(!expected.0.is_empty(), "the corpus must yield facet terms");
         for n in [1, 2, 3, 4, 8] {
             let r = CountingResource::new();
-            let sharded = ShardedFacetIndex::build(corpus(24), n, vec![&e], vec![&r], options());
+            let sharded =
+                ShardedFacetIndex::build(corpus(24), n, vec![&e], vec![&r], options()).unwrap();
             assert_eq!(
                 outputs(&sharded.snapshot()),
                 expected,
@@ -568,7 +567,8 @@ mod tests {
     fn incremental_sharded_appends_match_one_shot() {
         let e = FixedExtractor;
         let r = CountingResource::new();
-        let one_shot = ShardedFacetIndex::build(corpus(24), 3, vec![&e], vec![&r], options());
+        let one_shot =
+            ShardedFacetIndex::build(corpus(24), 3, vec![&e], vec![&r], options()).unwrap();
         let r2 = CountingResource::new();
         let mut incremental = ShardedFacetIndex::new(3, vec![&e], vec![&r2], options());
         let docs = corpus(24);
@@ -634,7 +634,8 @@ mod tests {
     fn snapshots_are_isolated_from_later_appends() {
         let e = FixedExtractor;
         let r = CountingResource::new();
-        let mut index = ShardedFacetIndex::build(corpus(8), 2, vec![&e], vec![&r], options());
+        let mut index =
+            ShardedFacetIndex::build(corpus(8), 2, vec![&e], vec![&r], options()).unwrap();
         let old = index.snapshot();
         let old_rows = outputs(&old);
         index.append(corpus(8)).unwrap();
@@ -647,7 +648,7 @@ mod tests {
     fn browse_engine_sees_global_doc_order() {
         let e = FixedExtractor;
         let r = CountingResource::new();
-        let index = ShardedFacetIndex::build(corpus(12), 3, vec![&e], vec![&r], options());
+        let index = ShardedFacetIndex::build(corpus(12), 3, vec![&e], vec![&r], options()).unwrap();
         let snap = index.snapshot();
         let engine = snap.browse();
         assert_eq!(engine.n_docs(), 12);

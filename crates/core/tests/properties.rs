@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the core pipeline invariants.
 
 use facet_core::{

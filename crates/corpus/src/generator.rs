@@ -258,7 +258,15 @@ impl<'w> CorpusGenerator<'w> {
             let mut rest = template;
             while let Some(pos) = rest.find('{') {
                 sentence.push_str(&rest[..pos]);
-                let close = rest[pos..].find('}').expect("balanced template slot") + pos;
+                // A malformed template (unclosed brace, unknown slot) is
+                // emitted literally rather than panicking: the built-in
+                // TEMPLATES are all well-formed, so this path only matters
+                // for future hand-edited template sets.
+                let Some(close) = rest[pos..].find('}').map(|c| c + pos) else {
+                    sentence.push_str(&rest[pos..]);
+                    rest = "";
+                    break;
+                };
                 let slot = &rest[pos + 1..close];
                 match slot {
                     "E" => {
@@ -267,7 +275,11 @@ impl<'w> CorpusGenerator<'w> {
                     }
                     "C" => sentence.push_str(&concept_word(rng, &concepts)),
                     "B" => sentence.push_str(bg(rng)),
-                    other => panic!("unknown template slot {other}"),
+                    other => {
+                        sentence.push('{');
+                        sentence.push_str(other);
+                        sentence.push('}');
+                    }
                 }
                 rest = &rest[close + 1..];
             }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the text-database substrate.
 
 use facet_corpus::db::TermingOptions;

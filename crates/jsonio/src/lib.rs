@@ -11,9 +11,15 @@
 //! Supported: everything `serde::Serialize` can produce. Maps must have
 //! string-like keys (numbers and chars are stringified; other key types
 //! are rejected). Output is deterministic for deterministic inputs.
+//!
+//! The read side ([`parse_json`]) accepts standard JSON into a
+//! [`JsonValue`] tree (object key order preserved), so tooling can
+//! re-verify the artifacts this crate writes.
 
+mod parse;
 mod ser;
 
+pub use parse::{parse_json, JsonParseError, JsonValue};
 pub use ser::{to_json_string, to_json_string_pretty, JsonError};
 
 #[cfg(test)]

@@ -1,0 +1,7 @@
+// A0 fixture: malformed lint:allow directives.
+pub fn sites(x: Option<u32>) -> u32 {
+    // lint:allow(panic)
+    let a = x.unwrap();
+    // lint:allow(no-such-rule, reason="typo in the rule name")
+    a + 1
+}

@@ -1,0 +1,5 @@
+// Suppression fixture: a reasoned lint:allow silences the finding.
+pub fn site(x: Option<u32>) -> u32 {
+    // lint:allow(panic, reason="fixture demonstrates a documented invariant")
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+// C1 fixture: ad-hoc locking and thread creation outside sanctioned sites.
+use std::sync::Mutex;
+
+pub fn violation() {
+    let shared = Mutex::new(0u32);
+    std::thread::spawn(move || {
+        *shared.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    });
+}

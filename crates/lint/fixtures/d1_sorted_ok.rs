@@ -1,0 +1,16 @@
+// D1 negative fixture: sorted or aggregated hash iteration is fine.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sorted(names: &HashMap<String, u32>) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = names.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+pub fn aggregated(names: &HashMap<String, u32>) -> u64 {
+    names.values().map(|v| u64::from(*v)).sum()
+}
+
+pub fn reordered(names: &HashMap<String, u32>) -> BTreeMap<String, u32> {
+    names.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}

@@ -1,0 +1,12 @@
+// D1 fixture: a `for` loop over a HashMap leaks unordered state.
+use std::collections::HashMap;
+
+pub fn violation() -> Vec<String> {
+    let mut names: HashMap<String, u32> = HashMap::new();
+    names.insert("a".into(), 1);
+    let mut out = Vec::new();
+    for (k, v) in &names {
+        out.push(format!("{k}={v}"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// D2 fixture: wall-clock read in pipeline code.
+use std::time::Instant;
+
+pub fn violation() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,5 @@
+// D3 fixture: entropy-seeded RNG construction.
+pub fn violation() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+// P1 fixture: panicking calls in library code.
+pub fn violation(x: Option<u32>) -> u32 {
+    let head = x.unwrap();
+    if head == 0 {
+        panic!("zero");
+    }
+    head
+}

@@ -1,0 +1,22 @@
+// Test-exemption fixture: violations inside #[cfg(test)] are not linted.
+pub fn clean() -> u32 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_only_code_may_do_anything() {
+        let _clock = Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        for (k, v) in &m {
+            assert!(k < v);
+        }
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! `Lint.toml` loading via a minimal TOML-subset parser.
+//!
+//! The workspace is offline (no `toml` crate), so the config file
+//! sticks to a tiny, strict dialect: `[dotted.table.headers]`,
+//! `key = "string"` and `key = ["array", "of", "strings"]` (arrays may
+//! span lines), `#` comments. Anything else is a hard error — the lint
+//! gate must never silently mis-read its own policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled.
+    Allow,
+    /// Reported, but does not fail the build.
+    Warn,
+    /// Reported and fails the build (non-zero exit).
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+// Serialized as the lowercase word (JSON report field), matching the
+// Lint.toml severity vocabulary.
+impl serde::Serialize for Severity {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+/// Configuration of one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Default treatment of findings (absent rule sections = allow).
+    pub severity: Option<Severity>,
+    /// Crates the rule applies to; empty = every linted crate.
+    pub crates: Vec<String>,
+    /// Module paths (`crate` or `crate::module`) exempt from the rule.
+    pub allow_modules: Vec<String>,
+    /// Sanctioned sites (module paths) where the rule does not apply —
+    /// the declared concurrency surface for C1.
+    pub sanctioned: Vec<String>,
+}
+
+/// Parsed `Lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the workspace root) never linted.
+    pub exclude: Vec<String>,
+    /// Per-rule configuration, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Effective severity for `rule` in `module_path` (e.g.
+    /// `core::shard`); `krate` is the leading segment.
+    pub fn severity_for(&self, rule: &str, krate: &str, module_path: &str) -> Severity {
+        let Some(rc) = self.rules.get(rule) else {
+            return Severity::Allow;
+        };
+        let severity = match rc.severity {
+            Some(s) => s,
+            None => return Severity::Allow,
+        };
+        if !rc.crates.is_empty() && !rc.crates.iter().any(|c| c == krate) {
+            return Severity::Allow;
+        }
+        if module_matches(&rc.allow_modules, krate, module_path)
+            || module_matches(&rc.sanctioned, krate, module_path)
+        {
+            return Severity::Allow;
+        }
+        severity
+    }
+}
+
+/// True when `module_path` (or its crate) is named in `list`. A bare
+/// crate name sanctions the whole crate; `crate::module` sanctions that
+/// module and its submodules.
+fn module_matches(list: &[String], krate: &str, module_path: &str) -> bool {
+    list.iter()
+        .any(|m| m == krate || m == module_path || module_path.starts_with(&format!("{m}::")))
+}
+
+/// A config-file syntax error with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parse the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    let mut table: Vec<String> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(header) = header.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated table header"));
+            };
+            table = header
+                .split('.')
+                .map(|s| s.trim().trim_matches('"').to_string())
+                .collect();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, "expected `key = value`"));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multi-line array: accumulate until the closing bracket.
+        if value.starts_with('[') && !balanced_array(&value) {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if balanced_array(&value) {
+                    break;
+                }
+            }
+            if !balanced_array(&value) {
+                return Err(err(lineno, "unterminated array"));
+            }
+        }
+        apply(&mut config, &table, &key, &value, lineno)?;
+    }
+    Ok(config)
+}
+
+fn err(line: usize, message: &str) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Remove a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_string = !in_string;
+        } else if c == '#' && !in_string {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+fn balanced_array(value: &str) -> bool {
+    // Arrays hold only string elements, so bracket counting outside
+    // quotes is exact.
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in value.chars() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_string = !in_string;
+        } else if !in_string {
+            match c {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(err(lineno, "expected a double-quoted string"))
+    }
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(err(lineno, "expected an array of strings"));
+    };
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+fn apply(
+    config: &mut Config,
+    table: &[String],
+    key: &str,
+    value: &str,
+    lineno: usize,
+) -> Result<(), ConfigError> {
+    match table {
+        [t] if t == "lint" => match key {
+            "exclude" => config.exclude = parse_array(value, lineno)?,
+            other => return Err(err(lineno, &format!("unknown [lint] key `{other}`"))),
+        },
+        [t, rule] if t == "rules" => {
+            let rc = config.rules.entry(rule.clone()).or_default();
+            match key {
+                "severity" => {
+                    rc.severity = Some(match parse_string(value, lineno)?.as_str() {
+                        "deny" => Severity::Deny,
+                        "warn" => Severity::Warn,
+                        "allow" => Severity::Allow,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                &format!("unknown severity `{other}` (deny|warn|allow)"),
+                            ))
+                        }
+                    });
+                }
+                "crates" => rc.crates = parse_array(value, lineno)?,
+                "allow-modules" => rc.allow_modules = parse_array(value, lineno)?,
+                "sanctioned" => rc.sanctioned = parse_array(value, lineno)?,
+                other => {
+                    return Err(err(
+                        lineno,
+                        &format!("unknown [rules.{rule}] key `{other}`"),
+                    ))
+                }
+            }
+        }
+        _ => {
+            return Err(err(
+                lineno,
+                "expected a [lint] or [rules.<name>] table header before keys",
+            ))
+        }
+    }
+    Ok(())
+}

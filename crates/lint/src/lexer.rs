@@ -1,0 +1,509 @@
+//! A hand-rolled Rust lexer with spans.
+//!
+//! The lint engine needs just enough lexical fidelity to reason about
+//! token *sequences* without being fooled by comments or string
+//! literals — it does not parse Rust. Tokens carry 1-based line/column
+//! spans so findings are clickable and reports sort deterministically.
+//!
+//! Beyond tokens, the lexer surfaces two side channels the rule engine
+//! consumes:
+//!
+//! * `// lint:allow(rule, reason="...")` comments, collected as
+//!   [`AllowDirective`]s (a directive suppresses findings on its own
+//!   line or on the next line that carries code);
+//! * nothing else — `#[cfg(test)]` stripping operates on the token
+//!   stream afterwards (see [`strip_test_code`]).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Punctuation. `::` is fused into a single token; everything else
+    /// is one character per token.
+    Punct,
+    /// String/char/byte/number literal (content is opaque to rules).
+    Literal,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The lexeme text (for literals, the raw source slice).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A `// lint:allow(rule, reason="...")` suppression comment.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty `reason="..."` was supplied.
+    pub has_reason: bool,
+    /// Line the comment itself sits on (suppresses same-line findings).
+    pub line: u32,
+    /// Line of the first token lexed after the comment (suppresses
+    /// next-line findings); 0 when the comment ends the file.
+    pub next_code_line: u32,
+}
+
+/// Lexer output for one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` directives, in source order.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lex `src` into tokens + allow directives.
+pub fn lex(src: &str) -> LexedFile {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+    /// Indices into `out.allows` still waiting for their next token.
+    pending_allows: Vec<usize>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexedFile::default(),
+            pending_allows: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        for idx in self.pending_allows.drain(..) {
+            self.out.allows[idx].next_code_line = line;
+        }
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c == '"' {
+                let lit = self.string_literal();
+                self.push(TokenKind::Literal, lit, line, col);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                let lit = self.number();
+                self.push(TokenKind::Literal, lit, line, col);
+            } else if c == ':' && self.peek(1) == Some(':') {
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Punct, "::".into(), line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Doc comments (`///`, `//!`) are documentation — a lint:allow
+        // there is descriptive text, not a directive.
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        if !is_doc {
+            if let Some(directive) = parse_allow(&text, line) {
+                self.out.allows.push(directive);
+                self.pending_allows.push(self.out.allows.len() - 1);
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'x'`).
+    fn quote(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+        } else {
+            // Char literal: consume to the closing quote, honoring `\`.
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\''));
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Literal, text, line, col);
+        }
+    }
+
+    /// A `"`-delimited string with `\` escapes (cursor on the quote).
+    fn string_literal(&mut self) -> String {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"'));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Raw string starting at `r`/`b`/`br` prefix: `r##"..."##` etc.
+    /// The prefix (including `#`s and opening quote) is already consumed;
+    /// `hashes` is the number of `#` after `r`.
+    fn raw_string_tail(&mut self, text: &mut String, hashes: usize) {
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    text.push('#');
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        // Raw/byte string prefixes: r" r#" b" b' br" br#" and raw
+        // identifiers r#ident.
+        let c = self.peek(0).unwrap_or('\0');
+        if c == 'r' || c == 'b' {
+            let mut prefix_len = 1;
+            if c == 'b' && self.peek(1) == Some('r') {
+                prefix_len = 2;
+            }
+            let mut hashes = 0;
+            while self.peek(prefix_len + hashes) == Some('#') {
+                hashes += 1;
+            }
+            match self.peek(prefix_len + hashes) {
+                Some('"') => {
+                    let mut text = String::new();
+                    for _ in 0..(prefix_len + hashes + 1) {
+                        if let Some(ch) = self.bump() {
+                            text.push(ch);
+                        }
+                    }
+                    self.raw_string_tail(&mut text, hashes);
+                    self.push(TokenKind::Literal, text, line, col);
+                    return;
+                }
+                Some('\'') if c == 'b' && prefix_len == 1 && hashes == 0 => {
+                    // Byte char literal b'x'.
+                    let mut text = String::new();
+                    text.push(self.bump().unwrap_or('b'));
+                    text.push(self.bump().unwrap_or('\''));
+                    while let Some(ch) = self.bump() {
+                        text.push(ch);
+                        if ch == '\\' {
+                            if let Some(esc) = self.bump() {
+                                text.push(esc);
+                            }
+                        } else if ch == '\'' {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Literal, text, line, col);
+                    return;
+                }
+                Some(nc) if c == 'r' && hashes == 1 && is_ident_start(nc) => {
+                    // Raw identifier r#ident: lex as a plain ident.
+                    self.bump();
+                    self.bump();
+                    let mut text = String::new();
+                    while let Some(ch) = self.peek(0) {
+                        if is_ident_continue(ch) {
+                            text.push(ch);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident, text, line, col);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if is_ident_continue(ch) {
+                text.push(ch);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Exponent sign: 1e-3 / 2.5E+7.
+                text.push(c);
+                self.bump();
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    if let Some(sign) = self.bump() {
+                        text.push(sign);
+                    }
+                }
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse a `lint:allow(rule, reason="...")` directive out of a line
+/// comment's text, if present.
+fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
+    let start = comment.find("lint:allow(")?;
+    let args_full = &comment[start + "lint:allow(".len()..];
+    // Find the closing `)` quote-aware: parentheses inside the quoted
+    // reason text must not terminate the argument list early.
+    let mut in_str = false;
+    let mut end = None;
+    for (idx, c) in args_full.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ')' if !in_str => {
+                end = Some(idx);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let args = &args_full[..end?];
+    let (rule, rest) = match args.find(',') {
+        Some(i) => (&args[..i], &args[i + 1..]),
+        None => (args, ""),
+    };
+    let has_reason = rest
+        .find("reason=\"")
+        .map(|i| {
+            let body = &rest[i + "reason=\"".len()..];
+            body.find('"').is_some_and(|close| close > 0)
+        })
+        .unwrap_or(false);
+    Some(AllowDirective {
+        rule: rule.trim().to_string(),
+        has_reason,
+        line,
+        next_code_line: 0,
+    })
+}
+
+/// Remove tokens belonging to test-only code: any item annotated
+/// `#[cfg(test)]` (including `cfg(all(test, ...))`) or `#[test]`.
+///
+/// The scan is purely token-based: when a test-gating attribute is
+/// found, the attribute itself, any stacked attributes after it, and
+/// the following item (up to the matching `}` of its first brace, or a
+/// top-level `;` for brace-less items like `mod tests;`) are dropped.
+/// Attributes containing `not` (e.g. `cfg(not(test))`) gate *production*
+/// code and are kept.
+pub fn strip_test_code(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[") {
+            let attr_end = matching_bracket(&tokens, i + 1);
+            let attr = &tokens[i + 1..attr_end];
+            if attr_is_test_gate(attr) {
+                i = skip_item(&tokens, attr_end + 1);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `]` matching the `[` at `open` (or the last token).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct("[") {
+            depth += 1;
+        } else if tokens[i].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn attr_is_test_gate(attr: &[Token]) -> bool {
+    let has = |name: &str| attr.iter().any(|t| t.is_ident(name));
+    // `#[test]` exactly, or a cfg(...) that mentions `test` positively.
+    if attr.len() == 1 && attr[0].is_ident("test") {
+        return true;
+    }
+    has("cfg") && has("test") && !has("not")
+}
+
+/// Skip past the item following a test-gating attribute, returning the
+/// index of the first token after it. Handles stacked attributes.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Stacked attributes on the same item.
+    while i + 1 < tokens.len() && tokens[i].is_punct("#") && tokens[i + 1].is_punct("[") {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    let mut brace_depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            brace_depth += 1;
+        } else if t.is_punct("}") {
+            brace_depth = brace_depth.saturating_sub(1);
+            if brace_depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && brace_depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}

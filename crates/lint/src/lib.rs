@@ -1,0 +1,408 @@
+#![warn(missing_docs)]
+
+//! # facet-lint
+//!
+//! A workspace-specific static-analysis engine guarding the invariants
+//! behind the repo's determinism claim (sharded/incremental builds are
+//! string-identical to the batch pipeline): no unordered-map iteration
+//! feeding output, no wall clock or OS entropy in the pipeline, no
+//! concurrency outside sanctioned sites, no panics in library crates.
+//!
+//! The engine is a hand-rolled lexer ([`lexer`]) plus token-sequence
+//! rules ([`rules`]) — deliberately *not* a parser: the rules only need
+//! comment/string-aware token streams with spans, and the zero-dependency
+//! lexer keeps the lint usable in this offline workspace. Policy lives
+//! in the root `Lint.toml` ([`config`]); findings are reported
+//! deterministically ([`report`]). See DESIGN.md §13 for the rule
+//! catalogue and `lint:allow` etiquette.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use config::Config;
+use report::LintReport;
+use rules::Finding;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from a workspace lint run (config or I/O trouble — findings
+/// are not errors).
+#[derive(Debug)]
+pub enum LintError {
+    /// `Lint.toml` missing or malformed.
+    Config(config::ConfigError),
+    /// A file or directory could not be read.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Config(e) => write!(f, "{e}"),
+            LintError::Io { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<config::ConfigError> for LintError {
+    fn from(e: config::ConfigError) -> Self {
+        LintError::Config(e)
+    }
+}
+
+/// Load `Lint.toml` from the workspace root.
+pub fn load_config(root: &Path) -> Result<Config, LintError> {
+    let path = root.join("Lint.toml");
+    let text = std::fs::read_to_string(&path).map_err(|source| LintError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    Ok(config::parse(&text)?)
+}
+
+/// Lint one file's contents under `config` (exposed for self-tests and
+/// targeted runs).
+pub fn lint_source(file: &walk::SourceFile, source: &str, config: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    rules::analyze(file, &lexed, config)
+}
+
+/// Lint the whole workspace rooted at `root`, recording per-rule
+/// counters on `recorder`.
+pub fn lint_workspace(
+    root: &Path,
+    recorder: &facet_obs::Recorder,
+) -> Result<LintReport, LintError> {
+    let config = load_config(root)?;
+    let files = walk::workspace_files(root, &config.exclude).map_err(|source| LintError::Io {
+        path: root.display().to_string(),
+        source,
+    })?;
+    let mut findings = Vec::new();
+    for file in &files {
+        let full = root.join(&file.rel_path);
+        let text = std::fs::read_to_string(&full).map_err(|source| LintError::Io {
+            path: full.display().to_string(),
+            source,
+        })?;
+        findings.extend(lint_source(file, &text, &config));
+    }
+    Ok(LintReport::assemble(findings, files.len(), recorder))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+    use crate::lexer::{lex, strip_test_code, TokenKind};
+    use std::path::PathBuf;
+
+    fn fixture_config() -> Config {
+        config::parse(
+            r#"
+[lint]
+exclude = []
+
+[rules.unordered-iter]
+severity = "deny"
+
+[rules.wall-clock]
+severity = "deny"
+
+[rules.unseeded-rng]
+severity = "deny"
+
+[rules.concurrency]
+severity = "deny"
+
+[rules.panic]
+severity = "deny"
+"#,
+        )
+        .expect("fixture config parses")
+    }
+
+    fn fixture_file(name: &str) -> walk::SourceFile {
+        walk::SourceFile {
+            rel_path: format!("crates/lint/fixtures/{name}"),
+            krate: "fixtures".into(),
+            module_path: format!("fixtures::{}", name.trim_end_matches(".rs")),
+        }
+    }
+
+    fn lint_fixture(name: &str) -> Vec<Finding> {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        lint_source(&fixture_file(name), &source, &fixture_config())
+    }
+
+    // ----- lexer ------------------------------------------------------
+
+    #[test]
+    fn lexer_skips_comments_and_strings() {
+        let src = r##"
+// Instant::now in a comment
+/* unwrap() in /* a nested */ block comment */
+let s = "Instant::now() . unwrap()";
+let r = r#"panic!"#;
+let done = true;
+"##;
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        let strings: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text.contains('"'))
+            .collect();
+        assert_eq!(strings.len(), 2);
+    }
+
+    #[test]
+    fn lexer_separates_lifetimes_from_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn lexer_tracks_spans() {
+        let lexed = lex("a\n  bc\n");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lexer_collects_allow_directives() {
+        let src = "let a = 1; // lint:allow(panic, reason=\"latch is infallible\")\nlet b = 2;\n// lint:allow(unordered-iter)\nlet c = 3;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "panic");
+        assert!(lexed.allows[0].has_reason);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[0].next_code_line, 2);
+        assert_eq!(lexed.allows[1].rule, "unordered-iter");
+        assert!(!lexed.allows[1].has_reason);
+        assert_eq!(lexed.allows[1].next_code_line, 4);
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_items() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let tokens = strip_test_code(lex(src).tokens);
+        let unwraps = tokens.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(unwraps, 1, "only the live unwrap survives");
+        assert!(tokens.iter().any(|t| t.is_ident("live2")));
+    }
+
+    #[test]
+    fn strip_keeps_cfg_not_test() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n";
+        let tokens = strip_test_code(lex(src).tokens);
+        assert!(tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    // ----- config -----------------------------------------------------
+
+    #[test]
+    fn config_parses_severities_and_lists() {
+        let cfg = config::parse(
+            "[lint]\nexclude = [\"third_party\"]\n\n[rules.panic]\nseverity = \"deny\"  # comment\ncrates = [\n  \"core\",\n  \"resources\",\n]\n\n[rules.concurrency]\nseverity = \"deny\"\nsanctioned = [\"core::shard\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.exclude, vec!["third_party"]);
+        assert_eq!(
+            cfg.severity_for("panic", "core", "core::index"),
+            Severity::Deny
+        );
+        assert_eq!(cfg.severity_for("panic", "obs", "obs"), Severity::Allow);
+        assert_eq!(
+            cfg.severity_for("concurrency", "core", "core::shard"),
+            Severity::Allow,
+            "sanctioned module"
+        );
+        assert_eq!(
+            cfg.severity_for("concurrency", "core", "core::index"),
+            Severity::Deny
+        );
+        assert_eq!(
+            cfg.severity_for("unknown-rule", "core", "core"),
+            Severity::Allow
+        );
+    }
+
+    #[test]
+    fn config_rejects_bad_syntax() {
+        assert!(
+            config::parse("severity = \"deny\"").is_err(),
+            "key before header"
+        );
+        assert!(
+            config::parse("[rules.panic]\nseverity = deny").is_err(),
+            "unquoted"
+        );
+        assert!(config::parse("[rules.panic]\nseverity = \"fatal\"").is_err());
+    }
+
+    // ----- one fixture per rule ---------------------------------------
+
+    #[test]
+    fn fixture_d1_unordered_iter_is_caught() {
+        let findings = lint_fixture("d1_unordered_iter.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "unordered-iter"),
+            "expected D1: {findings:?}"
+        );
+        assert!(findings.iter().all(|f| f.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn fixture_d2_wall_clock_is_caught() {
+        let findings = lint_fixture("d2_wall_clock.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "wall-clock"),
+            "expected D2: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_d3_unseeded_rng_is_caught() {
+        let findings = lint_fixture("d3_unseeded_rng.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "unseeded-rng"),
+            "expected D3: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_c1_concurrency_is_caught() {
+        let findings = lint_fixture("c1_concurrency.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "concurrency"),
+            "expected C1: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_p1_panic_is_caught() {
+        let findings = lint_fixture("p1_panic.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "panic"),
+            "expected P1: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_a0_allow_without_reason_is_caught() {
+        let findings = lint_fixture("a0_allow_hygiene.rs");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "allow-hygiene" && f.message.contains("reason")),
+            "expected missing-reason A0: {findings:?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == "allow-hygiene" && f.message.contains("unknown rule")),
+            "expected unknown-rule A0: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_allowed_site_is_suppressed() {
+        let findings = lint_fixture("allowed_site.rs");
+        assert!(
+            findings.is_empty(),
+            "reasoned lint:allow suppresses cleanly: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_test_code_is_exempt() {
+        let findings = lint_fixture("test_code_exempt.rs");
+        assert!(
+            findings.is_empty(),
+            "cfg(test) code is not linted: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_sorted_iteration_is_not_flagged() {
+        let findings = lint_fixture("d1_sorted_ok.rs");
+        assert!(
+            findings.is_empty(),
+            "sorted/aggregated iterations pass: {findings:?}"
+        );
+    }
+
+    // ----- whole-workspace gate ---------------------------------------
+
+    fn workspace_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root resolves")
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let recorder = facet_obs::Recorder::enabled();
+        let report = lint_workspace(&workspace_root(), &recorder).expect("lint runs");
+        assert!(report.files_scanned > 50, "walks the whole workspace");
+        let denies: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .collect();
+        assert!(
+            denies.is_empty(),
+            "workspace must be lint-clean, found:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_runs() {
+        let r1 =
+            lint_workspace(&workspace_root(), &facet_obs::Recorder::enabled()).expect("first run");
+        let r2 =
+            lint_workspace(&workspace_root(), &facet_obs::Recorder::enabled()).expect("second run");
+        assert_eq!(r1.render_text(), r2.render_text());
+        assert_eq!(
+            r1.render_json().expect("json"),
+            r2.render_json().expect("json")
+        );
+    }
+
+    #[test]
+    fn report_counters_reach_obs() {
+        let recorder = facet_obs::Recorder::enabled();
+        let _ = lint_workspace(&workspace_root(), &recorder).expect("lint runs");
+        let counts = recorder.snapshot_counts_only();
+        assert!(counts.get("counter.lint.files").copied().unwrap_or(0) > 50);
+        assert!(counts.contains_key("counter.lint.findings.unordered-iter"));
+    }
+}

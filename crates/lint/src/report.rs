@@ -1,0 +1,79 @@
+//! Deterministic lint reports: span-sorted findings, text and JSON
+//! rendering, per-rule obs counters.
+
+use crate::config::Severity;
+use crate::rules::{Finding, RULES};
+use facet_obs::Recorder;
+use std::collections::BTreeMap;
+
+/// The complete result of linting a workspace.
+#[derive(Debug, serde::Serialize)]
+pub struct LintReport {
+    /// Report format tag, for downstream parsers.
+    pub schema: &'static str,
+    /// Number of files lexed and analyzed.
+    pub files_scanned: usize,
+    /// Findings, sorted by (file, line, col, code).
+    pub findings: Vec<Finding>,
+    /// Finding totals per rule name (rules with zero findings included,
+    /// so the report shape is stable).
+    pub counts: BTreeMap<String, u64>,
+    /// Number of findings at `deny` severity — non-zero fails the gate.
+    pub deny_count: usize,
+}
+
+impl LintReport {
+    /// Assemble a report from raw findings: sort, count, and publish
+    /// per-rule obs counters on `recorder`.
+    pub fn assemble(mut findings: Vec<Finding>, files_scanned: usize, recorder: &Recorder) -> Self {
+        findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.code).cmp(&(&b.file, b.line, b.col, &b.code))
+        });
+        let mut counts: BTreeMap<String, u64> =
+            RULES.iter().map(|r| (r.name.to_string(), 0u64)).collect();
+        for f in &findings {
+            *counts.entry(f.rule.clone()).or_insert(0) += 1;
+        }
+        let deny_count = findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count();
+        recorder.counter("lint.files").add(files_scanned as u64);
+        for (rule, n) in &counts {
+            recorder.counter(&format!("lint.findings.{rule}")).add(*n);
+        }
+        Self {
+            schema: "facet-lint/v1",
+            files_scanned,
+            findings,
+            counts,
+            deny_count,
+        }
+    }
+
+    /// Human-readable rendering (one line per finding + a summary).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}[{} {}] {}:{}:{} {}\n",
+                f.severity, f.code, f.rule, f.file, f.line, f.col, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "facet-lint: {} file(s) scanned, {} finding(s), {} deny\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.deny_count
+        ));
+        out
+    }
+
+    /// JSON rendering via facet-jsonio (pretty, trailing newline).
+    pub fn render_json(&self) -> Result<String, facet_jsonio::JsonError> {
+        facet_jsonio::to_json_string_pretty(self).map(|mut s| {
+            s.push('\n');
+            s
+        })
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace traversal: which files get linted, and what module path
+//! each one represents.
+//!
+//! Lintable files are the `src/` trees of every `crates/*` member plus
+//! the root package's `src/`. Test-only trees (`tests/`, `benches/`,
+//! `examples/`, `fixtures/`) are never linted, `third_party/` is never
+//! walked, and `Lint.toml` can exclude further path prefixes. Traversal
+//! order is sorted so the report is deterministic on any filesystem.
+
+use std::path::{Path, PathBuf};
+
+/// One file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Crate directory name (`core`, `resources`, ... or `root` for the
+    /// workspace package's own `src/`).
+    pub krate: String,
+    /// Module path such as `core::shard` (file stem appended to the
+    /// crate; `lib.rs`/`main.rs`/`mod.rs` map to the parent module).
+    pub module_path: String,
+}
+
+/// Directory names whose contents are test/support code, not library
+/// code subject to the determinism rules.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures"];
+
+/// Collect every lintable `.rs` file under `root`, honoring `exclude`
+/// path prefixes (workspace-relative).
+pub fn workspace_files(root: &Path, exclude: &[String]) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                crate_dirs.push(path);
+            }
+        }
+    }
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let krate = file_name(&crate_dir);
+        collect(root, &crate_dir.join("src"), &krate, exclude, &mut out)?;
+    }
+    // The workspace root package (src/lib.rs of facet-hierarchies).
+    collect(root, &root.join("src"), "root", exclude, &mut out)?;
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn collect(
+    root: &Path,
+    dir: &Path,
+    krate: &str,
+    exclude: &[String],
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = file_name(&path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect(root, &path, krate, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            let rel_path = relative(root, &path);
+            if exclude.iter().any(|p| rel_path.starts_with(p.as_str())) {
+                continue;
+            }
+            let module_path = module_path_for(krate, &rel_path);
+            out.push(SourceFile {
+                rel_path,
+                krate: krate.to_string(),
+                module_path,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `crates/core/src/shard.rs` → `core::shard`;
+/// `crates/core/src/lib.rs` → `core`;
+/// `crates/x/src/sub/mod.rs` → `x::sub`;
+/// `src/lib.rs` → `root`.
+fn module_path_for(krate: &str, rel_path: &str) -> String {
+    let mut segments: Vec<&str> = rel_path.split('/').collect();
+    // Drop the leading `crates/<name>/src` or `src` prefix.
+    if segments.first() == Some(&"crates") {
+        segments.drain(..3.min(segments.len()));
+    } else if segments.first() == Some(&"src") {
+        segments.drain(..1);
+    }
+    let mut path = vec![krate];
+    for (i, seg) in segments.iter().enumerate() {
+        let last = i + 1 == segments.len();
+        if last {
+            let stem = seg.strip_suffix(".rs").unwrap_or(seg);
+            if !matches!(stem, "lib" | "main" | "mod") {
+                path.push(stem);
+            }
+        } else {
+            path.push(seg);
+        }
+    }
+    path.join("::")
+}

@@ -314,6 +314,24 @@ impl HistogramHandle {
     pub fn record_duration(&self, d: std::time::Duration) {
         self.record(d.as_micros().min(u64::MAX as u128) as u64);
     }
+
+    /// Run `f`, recording its wall-clock duration when this handle is
+    /// live (a [`HistogramHandle::noop`] skips the clock entirely).
+    ///
+    /// This is the sanctioned way for pipeline crates to time work: the
+    /// `Instant` stays inside facet-obs, so instrumented code never
+    /// touches the wall clock itself (lint rule D2).
+    pub fn time_if<T>(&self, f: impl FnOnce() -> T) -> T {
+        match &self.hist {
+            None => f(),
+            Some(h) => {
+                let start = Instant::now();
+                let out = f();
+                h.record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                out
+            }
+        }
+    }
 }
 
 /// Time a closure under a span only if `recorder` is enabled; the

@@ -195,6 +195,111 @@ mod tests {
         assert_eq!(c.inner().0.load(Ordering::SeqCst), 5);
     }
 
+    /// A resource whose query for "slow" parks until released, announcing
+    /// entry on a channel — lets tests pin down exact interleavings of the
+    /// per-term `OnceLock` latch.
+    struct Blocking {
+        entered: std::sync::mpsc::Sender<()>,
+        release: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+        count: AtomicUsize,
+    }
+
+    impl Blocking {
+        fn new() -> (
+            Self,
+            std::sync::mpsc::Receiver<()>,
+            std::sync::mpsc::Sender<()>,
+        ) {
+            let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+            let (release_tx, release_rx) = std::sync::mpsc::channel();
+            (
+                Self {
+                    entered: entered_tx,
+                    release: std::sync::Mutex::new(release_rx),
+                    count: AtomicUsize::new(0),
+                },
+                entered_rx,
+                release_tx,
+            )
+        }
+    }
+
+    impl ContextResource for Blocking {
+        fn name(&self) -> &'static str {
+            "Blocking"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            self.count.fetch_add(1, Ordering::SeqCst);
+            if term == "slow" {
+                self.entered.send(()).unwrap();
+                self.release.lock().unwrap().recv().unwrap();
+            }
+            vec![format!("ctx of {term}")]
+        }
+    }
+
+    #[test]
+    fn interleaving_second_caller_joins_inflight_miss() {
+        // Order 1 of the two-thread schedule: B's query for the same term
+        // lands while A's miss is still inside the wrapped resource. B
+        // must block on A's latch (never re-query) and count as a hit.
+        let (inner, entered, release) = Blocking::new();
+        let c = CachedResource::new(inner);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| c.context_terms("slow"));
+            // A is now parked inside the wrapped resource; its latch is
+            // in the map but unresolved.
+            entered.recv().unwrap();
+            let b = s.spawn(|| c.context_terms("slow"));
+            // Give B a window to reach the latch; whether it wins the
+            // window or arrives after release, the exactly-once guarantee
+            // below must hold.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            release.send(()).unwrap();
+            assert_eq!(a.join().unwrap(), vec!["ctx of slow"]);
+            assert_eq!(b.join().unwrap(), vec!["ctx of slow"]);
+        });
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 1, "one inner query");
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn interleaving_second_caller_after_resolved_miss() {
+        // Order 2 of the two-thread schedule: A's miss fully resolves
+        // before B ever looks — B takes the read-lock fast path and the
+        // resolved latch, again a hit with no second inner query.
+        let (inner, entered, release) = Blocking::new();
+        let c = CachedResource::new(inner);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| c.context_terms("slow"));
+            entered.recv().unwrap();
+            release.send(()).unwrap();
+            assert_eq!(a.join().unwrap(), vec!["ctx of slow"]);
+        });
+        // A has fully completed; B runs strictly after.
+        assert_eq!(c.context_terms("slow"), vec!["ctx of slow"]);
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 1, "one inner query");
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn inflight_miss_does_not_serialize_other_terms() {
+        // While "slow" is parked inside the wrapped resource, a miss on a
+        // *different* term must complete — the inner query runs outside
+        // the map locks. A regression here deadlocks (test hangs).
+        let (inner, entered, release) = Blocking::new();
+        let c = CachedResource::new(inner);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| c.context_terms("slow"));
+            entered.recv().unwrap();
+            assert_eq!(c.context_terms("fast"), vec!["ctx of fast"]);
+            release.send(()).unwrap();
+            assert_eq!(a.join().unwrap(), vec!["ctx of slow"]);
+        });
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 2);
+        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
     #[test]
     fn racing_threads_query_inner_exactly_once_per_term() {
         // Many threads, same term, synchronized to maximize the racing

@@ -22,7 +22,6 @@ use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
-use std::time::Instant;
 
 /// A structural mismatch between the expansion inputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +45,9 @@ pub enum ExpansionError {
         /// Documents in the underlying database.
         db_docs: usize,
     },
+    /// A parallel distinct-term resolution worker panicked. No expansion
+    /// state was modified; the append can be retried.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for ExpansionError {
@@ -68,6 +70,9 @@ impl std::fmt::Display for ExpansionError {
                 "append range {range:?} does not continue the contextualized database \
                  ({ctx_docs} documents expanded, {db_docs} in the database)"
             ),
+            ExpansionError::WorkerPanicked => {
+                write!(f, "a distinct-term resolution worker panicked")
+            }
         }
     }
 }
@@ -229,6 +234,7 @@ pub fn expand_database_recorded(
 ) -> ContextualizedDatabase {
     match try_expand_database_recorded(db, important_terms, resources, vocab, options, recorder) {
         Ok(ctx) => ctx,
+        // lint:allow(panic, reason="documented panicking convenience wrapper; callers needing a Result use try_expand_database_recorded")
         Err(e) => panic!("{e}"),
     }
 }
@@ -334,10 +340,9 @@ pub fn expand_append_recorded(
         })
         .collect();
     let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
-    let timing = recorder.is_enabled();
 
     // ---- resolve context terms per new distinct term (parallel) -------------
-    let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query, timing);
+    let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query);
     if options.threads <= 1 || new_distinct.len() < 32 {
         for &t in &new_distinct {
             let terms = resolve(t);
@@ -357,7 +362,7 @@ pub fn expand_append_recorded(
                 });
             }
         })
-        .expect("expansion worker panicked");
+        .map_err(|_| ExpansionError::WorkerPanicked)?;
         for (t, terms) in results.into_inner() {
             cache.resolved.insert(t.to_string(), terms);
         }
@@ -398,14 +403,14 @@ pub fn expand_append_recorded(
 
 /// Query every resource for one term; union, normalize, filter.
 ///
-/// `metrics[i]` instruments `resources[i]`; `timing` gates the
-/// wall-clock reads so a disabled recorder costs nothing measurable.
+/// `metrics[i]` instruments `resources[i]`; latency timing runs inside
+/// facet-obs ([`HistogramHandle::time_if`]), so a disabled recorder
+/// costs nothing measurable and this crate never reads the wall clock.
 fn resolve_term(
     term: &str,
     resources: &[&dyn ContextResource],
     metrics: &[ResourceMetrics],
     ctx_per_query: &HistogramHandle,
-    timing: bool,
 ) -> Vec<String> {
     // Order-preserving dedup: the Vec keeps first-seen order (resource
     // priority), the HashSet makes membership O(1) instead of the old
@@ -414,14 +419,7 @@ fn resolve_term(
     let mut seen: HashSet<String> = HashSet::new();
     for (r, m) in resources.iter().zip(metrics) {
         m.queries.incr();
-        let raw_terms = if timing {
-            let start = Instant::now();
-            let raw_terms = r.context_terms(term);
-            m.latency.record_duration(start.elapsed());
-            raw_terms
-        } else {
-            r.context_terms(term)
-        };
+        let raw_terms = m.latency.time_if(|| r.context_terms(term));
         for raw in raw_terms {
             let c = normalize_term(&raw);
             if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {

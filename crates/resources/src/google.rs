@@ -11,7 +11,7 @@
 use crate::resource::ContextResource;
 use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind};
 use facet_websearch::SearchEngine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Frequent-snippet-term mining over the web-search substrate.
 pub struct GoogleResource<'a> {
@@ -51,8 +51,10 @@ impl ContextResource for GoogleResource<'_> {
             .split_whitespace()
             .map(str::to_string)
             .collect();
-        // Count distinct snippet occurrences per candidate term.
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        // Count distinct snippet occurrences per candidate term. A BTreeMap
+        // keeps the phrase-absorption and ranking passes below iterating in
+        // a fixed (lexicographic) order, independent of hasher seeding.
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for hit in &hits {
             let mut seen: Vec<String> = Vec::new();
             let toks = tokens(&hit.snippet);
@@ -173,6 +175,19 @@ mod tests {
         let e = engine();
         let g = GoogleResource::new(&e);
         assert!(g.context_terms("xyzzy").is_empty());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_across_runs() {
+        // Guards the BTreeMap-backed counting: the ranked term list must
+        // come out identical on every run (count descending, then
+        // lexicographic), independent of hasher seeding.
+        let e = engine();
+        let first = GoogleResource::new(&e).context_terms("Chirac");
+        for _ in 0..5 {
+            assert_eq!(GoogleResource::new(&e).context_terms("Chirac"), first);
+        }
+        assert!(!first.is_empty());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the expansion engine: structural invariants
 //! of the contextualized database C(D).
 

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the statistics substrate.
 
 use facet_stats::{

@@ -91,7 +91,7 @@ impl TermExtractor for YahooTermExtractor {
                 (term, score)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         // Keep terms with meaningful salience only.
         scored
             .into_iter()

@@ -33,7 +33,9 @@ pub fn porter_stem(word: &str) -> String {
     s.step3();
     s.step4();
     s.step5();
-    String::from_utf8(s.b[..s.k].to_vec()).expect("porter stemmer output is ASCII")
+    // The stemmer only ever shortens or rewrites ASCII bytes, so lossy
+    // conversion is exact; it merely avoids an unreachable panic path.
+    String::from_utf8_lossy(&s.b[..s.k]).into_owned()
 }
 
 struct Stemmer {

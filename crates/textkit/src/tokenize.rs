@@ -132,7 +132,7 @@ pub fn tokens(text: &str) -> Vec<Token<'_>> {
                 kind: TokenKind::Punct,
             });
         }
-        debug_assert!(out.last().unwrap().end <= bytes_len);
+        debug_assert!(out.last().is_none_or(|t| t.end <= bytes_len));
     }
     out
 }

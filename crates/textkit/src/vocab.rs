@@ -58,6 +58,7 @@ impl Vocabulary {
         if let Some(&id) = self.by_term.get(term) {
             return id;
         }
+        // lint:allow(panic, reason="u32 id-space exhaustion (>4B distinct terms) is unrecoverable and unreachable for supported corpora")
         let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary overflow"));
         self.terms.push(term.to_string());
         self.by_term.insert(term.to_string(), id);

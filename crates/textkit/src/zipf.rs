@@ -37,7 +37,9 @@ impl Zipf {
             *v /= total;
         }
         // Guard against floating-point droop at the end.
-        *cdf.last_mut().expect("n > 0") = 1.0;
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
         Self { cdf }
     }
 
@@ -56,10 +58,7 @@ impl Zipf {
     /// Values outside `[0,1)` are clamped.
     pub fn sample(&self, u: f64) -> usize {
         let u = u.clamp(0.0, 1.0 - f64::EPSILON);
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }

@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the text substrate.
 
 use facet_textkit::{ngrams, normalize_term, porter_stem, tokens, Vocabulary, Zipf};

@@ -4,7 +4,6 @@ use crate::index::{index_terms, InvertedIndex, WebDocId, WebPage};
 use crate::rank::{bm25_rank, Bm25Params};
 use facet_obs::{Counter, HistogramHandle, Recorder};
 use facet_textkit::tokens;
-use std::time::Instant;
 
 /// One search result.
 #[derive(Debug, Clone)]
@@ -29,8 +28,6 @@ pub struct SearchEngine {
     queries: Counter,
     /// Per-query latency (`web.latency_us` when instrumented).
     latency: HistogramHandle,
-    /// Whether latency timing is live (avoids clock reads otherwise).
-    timing: bool,
 }
 
 impl SearchEngine {
@@ -44,7 +41,6 @@ impl SearchEngine {
             snippet_radius: 40,
             queries: Counter::noop(),
             latency: HistogramHandle::noop(),
-            timing: false,
         }
     }
 
@@ -53,7 +49,6 @@ impl SearchEngine {
     pub fn instrument(&mut self, recorder: &Recorder) {
         self.queries = recorder.counter("web.queries");
         self.latency = recorder.histogram("web.latency_us");
-        self.timing = recorder.is_enabled();
     }
 
     /// The underlying index (read-only).
@@ -80,22 +75,21 @@ impl SearchEngine {
     /// snippets.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
         self.queries.incr();
-        let start = self.timing.then(Instant::now);
-        let q_terms = index_terms(query);
-        let ranked = bm25_rank(&self.index, &q_terms, self.params);
-        let hits = ranked
-            .into_iter()
-            .take(k)
-            .map(|(doc, score)| SearchHit {
-                doc,
-                score,
-                snippet: self.snippet(doc, &q_terms),
-            })
-            .collect();
-        if let Some(start) = start {
-            self.latency.record_duration(start.elapsed());
-        }
-        hits
+        // The wall clock stays inside facet-obs: a live latency handle
+        // times the query, a noop handle runs it untimed.
+        self.latency.time_if(|| {
+            let q_terms = index_terms(query);
+            let ranked = bm25_rank(&self.index, &q_terms, self.params);
+            ranked
+                .into_iter()
+                .take(k)
+                .map(|(doc, score)| SearchHit {
+                    doc,
+                    score,
+                    snippet: self.snippet(doc, &q_terms),
+                })
+                .collect()
+        })
     }
 
     /// Build a snippet for `doc`: a window of `snippet_radius` tokens on

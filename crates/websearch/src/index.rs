@@ -1,7 +1,7 @@
 //! Web pages and the inverted index.
 
 use facet_textkit::{is_stopword, tokens, TokenKind};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Index of a page in the web corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,7 +70,9 @@ impl InvertedIndex {
         for page in pages {
             debug_assert_eq!(page.id.index(), doc_len.len(), "dense page ids required");
             let terms = index_terms(&page.full_text());
-            let mut counts: HashMap<&str, u32> = HashMap::new();
+            // BTreeMap so per-document term frequencies replay in sorted
+            // term order — postings construction is fully deterministic.
+            let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
             for t in &terms {
                 *counts.entry(t.as_str()).or_insert(0) += 1;
             }
@@ -83,10 +85,10 @@ impl InvertedIndex {
             doc_len.push(terms.len() as u32);
             total_len += terms.len() as u64;
         }
-        // Deterministic posting order.
-        for list in postings.values_mut() {
-            list.sort_by_key(|p| p.doc);
-        }
+        // Posting lists are doc-ordered by construction: the outer loop
+        // visits pages in dense id order and pushes each (doc, tf) pair
+        // at most once per list, so no re-sort is needed (asserted by the
+        // `postings_sorted_by_doc` regression test).
         Self {
             postings,
             doc_len,
@@ -176,6 +178,36 @@ mod tests {
         let idx = InvertedIndex::build(&pages());
         assert!(idx.doc_len(WebDocId(0)) >= 4);
         assert!(idx.avg_doc_len() > 0.0);
+    }
+
+    #[test]
+    fn postings_sorted_by_doc() {
+        // Guards the no-re-sort invariant in `build`: every posting list
+        // must come out strictly increasing by doc id, with at most one
+        // posting per (term, doc) pair.
+        let pages: Vec<WebPage> = (0..30)
+            .map(|i| WebPage {
+                id: WebDocId(i),
+                title: format!("Page {i}"),
+                text: format!(
+                    "shared summit text number {i} plus repeated summit word {}",
+                    if i % 2 == 0 {
+                        "even markets"
+                    } else {
+                        "odd politics"
+                    }
+                ),
+            })
+            .collect();
+        let idx = InvertedIndex::build(&pages);
+        assert!(idx.vocabulary_size() > 5);
+        for (term, list) in &idx.postings {
+            assert!(
+                list.windows(2).all(|w| w[0].doc < w[1].doc),
+                "postings for {term:?} not strictly doc-ordered: {list:?}"
+            );
+        }
+        assert_eq!(idx.df("summit"), 30);
     }
 
     #[test]

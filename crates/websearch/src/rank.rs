@@ -49,7 +49,7 @@ pub fn bm25_rank(
         }
     }
     let mut out: Vec<(WebDocId, f64)> = scores.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     out
 }
 

@@ -81,7 +81,7 @@ impl AnchorTable {
                     .collect()
             })
             .unwrap_or_default();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 

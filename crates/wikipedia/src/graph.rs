@@ -90,7 +90,7 @@ impl<'a> WikipediaGraph<'a> {
             .iter()
             .map(|&to| (to, self.raw_score(page_id, to)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored
             .into_iter()
             .take(self.k)

@@ -65,6 +65,7 @@ impl Wikipedia {
             !self.by_title.contains_key(&key),
             "duplicate page title {title}"
         );
+        // lint:allow(panic, reason="u32 id-space exhaustion (>4B pages) is unrecoverable and unreachable for the synthetic wiki")
         let id = PageId(u32::try_from(self.pages.len()).expect("too many pages"));
         self.pages.push(Page {
             id,

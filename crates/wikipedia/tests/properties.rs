@@ -1,3 +1,5 @@
+#![allow(clippy::unwrap_used)]
+
 //! Property-based tests for the synthetic Wikipedia over generated worlds.
 
 use facet_knowledge::{World, WorldConfig};

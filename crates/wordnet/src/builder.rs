@@ -24,14 +24,13 @@ pub fn build_wordnet(world: &World) -> WordNet {
 
     // Synsets for all facet terms, except location-subtree nodes that are
     // covered by the geography pass below (their coverage is conditional).
-    let location_root = world
-        .ontology
-        .find("location")
-        .expect("location root exists");
+    // A world without a "location" root simply has no geography subtree;
+    // every facet node then goes through the unconditional loop below.
+    let location_root = world.ontology.find("location");
     for node in world.ontology.iter() {
-        let in_location_subtree =
-            node.id == location_root || world.ontology.is_ancestor(location_root, node.id);
-        if in_location_subtree && node.id != location_root {
+        let covered_by_geography = location_root
+            .is_some_and(|root| node.id != root && world.ontology.is_ancestor(root, node.id));
+        if covered_by_geography {
             continue; // handled by the geography pass
         }
         let gloss = format!("facet concept: {}", node.term);
@@ -54,7 +53,9 @@ pub fn build_wordnet(world: &World) -> WordNet {
         if !e.in_wordnet {
             continue;
         }
-        let node = e.self_facet.expect("location entities are facet nodes");
+        let Some(node) = e.self_facet else {
+            continue; // location entities are facet nodes; tolerate gaps
+        };
         let gloss = format!("a place named {}", e.name);
         let syn = wn.add_synset(&[&e.name.to_lowercase()], &gloss);
         facet_synsets.insert(node.0, syn);
@@ -62,7 +63,9 @@ pub fn build_wordnet(world: &World) -> WordNet {
     // Second pass to wire geography hypernyms (parents may be created
     // after children in catalog order; with the map complete we can link).
     for e in world.entities_of_kind(EntityKind::Location) {
-        let node = e.self_facet.expect("location entities are facet nodes");
+        let Some(node) = e.self_facet else {
+            continue;
+        };
         let Some(&syn) = facet_synsets.get(&node.0) else {
             continue;
         };

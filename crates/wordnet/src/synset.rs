@@ -46,6 +46,7 @@ impl WordNet {
     /// Panics if `lemmas` is empty.
     pub fn add_synset(&mut self, lemmas: &[&str], gloss: &str) -> SynsetId {
         assert!(!lemmas.is_empty(), "synset needs at least one lemma");
+        // lint:allow(panic, reason="u32 id-space exhaustion (>4B synsets) is unrecoverable and unreachable for the mini-WordNet")
         let id = SynsetId(u32::try_from(self.synsets.len()).expect("too many synsets"));
         let lemmas: Vec<String> = lemmas.iter().map(|l| l.to_lowercase()).collect();
         for l in &lemmas {

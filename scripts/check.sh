@@ -1,16 +1,31 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1|--bench-smoke]
+# Usage: scripts/check.sh [--tier1|--bench-smoke|--lint]
 #
 #   --tier1        Run exactly the tier-1 gate (release build + tests), the
 #                  command CI and the roadmap treat as the must-stay-green
-#                  bar, plus the sharded-index determinism sweep.
+#                  bar, plus the sharded-index determinism sweep and the
+#                  facet-lint workspace gate.
 #   --bench-smoke  Run the shard benchmark on a tiny recipe with its
 #                  invariant assertions on (equivalence to the batch build,
-#                  rate arithmetic), so bench-math regressions fail fast.
+#                  rate arithmetic), so bench-math regressions fail fast;
+#                  also assert the facet-lint JSON report parses, is
+#                  span-sorted, and is byte-identical across runs.
+#   --lint         Run the facet-lint workspace gate only (non-zero exit
+#                  on any deny finding; see DESIGN.md section 13).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_lint() {
+    echo "== facet-lint: workspace determinism & concurrency gate"
+    cargo run -q --release -p facet-lint -- --root .
+}
+
+if [[ "${1:-}" == "--lint" ]]; then
+    run_lint
+    exit 0
+fi
 
 if [[ "${1:-}" == "--tier1" ]]; then
     echo "== tier-1: cargo build --release && cargo test -q"
@@ -21,6 +36,7 @@ if [[ "${1:-}" == "--tier1" ]]; then
     # so a filtered or partial test run cannot silently skip them.
     cargo test -q --test determinism shard
     cargo test -q -p facet-core shard::
+    run_lint
     echo "Tier-1 gate passed."
     exit 0
 fi
@@ -30,6 +46,14 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     cargo run --release -p facet-bench --bin shard_bench -- \
         --scale 0.05 --batches 3 --shards 1,2 --smoke \
         --out target/BENCH_3.smoke.json
+    echo "== bench smoke: facet-lint report determinism"
+    # Two runs must produce byte-identical JSON, and the report must parse
+    # and be sorted by (file, line, col, code) — verified by the tool's
+    # own jsonio-backed --verify-report mode.
+    cargo run -q --release -p facet-lint -- --root . --json target/LINT_A.json
+    cargo run -q --release -p facet-lint -- --root . --json target/LINT_B.json
+    cmp target/LINT_A.json target/LINT_B.json
+    cargo run -q --release -p facet-lint -- --verify-report target/LINT_A.json
     echo "Bench smoke passed."
     exit 0
 fi

@@ -204,7 +204,7 @@ fn shard_and_thread_sweep_matches_batch_pipeline() {
     };
 
     let batch_res = CachedResource::new(WikiGraphResource::new(&graph));
-    let batch = FacetIndex::build(docs.clone(), vec![&ne], vec![&batch_res], options(1));
+    let batch = FacetIndex::build(docs.clone(), vec![&ne], vec![&batch_res], options(1)).unwrap();
     let expected = snapshot_rows(&batch.snapshot());
     assert!(!expected.0.is_empty(), "the corpus must yield facet terms");
 
@@ -257,7 +257,8 @@ fn racing_shards_query_each_term_once() {
             extractors,
             resources,
             options.clone(),
-        );
+        )
+        .unwrap();
         let stats = index.resource_cache_stats()[0];
         let inner = counted.queries.load(std::sync::atomic::Ordering::SeqCst);
         assert_eq!(

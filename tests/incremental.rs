@@ -121,7 +121,8 @@ fn run_all(enabled: bool, n_batches: usize) -> (Outputs, Outputs, IncrementalRun
         extractors.clone(),
         resources.clone(),
         options(),
-    );
+    )
+    .unwrap();
     let one_shot_outputs = snapshot_outputs(&one_shot.snapshot());
 
     // Path 3: incremental appends.
