@@ -1,0 +1,129 @@
+//! Resilience-layer benchmark for the fault-tolerant resource stack.
+//!
+//! ```text
+//! resilience_bench [--scale <f>] [--iters <n>] [--seeds <a,b,c>] [--out <path>] [--smoke]
+//! ```
+//!
+//! Measures (1) the fault-free overhead of wrapping every context
+//! resource in a `ResilientResource` (retries + circuit breaker, never
+//! triggered) against raw resources, and (2) a degraded-build + `repair()`
+//! cycle per fault seed, verifying the repaired snapshot converges to the
+//! fault-free build. Writes the report as JSON (default `BENCH_4.json` at
+//! the repo root) and prints a summary table.
+//!
+//! `--smoke` asserts the report invariants — the ≤5% fault-free overhead
+//! acceptance bar, string-identity of the policy-wrapped build, and
+//! convergence of every repair — and exits non-zero on violation. Wired
+//! into `scripts/check.sh --bench-smoke`.
+
+use facet_bench::run_resilience_bench;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.2f64;
+    let mut iters = 3usize;
+    let mut seeds: Vec<u64> = vec![0xBAD5EED, 0x5EED2, 42];
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+                i += 2;
+            }
+            "--iters" => {
+                iters = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
+            "--seeds" => {
+                seeds = argv
+                    .get(i + 1)
+                    .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+                    .filter(|v: &Vec<u64>| !v.is_empty())
+                    .unwrap_or(seeds);
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // Default to the repo root regardless of invocation cwd.
+        format!("{}/../../BENCH_4.json", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let report = run_resilience_bench(scale, iters, &seeds);
+    println!(
+        "resilience overhead ({}, {} docs, min of {} iterations)",
+        report.dataset, report.total_docs, report.iterations
+    );
+    println!(
+        "fault-free build: raw {:.1} ms, resilient {:.1} ms ({:+.2}% overhead, identical: {})",
+        report.baseline_build_ms,
+        report.resilient_build_ms,
+        report.overhead_pct,
+        report.resilient_identical
+    );
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "fault seed", "build ms", "degraded", "repair ms", "requeried", "docs", "converged"
+    );
+    for r in &report.fault_runs {
+        println!(
+            "{:>#12x} {:>10.1} {:>10} {:>10.1} {:>10} {:>10} {:>10}",
+            r.fault_seed,
+            r.build_ms,
+            r.degraded_terms,
+            r.repair_ms,
+            r.requeried_terms,
+            r.changed_docs,
+            r.converged
+        );
+    }
+
+    if smoke {
+        // The acceptance bar: resilience must be ~free when nothing fails.
+        assert!(
+            report.overhead_pct <= 5.0,
+            "fault-free resilience overhead {:.2}% exceeds the 5% bar",
+            report.overhead_pct
+        );
+        assert!(
+            report.resilient_identical,
+            "the policy-wrapped fault-free build diverged from the raw build"
+        );
+        for r in &report.fault_runs {
+            assert!(
+                r.degraded_terms > 0,
+                "seed {:#x} injected no degradation; the fault plan is inert",
+                r.fault_seed
+            );
+            assert_eq!(
+                r.requeried_terms, r.degraded_terms,
+                "seed {:#x}: repair must re-query exactly the degraded terms",
+                r.fault_seed
+            );
+            assert!(
+                r.converged,
+                "seed {:#x}: repaired snapshot did not converge to the fault-free build",
+                r.fault_seed
+            );
+        }
+        println!("smoke assertions passed");
+    }
+
+    let json = facet_jsonio::to_json_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    println!("wrote {out}");
+}

@@ -705,6 +705,201 @@ pub fn run_shard_bench(scale: f64, n_batches: usize, shard_counts: &[usize]) -> 
     }
 }
 
+/// One fault seed of the resilience benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct ResilienceFaultRun {
+    /// Seed of the deterministic fault plan.
+    pub fault_seed: u64,
+    /// Per-term failure probability in permille.
+    pub failure_permille: u16,
+    /// Wall time of the degraded build (faults active).
+    pub build_ms: f64,
+    /// Terms that lost coverage during the degraded build.
+    pub degraded_terms: usize,
+    /// Wall time of the [`facet_core::FacetIndex::repair`] backfill after
+    /// the fault healed.
+    pub repair_ms: f64,
+    /// Degraded terms re-queried by the repair pass.
+    pub requeried_terms: usize,
+    /// Terms whose coverage the repair pass restored.
+    pub repaired_terms: usize,
+    /// Documents whose contextualized rows the repair recomputed.
+    pub changed_docs: usize,
+    /// Whether the repaired snapshot is string-identical to the
+    /// fault-free build and reports full coverage.
+    pub converged: bool,
+}
+
+/// The resilience benchmark report (`BENCH_4.json`).
+#[derive(Debug, serde::Serialize)]
+pub struct ResilienceBenchReport {
+    /// Dataset recipe name.
+    pub dataset: String,
+    /// Total documents indexed per build.
+    pub total_docs: usize,
+    /// Timed iterations per configuration (wall times below are the
+    /// minimum across iterations).
+    pub iterations: usize,
+    /// Fault-free build with raw resources (no policy layer).
+    pub baseline_build_ms: f64,
+    /// Fault-free build with every resource behind a
+    /// [`facet_resources::ResilientResource`] (retries + breaker armed,
+    /// never triggered).
+    pub resilient_build_ms: f64,
+    /// `(resilient - baseline) / baseline`, in percent. The acceptance
+    /// bar is ≤ 5% on the fault-free path.
+    pub overhead_pct: f64,
+    /// Whether the policy-wrapped fault-free build is string-identical
+    /// to the baseline.
+    pub resilient_identical: bool,
+    /// One degraded-build + repair cycle per fault seed.
+    pub fault_runs: Vec<ResilienceFaultRun>,
+}
+
+/// Benchmark the resilience layer: what does wrapping every resource in
+/// a [`facet_resources::ResilientResource`] cost on the fault-free path,
+/// and how expensive is a degraded build plus its
+/// [`facet_core::FacetIndex::repair`] backfill under seeded faults.
+///
+/// Fault-free builds run `iterations` times and report the minimum wall
+/// time, so the overhead percentage compares best-case against best-case
+/// rather than sampling scheduler noise.
+pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> ResilienceBenchReport {
+    use facet_core::{FacetIndex, FacetSnapshot};
+    use facet_ner::NerTagger;
+    use facet_resources::{
+        ContextResource, ExpansionOptions, FaultPlan, FaultyResource, ResilientResource,
+        VirtualClock, WikiGraphResource, WordNetHypernymsResource,
+    };
+    use facet_termx::{NamedEntityExtractor, TermExtractor, YahooTermExtractor};
+    use facet_wikipedia::WikipediaGraph;
+    use std::time::Instant;
+
+    let bundle = scaled_bundle(RecipeKind::Snyt, scale);
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    // Yahoo terms include common nouns, so WordNet hypernyms (the faulted
+    // resource below) genuinely shape the contextualized database.
+    let yahoo = YahooTermExtractor::fit(&bundle.corpus.db, &bundle.vocab);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let options = PipelineOptions {
+        // Serial expansion keeps the breaker's shed set deterministic, so
+        // the degraded-terms column is reproducible run to run.
+        expansion: ExpansionOptions { threads: 1 },
+        ..PipelineOptions::default()
+    };
+    let iterations = iterations.max(1);
+
+    type SnapshotOutputs = (Vec<(String, u64, u64, u64)>, Vec<(String, String)>);
+    let outputs = |snap: &FacetSnapshot| -> SnapshotOutputs {
+        let rows = snap
+            .candidates()
+            .iter()
+            .map(|c| {
+                (
+                    snap.vocab().term(c.term).to_string(),
+                    c.df,
+                    c.df_c,
+                    c.score.to_bits(),
+                )
+            })
+            .collect();
+        (rows, snap.forest().edges())
+    };
+
+    // Fault-free comparison: raw resources vs the same resources behind
+    // ResilientResource (retries and breaker armed, never triggered) —
+    // the overhead the acceptance bar caps. The two configurations are
+    // interleaved within each iteration so scheduler/thermal noise hits
+    // both sides alike, and the minima are compared.
+    let mut baseline_build_ms = f64::INFINITY;
+    let mut resilient_build_ms = f64::INFINITY;
+    let mut resilient_identical = true;
+    let mut expected: Option<SnapshotOutputs> = None;
+    for _ in 0..iterations {
+        let graph_res = WikiGraphResource::new(&graph);
+        let wn_res = WordNetHypernymsResource::new(&bundle.wordnet);
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
+            .expect("bench corpus is well-formed");
+        baseline_build_ms = baseline_build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        expected.get_or_insert_with(|| outputs(&index.snapshot()));
+
+        let clock = VirtualClock::new();
+        let graph_res = ResilientResource::new(WikiGraphResource::new(&graph), clock.clone());
+        let wn_res = ResilientResource::new(
+            WordNetHypernymsResource::new(&bundle.wordnet),
+            clock.clone(),
+        );
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
+            .expect("bench corpus is well-formed");
+        resilient_build_ms = resilient_build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        resilient_identical &=
+            outputs(&index.snapshot()) == *expected.as_ref().expect("baseline ran first");
+    }
+    let expected = expected.expect("at least one iteration ran");
+
+    // Degraded build + repair cycle per fault seed: WordNet fails for a
+    // seeded subset of terms, the build degrades gracefully, the fault
+    // heals, and repair() backfills only the degraded terms.
+    let permille = 300u16;
+    let mut fault_runs = Vec::new();
+    for &seed in seeds {
+        let clock = VirtualClock::new();
+        let graph_res = WikiGraphResource::new(&graph);
+        let faulty = FaultyResource::new(
+            WordNetHypernymsResource::new(&bundle.wordnet),
+            FaultPlan::seeded(seed, permille),
+            clock.clone(),
+        );
+        let wn_res = ResilientResource::new(faulty, clock.clone());
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let mut index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
+            .expect("bench corpus is well-formed");
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+        let degraded_terms = index.snapshot().degraded().len();
+
+        wn_res.inner().heal();
+        // Let any breaker cooldown elapse on the virtual clock.
+        clock.advance_us(1_000_000);
+        let t = Instant::now();
+        let stats = index.repair().expect("repair on a healed resource");
+        let repair_ms = t.elapsed().as_secs_f64() * 1e3;
+        let snap = index.snapshot();
+        fault_runs.push(ResilienceFaultRun {
+            fault_seed: seed,
+            failure_permille: permille,
+            build_ms,
+            degraded_terms,
+            repair_ms,
+            requeried_terms: stats.requeried_terms,
+            repaired_terms: stats.repaired_terms,
+            changed_docs: stats.changed_docs,
+            converged: snap.is_fully_covered() && outputs(&snap) == expected,
+        });
+    }
+
+    ResilienceBenchReport {
+        dataset: RecipeKind::Snyt.name().to_string(),
+        total_docs: docs.len(),
+        iterations,
+        baseline_build_ms,
+        resilient_build_ms,
+        overhead_pct: (resilient_build_ms - baseline_build_ms) / baseline_build_ms.max(1e-9)
+            * 100.0,
+        resilient_identical,
+        fault_runs,
+    }
+}
+
 /// Supplementary analysis: recall per facet dimension plus the
 /// composition of the All×All candidate list (what fraction of extracted
 /// terms are facet concepts, entity names, concept nouns, or other

@@ -41,11 +41,13 @@ use facet_corpus::db::TermingOptions;
 use facet_corpus::{DocId, Document, TextDatabase};
 use facet_obs::Recorder;
 use facet_resources::{
-    expand_append_recorded, ContextResource, ContextualizedDatabase, ExpansionCache, ExpansionError,
+    expand_append_recorded, repair_degraded_recorded, ContextResource, ContextualizedDatabase,
+    ExpansionCache, ExpansionError,
 };
 use facet_termx::{extract_important_terms, TermExtractor};
 use facet_textkit::{FrozenVocabulary, TermId, Vocabulary};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A failure while updating a facet index.
@@ -109,6 +111,10 @@ pub struct FacetSnapshot {
     doc_terms: Arc<Vec<Vec<TermId>>>,
     candidates: Vec<FacetCandidate>,
     forest: FacetForest,
+    /// Degraded-coverage provenance at this generation: important term →
+    /// resources that failed while resolving it. Empty for a fault-free
+    /// build and after a complete [`FacetIndex::repair`].
+    degraded: Arc<BTreeMap<String, Vec<String>>>,
 }
 
 impl FacetSnapshot {
@@ -147,6 +153,19 @@ impl FacetSnapshot {
         &self.forest
     }
 
+    /// Degraded-coverage provenance: for every important term whose
+    /// resolution is missing at least one resource's answer, the names of
+    /// the failed resources. Empty when coverage is complete.
+    pub fn degraded(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.degraded
+    }
+
+    /// True when no term resolution in this snapshot is missing a
+    /// resource's answer.
+    pub fn is_fully_covered(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
     /// The contextualized per-document term sets (sorted, distinct),
     /// shared with any browse engine built from this snapshot.
     pub fn doc_terms(&self) -> &Arc<Vec<Vec<TermId>>> {
@@ -169,6 +188,7 @@ impl FacetSnapshot {
         doc_terms: Arc<Vec<Vec<TermId>>>,
         candidates: Vec<FacetCandidate>,
         forest: FacetForest,
+        degraded: Arc<BTreeMap<String, Vec<String>>>,
     ) -> Self {
         Self {
             generation,
@@ -176,6 +196,7 @@ impl FacetSnapshot {
             doc_terms,
             candidates,
             forest,
+            degraded,
         }
     }
 }
@@ -238,7 +259,29 @@ pub struct AppendStats {
     pub reused_terms: usize,
     /// Resource queries issued (`new_distinct_terms × resources`).
     pub resource_queries: u64,
+    /// Freshly-resolved terms whose coverage is degraded (at least one
+    /// resource failed during resolution); see [`FacetSnapshot::degraded`]
+    /// and [`FacetIndex::repair`].
+    pub degraded_terms: usize,
     /// The generation of the snapshot this append published.
+    pub generation: u64,
+}
+
+/// What one [`FacetIndex::repair`] (or
+/// [`crate::shard::ShardedFacetIndex::repair`]) backfill pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Degraded terms re-queried against the resources.
+    pub requeried_terms: usize,
+    /// Terms whose coverage is now complete.
+    pub repaired_terms: usize,
+    /// Terms still degraded (their resources are still failing); a later
+    /// pass can retry them.
+    pub still_degraded: usize,
+    /// Documents whose contextualized term rows changed.
+    pub changed_docs: usize,
+    /// The generation of the published snapshot after the pass (unchanged
+    /// when there was nothing to re-query).
     pub generation: u64,
 }
 
@@ -312,6 +355,7 @@ impl<'a> FacetIndex<'a> {
             doc_terms: Arc::new(Vec::new()),
             candidates: Vec::new(),
             forest: FacetForest::default(),
+            degraded: Arc::new(BTreeMap::new()),
         });
         Self {
             extractors,
@@ -478,6 +522,7 @@ impl<'a> FacetIndex<'a> {
                 Arc::new(self.ctx.doc_terms.clone()),
                 candidates,
                 forest,
+                Arc::new(self.ctx.degraded().clone()),
             ));
             *self.snapshot.write() = snapshot;
         }
@@ -496,6 +541,78 @@ impl<'a> FacetIndex<'a> {
             new_distinct_terms: outcome.new_distinct_terms,
             reused_terms: outcome.reused_terms,
             resource_queries: (outcome.new_distinct_terms * self.resources.len()) as u64,
+            degraded_terms: outcome.degraded_terms,
+            generation: self.generation,
+        })
+    }
+
+    /// Backfill pass over degraded-coverage terms: re-query exactly the
+    /// important terms recorded in [`FacetSnapshot::degraded`], recompute
+    /// the term rows and `df_C` contributions of the documents that use a
+    /// term whose resolution changed, re-rank, and publish a new
+    /// snapshot.
+    ///
+    /// Once the failing resources have recovered (e.g. a circuit breaker
+    /// has closed), the repaired snapshot is string-identical — facet
+    /// terms, frequencies, score bits, forest edges, and (empty)
+    /// degradation — to a build that never saw a fault. Terms whose
+    /// resources are still failing keep their provenance and stay
+    /// eligible for the next pass. With no degradation outstanding this
+    /// is a no-op: nothing is re-queried and no snapshot is published.
+    ///
+    /// # Errors
+    /// Returns [`IndexError`] if the index's internal state is corrupted
+    /// (document/term alignment); the published snapshot is untouched.
+    pub fn repair(&mut self) -> Result<RepairStats, IndexError> {
+        let _span = self.recorder.span("repair");
+        let outcome = repair_degraded_recorded(
+            &self.db,
+            &self.important,
+            &self.resources,
+            &mut self.vocab,
+            &self.recorder,
+            &mut self.cache,
+            &mut self.ctx,
+        )?;
+        if outcome.requeried_terms == 0 {
+            return Ok(RepairStats {
+                generation: self.generation,
+                ..RepairStats::default()
+            });
+        }
+
+        let df = self.db.df_table_resized(self.vocab.len());
+        let (candidates, forest) = rank_and_build_forest(
+            &df,
+            self.ctx.df_table(),
+            self.db.len() as u64,
+            &self.ctx.doc_terms,
+            &self.vocab,
+            self.statistic,
+            &self.options,
+            &self.recorder,
+        );
+
+        self.generation += 1;
+        {
+            let _span = self.recorder.span("swap");
+            let snapshot = Arc::new(FacetSnapshot::assemble(
+                self.generation,
+                self.vocab.freeze(),
+                Arc::new(self.ctx.doc_terms.clone()),
+                candidates,
+                forest,
+                Arc::new(self.ctx.degraded().clone()),
+            ));
+            *self.snapshot.write() = snapshot;
+        }
+        self.recorder.incr("repair.snapshot_swaps");
+
+        Ok(RepairStats {
+            requeried_terms: outcome.requeried_terms,
+            repaired_terms: outcome.repaired_terms,
+            still_degraded: outcome.still_degraded,
+            changed_docs: outcome.changed_docs,
             generation: self.generation,
         })
     }
@@ -674,6 +791,97 @@ mod tests {
                 assert_eq!(engine.select(&[france]).len(), 12);
             });
         });
+    }
+
+    /// String-level view: (term, df, df_c, score bits) rows, forest
+    /// edges, and degraded provenance — comparable across build paths
+    /// whose TermId assignments differ.
+    #[allow(clippy::type_complexity)]
+    fn view(
+        snap: &FacetSnapshot,
+    ) -> (
+        Vec<(String, u64, u64, String)>,
+        Vec<(String, String)>,
+        Vec<(String, Vec<String>)>,
+    ) {
+        let rows = snap
+            .candidates()
+            .iter()
+            .map(|c| {
+                (
+                    snap.vocab().term(c.term).to_string(),
+                    c.df,
+                    c.df_c,
+                    format!("{:x}", c.score.to_bits()),
+                )
+            })
+            .collect();
+        let degraded = snap
+            .degraded()
+            .iter()
+            .map(|(t, f)| (t.clone(), f.clone()))
+            .collect();
+        (rows, snap.forest().edges(), degraded)
+    }
+
+    #[test]
+    fn degraded_append_records_provenance_in_snapshot() {
+        let e = FixedExtractor;
+        let faulty = facet_resources::FaultyResource::new(
+            resource(),
+            facet_resources::FaultPlan::seeded(2, 1000),
+            facet_resources::VirtualClock::new(),
+        );
+        let mut index = FacetIndex::new(vec![&e], vec![&faulty], options());
+        let stats = index.append(chirac_docs(8)).unwrap();
+        assert_eq!(stats.degraded_terms, 1);
+        let snap = index.snapshot();
+        assert!(!snap.is_fully_covered());
+        assert_eq!(
+            snap.degraded().get("jacques chirac"),
+            Some(&vec!["Fixed".to_string()]),
+            "provenance names the failed resource by its real name"
+        );
+        // Context facets are missing while degraded.
+        assert!(!snap.facet_terms().contains(&"france"));
+    }
+
+    #[test]
+    fn repair_converges_to_the_fault_free_snapshot() {
+        let e = FixedExtractor;
+        let r = resource();
+        let clean = FacetIndex::build(chirac_docs(12), vec![&e], vec![&r], options()).unwrap();
+
+        let faulty = facet_resources::FaultyResource::new(
+            resource(),
+            facet_resources::FaultPlan::seeded(2, 1000),
+            facet_resources::VirtualClock::new(),
+        );
+        let mut index = FacetIndex::new(vec![&e], vec![&faulty], options());
+        index.append(chirac_docs(12)).unwrap();
+
+        // Repair while the resource is still down: degradation persists,
+        // no spurious snapshot churn beyond the re-query.
+        let stats = index.repair().unwrap();
+        assert_eq!(stats.repaired_terms, 0);
+        assert_eq!(stats.still_degraded, 1);
+        assert!(!index.snapshot().is_fully_covered());
+
+        // The backend recovers; repair backfills and converges.
+        faulty.heal();
+        let stats = index.repair().unwrap();
+        assert_eq!(stats.requeried_terms, 1);
+        assert_eq!(stats.repaired_terms, 1);
+        assert_eq!(stats.changed_docs, 12);
+        let repaired = index.snapshot();
+        assert!(repaired.is_fully_covered());
+        assert_eq!(view(&repaired), view(&clean.snapshot()));
+
+        // Nothing left to do: no re-query, no new generation.
+        let stats = index.repair().unwrap();
+        assert_eq!(stats.requeried_terms, 0);
+        assert_eq!(stats.generation, repaired.generation());
+        assert_eq!(index.snapshot().generation(), repaired.generation());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use browse::BrowseEngine;
 pub use config::PipelineOptions;
 pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use hierarchy::{FacetForest, FacetTree, TreeNode};
-pub use index::{AppendStats, FacetIndex, FacetSnapshot, IndexError};
+pub use index::{AppendStats, FacetIndex, FacetSnapshot, IndexError, RepairStats};
 pub use pipeline::{FacetExtraction, FacetPipeline};
 pub use selection::{
     select_facet_terms, select_facet_terms_stable, FacetCandidate, SelectionInputs,

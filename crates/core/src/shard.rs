@@ -46,18 +46,19 @@
 
 use crate::config::PipelineOptions;
 use crate::hierarchy::FacetForest;
-use crate::index::{rank_and_build_forest, FacetSnapshot, IndexError};
+use crate::index::{rank_and_build_forest, FacetSnapshot, IndexError, RepairStats};
 use crate::selection::SelectionStatistic;
 use facet_corpus::db::TermingOptions;
 use facet_corpus::{DocId, Document, TextDatabase};
 use facet_obs::Recorder;
 use facet_resources::{
-    expand_append_recorded, AppendOutcome, CacheStats, CachedResource, ContextResource,
-    ContextualizedDatabase, ExpansionCache, ExpansionError, ExpansionOptions,
+    expand_append_recorded, repair_degraded_recorded, AppendOutcome, CacheStats, CachedResource,
+    ContextResource, ContextualizedDatabase, ExpansionCache, ExpansionError, ExpansionOptions,
 };
 use facet_termx::{extract_important_terms, TermExtractor};
 use facet_textkit::{TermId, Vocabulary};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What one [`ShardedFacetIndex::append`] did.
@@ -90,6 +91,10 @@ struct Shard {
     db: TextDatabase,
     cache: ExpansionCache,
     ctx: ContextualizedDatabase,
+    /// `I(d)` per shard-local document, aligned with `db` — kept so a
+    /// repair pass can recompute exactly the documents that use a
+    /// re-resolved term.
+    important: Vec<Vec<String>>,
     /// `shard TermId → merged TermId`, extended (never rewritten) at each
     /// merge.
     to_merged: Vec<TermId>,
@@ -104,9 +109,24 @@ impl Shard {
             db,
             cache: ExpansionCache::new(),
             ctx: ContextualizedDatabase::empty(),
+            important: Vec::new(),
             to_merged: Vec::new(),
         }
     }
+}
+
+/// Union of the shards' degraded-coverage maps. A term degraded in
+/// several shards appears once; its failed-resource list is identical in
+/// every shard because resources fail (or answer) deterministically per
+/// term.
+fn merged_degraded(shards: &[Shard]) -> BTreeMap<String, Vec<String>> {
+    let mut merged = BTreeMap::new();
+    for shard in shards {
+        for (term, failed) in shard.ctx.degraded() {
+            merged.insert(term.clone(), failed.clone());
+        }
+    }
+    merged
 }
 
 /// The sharded, incrementally-updatable facet index. See the
@@ -152,6 +172,7 @@ impl<'a> ShardedFacetIndex<'a> {
             Arc::new(Vec::new()),
             Vec::new(),
             FacetForest::default(),
+            Arc::new(BTreeMap::new()),
         ));
         Self {
             extractors,
@@ -315,6 +336,7 @@ impl<'a> ShardedFacetIndex<'a> {
                         &mut shard.cache,
                         &mut shard.ctx,
                     ));
+                    shard.important.extend(new_important);
                 });
             }
         });
@@ -381,6 +403,7 @@ impl<'a> ShardedFacetIndex<'a> {
                 Arc::new(self.merged_doc_terms.clone()),
                 candidates,
                 forest,
+                Arc::new(merged_degraded(&self.shards)),
             ));
             *self.snapshot.write() = snapshot;
         }
@@ -401,6 +424,113 @@ impl<'a> ShardedFacetIndex<'a> {
             resource_queries: queries_after - queries_before,
             generation: self.generation,
         })
+    }
+
+    /// Backfill pass over degraded-coverage terms, the sharded
+    /// counterpart of [`crate::index::FacetIndex::repair`].
+    ///
+    /// Each shard re-queries its own degraded terms serially in shard
+    /// order (through the shared per-resource caches, so a term degraded
+    /// in several shards reaches the wrapped resource once) and
+    /// recomputes exactly the shard-local documents that use a
+    /// re-resolved term. The merged `df_C` table and per-document rows
+    /// are then rebuilt by replaying every document in global id order —
+    /// O(corpus), acceptable for a rare backfill — and selection and
+    /// subsumption re-run globally before a new snapshot is published.
+    /// The merged df table over `D` is untouched: repair never changes
+    /// the corpus itself.
+    ///
+    /// Stats sum over shards, so a term degraded in `k` shards
+    /// contributes `k` to `requeried_terms`. With no degradation
+    /// outstanding this is a no-op and no snapshot is published.
+    ///
+    /// # Errors
+    /// Returns [`IndexError`] if a shard's repair state is corrupted; the
+    /// published snapshot is untouched.
+    pub fn repair(&mut self) -> Result<RepairStats, IndexError> {
+        let _span = self.recorder.span("repair");
+        let resources: Vec<&dyn ContextResource> = self
+            .shared
+            .iter()
+            .map(|c| c as &dyn ContextResource)
+            .collect();
+        let mut totals = RepairStats::default();
+        for shard in self.shards.iter_mut() {
+            let outcome = repair_degraded_recorded(
+                &shard.db,
+                &shard.important,
+                &resources,
+                &mut shard.vocab,
+                &self.recorder,
+                &mut shard.cache,
+                &mut shard.ctx,
+            )?;
+            totals.requeried_terms += outcome.requeried_terms;
+            totals.repaired_terms += outcome.repaired_terms;
+            totals.still_degraded += outcome.still_degraded;
+            totals.changed_docs += outcome.changed_docs;
+        }
+        if totals.requeried_terms == 0 {
+            totals.generation = self.generation;
+            return Ok(totals);
+        }
+
+        // ---- rebuild merged C(D) state by global-order replay ------------
+        {
+            let _span = self.recorder.span("merge");
+            for shard in &mut self.shards {
+                for idx in shard.to_merged.len()..shard.vocab.len() {
+                    let term = shard.vocab.term(TermId(idx as u32));
+                    shard.to_merged.push(self.merged_vocab.intern(term));
+                }
+            }
+            self.merged_df.resize(self.merged_vocab.len(), 0);
+            self.merged_df_c.clear();
+            self.merged_df_c.resize(self.merged_vocab.len(), 0);
+            self.merged_doc_terms.clear();
+            let n = self.shards.len();
+            for g in 0..self.n_docs {
+                let shard = &self.shards[g % n];
+                let pos = g / n;
+                let mut terms: Vec<TermId> = shard.ctx.doc_terms[pos]
+                    .iter()
+                    .map(|t| shard.to_merged[t.index()])
+                    .collect();
+                terms.sort_unstable();
+                for t in &terms {
+                    self.merged_df_c[t.index()] += 1;
+                }
+                self.merged_doc_terms.push(terms);
+            }
+        }
+
+        // ---- global ranking + publish -----------------------------------
+        let (candidates, forest) = rank_and_build_forest(
+            &self.merged_df,
+            &self.merged_df_c,
+            self.n_docs as u64,
+            &self.merged_doc_terms,
+            &self.merged_vocab,
+            self.statistic,
+            &self.options,
+            &self.recorder,
+        );
+        self.generation += 1;
+        {
+            let _span = self.recorder.span("swap");
+            let snapshot = Arc::new(FacetSnapshot::assemble(
+                self.generation,
+                self.merged_vocab.freeze(),
+                Arc::new(self.merged_doc_terms.clone()),
+                candidates,
+                forest,
+                Arc::new(merged_degraded(&self.shards)),
+            ));
+            *self.snapshot.write() = snapshot;
+        }
+        self.recorder.incr("repair.snapshot_swaps");
+        totals.generation = self.generation;
+        Ok(totals)
     }
 }
 
@@ -607,6 +737,44 @@ mod tests {
         let stats = index.append(corpus(4)).unwrap();
         assert_eq!(stats.resource_queries, 0);
         assert_eq!(r.queries.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn sharded_repair_converges_across_shard_counts() {
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let clean = FacetIndex::build(corpus(24), vec![&e], vec![&r], options()).unwrap();
+        let expected = outputs(&clean.snapshot());
+        for n in [1, 2, 3, 4] {
+            let faulty = facet_resources::FaultyResource::new(
+                CountingResource::new(),
+                facet_resources::FaultPlan::seeded(7, 1000),
+                facet_resources::VirtualClock::new(),
+            );
+            let mut sharded =
+                ShardedFacetIndex::build(corpus(24), n, vec![&e], vec![&faulty], options())
+                    .unwrap();
+            let snap = sharded.snapshot();
+            assert!(!snap.is_fully_covered(), "{n} shards: build saw faults");
+            assert_eq!(snap.degraded().len(), 3, "all three entities degraded");
+
+            faulty.heal();
+            let stats = sharded.repair().unwrap();
+            assert!(stats.repaired_terms >= 3, "{n} shards: {stats:?}");
+            assert_eq!(stats.still_degraded, 0);
+            let repaired = sharded.snapshot();
+            assert!(repaired.is_fully_covered());
+            assert_eq!(
+                outputs(&repaired),
+                expected,
+                "{n} shards: repaired snapshot must match the fault-free build"
+            );
+
+            // Idempotent once converged.
+            let stats = sharded.repair().unwrap();
+            assert_eq!(stats.requeried_terms, 0);
+            assert_eq!(stats.generation, repaired.generation());
+        }
     }
 
     #[test]

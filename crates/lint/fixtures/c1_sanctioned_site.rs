@@ -1,0 +1,20 @@
+// C1 fixture mirroring the resilience-layer concurrency shape: a
+// Mutex-guarded state machine next to atomics-only virtual time. Linted
+// twice by the self-tests — with the module sanctioned (zero findings;
+// the atomics never needed sanctioning) and without (the Mutex is a
+// deny), proving the Lint.toml `sanctioned` registration is what keeps
+// the workspace at zero deny findings.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct BreakerLike {
+    state: Mutex<u32>,
+    clock_us: AtomicU64,
+}
+
+pub fn step(b: &BreakerLike) -> u32 {
+    b.clock_us.fetch_add(1, Ordering::AcqRel);
+    let mut s = b.state.lock().unwrap_or_else(|e| e.into_inner());
+    *s += 1;
+    *s
+}

@@ -306,6 +306,37 @@ let done = true;
     }
 
     #[test]
+    fn fixture_sanctioned_concurrency_site_is_clean() {
+        // The resilience-layer shape: Mutex-guarded state + atomic
+        // virtual clock. Unsanctioned, the Mutex is a deny finding…
+        let findings = lint_fixture("c1_sanctioned_site.rs");
+        assert!(
+            findings.iter().any(|f| f.rule == "concurrency"),
+            "unsanctioned Mutex must be caught: {findings:?}"
+        );
+        assert!(
+            !findings.iter().any(|f| f.message.contains("AtomicU64")),
+            "atomics are not concurrency findings: {findings:?}"
+        );
+        // …and with the module registered under `sanctioned` (as
+        // `resources::fault` / `resources::resilient` are in the root
+        // Lint.toml), the same source lints to zero findings.
+        let cfg = config::parse(
+            "[lint]\nexclude = []\n\n[rules.concurrency]\nseverity = \"deny\"\nsanctioned = [\"fixtures::c1_sanctioned_site\"]\n",
+        )
+        .expect("sanctioned config parses");
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("c1_sanctioned_site.rs");
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        let findings = lint_source(&fixture_file("c1_sanctioned_site.rs"), &source, &cfg);
+        assert!(
+            findings.is_empty(),
+            "sanctioned site must lint clean: {findings:?}"
+        );
+    }
+
+    #[test]
     fn fixture_p1_panic_is_caught() {
         let findings = lint_fixture("p1_panic.rs");
         assert!(

@@ -10,30 +10,47 @@
 //! The memo is safe to share across threads — sharded index appends hang
 //! one `CachedResource` per resource in front of every shard — and it
 //! guarantees the wrapped resource is queried **exactly once per distinct
-//! term** no matter how many threads race on it: each term owns a
-//! [`OnceLock`] latch, so concurrent callers of the same term block on
-//! the single in-flight query instead of re-issuing it, while queries for
-//! *different* terms proceed in parallel.
+//! term that resolves successfully** no matter how many threads race on
+//! it: each term owns a slot whose state machine (idle → in-flight →
+//! ready) admits one querying thread at a time, so concurrent callers of
+//! the same term block on the single in-flight query instead of
+//! re-issuing it, while queries for *different* terms proceed in
+//! parallel.
+//!
+//! **Failures never latch.** A failed resolution
+//! ([`ContextResource::try_context_terms`] returning `Err`) puts the slot
+//! back to *idle* instead of memoizing anything: the error is returned to
+//! the caller that issued the query, waiters blocked on the in-flight
+//! attempt claim the slot and retry with their own query, and any later
+//! caller starts fresh. Only successful results are cached forever. (The
+//! previous `OnceLock`-latch design would have pinned whatever the first
+//! resolution produced — with a fallible backend that meant a transient
+//! outage could permanently latch an empty result for a term.)
 
-use crate::resource::ContextResource;
-use parking_lot::RwLock;
+use crate::resource::{ContextResource, ResourceError};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-/// Hit/miss totals of a [`CachedResource`], as observed so far.
+/// Hit/miss/failure totals of a [`CachedResource`], as observed so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the memo (including callers that blocked on
     /// another thread's in-flight query for the same term).
     pub hits: u64,
-    /// Queries that had to consult the wrapped resource — exactly one
-    /// per distinct term ever asked.
+    /// Queries that consulted the wrapped resource and succeeded —
+    /// exactly one per distinct term ever resolved.
     pub misses: u64,
+    /// Queries that consulted the wrapped resource and failed. Failed
+    /// terms are not memoized, so the same term can contribute several
+    /// failures before its first (cached) success.
+    pub failures: u64,
 }
 
 impl CacheStats {
-    /// Fraction of queries served from the memo (0.0 when unused).
+    /// Fraction of successful queries served from the memo (0.0 when
+    /// unused).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -44,14 +61,39 @@ impl CacheStats {
     }
 }
 
+/// One term's resolution slot. `Idle` means no value and no query in
+/// flight (fresh, or the last attempt failed); `InFlight` means exactly
+/// one caller is inside the wrapped resource; `Ready` memoizes a
+/// successful resolution forever.
+enum SlotState {
+    Idle,
+    InFlight,
+    Ready(Vec<String>),
+}
+
+struct TermSlot {
+    state: Mutex<SlotState>,
+    resolved: Condvar,
+}
+
+impl TermSlot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Idle),
+            resolved: Condvar::new(),
+        }
+    }
+}
+
 /// Memoizing decorator for a [`ContextResource`].
 pub struct CachedResource<R> {
     inner: R,
-    /// One latch per term: inserted under the write lock, initialized
-    /// exactly once (by whichever thread wins `get_or_init`) outside it.
-    cache: RwLock<HashMap<String, Arc<OnceLock<Vec<String>>>>>,
+    /// One slot per term: inserted under the write lock, driven through
+    /// its state machine outside it.
+    cache: RwLock<HashMap<String, Arc<TermSlot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl<R: ContextResource> CachedResource<R> {
@@ -62,25 +104,44 @@ impl<R: ContextResource> CachedResource<R> {
             cache: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
         }
     }
 
-    /// Number of memoized queries.
+    /// Number of terms with a resolution slot (memoized, in flight, or
+    /// awaiting retry after a failure).
     pub fn cached_queries(&self) -> usize {
         self.cache.read().len()
     }
 
-    /// Hit/miss totals so far.
+    /// Hit/miss/failure totals so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
         }
     }
 
     /// The wrapped resource.
     pub fn inner(&self) -> &R {
         &self.inner
+    }
+
+    fn slot_for(&self, term: &str) -> Arc<TermSlot> {
+        // Fast path: the term's slot already exists — a short read lock
+        // suffices.
+        if let Some(slot) = self.cache.read().get(term) {
+            return Arc::clone(slot);
+        }
+        // Double-check under the write lock: another thread may have
+        // inserted the slot between our read and write.
+        let mut cache = self.cache.write();
+        Arc::clone(
+            cache
+                .entry(term.to_string())
+                .or_insert_with(|| Arc::new(TermSlot::new())),
+        )
     }
 }
 
@@ -90,46 +151,61 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
     }
 
     fn context_terms(&self, term: &str) -> Vec<String> {
-        // Fast path: the term's latch already exists (resolved or
-        // in-flight) — a short read lock suffices.
-        let latch = self.cache.read().get(term).cloned();
-        let latch = match latch {
-            Some(l) => l,
-            None => {
-                // Double-check under the write lock: another thread may
-                // have inserted the latch between our read and write.
-                let mut cache = self.cache.write();
-                Arc::clone(
-                    cache
-                        .entry(term.to_string())
-                        .or_insert_with(|| Arc::new(OnceLock::new())),
-                )
+        // The infallible view degrades failures to "no context terms";
+        // nothing is memoized for the term, so a later caller retries.
+        self.try_context_terms(term).unwrap_or_default()
+    }
+
+    fn try_context_terms(&self, term: &str) -> Result<Vec<String>, ResourceError> {
+        let slot = self.slot_for(term);
+        {
+            let mut state = slot.state.lock();
+            loop {
+                match &*state {
+                    SlotState::Ready(v) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(v.clone());
+                    }
+                    // Exactly one caller is inside the wrapped resource;
+                    // park until it resolves, then re-examine: a success
+                    // is a hit, a failure leaves the slot Idle and we
+                    // claim it for our own retry.
+                    SlotState::InFlight => slot.resolved.wait(&mut state),
+                    SlotState::Idle => {
+                        *state = SlotState::InFlight;
+                        break;
+                    }
+                }
             }
-        };
-        // Exactly one caller runs the closure (std `OnceLock::get_or_init`
-        // semantics); racers on the same term block here until the value
-        // is ready instead of re-querying the wrapped resource, and are
-        // counted as hits. The query itself runs outside the map locks so
-        // misses on *different* terms never serialize behind it.
-        let mut queried_inner = false;
-        let out = latch
-            .get_or_init(|| {
-                queried_inner = true;
-                self.inner.context_terms(term)
-            })
-            .clone();
-        if queried_inner {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        out
+        // We own the in-flight query. The query itself runs outside the
+        // map and slot locks so resolutions of *different* terms never
+        // serialize behind it.
+        let result = self.inner.try_context_terms(term);
+        let mut state = slot.state.lock();
+        match result {
+            Ok(v) => {
+                *state = SlotState::Ready(v.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.resolved.notify_all();
+                Ok(v)
+            }
+            Err(e) => {
+                // Failure: back to Idle, memoizing nothing. Waiters wake
+                // and retry; the term stays retryable forever.
+                *state = SlotState::Idle;
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                slot.resolved.notify_all();
+                Err(e)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resource::FaultKind;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     struct Counting(AtomicUsize);
@@ -140,6 +216,14 @@ mod tests {
         fn context_terms(&self, term: &str) -> Vec<String> {
             self.0.fetch_add(1, Ordering::SeqCst);
             vec![format!("ctx of {term}")]
+        }
+    }
+
+    fn stats(hits: u64, misses: u64, failures: u64) -> CacheStats {
+        CacheStats {
+            hits,
+            misses,
+            failures,
         }
     }
 
@@ -163,13 +247,13 @@ mod tests {
     #[test]
     fn stats_track_hits_and_misses() {
         let c = CachedResource::new(Counting(AtomicUsize::new(0)));
-        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(c.stats(), stats(0, 0, 0));
         c.context_terms("x");
         c.context_terms("x");
         c.context_terms("x");
         c.context_terms("y");
         let s = c.stats();
-        assert_eq!(s, CacheStats { hits: 2, misses: 2 });
+        assert_eq!(s, stats(2, 2, 0));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -189,7 +273,7 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 8 * 50);
         assert_eq!(c.cached_queries(), 5);
-        // The latch guarantees exactly one inner query — and thus one
+        // The slot guarantees exactly one inner query — and thus one
         // counted miss — per distinct term, no matter the interleaving.
         assert_eq!(s.misses, 5);
         assert_eq!(c.inner().0.load(Ordering::SeqCst), 5);
@@ -197,15 +281,19 @@ mod tests {
 
     /// A resource whose query for "slow" parks until released, announcing
     /// entry on a channel — lets tests pin down exact interleavings of the
-    /// per-term `OnceLock` latch.
+    /// per-term resolution slot.
     struct Blocking {
         entered: std::sync::mpsc::Sender<()>,
         release: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
         count: AtomicUsize,
+        /// Queries 1..=fail_first (by arrival order) fail Transient.
+        fail_first: usize,
     }
 
     impl Blocking {
-        fn new() -> (
+        fn new(
+            fail_first: usize,
+        ) -> (
             Self,
             std::sync::mpsc::Receiver<()>,
             std::sync::mpsc::Sender<()>,
@@ -217,6 +305,7 @@ mod tests {
                     entered: entered_tx,
                     release: std::sync::Mutex::new(release_rx),
                     count: AtomicUsize::new(0),
+                    fail_first,
                 },
                 entered_rx,
                 release_tx,
@@ -229,12 +318,22 @@ mod tests {
             "Blocking"
         }
         fn context_terms(&self, term: &str) -> Vec<String> {
-            self.count.fetch_add(1, Ordering::SeqCst);
+            self.try_context_terms(term).unwrap_or_default()
+        }
+        fn try_context_terms(&self, term: &str) -> Result<Vec<String>, ResourceError> {
+            let n = self.count.fetch_add(1, Ordering::SeqCst) + 1;
             if term == "slow" {
                 self.entered.send(()).unwrap();
                 self.release.lock().unwrap().recv().unwrap();
             }
-            vec![format!("ctx of {term}")]
+            if n <= self.fail_first {
+                return Err(ResourceError::new(
+                    "Blocking",
+                    FaultKind::Transient,
+                    format!("scripted failure {n}"),
+                ));
+            }
+            Ok(vec![format!("ctx of {term}")])
         }
     }
 
@@ -242,16 +341,16 @@ mod tests {
     fn interleaving_second_caller_joins_inflight_miss() {
         // Order 1 of the two-thread schedule: B's query for the same term
         // lands while A's miss is still inside the wrapped resource. B
-        // must block on A's latch (never re-query) and count as a hit.
-        let (inner, entered, release) = Blocking::new();
+        // must block on A's slot (never re-query) and count as a hit.
+        let (inner, entered, release) = Blocking::new(0);
         let c = CachedResource::new(inner);
         std::thread::scope(|s| {
             let a = s.spawn(|| c.context_terms("slow"));
-            // A is now parked inside the wrapped resource; its latch is
-            // in the map but unresolved.
+            // A is now parked inside the wrapped resource; its slot is
+            // in the map, in flight.
             entered.recv().unwrap();
             let b = s.spawn(|| c.context_terms("slow"));
-            // Give B a window to reach the latch; whether it wins the
+            // Give B a window to reach the slot; whether it wins the
             // window or arrives after release, the exactly-once guarantee
             // below must hold.
             std::thread::sleep(std::time::Duration::from_millis(30));
@@ -260,15 +359,15 @@ mod tests {
             assert_eq!(b.join().unwrap(), vec!["ctx of slow"]);
         });
         assert_eq!(c.inner().count.load(Ordering::SeqCst), 1, "one inner query");
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.stats(), stats(1, 1, 0));
     }
 
     #[test]
     fn interleaving_second_caller_after_resolved_miss() {
         // Order 2 of the two-thread schedule: A's miss fully resolves
         // before B ever looks — B takes the read-lock fast path and the
-        // resolved latch, again a hit with no second inner query.
-        let (inner, entered, release) = Blocking::new();
+        // memoized slot, again a hit with no second inner query.
+        let (inner, entered, release) = Blocking::new(0);
         let c = CachedResource::new(inner);
         std::thread::scope(|s| {
             let a = s.spawn(|| c.context_terms("slow"));
@@ -279,15 +378,16 @@ mod tests {
         // A has fully completed; B runs strictly after.
         assert_eq!(c.context_terms("slow"), vec!["ctx of slow"]);
         assert_eq!(c.inner().count.load(Ordering::SeqCst), 1, "one inner query");
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.stats(), stats(1, 1, 0));
     }
 
     #[test]
     fn inflight_miss_does_not_serialize_other_terms() {
         // While "slow" is parked inside the wrapped resource, a miss on a
         // *different* term must complete — the inner query runs outside
-        // the map locks. A regression here deadlocks (test hangs).
-        let (inner, entered, release) = Blocking::new();
+        // the map and slot locks. A regression here deadlocks (test
+        // hangs).
+        let (inner, entered, release) = Blocking::new(0);
         let c = CachedResource::new(inner);
         std::thread::scope(|s| {
             let a = s.spawn(|| c.context_terms("slow"));
@@ -297,7 +397,7 @@ mod tests {
             assert_eq!(a.join().unwrap(), vec!["ctx of slow"]);
         });
         assert_eq!(c.inner().count.load(Ordering::SeqCst), 2);
-        assert_eq!(c.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(c.stats(), stats(0, 2, 0));
     }
 
     #[test]
@@ -317,6 +417,69 @@ mod tests {
         });
         assert_eq!(c.inner().0.load(Ordering::SeqCst), 1, "one inner query");
         let s = c.stats();
-        assert_eq!(s, CacheStats { hits: 7, misses: 1 });
+        assert_eq!(s, stats(7, 1, 0));
+    }
+
+    #[test]
+    fn failure_is_not_latched_for_later_callers() {
+        // The regression this module's redesign exists to prevent: a
+        // first resolution that fails must leave the term retryable —
+        // the old OnceLock latch would have pinned the first outcome
+        // forever.
+        let (inner, _entered, _release) = Blocking::new(1);
+        let c = CachedResource::new(inner);
+        let err = c.try_context_terms("x").unwrap_err();
+        assert_eq!(err.kind, FaultKind::Transient);
+        // Retry reaches the wrapped resource again and memoizes the
+        // success.
+        assert_eq!(c.try_context_terms("x").unwrap(), vec!["ctx of x"]);
+        assert_eq!(c.try_context_terms("x").unwrap(), vec!["ctx of x"]);
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 2);
+        assert_eq!(c.stats(), stats(1, 1, 1));
+    }
+
+    #[test]
+    fn interleaving_waiter_retries_after_inflight_failure() {
+        // Two-thread interleaving on a fallible backend: B joins while
+        // A's query is in flight; A's query fails. B must wake, claim
+        // the idle slot, and issue its *own* query (which succeeds) —
+        // never receive a latched empty result.
+        let (inner, entered, release) = Blocking::new(1);
+        let c = CachedResource::new(inner);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| c.try_context_terms("slow"));
+            // A is parked inside the wrapped resource (attempt 1, which
+            // is scripted to fail on release).
+            entered.recv().unwrap();
+            let b = s.spawn(|| c.try_context_terms("slow"));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            // Release A (fails), then B's retry (parks next, succeeds).
+            release.send(()).unwrap();
+            entered.recv().unwrap();
+            release.send(()).unwrap();
+            assert!(a.join().unwrap().is_err(), "A sees its own failure");
+            assert_eq!(b.join().unwrap().unwrap(), vec!["ctx of slow"]);
+        });
+        assert_eq!(
+            c.inner().count.load(Ordering::SeqCst),
+            2,
+            "A's failed query plus B's retry"
+        );
+        let s = c.stats();
+        assert_eq!((s.misses, s.failures), (1, 1));
+        // The term is memoized now: no third inner query.
+        assert_eq!(c.try_context_terms("slow").unwrap(), vec!["ctx of slow"]);
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn infallible_view_degrades_failures_to_empty_and_stays_retryable() {
+        let (inner, _entered, _release) = Blocking::new(1);
+        let c = CachedResource::new(inner);
+        assert!(c.context_terms("x").is_empty(), "failure → no context");
+        // Not latched: the retry succeeds and is memoized.
+        assert_eq!(c.context_terms("x"), vec!["ctx of x"]);
+        assert_eq!(c.context_terms("x"), vec!["ctx of x"]);
+        assert_eq!(c.inner().count.load(Ordering::SeqCst), 2);
     }
 }

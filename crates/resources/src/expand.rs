@@ -20,7 +20,7 @@ use facet_corpus::TextDatabase;
 use facet_obs::{Counter, HistogramHandle, Recorder};
 use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Range;
 
 /// A structural mismatch between the expansion inputs.
@@ -79,16 +79,39 @@ impl std::fmt::Display for ExpansionError {
 
 impl std::error::Error for ExpansionError {}
 
+/// One memoized term resolution: the context terms retrieved from the
+/// resources that answered, plus the names of the resources that failed
+/// (empty when coverage is complete).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolvedTerm {
+    /// Union of context terms from every resource that answered,
+    /// normalized and deduplicated in resource-priority order.
+    pub terms: Vec<String>,
+    /// Names of resources whose query failed; the resolution is
+    /// *degraded* when non-empty and a later repair pass re-queries it.
+    pub failed: Vec<String>,
+}
+
+impl ResolvedTerm {
+    /// True when every resource answered.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
 /// Cross-batch memo of resolved important terms.
 ///
 /// Holds `term → context terms` for every distinct important term ever
 /// resolved through it, so a later [`expand_append_recorded`] batch
 /// queries the resources only for terms no earlier batch has seen.
 /// Resources are deterministic by contract ([`ContextResource`]), so
-/// reuse is transparent.
+/// reuse is transparent. A resolution recorded while some resources were
+/// failing keeps its [`ResolvedTerm::failed`] provenance and is reused
+/// as-is by later batches; only [`repair_degraded_recorded`] re-queries
+/// it.
 #[derive(Debug, Default)]
 pub struct ExpansionCache {
-    resolved: HashMap<String, Vec<String>>,
+    resolved: HashMap<String, ResolvedTerm>,
 }
 
 impl ExpansionCache {
@@ -111,6 +134,11 @@ impl ExpansionCache {
     pub fn contains(&self, term: &str) -> bool {
         self.resolved.contains_key(term)
     }
+
+    /// The memoized resolution for `term`, if any.
+    pub fn resolution(&self, term: &str) -> Option<&ResolvedTerm> {
+        self.resolved.get(term)
+    }
 }
 
 /// What one incremental expansion batch did.
@@ -124,6 +152,10 @@ pub struct AppendOutcome {
     /// Distinct important terms of this batch answered from the
     /// [`ExpansionCache`] without touching any resource.
     pub reused_terms: usize,
+    /// Freshly-resolved terms whose coverage is degraded (at least one
+    /// resource failed); their provenance is recorded in
+    /// [`ContextualizedDatabase::degraded`].
+    pub degraded_terms: usize,
 }
 
 /// Options for the expansion engine.
@@ -149,6 +181,10 @@ pub struct ContextualizedDatabase {
     df_c: Vec<u64>,
     /// Context terms only, per document (for inspection/debugging).
     pub doc_context_terms: Vec<Vec<TermId>>,
+    /// Degraded-coverage provenance: important term → names of the
+    /// resources that failed when it was resolved. Ordered so reports
+    /// and snapshots are deterministic.
+    degraded: BTreeMap<String, Vec<String>>,
 }
 
 impl ContextualizedDatabase {
@@ -159,7 +195,21 @@ impl ContextualizedDatabase {
             doc_terms: Vec::new(),
             df_c: Vec::new(),
             doc_context_terms: Vec::new(),
+            degraded: BTreeMap::new(),
         }
+    }
+
+    /// Degraded-coverage provenance: for every important term whose
+    /// resolution is missing at least one resource's answer, the names
+    /// of the failed resources. Empty for a fault-free build.
+    pub fn degraded(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.degraded
+    }
+
+    /// True when every resolved term has answers from every resource
+    /// (no degradation outstanding).
+    pub fn is_fully_covered(&self) -> bool {
+        self.degraded.is_empty()
     }
 
     /// Document frequency of a term in `C(D)`.
@@ -210,7 +260,21 @@ pub fn expand_database(
 /// hot path never formats names or takes registry locks.
 struct ResourceMetrics {
     queries: Counter,
+    failures: Counter,
     latency: HistogramHandle,
+}
+
+impl ResourceMetrics {
+    fn for_resources(resources: &[&dyn ContextResource], recorder: &Recorder) -> Vec<Self> {
+        resources
+            .iter()
+            .map(|r| ResourceMetrics {
+                queries: recorder.counter(&format!("resource.{}.queries", r.name())),
+                failures: recorder.counter(&format!("resource.{}.failures", r.name())),
+                latency: recorder.histogram(&format!("resource.{}.latency_us", r.name())),
+            })
+            .collect()
+    }
 }
 
 /// [`expand_database`] with observability: records per-resource query
@@ -324,69 +388,62 @@ pub fn expand_append_recorded(
         fresh.sort_unstable(); // deterministic order
         (fresh, seen.len())
     };
-    let outcome = AppendOutcome {
+    let mut outcome = AppendOutcome {
         docs: doc_range.len(),
         new_distinct_terms: new_distinct.len(),
         reused_terms: batch_distinct - new_distinct.len(),
+        degraded_terms: 0,
     };
     recorder.add("expand.distinct_terms", new_distinct.len() as u64);
     recorder.add("expand.reused_terms", outcome.reused_terms as u64);
 
-    let metrics: Vec<ResourceMetrics> = resources
-        .iter()
-        .map(|r| ResourceMetrics {
-            queries: recorder.counter(&format!("resource.{}.queries", r.name())),
-            latency: recorder.histogram(&format!("resource.{}.latency_us", r.name())),
-        })
-        .collect();
+    let metrics = ResourceMetrics::for_resources(resources, recorder);
     let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
 
     // ---- resolve context terms per new distinct term (parallel) -------------
     let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query);
     if options.threads <= 1 || new_distinct.len() < 32 {
         for &t in &new_distinct {
-            let terms = resolve(t);
-            cache.resolved.insert(t.to_string(), terms);
+            let resolved = resolve(t);
+            cache.resolved.insert(t.to_string(), resolved);
         }
     } else {
-        let results: Mutex<Vec<(&str, Vec<String>)>> = Mutex::new(Vec::new());
+        let results: Mutex<Vec<(&str, ResolvedTerm)>> = Mutex::new(Vec::new());
         let chunk = new_distinct.len().div_ceil(options.threads);
         crossbeam::scope(|s| {
             for part in new_distinct.chunks(chunk) {
                 let results = &results;
                 let resolve = &resolve;
                 s.spawn(move |_| {
-                    let local: Vec<(&str, Vec<String>)> =
+                    let local: Vec<(&str, ResolvedTerm)> =
                         part.iter().map(|&t| (t, resolve(t))).collect();
                     results.lock().extend(local);
                 });
             }
         })
         .map_err(|_| ExpansionError::WorkerPanicked)?;
-        for (t, terms) in results.into_inner() {
-            cache.resolved.insert(t.to_string(), terms);
+        for (t, resolved) in results.into_inner() {
+            cache.resolved.insert(t.to_string(), resolved);
         }
     }
+
+    // ---- degraded-coverage provenance for this batch ------------------------
+    let mut degraded_terms = 0usize;
+    for &t in &new_distinct {
+        if let Some(r) = cache.resolved.get(t) {
+            if !r.failed.is_empty() {
+                degraded_terms += 1;
+                ctx.degraded.insert(t.to_string(), r.failed.clone());
+            }
+        }
+    }
+    recorder.add("expand.degraded_terms", degraded_terms as u64);
+    outcome.degraded_terms = degraded_terms;
 
     // ---- per-document union and frequency delta -----------------------------
     for (i, terms) in important_terms.iter().enumerate() {
         let doc_index = doc_range.start + i;
-        let mut context_ids: Vec<TermId> = Vec::new();
-        for t in terms {
-            if let Some(ctx_terms) = cache.resolved.get(t.as_str()) {
-                for c in ctx_terms {
-                    context_ids.push(vocab.intern(c));
-                }
-            }
-        }
-        context_ids.sort_unstable();
-        context_ids.dedup();
-
-        let mut all: Vec<TermId> = db.doc_terms(facet_corpus::DocId(doc_index as u32)).to_vec();
-        all.extend(context_ids.iter().copied());
-        all.sort_unstable();
-        all.dedup();
-
+        let (all, context_ids) = contextualized_row(db, doc_index, terms, cache, vocab);
         for &t in &all {
             if t.index() >= ctx.df_c.len() {
                 ctx.df_c.resize(t.index() + 1, 0);
@@ -401,7 +458,155 @@ pub fn expand_append_recorded(
     Ok(outcome)
 }
 
+/// Rebuild one document's contextualized term row from the cache: the
+/// full sorted `original ∪ context` id set and the context-only ids.
+/// Shared by the append path and the repair pass so a repaired row is
+/// computed by exactly the code that built it.
+fn contextualized_row(
+    db: &TextDatabase,
+    doc_index: usize,
+    important: &[String],
+    cache: &ExpansionCache,
+    vocab: &mut Vocabulary,
+) -> (Vec<TermId>, Vec<TermId>) {
+    let mut context_ids: Vec<TermId> = Vec::new();
+    for t in important {
+        if let Some(resolved) = cache.resolved.get(t.as_str()) {
+            for c in &resolved.terms {
+                context_ids.push(vocab.intern(c));
+            }
+        }
+    }
+    context_ids.sort_unstable();
+    context_ids.dedup();
+
+    let mut all: Vec<TermId> = db.doc_terms(facet_corpus::DocId(doc_index as u32)).to_vec();
+    all.extend(context_ids.iter().copied());
+    all.sort_unstable();
+    all.dedup();
+    (all, context_ids)
+}
+
+/// What one [`repair_degraded_recorded`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairOutcome {
+    /// Degraded terms re-queried in this pass.
+    pub requeried_terms: usize,
+    /// Terms whose coverage is now complete (no failing resources).
+    pub repaired_terms: usize,
+    /// Terms still degraded after the pass (their resources are still
+    /// failing); a later pass can retry them.
+    pub still_degraded: usize,
+    /// Documents whose term rows changed (and whose `df_c`
+    /// contributions were recomputed).
+    pub changed_docs: usize,
+}
+
+/// Backfill pass over degraded-coverage terms: re-query **only** the
+/// important terms recorded in [`ContextualizedDatabase::degraded`],
+/// then recompute the term rows and `df_c` contributions of exactly the
+/// documents that use a term whose resolution changed.
+///
+/// Once the underlying resources have recovered, the repaired `ctx` is
+/// identical (term strings, frequencies, provenance) to one built with
+/// no faults at all. Terms whose resources are still failing keep their
+/// updated provenance and remain eligible for the next pass.
+///
+/// `important_terms[i]` must be `I(d_i)` for **all** documents of `db`
+/// (the same lists every append batch supplied), and `ctx` must cover
+/// the whole database.
+pub fn repair_degraded_recorded(
+    db: &TextDatabase,
+    important_terms: &[Vec<String>],
+    resources: &[&dyn ContextResource],
+    vocab: &mut Vocabulary,
+    recorder: &Recorder,
+    cache: &mut ExpansionCache,
+    ctx: &mut ContextualizedDatabase,
+) -> Result<RepairOutcome, ExpansionError> {
+    if important_terms.len() != db.len() {
+        return Err(ExpansionError::DocumentCountMismatch {
+            documents: db.len(),
+            important: important_terms.len(),
+        });
+    }
+    if ctx.len() != db.len() {
+        return Err(ExpansionError::AppendMisaligned {
+            ctx_docs: ctx.len(),
+            range: 0..db.len(),
+            db_docs: db.len(),
+        });
+    }
+    if ctx.degraded.is_empty() {
+        return Ok(RepairOutcome::default());
+    }
+
+    let metrics = ResourceMetrics::for_resources(resources, recorder);
+    let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
+
+    // Re-query serially in sorted term order (BTreeMap iteration):
+    // the repair path must be deterministic regardless of how the
+    // degradation was accumulated.
+    let degraded: Vec<String> = ctx.degraded.keys().cloned().collect();
+    let mut outcome = RepairOutcome {
+        requeried_terms: degraded.len(),
+        ..RepairOutcome::default()
+    };
+    let mut changed: HashSet<&str> = HashSet::new();
+    for term in &degraded {
+        let resolved = resolve_term(term, resources, &metrics, &ctx_per_query);
+        if resolved.failed.is_empty() {
+            outcome.repaired_terms += 1;
+            ctx.degraded.remove(term);
+        } else {
+            outcome.still_degraded += 1;
+            ctx.degraded.insert(term.clone(), resolved.failed.clone());
+        }
+        let differs = cache
+            .resolved
+            .get(term.as_str())
+            .is_none_or(|old| old.terms != resolved.terms);
+        if differs {
+            changed.insert(term.as_str());
+        }
+        cache.resolved.insert(term.clone(), resolved);
+    }
+
+    // Recompute exactly the documents that use a changed term, in
+    // document order (deterministic interning of backfilled context).
+    for (i, terms) in important_terms.iter().enumerate() {
+        if !terms.iter().any(|t| changed.contains(t.as_str())) {
+            continue;
+        }
+        outcome.changed_docs += 1;
+        for t in &ctx.doc_terms[i] {
+            ctx.df_c[t.index()] -= 1;
+        }
+        let (all, context_ids) = contextualized_row(db, i, terms, cache, vocab);
+        for &t in &all {
+            if t.index() >= ctx.df_c.len() {
+                ctx.df_c.resize(t.index() + 1, 0);
+            }
+            ctx.df_c[t.index()] += 1;
+        }
+        ctx.doc_terms[i] = all;
+        ctx.doc_context_terms[i] = context_ids;
+    }
+    ctx.df_c.resize(ctx.df_c.len().max(vocab.len()), 0);
+
+    recorder.add("repair.requeried_terms", outcome.requeried_terms as u64);
+    recorder.add("repair.repaired_terms", outcome.repaired_terms as u64);
+    recorder.add("repair.changed_docs", outcome.changed_docs as u64);
+    Ok(outcome)
+}
+
 /// Query every resource for one term; union, normalize, filter.
+///
+/// Resources are queried through the fallible
+/// [`ContextResource::try_context_terms`]; a failure contributes no
+/// context terms and is recorded by name in [`ResolvedTerm::failed`]
+/// (and on the `resource.<name>.failures` counter) so expansion
+/// degrades gracefully instead of aborting.
 ///
 /// `metrics[i]` instruments `resources[i]`; latency timing runs inside
 /// facet-obs ([`HistogramHandle::time_if`]), so a disabled recorder
@@ -411,15 +616,23 @@ fn resolve_term(
     resources: &[&dyn ContextResource],
     metrics: &[ResourceMetrics],
     ctx_per_query: &HistogramHandle,
-) -> Vec<String> {
+) -> ResolvedTerm {
     // Order-preserving dedup: the Vec keeps first-seen order (resource
     // priority), the HashSet makes membership O(1) instead of the old
     // O(n²) `Vec::contains` scan per retrieved term.
     let mut out: Vec<String> = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
     for (r, m) in resources.iter().zip(metrics) {
         m.queries.incr();
-        let raw_terms = m.latency.time_if(|| r.context_terms(term));
+        let raw_terms = match m.latency.time_if(|| r.try_context_terms(term)) {
+            Ok(v) => v,
+            Err(_) => {
+                m.failures.incr();
+                failed.push(r.name().to_string());
+                continue;
+            }
+        };
         for raw in raw_terms {
             let c = normalize_term(&raw);
             if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {
@@ -431,7 +644,7 @@ fn resolve_term(
         }
     }
     ctx_per_query.record(out.len() as u64);
-    out
+    ResolvedTerm { terms: out, failed }
 }
 
 #[cfg(test)]
@@ -660,6 +873,194 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ExpansionError::AppendMisaligned { .. }));
+    }
+
+    fn second_resource() -> Fixed {
+        let mut m = HashMap::new();
+        m.insert("jacques chirac", vec!["presidents", "paris"]);
+        Fixed("G", m)
+    }
+
+    /// Expand `db` with resource F plus resource G behind a phase-mode
+    /// fault wrapper failing every term; returns everything needed to
+    /// heal and repair.
+    fn degraded_build() -> (
+        TextDatabase,
+        Vocabulary,
+        Vec<Vec<String>>,
+        ExpansionCache,
+        ContextualizedDatabase,
+        crate::FaultyResource<Fixed>,
+    ) {
+        let (db, mut vocab, important) = fixture();
+        let f = chirac_resource();
+        let faulty = crate::FaultyResource::new(
+            second_resource(),
+            crate::FaultPlan::seeded(1, 1000),
+            crate::VirtualClock::new(),
+        );
+        let mut cache = ExpansionCache::new();
+        let mut ctx = ContextualizedDatabase::empty();
+        expand_append_recorded(
+            &db,
+            0..db.len(),
+            &important,
+            &[&f, &faulty],
+            &mut vocab,
+            &ExpansionOptions::default(),
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        (db, vocab, important, cache, ctx, faulty)
+    }
+
+    #[test]
+    fn failed_resource_degrades_coverage_with_provenance() {
+        let (_db, vocab, _important, cache, ctx, _faulty) = degraded_build();
+        assert!(!ctx.is_fully_covered());
+        assert_eq!(
+            ctx.degraded().get("jacques chirac"),
+            Some(&vec!["G".to_string()]),
+            "provenance names exactly the failed resource"
+        );
+        // Surviving resource F still contributed.
+        assert!(vocab.get("political leaders").is_some());
+        // Failed resource G contributed nothing.
+        assert!(vocab.get("presidents").is_none());
+        let resolution = cache.resolution("jacques chirac").unwrap();
+        assert!(!resolution.is_complete());
+    }
+
+    #[test]
+    fn repair_converges_to_the_fault_free_build() {
+        let (db, mut vocab, important, mut cache, mut ctx, faulty) = degraded_build();
+        faulty.heal();
+        let rec = facet_obs::Recorder::enabled();
+        let f = chirac_resource();
+        let outcome = repair_degraded_recorded(
+            &db,
+            &important,
+            &[&f, &faulty],
+            &mut vocab,
+            &rec,
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(outcome.requeried_terms, 1);
+        assert_eq!(outcome.repaired_terms, 1);
+        assert_eq!(outcome.still_degraded, 0);
+        assert_eq!(outcome.changed_docs, 2, "both documents use the term");
+        assert!(ctx.is_fully_covered());
+        let counts = rec.snapshot_counts_only();
+        assert_eq!(counts["counter.repair.repaired_terms"], 1);
+
+        // Same corpus expanded with no faults at all.
+        let (db2, mut vocab2, important2) = fixture();
+        let f2 = chirac_resource();
+        let g2 = second_resource();
+        let clean = expand_database(
+            &db2,
+            &important2,
+            &[&f2, &g2],
+            &mut vocab2,
+            &ExpansionOptions::default(),
+        );
+        // String-level identity: same term strings per document, same
+        // frequencies (ids may differ — interning order differs).
+        let to_strings = |v: &Vocabulary, terms: &[Vec<TermId>]| -> Vec<Vec<String>> {
+            terms
+                .iter()
+                .map(|ts| {
+                    let mut s: Vec<String> = ts.iter().map(|&t| v.term(t).to_string()).collect();
+                    s.sort_unstable();
+                    s
+                })
+                .collect()
+        };
+        assert_eq!(
+            to_strings(&vocab, &ctx.doc_terms),
+            to_strings(&vocab2, &clean.doc_terms)
+        );
+        assert_eq!(
+            to_strings(&vocab, &ctx.doc_context_terms),
+            to_strings(&vocab2, &clean.doc_context_terms)
+        );
+        for (id, term) in vocab2.iter() {
+            let repaired_id = vocab.get(term).unwrap();
+            assert_eq!(ctx.df_c(repaired_id), clean.df_c(id), "df_c for {term:?}");
+        }
+        assert!(clean.is_fully_covered());
+    }
+
+    #[test]
+    fn repair_while_still_failing_keeps_degradation_retryable() {
+        let (db, mut vocab, important, mut cache, mut ctx, faulty) = degraded_build();
+        let f = chirac_resource();
+        let outcome = repair_degraded_recorded(
+            &db,
+            &important,
+            &[&f, &faulty],
+            &mut vocab,
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(outcome.repaired_terms, 0);
+        assert_eq!(outcome.still_degraded, 1);
+        assert_eq!(
+            outcome.changed_docs, 0,
+            "nothing changed, nothing recomputed"
+        );
+        assert!(!ctx.is_fully_covered());
+        // A later pass after recovery still works.
+        faulty.heal();
+        let outcome = repair_degraded_recorded(
+            &db,
+            &important,
+            &[&f, &faulty],
+            &mut vocab,
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(outcome.repaired_terms, 1);
+        assert!(ctx.is_fully_covered());
+    }
+
+    #[test]
+    fn repair_on_clean_state_is_a_no_op() {
+        let (db, mut vocab, important) = fixture();
+        let r = chirac_resource();
+        let mut cache = ExpansionCache::new();
+        let mut ctx = ContextualizedDatabase::empty();
+        expand_append_recorded(
+            &db,
+            0..db.len(),
+            &important,
+            &[&r],
+            &mut vocab,
+            &ExpansionOptions::default(),
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        let outcome = repair_degraded_recorded(
+            &db,
+            &important,
+            &[&r],
+            &mut vocab,
+            Recorder::disabled_ref(),
+            &mut cache,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(outcome, RepairOutcome::default());
     }
 
     #[test]

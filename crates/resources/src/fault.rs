@@ -1,0 +1,302 @@
+//! Deterministic, seeded fault injection for context resources.
+//!
+//! Production resource backends fail: timeouts, overload shedding,
+//! transient network errors. [`FaultyResource`] wraps any
+//! [`ContextResource`] and injects such failures on a **deterministic
+//! schedule** derived from a seed — no wall clock, no OS entropy — so
+//! every failure scenario is a reproducible test case (and the facet-lint
+//! D2/D3 rules stay clean). Simulated latency advances a shared
+//! [`VirtualClock`], which is also what retry backoff and circuit-breaker
+//! cooldowns in [`crate::ResilientResource`] measure against.
+//!
+//! Two schedule modes, chosen by [`FaultPlan::failures_per_term`]:
+//!
+//! * **Phase mode** (`None`): an *affected* term — a pure function of
+//!   `(seed, term)` — fails on every attempt until [`FaultyResource::heal`]
+//!   is called. The degraded-term set is therefore independent of thread
+//!   interleaving, shard count, and arrival order, which is what the
+//!   chaos determinism sweep in `tests/chaos.rs` relies on.
+//! * **Attempt mode** (`Some(k)`): an affected term's first `k` attempts
+//!   fail, then every later attempt succeeds — the schedule for
+//!   exercising retry/backoff policy.
+
+use crate::clock::VirtualClock;
+use crate::resource::{ContextResource, FaultKind, ResourceError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A seeded fault-injection schedule. See the [module docs](self) for
+/// the two modes.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-term schedule; same seed ⇒ same faults.
+    pub seed: u64,
+    /// Per-mille (0..=1000) of distinct terms affected by faults while
+    /// the plan is active. 1000 = every term fails.
+    pub term_failure_permille: u16,
+    /// `Some(k)`: an affected term's first `k` attempts fail, then
+    /// succeed (retry testing). `None`: affected terms fail on every
+    /// attempt until [`FaultyResource::heal`].
+    pub failures_per_term: Option<u32>,
+    /// Simulated per-query latency bounds in virtual microseconds
+    /// `(min, max)`; the actual value is seed-derived per attempt.
+    pub latency_us: (u64, u64),
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0xFACE7,
+            term_failure_permille: 250,
+            failures_per_term: None,
+            latency_us: (500, 5_000),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A phase-mode plan with the given seed and failure rate.
+    pub fn seeded(seed: u64, term_failure_permille: u16) -> Self {
+        Self {
+            seed,
+            term_failure_permille,
+            ..Self::default()
+        }
+    }
+
+    /// Switch to attempt mode: affected terms fail their first
+    /// `failures` attempts, then succeed.
+    pub fn with_failures_per_term(mut self, failures: u32) -> Self {
+        self.failures_per_term = Some(failures);
+        self
+    }
+}
+
+/// FNV-1a over the seed and the term bytes: cheap, deterministic, and
+/// with enough diffusion to decorrelate nearby seeds.
+fn fnv1a(seed: u64, term: &str, salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed
+        .to_le_bytes()
+        .iter()
+        .chain(term.as_bytes())
+        .chain(salt.to_le_bytes().iter())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A fault-injecting decorator for a [`ContextResource`]. Forwards the
+/// wrapped resource's [`name`](ContextResource::name) so degraded-coverage
+/// provenance matches a fault-free build of the same resource set.
+pub struct FaultyResource<R> {
+    inner: R,
+    plan: FaultPlan,
+    clock: VirtualClock,
+    healed: AtomicBool,
+    /// Per-term attempt counters (attempt mode); also drives the
+    /// seed-derived latency/kind variation across retries.
+    attempts: Mutex<HashMap<String, u64>>,
+    injected: AtomicU64,
+}
+
+impl<R: ContextResource> FaultyResource<R> {
+    /// Wrap `inner` with the given plan, advancing `clock` by the
+    /// simulated latency of every attempt.
+    pub fn new(inner: R, plan: FaultPlan, clock: VirtualClock) -> Self {
+        Self {
+            inner,
+            plan,
+            clock,
+            healed: AtomicBool::new(false),
+            attempts: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// End the fault phase: every attempt from now on reaches the
+    /// wrapped resource. (Attempt-mode schedules are also disabled.)
+    pub fn heal(&self) {
+        self.healed.store(true, Ordering::Release);
+    }
+
+    /// Re-arm the plan after a [`heal`](Self::heal) (attempt counters
+    /// keep advancing; phase-mode terms resume failing).
+    pub fn unheal(&self) {
+        self.healed.store(false, Ordering::Release);
+    }
+
+    /// Whether [`heal`](Self::heal) has been called.
+    pub fn is_healed(&self) -> bool {
+        self.healed.load(Ordering::Acquire)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Total failures injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped resource.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Whether the plan targets `term` while active — a pure function of
+    /// `(seed, term)`, independent of call history.
+    pub fn is_affected(&self, term: &str) -> bool {
+        fnv1a(self.plan.seed, term, 0) % 1000 < u64::from(self.plan.term_failure_permille)
+    }
+
+    fn kind_for(&self, term: &str, attempt: u64) -> FaultKind {
+        match fnv1a(self.plan.seed, term, attempt.wrapping_add(1)) % 3 {
+            0 => FaultKind::Transient,
+            1 => FaultKind::Timeout,
+            _ => FaultKind::Overload,
+        }
+    }
+
+    fn latency_for(&self, term: &str, attempt: u64) -> u64 {
+        let (lo, hi) = self.plan.latency_us;
+        let span = hi.saturating_sub(lo).saturating_add(1);
+        lo + fnv1a(self.plan.seed, term, attempt.wrapping_add(0x10_0000)) % span
+    }
+}
+
+impl<R: ContextResource> ContextResource for FaultyResource<R> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn context_terms(&self, term: &str) -> Vec<String> {
+        self.try_context_terms(term).unwrap_or_default()
+    }
+
+    fn try_context_terms(&self, term: &str) -> Result<Vec<String>, ResourceError> {
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let slot = attempts.entry(term.to_string()).or_insert(0);
+            let a = *slot;
+            *slot += 1;
+            a
+        };
+        self.clock.advance_us(self.latency_for(term, attempt));
+        let scheduled = !self.is_healed()
+            && self.is_affected(term)
+            && match self.plan.failures_per_term {
+                None => true,
+                Some(k) => attempt < u64::from(k),
+            };
+        if scheduled {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(ResourceError::new(
+                self.inner.name(),
+                self.kind_for(term, attempt),
+                format!(
+                    "injected fault (seed {:#x}, attempt {attempt})",
+                    self.plan.seed
+                ),
+            ));
+        }
+        self.inner.try_context_terms(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl ContextResource for Echo {
+        fn name(&self) -> &'static str {
+            "Echo"
+        }
+        fn context_terms(&self, term: &str) -> Vec<String> {
+            vec![format!("about {term}")]
+        }
+    }
+
+    fn all_faulty(seed: u64) -> FaultyResource<Echo> {
+        FaultyResource::new(Echo, FaultPlan::seeded(seed, 1000), VirtualClock::new())
+    }
+
+    #[test]
+    fn phase_mode_fails_until_healed() {
+        let f = all_faulty(7);
+        for _ in 0..3 {
+            assert!(f.try_context_terms("x").is_err());
+        }
+        assert_eq!(f.injected_failures(), 3);
+        f.heal();
+        assert_eq!(f.try_context_terms("x").unwrap(), vec!["about x"]);
+        assert_eq!(f.injected_failures(), 3);
+        f.unheal();
+        assert!(f.try_context_terms("x").is_err());
+    }
+
+    #[test]
+    fn affected_set_is_a_pure_function_of_seed() {
+        let f = FaultyResource::new(Echo, FaultPlan::seeded(42, 500), VirtualClock::new());
+        let g = FaultyResource::new(Echo, FaultPlan::seeded(42, 500), VirtualClock::new());
+        let terms = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+        let fa: Vec<bool> = terms.iter().map(|t| f.is_affected(t)).collect();
+        let ga: Vec<bool> = terms.iter().map(|t| g.is_affected(t)).collect();
+        assert_eq!(fa, ga, "same seed, same affected set");
+        assert!(fa.iter().any(|&b| b), "at 50% some term is affected");
+        assert!(fa.iter().any(|&b| !b), "at 50% some term is spared");
+        // Outcomes match the predicate exactly.
+        for t in terms {
+            assert_eq!(f.try_context_terms(t).is_err(), f.is_affected(t));
+        }
+        // A different seed gives a different schedule (with overwhelming
+        // probability over six terms; this seed pair differs).
+        let h = FaultyResource::new(Echo, FaultPlan::seeded(43, 500), VirtualClock::new());
+        let ha: Vec<bool> = terms.iter().map(|t| h.is_affected(t)).collect();
+        assert_ne!(fa, ha);
+    }
+
+    #[test]
+    fn attempt_mode_recovers_after_scheduled_failures() {
+        let f = FaultyResource::new(
+            Echo,
+            FaultPlan::seeded(9, 1000).with_failures_per_term(2),
+            VirtualClock::new(),
+        );
+        assert!(f.try_context_terms("x").is_err());
+        assert!(f.try_context_terms("x").is_err());
+        assert_eq!(f.try_context_terms("x").unwrap(), vec!["about x"]);
+        assert_eq!(f.injected_failures(), 2);
+        // Counters are per term.
+        assert!(f.try_context_terms("y").is_err());
+    }
+
+    #[test]
+    fn latency_advances_the_virtual_clock_deterministically() {
+        let run = |seed: u64| {
+            let clock = VirtualClock::new();
+            let f = FaultyResource::new(Echo, FaultPlan::seeded(seed, 0), clock.clone());
+            for t in ["a", "b", "c"] {
+                f.try_context_terms(t).unwrap();
+            }
+            clock.now_us()
+        };
+        let t1 = run(5);
+        assert!(t1 > 0, "queries cost virtual time");
+        assert_eq!(t1, run(5), "same seed, same virtual timeline");
+    }
+
+    #[test]
+    fn error_carries_inner_name_and_retryable_kind() {
+        let f = all_faulty(11);
+        let err = f.try_context_terms("x").unwrap_err();
+        assert_eq!(err.resource, "Echo", "provenance names the real resource");
+        assert!(err.is_retryable(), "generated kinds are retryable");
+    }
+}

@@ -25,21 +25,27 @@
 //! statistics of Section IV-C.
 
 pub mod cache;
+pub mod clock;
 pub mod expand;
+pub mod fault;
 pub mod google;
 pub mod hypernyms;
+pub mod resilient;
 pub mod resource;
 pub mod wiki_graph;
 pub mod wiki_synonyms;
 
 pub use cache::{CacheStats, CachedResource};
+pub use clock::VirtualClock;
 pub use expand::{
-    expand_append_recorded, expand_database, expand_database_recorded,
+    expand_append_recorded, expand_database, expand_database_recorded, repair_degraded_recorded,
     try_expand_database_recorded, AppendOutcome, ContextualizedDatabase, ExpansionCache,
-    ExpansionError, ExpansionOptions,
+    ExpansionError, ExpansionOptions, RepairOutcome,
 };
+pub use fault::{FaultPlan, FaultyResource};
 pub use google::GoogleResource;
 pub use hypernyms::WordNetHypernymsResource;
-pub use resource::{ContextResource, ResourceSet};
+pub use resilient::{BreakerConfig, BreakerState, ResilientResource, RetryPolicy};
+pub use resource::{ContextResource, FaultKind, ResourceError, ResourceSet};
 pub use wiki_graph::WikiGraphResource;
 pub use wiki_synonyms::WikiSynonymsResource;

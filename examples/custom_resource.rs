@@ -1,4 +1,5 @@
-//! Plugging a domain-specific context resource into the pipeline.
+//! Plugging a domain-specific context resource into the pipeline —
+//! including what happens when that resource *fails*.
 //!
 //! ```sh
 //! cargo run --release --example custom_resource
@@ -12,24 +13,39 @@
 //! implemented as a [`ContextResource`] and combined with the standard
 //! resources; the distributional-analysis step automatically decides
 //! which of its concepts matter for the corpus.
+//!
+//! Real taxonomy services also have quotas and outages, so the thesaurus
+//! here implements the **fallible** side of the trait
+//! ([`ContextResource::try_context_terms`]): once its per-window query
+//! quota is exhausted it returns a typed [`ResourceError`] instead of
+//! answering. The index keeps building with the surviving resources,
+//! records which terms lost coverage (and to which resource), and
+//! [`FacetIndex::repair`] backfills exactly those terms once the quota
+//! window resets.
 
-use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::core::{FacetIndex, PipelineOptions};
 use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
 use facet_hierarchies::ner::NerTagger;
-use facet_hierarchies::resources::{CachedResource, ContextResource, WikiGraphResource};
+use facet_hierarchies::resources::{
+    CachedResource, ContextResource, ExpansionOptions, FaultKind, ResourceError, WikiGraphResource,
+};
 use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor, YahooTermExtractor};
 use facet_hierarchies::textkit::Vocabulary;
 use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A small financial ontology: term → broader financial concepts.
-/// In practice this would be loaded from a taxonomy file.
+/// A small financial ontology: term → broader financial concepts, served
+/// through a query quota like a real metered taxonomy API. In practice
+/// the table would be loaded from a taxonomy file.
 struct FinancialThesaurus {
     broader: HashMap<&'static str, Vec<&'static str>>,
+    /// Queries left in the current window; 0 = every call is rejected.
+    quota: AtomicU64,
 }
 
 impl FinancialThesaurus {
-    fn new() -> Self {
+    fn new(quota: u64) -> Self {
         let mut broader: HashMap<&'static str, Vec<&'static str>> = HashMap::new();
         for (term, parents) in [
             ("dividend", vec!["shareholder returns", "equity markets"]),
@@ -45,7 +61,15 @@ impl FinancialThesaurus {
         ] {
             broader.insert(term, parents);
         }
-        Self { broader }
+        Self {
+            broader,
+            quota: AtomicU64::new(quota),
+        }
+    }
+
+    /// A new billing window: `n` more queries allowed.
+    fn reset_quota(&self, n: u64) {
+        self.quota.store(n, Ordering::SeqCst);
     }
 }
 
@@ -53,11 +77,33 @@ impl ContextResource for FinancialThesaurus {
     fn name(&self) -> &'static str {
         "Financial Thesaurus"
     }
+
+    // The infallible view degrades failures to "no context" — callers
+    // that care about coverage use try_context_terms.
     fn context_terms(&self, term: &str) -> Vec<String> {
-        self.broader
+        self.try_context_terms(term).unwrap_or_default()
+    }
+
+    fn try_context_terms(&self, term: &str) -> Result<Vec<String>, ResourceError> {
+        let admitted = self
+            .quota
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| q.checked_sub(1))
+            .is_ok();
+        if !admitted {
+            // Overload is retryable: the caller may retry later (e.g.
+            // after the quota window resets); a malformed-request error
+            // would be FaultKind::Permanent instead.
+            return Err(ResourceError::new(
+                self.name(),
+                FaultKind::Overload,
+                "query quota exhausted for this window",
+            ));
+        }
+        Ok(self
+            .broader
             .get(term)
             .map(|v| v.iter().map(|s| s.to_string()).collect())
-            .unwrap_or_default()
+            .unwrap_or_default())
     }
 }
 
@@ -70,7 +116,8 @@ fn main() {
     let wiki = build_wikipedia(&world, &WikipediaConfig::default());
     let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
     let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
-    let thesaurus = FinancialThesaurus::new();
+    // A deliberately tight quota: the build will exhaust it mid-expansion.
+    let thesaurus = FinancialThesaurus::new(8);
 
     let tagger = NerTagger::from_world(&world);
     let ne = NamedEntityExtractor::new(tagger);
@@ -78,17 +125,45 @@ fn main() {
 
     let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
     let resources: Vec<&dyn ContextResource> = vec![&graph_res, &thesaurus];
-    let pipeline = FacetPipeline::new(
+    let mut index = FacetIndex::build(
+        corpus.db.docs().to_vec(),
         extractors,
         resources,
         PipelineOptions {
             top_k: 500,
+            // Serial expansion so the quota cutoff point is reproducible.
+            expansion: ExpansionOptions { threads: 1 },
             ..Default::default()
         },
+    )
+    .expect("index build");
+
+    // The build survived the quota exhaustion; coverage is degraded, not
+    // lost, and the snapshot says exactly which terms are affected.
+    let snap = index.snapshot();
+    println!("facet terms: {}", snap.candidates().len());
+    println!(
+        "terms with degraded coverage: {} (of {} resolved)",
+        snap.degraded().len(),
+        index.resolved_terms()
     );
-    let extraction = pipeline.run(&corpus.db, &mut vocab);
+    for (term, failed) in snap.degraded().iter().take(5) {
+        println!("  {term:<28} missing: {}", failed.join(", "));
+    }
+
+    // The quota window resets; repair() re-queries only the degraded
+    // terms and publishes a converged snapshot.
+    thesaurus.reset_quota(u64::MAX);
+    let stats = index.repair().expect("repair");
+    println!(
+        "\nrepair: re-queried {} terms, repaired {}, recomputed {} documents (generation {})",
+        stats.requeried_terms, stats.repaired_terms, stats.changed_docs, stats.generation
+    );
+    let snap = index.snapshot();
+    assert!(snap.is_fully_covered());
 
     // Which thesaurus concepts did the distributional analysis promote?
+    let facet_terms = snap.facet_terms();
     let domain_terms: Vec<&str> = [
         "shareholder returns",
         "equity markets",
@@ -102,14 +177,17 @@ fn main() {
         "cost cutting",
     ]
     .into_iter()
-    .filter(|t| extraction.facet_terms(&vocab).contains(t))
+    .filter(|t| facet_terms.contains(t))
     .collect();
 
-    println!("facet terms: {}", extraction.candidates.len());
-    println!("domain-specific facet terms promoted by the thesaurus:");
+    println!("\ndomain-specific facet terms promoted by the thesaurus:");
     for t in &domain_terms {
-        let id = vocab.get(t).expect("selected terms are interned");
-        let c = extraction.candidates.iter().find(|c| c.term == id).unwrap();
+        let id = snap.vocab().get(t).expect("selected terms are interned");
+        let c = snap
+            .candidates()
+            .iter()
+            .find(|c| c.term == id)
+            .expect("facet term has a candidate row");
         println!(
             "  {:<28} df={} df_C={} -logλ={:.1}",
             t, c.df, c.df_c, c.score

@@ -9,15 +9,22 @@
 //! The same recorder can be threaded through the experiment harness
 //! (`GridOptions::recorder`) or enabled on the `experiments`/`diag`
 //! binaries with `--obs <path.json>`.
+//!
+//! The second half of the example is a **chaos run**: one resource is
+//! wrapped in a seeded [`FaultyResource`] and a [`ResilientResource`]
+//! (retries + circuit breaker), and the recorder shows the retry and
+//! breaker counters alongside the degraded-coverage provenance and the
+//! [`FacetIndex::repair`] backfill.
 
-use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
+use facet_hierarchies::core::{FacetIndex, FacetPipeline, PipelineOptions};
 use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
 use facet_hierarchies::ner::NerTagger;
 use facet_hierarchies::obs::Recorder;
 use facet_hierarchies::resources::{
-    CachedResource, ContextResource, WikiGraphResource, WordNetHypernymsResource,
+    BreakerConfig, CachedResource, ContextResource, ExpansionOptions, FaultPlan, FaultyResource,
+    ResilientResource, VirtualClock, WikiGraphResource, WordNetHypernymsResource,
 };
-use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
+use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor, YahooTermExtractor};
 use facet_hierarchies::textkit::Vocabulary;
 use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
 use facet_hierarchies::wordnet::build_wordnet;
@@ -97,4 +104,92 @@ fn main() {
     for line in json.lines().take(12) {
         println!("  {line}");
     }
+
+    // ── Chaos run ──────────────────────────────────────────────────────
+    // The same corpus, but WordNet is flaky: a seeded fault plan makes
+    // ~30% of terms fail deterministically, and a resilience policy
+    // (retries with backoff on a virtual clock + a circuit breaker)
+    // sits between the fault and the index. The recorder sees both
+    // layers.
+    println!("\n=== chaos run: flaky WordNet behind a resilience policy ===");
+    let chaos_recorder = Recorder::enabled();
+    let clock = VirtualClock::new();
+    let faulty = FaultyResource::new(
+        WordNetHypernymsResource::new(&wordnet),
+        FaultPlan::seeded(0xC0FFEE, 300),
+        clock.clone(),
+    );
+    let resilient = ResilientResource::new(faulty, clock.clone())
+        .with_breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_us: 25_000,
+            half_open_probes: 1,
+        })
+        .with_recorder(&chaos_recorder);
+    let graph_res2 = CachedResource::new(WikiGraphResource::new(&graph));
+    // Yahoo terms include common nouns, so WordNet hypernyms actually
+    // shape the contextualized database here.
+    let yahoo = YahooTermExtractor::fit(&corpus.db, &vocab);
+
+    let chaos_extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let chaos_resources: Vec<&dyn ContextResource> = vec![&graph_res2, &resilient];
+    let options = PipelineOptions {
+        top_k: 400,
+        // Single-threaded expansion keeps the breaker's shed set (which
+        // depends on query order) reproducible for the demo.
+        expansion: ExpansionOptions { threads: 1 },
+        ..Default::default()
+    };
+    let mut index = FacetIndex::build(
+        corpus.db.docs().to_vec(),
+        chaos_extractors,
+        chaos_resources,
+        options.clone(),
+    )
+    .expect("chaos build")
+    .with_recorder(chaos_recorder.clone());
+
+    let snap = index.snapshot();
+    println!(
+        "build survived: {} facet terms, {} terms degraded, breaker now {:?}",
+        snap.candidates().len(),
+        snap.degraded().len(),
+        resilient.breaker_state()
+    );
+    let chaos_report = chaos_recorder.snapshot();
+    println!("resilience counters:");
+    for c in &chaos_report.counters {
+        if c.name.starts_with("resilient.") || c.name.ends_with(".failures") {
+            println!("  {:<40} {}", c.name, c.value);
+        }
+    }
+
+    // The outage ends: heal the fault, let the breaker cooldown elapse
+    // on the virtual clock, and backfill only the degraded terms.
+    resilient.inner().heal();
+    clock.advance_us(25_000);
+    let stats = index.repair().expect("repair");
+    let snap = index.snapshot();
+    println!(
+        "\nrepair: re-queried {} terms, repaired {}, recomputed {} docs; fully covered: {}",
+        stats.requeried_terms,
+        stats.repaired_terms,
+        stats.changed_docs,
+        snap.is_fully_covered()
+    );
+
+    // The repaired index is identical to one that never saw a fault.
+    let wn_clean = CachedResource::new(WordNetHypernymsResource::new(&wordnet));
+    let graph_res3 = CachedResource::new(WikiGraphResource::new(&graph));
+    let clean_extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let clean_resources: Vec<&dyn ContextResource> = vec![&graph_res3, &wn_clean];
+    let clean = FacetIndex::build(
+        corpus.db.docs().to_vec(),
+        clean_extractors,
+        clean_resources,
+        options,
+    )
+    .expect("clean build");
+    assert_eq!(snap.facet_terms(), clean.snapshot().facet_terms());
+    println!("repaired snapshot matches the fault-free build");
 }

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1|--bench-smoke|--lint]
+# Usage: scripts/check.sh [--tier1|--bench-smoke|--lint|--chaos]
 #
 #   --tier1        Run exactly the tier-1 gate (release build + tests), the
 #                  command CI and the roadmap treat as the must-stay-green
-#                  bar, plus the sharded-index determinism sweep and the
-#                  facet-lint workspace gate.
+#                  bar, plus the sharded-index determinism sweep, the chaos
+#                  (fault-injection) suite, and the facet-lint workspace
+#                  gate.
 #   --bench-smoke  Run the shard benchmark on a tiny recipe with its
 #                  invariant assertions on (equivalence to the batch build,
-#                  rate arithmetic), so bench-math regressions fail fast;
-#                  also assert the facet-lint JSON report parses, is
+#                  rate arithmetic), and the resilience benchmark with its
+#                  assertions on (fault-free overhead bar, repair
+#                  convergence), so bench-math regressions fail fast; also
+#                  assert the facet-lint JSON report parses, is
 #                  span-sorted, and is byte-identical across runs.
 #   --lint         Run the facet-lint workspace gate only (non-zero exit
 #                  on any deny finding; see DESIGN.md section 13).
+#   --chaos        Run the fault-injection determinism suite only
+#                  (tests/chaos.rs: seeded faults, degraded-coverage
+#                  provenance, repair convergence; see DESIGN.md
+#                  section 14).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +29,20 @@ run_lint() {
     cargo run -q --release -p facet-lint -- --root .
 }
 
+run_chaos() {
+    echo "== chaos: fault-injection determinism & repair-convergence suite"
+    # Named explicitly so a filtered or partial test run cannot silently
+    # skip the seeded-fault sweep.
+    cargo test -q --release --test chaos
+}
+
 if [[ "${1:-}" == "--lint" ]]; then
     run_lint
+    exit 0
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    run_chaos
     exit 0
 fi
 
@@ -36,6 +55,7 @@ if [[ "${1:-}" == "--tier1" ]]; then
     # so a filtered or partial test run cannot silently skip them.
     cargo test -q --test determinism shard
     cargo test -q -p facet-core shard::
+    run_chaos
     run_lint
     echo "Tier-1 gate passed."
     exit 0
@@ -46,6 +66,12 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     cargo run --release -p facet-bench --bin shard_bench -- \
         --scale 0.05 --batches 3 --shards 1,2 --smoke \
         --out target/BENCH_3.smoke.json
+    echo "== bench smoke: resilience_bench --smoke (overhead bar + repair convergence)"
+    # Builds at this scale are ~15 ms, so the min-over-iterations needs
+    # more samples than the default to be robust to scheduler noise.
+    cargo run --release -p facet-bench --bin resilience_bench -- \
+        --scale 0.05 --iters 10 --smoke \
+        --out target/BENCH_4.smoke.json
     echo "== bench smoke: facet-lint report determinism"
     # Two runs must produce byte-identical JSON, and the report must parse
     # and be sorted by (file, line, col, code) — verified by the tool's

@@ -1,9 +1,9 @@
 //! Minimal offline shim for the `parking_lot` API, backed by `std::sync`.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
-//! the small slice of `parking_lot` it actually uses: [`Mutex`] and
-//! [`RwLock`] with non-poisoning guard accessors. Poisoned std locks are
-//! recovered transparently (parking_lot has no poisoning).
+//! the small slice of `parking_lot` it actually uses: [`Mutex`], [`RwLock`],
+//! and [`Condvar`] with non-poisoning guard accessors. Poisoned std locks
+//! are recovered transparently (parking_lot has no poisoning).
 
 use std::sync::PoisonError;
 
@@ -76,6 +76,62 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with `parking_lot`'s non-poisoning `wait`.
+///
+/// `wait` takes the guard by `&mut` (parking_lot style) rather than by
+/// value, re-acquiring the lock before returning.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Move the guard out to hand std ownership, then write the
+        // re-acquired guard back. `take_guard` leaves a placeholder that
+        // is immediately overwritten, so the lock is never observably
+        // released twice.
+        replace_with(guard, |g| {
+            self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// Replace `*slot` with `f(old)`. Aborts the process if `f` panics (the
+/// slot would otherwise be left invalid); `std::sync::Condvar::wait` does
+/// not panic, so this is unreachable in practice.
+fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    // lint:allow(unsafe, reason="guard relocation for Condvar::wait; abort guard keeps the slot valid on unwind")
+    unsafe {
+        let old = std::ptr::read(slot);
+        let abort = AbortOnDrop;
+        let new = f(old);
+        std::mem::forget(abort);
+        std::ptr::write(slot, new);
+    }
+}
+
+struct AbortOnDrop;
+impl Drop for AbortOnDrop {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +149,23 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_with_lock_held() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+                assert!(*ready);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            *m.lock() = true;
+            cv.notify_all();
+        });
     }
 }
