@@ -1,0 +1,316 @@
+//! Bench-regression gate: check benchmark report JSONs against the
+//! committed per-metric thresholds, and verify exported trace files.
+//!
+//! ```text
+//! bench_diff --spec BENCH_BASELINES.json --profile <name> [--dir <root>]
+//! bench_diff --verify-trace <trace.json> [--require-span <name>]... [--min-depth <n>]
+//! ```
+//!
+//! **Threshold mode** reads the spec (see `BENCH_BASELINES.json` at the
+//! repo root), picks the named profile, and evaluates every check
+//! against the referenced report files. Metric paths are dot-separated;
+//! a `*` segment fans out over every element of an array. Check kinds:
+//!
+//! * `max` / `min` — the metric must be ≤ / ≥ `limit`. A check may name
+//!   an `unless` path: when that boolean is `true` the check is waived
+//!   (used for "overhead ≤ 5% *or* within the measured noise band").
+//! * `true` — the metric must be boolean `true`.
+//!
+//! Any violated check prints a `REGRESSION` line and the process exits
+//! non-zero, which is what wires the gate into `scripts/check.sh`.
+//!
+//! **Trace mode** parses a Chrome trace-event JSON export through
+//! `facet_jsonio::parse_json`, requires each `--require-span` name to be
+//! present as a complete (`"ph":"X"`) event, and checks that the deepest
+//! `parent_id` chain reaches `--min-depth` levels.
+
+use facet_jsonio::{parse_json, JsonValue};
+use std::collections::HashMap;
+use std::process::exit;
+
+/// Resolve a dot-separated path inside a parsed JSON value. A `*`
+/// segment fans out over array elements; a numeric segment indexes one.
+/// Returns `(full_path, value)` pairs for reporting.
+fn resolve<'a>(value: &'a JsonValue, path: &str) -> Vec<(String, &'a JsonValue)> {
+    let mut frontier: Vec<(String, &JsonValue)> = vec![(String::new(), value)];
+    for seg in path.split('.') {
+        let mut next = Vec::new();
+        for (prefix, v) in frontier {
+            let join = |s: &str| {
+                if prefix.is_empty() {
+                    s.to_string()
+                } else {
+                    format!("{prefix}.{s}")
+                }
+            };
+            match seg {
+                "*" => {
+                    if let Some(items) = v.as_array() {
+                        for (i, item) in items.iter().enumerate() {
+                            next.push((join(&i.to_string()), item));
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(child) = v.get(seg) {
+                        next.push((join(seg), child));
+                    } else if let (Ok(i), Some(items)) = (seg.parse::<usize>(), v.as_array()) {
+                        if let Some(item) = items.get(i) {
+                            next.push((join(seg), item));
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+/// One check outcome; `Err` carries the human-readable regression line.
+fn run_check(report: &JsonValue, file: &str, check: &JsonValue) -> Result<usize, Vec<String>> {
+    let path = check.get("path").and_then(JsonValue::as_str).unwrap_or("");
+    let kind = check.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+    let limit = check.get("limit").and_then(JsonValue::as_f64);
+    let waived = |target: &JsonValue| -> bool {
+        check
+            .get("unless")
+            .and_then(JsonValue::as_str)
+            .map(|p| {
+                resolve(target, p)
+                    .iter()
+                    .all(|(_, v)| v.as_bool() == Some(true))
+                    && !resolve(target, p).is_empty()
+            })
+            .unwrap_or(false)
+    };
+    let found = resolve(report, path);
+    if found.is_empty() {
+        return Err(vec![format!(
+            "REGRESSION {file}: metric path `{path}` missing from report"
+        )]);
+    }
+    let mut failures = Vec::new();
+    for (at, v) in &found {
+        let ok = match kind {
+            "max" => v.as_f64().map(|x| x <= limit.unwrap_or(f64::NEG_INFINITY)),
+            "min" => v.as_f64().map(|x| x >= limit.unwrap_or(f64::INFINITY)),
+            "true" => Some(v.as_bool() == Some(true)),
+            other => {
+                return Err(vec![format!(
+                    "REGRESSION {file}: unknown check kind `{other}` for `{path}`"
+                )])
+            }
+        };
+        match ok {
+            Some(true) => {}
+            _ if kind != "true" && waived(report) => {}
+            _ => {
+                let shown = v
+                    .as_f64()
+                    .map(|x| format!("{x}"))
+                    .or_else(|| v.as_bool().map(|b| b.to_string()))
+                    .unwrap_or_else(|| "<non-numeric>".to_string());
+                let bar = match kind {
+                    "max" => format!("must be <= {}", limit.unwrap_or(f64::NAN)),
+                    "min" => format!("must be >= {}", limit.unwrap_or(f64::NAN)),
+                    _ => "must be true".to_string(),
+                };
+                failures.push(format!("REGRESSION {file}: `{at}` = {shown} ({bar})"));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(found.len())
+    } else {
+        Err(failures)
+    }
+}
+
+fn run_profile(spec_path: &str, profile: &str, dir: &str) -> i32 {
+    let spec_text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read spec {spec_path}: {e}");
+            return 2;
+        }
+    };
+    let spec = match parse_json(&spec_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_diff: spec {spec_path} is not valid JSON: {e:?}");
+            return 2;
+        }
+    };
+    let Some(checks) = spec
+        .get("profiles")
+        .and_then(|p| p.get(profile))
+        .and_then(|p| p.get("checks"))
+        .and_then(JsonValue::as_array)
+    else {
+        eprintln!("bench_diff: spec has no profile `{profile}` with checks");
+        return 2;
+    };
+
+    let mut reports: HashMap<String, Option<JsonValue>> = HashMap::new();
+    let mut passed = 0usize;
+    let mut regressions: Vec<String> = Vec::new();
+    for check in checks {
+        let file = check.get("file").and_then(JsonValue::as_str).unwrap_or("");
+        let full = format!("{dir}/{file}");
+        let report = reports.entry(file.to_string()).or_insert_with(|| {
+            std::fs::read_to_string(&full)
+                .ok()
+                .and_then(|t| parse_json(&t).ok())
+        });
+        match report {
+            None => regressions.push(format!(
+                "REGRESSION {file}: report missing or unparsable at {full}"
+            )),
+            Some(report) => match run_check(report, file, check) {
+                Ok(n) => passed += n,
+                Err(mut lines) => regressions.append(&mut lines),
+            },
+        }
+    }
+
+    for line in &regressions {
+        eprintln!("{line}");
+    }
+    println!(
+        "bench_diff [{profile}]: {passed} metric checks passed, {} regressed",
+        regressions.len()
+    );
+    i32::from(!regressions.is_empty())
+}
+
+fn run_verify_trace(path: &str, required: &[String], min_depth: usize) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read trace {path}: {e}");
+            return 2;
+        }
+    };
+    let trace = match parse_json(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_diff: trace {path} is not valid JSON: {e:?}");
+            return 1;
+        }
+    };
+    let Some(events) = trace.get("traceEvents").and_then(JsonValue::as_array) else {
+        eprintln!("bench_diff: {path} has no traceEvents array");
+        return 1;
+    };
+
+    // Complete ("X") events carry one span each: name + id + parent id.
+    let mut names: Vec<String> = Vec::new();
+    let mut parent_of: HashMap<String, String> = HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        names.push(name.to_string());
+        let args = ev.get("args");
+        let id = args
+            .and_then(|a| a.get("span_id"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        let parent = args
+            .and_then(|a| a.get("parent_id"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        if !id.is_empty() {
+            parent_of.insert(id.to_string(), parent.to_string());
+        }
+    }
+
+    let mut missing = 0usize;
+    for want in required {
+        if !names.iter().any(|n| n == want) {
+            eprintln!("bench_diff: trace is missing required span `{want}`");
+            missing += 1;
+        }
+    }
+    let mut failures = missing;
+
+    // Depth of the deepest parent chain (roots have an empty parent id).
+    let depth_of = |id: &str| -> usize {
+        let mut id = id.to_string();
+        let mut depth = 0;
+        while !id.is_empty() && depth <= parent_of.len() {
+            depth += 1;
+            id = parent_of.get(&id).cloned().unwrap_or_default();
+        }
+        depth
+    };
+    let max_depth = parent_of.keys().map(|id| depth_of(id)).max().unwrap_or(0);
+    if max_depth < min_depth {
+        eprintln!("bench_diff: trace span tree depth {max_depth} < required {min_depth}");
+        failures += 1;
+    }
+
+    println!(
+        "bench_diff [trace]: {} spans, depth {max_depth}, {}/{} required spans present",
+        names.len(),
+        required.len() - missing,
+        required.len()
+    );
+    i32::from(failures > 0)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = "BENCH_BASELINES.json".to_string();
+    let mut profile: Option<String> = None;
+    let mut dir = ".".to_string();
+    let mut verify_trace: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut min_depth = 0usize;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--spec" => {
+                spec = argv.get(i + 1).cloned().unwrap_or(spec);
+                i += 2;
+            }
+            "--profile" => {
+                profile = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--dir" => {
+                dir = argv.get(i + 1).cloned().unwrap_or(dir);
+                i += 2;
+            }
+            "--verify-trace" => {
+                verify_trace = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--require-span" => {
+                required.extend(argv.get(i + 1).cloned());
+                i += 2;
+            }
+            "--min-depth" => {
+                min_depth = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+    }
+
+    let code = match (&verify_trace, &profile) {
+        (Some(path), _) => run_verify_trace(path, &required, min_depth),
+        (None, Some(profile)) => run_profile(&spec, profile, &dir),
+        (None, None) => {
+            eprintln!("usage: bench_diff --profile <name> [--spec f] [--dir d]");
+            eprintln!("       bench_diff --verify-trace <f> [--require-span n]... [--min-depth k]");
+            2
+        }
+    };
+    exit(code);
+}

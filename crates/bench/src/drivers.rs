@@ -738,16 +738,36 @@ pub struct ResilienceBenchReport {
     /// Total documents indexed per build.
     pub total_docs: usize,
     /// Timed iterations per configuration (wall times below are the
-    /// minimum across iterations).
+    /// mean across iterations, with the per-iteration samples and the
+    /// sample standard deviation reported alongside).
     pub iterations: usize,
-    /// Fault-free build with raw resources (no policy layer).
+    /// Per-iteration wall times of the fault-free build with raw
+    /// resources (no policy layer).
+    pub baseline_samples_ms: Vec<f64>,
+    /// Per-iteration wall times of the fault-free build with every
+    /// resource behind a [`facet_resources::ResilientResource`]
+    /// (retries + breaker armed, never triggered).
+    pub resilient_samples_ms: Vec<f64>,
+    /// Mean fault-free build time with raw resources.
     pub baseline_build_ms: f64,
-    /// Fault-free build with every resource behind a
-    /// [`facet_resources::ResilientResource`] (retries + breaker armed,
-    /// never triggered).
+    /// Sample standard deviation of the baseline iterations.
+    pub baseline_stddev_ms: f64,
+    /// Mean fault-free build time behind the policy layer.
     pub resilient_build_ms: f64,
-    /// `(resilient - baseline) / baseline`, in percent. The acceptance
-    /// bar is ≤ 5% on the fault-free path.
+    /// Sample standard deviation of the resilient iterations.
+    pub resilient_stddev_ms: f64,
+    /// `(resilient - baseline) / baseline` on the means, in percent.
+    /// May be negative when the difference is inside scheduler noise.
+    pub overhead_raw_pct: f64,
+    /// The noise band, in percent of the baseline mean: one combined
+    /// standard deviation of the two sample sets.
+    pub overhead_noise_pct: f64,
+    /// Whether the measured overhead is indistinguishable from noise
+    /// (`|overhead_raw_pct| <= overhead_noise_pct`).
+    pub overhead_within_noise: bool,
+    /// Reported overhead: the raw percentage clamped below at zero —
+    /// a negative measurement means "within noise", not a speedup. The
+    /// acceptance bar is ≤ 5% on the fault-free path, or within noise.
     pub overhead_pct: f64,
     /// Whether the policy-wrapped fault-free build is string-identical
     /// to the baseline.
@@ -756,14 +776,32 @@ pub struct ResilienceBenchReport {
     pub fault_runs: Vec<ResilienceFaultRun>,
 }
 
+/// Mean of a non-empty sample set.
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len().max(1) as f64
+}
+
+/// Sample standard deviation (Bessel-corrected); zero for n < 2.
+fn sample_stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
 /// Benchmark the resilience layer: what does wrapping every resource in
 /// a [`facet_resources::ResilientResource`] cost on the fault-free path,
 /// and how expensive is a degraded build plus its
 /// [`facet_core::FacetIndex::repair`] backfill under seeded faults.
 ///
-/// Fault-free builds run `iterations` times and report the minimum wall
-/// time, so the overhead percentage compares best-case against best-case
-/// rather than sampling scheduler noise.
+/// Fault-free builds run `iterations` times; the report carries every
+/// per-iteration sample plus mean and sample standard deviation, and the
+/// overhead percentage compares the means with an explicit noise band —
+/// a measured difference smaller than one combined standard deviation is
+/// flagged `overhead_within_noise` and a negative raw overhead is
+/// clamped to zero rather than reported as a speedup.
 pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> ResilienceBenchReport {
     use facet_core::{FacetIndex, FacetSnapshot};
     use facet_ner::NerTagger;
@@ -812,9 +850,9 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
     // ResilientResource (retries and breaker armed, never triggered) —
     // the overhead the acceptance bar caps. The two configurations are
     // interleaved within each iteration so scheduler/thermal noise hits
-    // both sides alike, and the minima are compared.
-    let mut baseline_build_ms = f64::INFINITY;
-    let mut resilient_build_ms = f64::INFINITY;
+    // both sides alike, and the means are compared.
+    let mut baseline_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
+    let mut resilient_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
     let mut resilient_identical = true;
     let mut expected: Option<SnapshotOutputs> = None;
     for _ in 0..iterations {
@@ -825,7 +863,7 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
         let t = Instant::now();
         let index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
             .expect("bench corpus is well-formed");
-        baseline_build_ms = baseline_build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        baseline_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
         expected.get_or_insert_with(|| outputs(&index.snapshot()));
 
         let clock = VirtualClock::new();
@@ -839,7 +877,7 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
         let t = Instant::now();
         let index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
             .expect("bench corpus is well-formed");
-        resilient_build_ms = resilient_build_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        resilient_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
         resilient_identical &=
             outputs(&index.snapshot()) == *expected.as_ref().expect("baseline ran first");
     }
@@ -887,14 +925,33 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
         });
     }
 
+    let baseline_build_ms = mean(&baseline_samples_ms);
+    let resilient_build_ms = mean(&resilient_samples_ms);
+    let baseline_stddev_ms = sample_stddev(&baseline_samples_ms);
+    let resilient_stddev_ms = sample_stddev(&resilient_samples_ms);
+    let overhead_raw_pct =
+        (resilient_build_ms - baseline_build_ms) / baseline_build_ms.max(1e-9) * 100.0;
+    // One combined standard deviation of the difference of means, as a
+    // percentage of the baseline mean.
+    let overhead_noise_pct = (baseline_stddev_ms * baseline_stddev_ms
+        + resilient_stddev_ms * resilient_stddev_ms)
+        .sqrt()
+        / baseline_build_ms.max(1e-9)
+        * 100.0;
     ResilienceBenchReport {
         dataset: RecipeKind::Snyt.name().to_string(),
         total_docs: docs.len(),
         iterations,
+        baseline_samples_ms,
+        resilient_samples_ms,
         baseline_build_ms,
+        baseline_stddev_ms,
         resilient_build_ms,
-        overhead_pct: (resilient_build_ms - baseline_build_ms) / baseline_build_ms.max(1e-9)
-            * 100.0,
+        resilient_stddev_ms,
+        overhead_raw_pct,
+        overhead_noise_pct,
+        overhead_within_noise: overhead_raw_pct.abs() <= overhead_noise_pct,
+        overhead_pct: overhead_raw_pct.max(0.0),
         resilient_identical,
         fault_runs,
     }

@@ -467,6 +467,7 @@ impl<'a> FacetIndex<'a> {
     /// log the error and keep answering from the previous generation.
     pub fn append(&mut self, mut batch: Vec<Document>) -> Result<AppendStats, IndexError> {
         let _append_span = self.recorder.span("append");
+        _append_span.attr("docs", batch.len() as u64);
         let start = self.db.len();
         for (i, d) in batch.iter_mut().enumerate() {
             d.id = DocId((start + i) as u32);

@@ -95,6 +95,7 @@ impl<'a> FacetPipeline<'a> {
     /// Step 1 only: important terms per document.
     pub fn extract_important(&self, db: &TextDatabase) -> Vec<Vec<String>> {
         let _span = self.recorder.span("extract");
+        _span.attr("docs", db.len() as u64);
         let out: Vec<Vec<String>> = db
             .docs()
             .iter()
@@ -165,6 +166,7 @@ impl<'a> FacetPipeline<'a> {
         vocab: &Vocabulary,
     ) -> FacetForest {
         let _span = self.recorder.span("subsumption");
+        _span.attr("candidates", extraction.candidates.len() as u64);
         let terms: Vec<_> = extraction.candidates.iter().map(|c| c.term).collect();
         let sub = build_subsumption_forest(
             &terms,

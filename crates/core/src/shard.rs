@@ -275,6 +275,11 @@ impl<'a> ShardedFacetIndex<'a> {
     /// it could not expand.
     pub fn append(&mut self, mut batch: Vec<Document>) -> Result<ShardedAppendStats, IndexError> {
         let _append_span = self.recorder.span("append");
+        _append_span.attr("docs", batch.len() as u64);
+        _append_span.attr("shards", self.shards.len() as u64);
+        // Capture the trace context here so worker threads (fresh span
+        // stacks) can parent their shard spans under this append span.
+        let trace_parent = facet_obs::current_context();
         let n = self.shards.len();
         let start = self.n_docs;
         let docs = batch.len();
@@ -316,8 +321,11 @@ impl<'a> ShardedFacetIndex<'a> {
                 s.spawn(move |_| {
                     // The worker runs on its own thread (fresh span
                     // stack), so the shard span carries the full dotted
-                    // name explicitly.
-                    let _span = recorder.span(&format!("append.shard{i}"));
+                    // name explicitly; the captured trace context links
+                    // it under the append span across the thread hop.
+                    let _span = recorder.span_under(trace_parent, &format!("append.shard{i}"));
+                    _span.attr("shard", i as u64);
+                    _span.attr("docs", docs.len() as u64);
                     let range = shard.db.append_detached(docs, &mut shard.vocab);
                     let new_important: Vec<Vec<String>> = shard.db.docs()[range.clone()]
                         .iter()
@@ -796,6 +804,48 @@ mod tests {
         assert_eq!(counts["span.append.swap.count"], 1);
         assert_eq!(counts["counter.append.docs"], 8);
         assert_eq!(counts["counter.append.snapshot_swaps"], 1);
+    }
+
+    /// Tracing across the rayon thread hop: shard worker spans must be
+    /// parented under the `append` root span via the captured
+    /// [`facet_obs::SpanContext`], so the trace tree is structurally
+    /// deterministic even though workers run on their own threads.
+    #[test]
+    fn traced_append_parents_shard_spans_under_append() {
+        use facet_obs::{TickClock, Tracer, TracerConfig};
+        let e = FixedExtractor;
+        let r = CountingResource::new();
+        let tracer = Tracer::with_clock(
+            TracerConfig::default(),
+            std::sync::Arc::new(TickClock::new()),
+        );
+        let recorder = Recorder::traced(tracer);
+        let mut index = ShardedFacetIndex::new(2, vec![&e], vec![&r], options())
+            .with_recorder(recorder.clone());
+        index.append(corpus(8)).unwrap();
+        let traces = recorder.tracer().unwrap().finished();
+        assert_eq!(traces.len(), 1, "one root trace per append");
+        let t = &traces[0];
+        let root = t
+            .spans
+            .iter()
+            .find(|s| s.name == "append" && s.parent.is_none())
+            .expect("append root span");
+        for shard in ["append.shard0", "append.shard1"] {
+            let s = t
+                .spans
+                .iter()
+                .find(|s| s.name == shard)
+                .unwrap_or_else(|| panic!("{shard} span missing"));
+            assert_eq!(s.parent, Some(root.id), "{shard} parented under append");
+        }
+        // The serial stages nest in the same trace.
+        for stage in ["partition", "merge", "select", "subsumption", "swap"] {
+            assert!(
+                t.spans.iter().any(|s| s.name == stage),
+                "{stage} span missing"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Trace exporters: Chrome trace-event JSON and folded flamegraph
+//! stacks.
+//!
+//! Both exporters are **canonical**: the span tree is rebuilt from the
+//! parent links and emitted in a deterministic order — traces sorted by
+//! `(root start, root name, trace id)`, siblings by `(start, id)`, tree
+//! preorder within a trace — so two runs that record the same spans with
+//! the same timestamps (a deterministic [`crate::TraceClock`] and a
+//! serial traced region) export byte-identical artifacts. Under
+//! genuinely concurrent recording the *bytes* of timestamp-bearing
+//! fields may differ, but the canonical ordering still makes the tree
+//! structure stable for structural comparison.
+//!
+//! The Chrome format is the `chrome://tracing` / Perfetto "JSON Array
+//! Format": complete (`"ph":"X"`) events carry one span each with its
+//! `ts`/`dur` in microseconds, instant (`"ph":"i"`) events carry span
+//! events (cache hits, breaker transitions), and `args` carries the span
+//! id, parent id, and typed attributes (rendered as strings). Each trace
+//! gets its own `tid` so Perfetto lays sibling traces on separate rows.
+
+use crate::trace::{FinishedTrace, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Indices into a trace's span list, tree-ordered: children of each
+/// span sorted by `(start_us, id)`, walked preorder from the root.
+fn preorder(trace: &FinishedTrace) -> Vec<usize> {
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in trace.spans.iter().enumerate() {
+        match s.parent {
+            Some(p) if trace.spans.iter().any(|c| c.id == p) => {
+                children.entry(p).or_default().push(i)
+            }
+            _ => roots.push(i),
+        }
+    }
+    let by_start = |ix: &Vec<usize>| {
+        let mut v = ix.clone();
+        v.sort_by_key(|&i| (trace.spans[i].start_us, trace.spans[i].id));
+        v
+    };
+    let mut out = Vec::with_capacity(trace.spans.len());
+    let mut stack: Vec<usize> = by_start(&roots).into_iter().rev().collect();
+    while let Some(i) = stack.pop() {
+        out.push(i);
+        if let Some(kids) = children.get(&trace.spans[i].id) {
+            for k in by_start(kids).into_iter().rev() {
+                stack.push(k);
+            }
+        }
+    }
+    out
+}
+
+/// Traces sorted canonically: `(root start, root name, trace id)`.
+fn canonical<'a>(traces: &'a [FinishedTrace]) -> Vec<&'a FinishedTrace> {
+    let root_of = |t: &'a FinishedTrace| t.spans.iter().find(|s| s.id == t.trace_id);
+    let mut sorted: Vec<&FinishedTrace> = traces.iter().collect();
+    sorted.sort_by(|a, b| {
+        let ka = root_of(a).map(|r| (r.start_us, r.name.clone()));
+        let kb = root_of(b).map(|r| (r.start_us, r.name.clone()));
+        ka.cmp(&kb).then(a.trace_id.cmp(&b.trace_id))
+    });
+    sorted
+}
+
+/// JSON string escape (matches the facet-jsonio conventions: `"`, `\`,
+/// the short control escapes, and `\u00xx` for other control bytes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_args(out: &mut String, span: &SpanRecord, extra: &[(String, String)]) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    let mut field = |out: &mut String, k: &str, v: &str| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", esc(k), esc(v));
+    };
+    field(out, "span_id", &span.id.to_string());
+    field(
+        out,
+        "parent_id",
+        &span.parent.map(|p| p.to_string()).unwrap_or_default(),
+    );
+    if span.error {
+        field(out, "error", "true");
+    }
+    for (k, v) in &span.attrs {
+        field(out, k, &v.render());
+    }
+    for (k, v) in extra {
+        field(out, k, v);
+    }
+    out.push('}');
+}
+
+/// Export traces as Chrome trace-event JSON ("JSON Array Format"),
+/// loadable in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+/// One `"X"` event per span, one `"i"` event per span event; canonical
+/// ordering as described in the [module docs](self).
+pub fn chrome_trace_json(traces: &[FinishedTrace]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (tix, trace) in canonical(traces).into_iter().enumerate() {
+        let tid = tix + 1;
+        for i in preorder(trace) {
+            let span = &trace.spans[i];
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"facet\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},",
+                esc(&span.name),
+                span.start_us,
+                span.end_us.saturating_sub(span.start_us),
+                tid,
+            );
+            write_args(&mut out, span, &[]);
+            out.push('}');
+            for ev in &span.events {
+                out.push_str(",\n");
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"facet\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{",
+                    esc(&ev.name),
+                    ev.at_us,
+                    tid,
+                );
+                let _ = write!(out, "\"span_id\":\"{}\"", span.id);
+                for (k, v) in &ev.attrs {
+                    let _ = write!(out, ",\"{}\":\"{}\"", esc(k), esc(&v.render()));
+                }
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Export traces as folded flamegraph stacks: one
+/// `root;child;grandchild <self-time-us>` line per distinct stack,
+/// sorted lexically, self time summed across spans sharing a stack.
+/// Feed to any FlameGraph-compatible renderer.
+pub fn folded_stacks(traces: &[FinishedTrace]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for trace in canonical(traces) {
+        // Parent-chain stacks with self time = duration minus children.
+        let mut child_time: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                *child_time.entry(p).or_default() += s.end_us.saturating_sub(s.start_us);
+            }
+        }
+        let path_of = |span: &SpanRecord| -> String {
+            let mut parts = vec![span.name.replace([';', ' '], "_")];
+            let mut cur = span.parent;
+            while let Some(p) = cur {
+                match trace.spans.iter().find(|s| s.id == p) {
+                    Some(parent) => {
+                        parts.push(parent.name.replace([';', ' '], "_"));
+                        cur = parent.parent;
+                    }
+                    None => break,
+                }
+            }
+            parts.reverse();
+            parts.join(";")
+        };
+        for s in &trace.spans {
+            let total = s.end_us.saturating_sub(s.start_us);
+            let self_us = total.saturating_sub(child_time.get(&s.id).copied().unwrap_or(0));
+            *folded.entry(path_of(s)).or_default() += self_us;
+        }
+    }
+    let mut out = String::new();
+    for (stack, us) in &folded {
+        let _ = writeln!(out, "{stack} {us}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::trace::{trace_event, trace_span, TickClock, Tracer, TracerConfig};
+    use std::sync::Arc;
+
+    fn demo_tracer() -> Tracer {
+        Tracer::with_clock(
+            TracerConfig {
+                seed: 10,
+                ..TracerConfig::default()
+            },
+            Arc::new(TickClock::new()),
+        )
+    }
+
+    fn record_demo(tracer: &Tracer) {
+        let _root = tracer.root_span("run");
+        {
+            let _a = trace_span("append");
+            {
+                let _s = trace_span("shard0");
+                trace_event("cache.miss", || vec![("term".to_string(), "x".into())]);
+            }
+            let _s1 = trace_span("shard1");
+        }
+        let _sel = trace_span("select");
+    }
+
+    #[test]
+    fn chrome_export_is_canonical_and_byte_deterministic() {
+        let export = || {
+            let t = demo_tracer();
+            record_demo(&t);
+            t.chrome_trace_json()
+        };
+        let a = export();
+        assert_eq!(a, export(), "two identical runs export identical bytes");
+        // Shape: preorder — run before append before shard0/shard1.
+        let pos = |needle: &str| a.find(needle).unwrap_or_else(|| panic!("{needle} missing"));
+        assert!(pos("\"name\":\"run\"") < pos("\"name\":\"append\""));
+        assert!(pos("\"name\":\"append\"") < pos("\"name\":\"shard0\""));
+        assert!(pos("\"name\":\"shard0\"") < pos("\"name\":\"shard1\""));
+        assert!(pos("\"name\":\"shard1\"") < pos("\"name\":\"select\""));
+        assert!(a.contains("\"ph\":\"i\""), "instant event exported");
+        assert!(a.contains("\"term\":\"x\""));
+        assert!(a.ends_with("\"displayTimeUnit\":\"ms\"}\n"));
+    }
+
+    #[test]
+    fn folded_stacks_sum_self_time_by_path() {
+        let t = demo_tracer();
+        record_demo(&t);
+        let folded = t.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        let stacks: Vec<&str> = lines
+            .iter()
+            .map(|l| l.rsplit_once(' ').unwrap().0)
+            .collect();
+        assert_eq!(
+            stacks,
+            [
+                "run",
+                "run;append",
+                "run;append;shard0",
+                "run;append;shard1",
+                "run;select"
+            ],
+            "stacks sorted lexically"
+        );
+        // Self times: every span's value parses and the root's total
+        // covers its children (TickClock timestamps are well-ordered).
+        for l in &lines {
+            let (_, v) = l.rsplit_once(' ').unwrap();
+            v.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_are_escaped_and_sanitized() {
+        let t = demo_tracer();
+        {
+            let _root = t.root_span("we\"ird\nname");
+        }
+        let json = t.chrome_trace_json();
+        assert!(json.contains("we\\\"ird\\nname"));
+        let t2 = demo_tracer();
+        {
+            let _root = t2.root_span("has space;semi");
+        }
+        let folded = t2.folded_stacks();
+        assert!(folded.starts_with("has_space_semi "));
+    }
+}

@@ -135,6 +135,61 @@ mod tests {
         }
     }
 
+    /// Exhaustive bucket-edge sweep: for every bucket `i ≥ 1`, the
+    /// smallest member is `2^(i-1)` and the largest is `2^i - 1` —
+    /// i.e. `bucket_upper_bound` is inclusive and adjacent buckets
+    /// tile `u64` with no gap or overlap.
+    #[test]
+    fn every_power_of_two_edge_is_exact() {
+        for i in 1..=63usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_index(lo), i, "2^{} opens bucket {i}", i - 1);
+            assert_eq!(
+                bucket_index(lo - 1),
+                i - 1,
+                "2^{}-1 closes bucket {}",
+                i - 1,
+                i - 1
+            );
+            let hi = bucket_upper_bound(i);
+            assert_eq!(hi, (1u64 << i) - 1);
+            assert_eq!(bucket_index(hi), i, "upper bound is inclusive");
+            assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+        // The extremes: zero has its own bucket; the top bucket holds
+        // [2^63, u64::MAX] and its bound saturates.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        assert_eq!(
+            bucket_upper_bound(65),
+            u64::MAX,
+            "saturates past the last bucket"
+        );
+        assert_eq!(BUCKETS, 65);
+    }
+
+    /// Recording exactly at the edges lands each value in its own
+    /// bucket, including 0 and u64::MAX (whose sum wraps are out of
+    /// scope: record each once).
+    #[test]
+    fn edge_values_record_into_distinct_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (3, 1), (u64::MAX, 1)]
+        );
+    }
+
     #[test]
     fn record_tracks_exact_stats() {
         let h = Histogram::new();

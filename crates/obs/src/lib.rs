@@ -31,11 +31,19 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
 mod hist;
 mod report;
+mod sample;
+pub mod trace;
 
 pub use hist::{bucket_index, bucket_upper_bound, Histogram};
 pub use report::{BucketReport, CounterReport, HistogramReport, MetricsReport, SpanReport};
+pub use trace::{
+    current_context, trace_attr, trace_error, trace_event, trace_span, AttrValue, FinishedTrace,
+    SpanContext, SpanRecord, TickClock, TraceClock, TraceEvent, TraceSpanGuard, Tracer,
+    TracerConfig, WallTraceClock,
+};
 
 use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
@@ -55,6 +63,9 @@ struct Inner {
     spans: Mutex<HashMap<String, SpanStat>>,
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    /// When attached ([`Recorder::traced`]), every [`Recorder::span`]
+    /// call site also opens a hierarchical trace span.
+    tracer: Option<Tracer>,
 }
 
 thread_local! {
@@ -84,6 +95,25 @@ impl Recorder {
         }
     }
 
+    /// A recording recorder with a [`Tracer`] attached: every
+    /// [`Recorder::span`] call site also opens a hierarchical trace
+    /// span (a root when no span is open on the thread, a child
+    /// otherwise), so the whole instrumented pipeline produces causal
+    /// traces without any call-site changes.
+    pub fn traced(tracer: Tracer) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                tracer: Some(tracer),
+                ..Inner::default()
+            })),
+        }
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.inner.as_ref().and_then(|inner| inner.tracer.as_ref())
+    }
+
     /// A no-op recorder: every operation returns immediately.
     pub const fn disabled() -> Self {
         Self { inner: None }
@@ -104,16 +134,30 @@ impl Recorder {
     /// entered while another span is open on the same thread record
     /// under the dot-joined path (`"outer.inner"`).
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_under(None, name)
+    }
+
+    /// [`Recorder::span`] with explicit cross-thread trace parenting:
+    /// when a [`Tracer`] is attached and no span is open on this thread,
+    /// the trace span is parented at `parent` (captured on the spawning
+    /// thread with [`current_context`]) instead of starting a new trace.
+    /// The flat metric side is identical to [`Recorder::span`].
+    pub fn span_under(&self, parent: Option<SpanContext>, name: &str) -> SpanGuard<'_> {
         match &self.inner {
-            None => SpanGuard { inner: None },
+            None => SpanGuard {
+                inner: None,
+                traced: false,
+            },
             Some(inner) => {
                 let path = SPAN_PATH.with(|stack| {
                     let mut stack = stack.borrow_mut();
                     stack.push(name.to_string());
                     stack.join(".")
                 });
+                let traced = trace::attach_span(inner.tracer.as_ref(), parent, name);
                 SpanGuard {
                     inner: Some((inner.as_ref(), path, Instant::now(), self)),
+                    traced,
                 }
             }
         }
@@ -244,6 +288,27 @@ fn histogram_handle(inner: &Inner, name: &str) -> Arc<Histogram> {
 pub struct SpanGuard<'a> {
     /// `(registry, full path, start, owner)` — `None` when disabled.
     inner: Option<(&'a Inner, String, Instant, &'a Recorder)>,
+    /// Whether this guard also opened a trace span (closed on drop).
+    traced: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Set a typed attribute on this guard's trace span. No-op without
+    /// an attached [`Tracer`]. Set attributes before opening child
+    /// spans: they attach to the innermost open span.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if self.traced {
+            trace::trace_attr(key, value);
+        }
+    }
+
+    /// Mark this guard's trace span (and so its trace) as errored;
+    /// errored traces bypass head sampling.
+    pub fn set_error(&self) {
+        if self.traced {
+            trace::trace_error();
+        }
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -257,6 +322,9 @@ impl Drop for SpanGuard<'_> {
             let stat = spans.entry(path).or_default();
             stat.count += 1;
             stat.total_us += elapsed_us;
+        }
+        if self.traced {
+            trace::finish_top();
         }
     }
 }

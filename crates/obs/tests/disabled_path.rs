@@ -1,0 +1,65 @@
+//! The disabled observability path must be free: a disabled
+//! [`Recorder`] and the inert free tracing functions may not allocate
+//! or record anything. Guarded by a counting global allocator, so this
+//! lives in its own integration-test binary.
+
+use facet_obs::{trace_attr, trace_error, trace_event, trace_span, Recorder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_and_inert_tracing_do_not_allocate() {
+    let recorder = Recorder::disabled();
+    // Warm up thread-locals and any lazy statics outside the window.
+    {
+        let _g = recorder.span("warmup");
+        let _t = trace_span("warmup");
+        recorder.incr("warmup");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        let guard = recorder.span("run");
+        guard.attr("docs", 5u64);
+        guard.set_error();
+        recorder.incr("hits");
+        recorder.add("docs", 3);
+        recorder.observe("latency_us", 17);
+        recorder.counter("hot").incr();
+        recorder.histogram("lat").record(9);
+        // Free tracing functions with no active span are inert; the
+        // event-attribute closure must not even run.
+        let t = trace_span("resource.query");
+        assert!(!t.is_active());
+        trace_attr("term", 7u64);
+        trace_event("cache.hit", || unreachable!("attrs built on inert path"));
+        trace_error();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "disabled path allocated");
+
+    // And it recorded nothing.
+    assert!(recorder.snapshot_counts_only().is_empty());
+    assert!(facet_obs::current_context().is_none());
+}

@@ -164,6 +164,9 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
                 match &*state {
                     SlotState::Ready(v) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        facet_obs::trace_event("cache.hit", || {
+                            vec![("term".to_string(), term.into())]
+                        });
                         return Ok(v.clone());
                     }
                     // Exactly one caller is inside the wrapped resource;
@@ -187,6 +190,7 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
             Ok(v) => {
                 *state = SlotState::Ready(v.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                facet_obs::trace_event("cache.miss", || vec![("term".to_string(), term.into())]);
                 slot.resolved.notify_all();
                 Ok(v)
             }
@@ -195,6 +199,7 @@ impl<R: ContextResource> ContextResource for CachedResource<R> {
                 // and retry; the term stays retryable forever.
                 *state = SlotState::Idle;
                 self.failures.fetch_add(1, Ordering::Relaxed);
+                facet_obs::trace_event("cache.failure", || vec![("term".to_string(), term.into())]);
                 slot.resolved.notify_all();
                 Err(e)
             }

@@ -42,6 +42,16 @@ impl VirtualClock {
     }
 }
 
+/// A virtual clock can drive trace timestamps, so traces of
+/// fault-injection scenarios share the simulated timeline with the
+/// backoff/cooldown schedules — and are byte-reproducible when the
+/// traced region is serial (see `facet_obs::export`).
+impl facet_obs::TraceClock for VirtualClock {
+    fn trace_now_us(&self) -> u64 {
+        self.now_us()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

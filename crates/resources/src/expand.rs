@@ -625,14 +625,24 @@ fn resolve_term(
     let mut seen: HashSet<String> = HashSet::new();
     for (r, m) in resources.iter().zip(metrics) {
         m.queries.incr();
+        // Inert (and allocation-free) unless a trace span is open on
+        // this thread — see facet_obs::trace.
+        let query_span = facet_obs::trace_span("resource.query");
+        facet_obs::trace_attr("resource", r.name());
+        facet_obs::trace_attr("term", term);
         let raw_terms = match m.latency.time_if(|| r.try_context_terms(term)) {
             Ok(v) => v,
             Err(_) => {
                 m.failures.incr();
+                if query_span.is_active() {
+                    facet_obs::trace_error();
+                }
                 failed.push(r.name().to_string());
+                drop(query_span);
                 continue;
             }
         };
+        drop(query_span);
         for raw in raw_terms {
             let c = normalize_term(&raw);
             if c.is_empty() || c == term || is_stopword(&c) || c.len() < 2 {

@@ -214,9 +214,11 @@ impl<R: ContextResource> ResilientResource<R> {
                     b.state = BreakerState::HalfOpen;
                     b.probes_succeeded = 0;
                     self.metrics.half_opens.incr();
+                    facet_obs::trace_event("breaker.half_open", Vec::new);
                     Ok(())
                 } else {
                     self.metrics.shed.incr();
+                    facet_obs::trace_event("shed", Vec::new);
                     Err(ResourceError::new(
                         self.inner.name(),
                         FaultKind::Overload,
@@ -237,6 +239,7 @@ impl<R: ContextResource> ResilientResource<R> {
                     b.state = BreakerState::Closed;
                     b.consecutive_failures = 0;
                     self.metrics.closes.incr();
+                    facet_obs::trace_event("breaker.close", Vec::new);
                 }
             }
             BreakerState::Open => {}
@@ -273,6 +276,10 @@ impl<R: ContextResource> ResilientResource<R> {
         b.consecutive_failures = 0;
         b.probes_succeeded = 0;
         metrics.opens.incr();
+        let open_until_us = b.open_until_us;
+        facet_obs::trace_event("breaker.open", || {
+            vec![("open_until_us".to_string(), open_until_us.into())]
+        });
     }
 }
 
@@ -289,7 +296,18 @@ impl<R: ContextResource> ContextResource for ResilientResource<R> {
         let start = self.clock.now_us();
         let mut attempt: u32 = 0;
         loop {
-            self.admit()?;
+            // Each admit+query round is one child span; the final
+            // attempt's span carries the error mark when the query
+            // ultimately fails (shed, exhausted retries, or budget).
+            let span = facet_obs::trace_span("attempt");
+            if span.is_active() {
+                facet_obs::trace_attr("resource", self.inner.name());
+                facet_obs::trace_attr("attempt", u64::from(attempt));
+            }
+            if let Err(e) = self.admit() {
+                facet_obs::trace_error();
+                return Err(e);
+            }
             match self.inner.try_context_terms(term) {
                 Ok(v) => {
                     self.on_success();
@@ -299,6 +317,7 @@ impl<R: ContextResource> ContextResource for ResilientResource<R> {
                     self.metrics.failures.incr();
                     let opened = self.on_failure();
                     if !e.is_retryable() || opened || attempt >= self.retry.max_retries {
+                        facet_obs::trace_error();
                         return Err(e);
                     }
                     let backoff = self
@@ -307,6 +326,7 @@ impl<R: ContextResource> ContextResource for ResilientResource<R> {
                         .saturating_mul(u64::from(self.retry.backoff_multiplier).pow(attempt));
                     let elapsed = self.clock.now_us().saturating_sub(start);
                     if elapsed.saturating_add(backoff) > self.retry.query_budget_us {
+                        facet_obs::trace_error();
                         return Err(ResourceError::new(
                             self.inner.name(),
                             FaultKind::Timeout,
@@ -317,9 +337,13 @@ impl<R: ContextResource> ContextResource for ResilientResource<R> {
                             ),
                         ));
                     }
+                    facet_obs::trace_event("backoff", || {
+                        vec![("backoff_us".to_string(), backoff.into())]
+                    });
                     self.clock.advance_us(backoff);
                     self.metrics.retries.incr();
                     attempt += 1;
+                    drop(span);
                 }
             }
         }

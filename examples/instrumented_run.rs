@@ -15,8 +15,20 @@
 //! (retries + circuit breaker), and the recorder shows the retry and
 //! breaker counters alongside the degraded-coverage provenance and the
 //! [`FacetIndex::repair`] backfill.
+//!
+//! ```sh
+//! cargo run --release --example instrumented_run -- --trace out.json
+//! ```
+//!
+//! With `--trace <path>` the example instead runs a compact, fully
+//! deterministic traced scenario (sharded append over a flaky resource
+//! behind the resilience policy, everything on one shared
+//! [`VirtualClock`]) and writes a Chrome trace-event JSON file —
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev> — that is
+//! byte-identical across runs. `--folded <path>` additionally writes
+//! folded flamegraph stacks. See DESIGN.md section 15.
 
-use facet_hierarchies::core::{FacetIndex, FacetPipeline, PipelineOptions};
+use facet_hierarchies::core::{FacetIndex, FacetPipeline, PipelineOptions, ShardedFacetIndex};
 use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
 use facet_hierarchies::ner::NerTagger;
 use facet_hierarchies::obs::Recorder;
@@ -29,7 +41,105 @@ use facet_hierarchies::textkit::Vocabulary;
 use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
 use facet_hierarchies::wordnet::build_wordnet;
 
+/// The `--trace` scenario: a sharded build + incremental append over a
+/// flaky WordNet behind the resilience policy, traced end to end. The
+/// tracer's clock **is** the resilience layer's [`VirtualClock`], the
+/// sharded index runs a single shard, and expansion is serial, so the
+/// whole traced region is deterministic and two runs export identical
+/// bytes (the property `scripts/check.sh --trace-smoke` gates on).
+fn traced_run(trace_out: &str, folded_out: Option<&str>) {
+    use facet_hierarchies::obs::{Tracer, TracerConfig};
+    use std::sync::Arc;
+
+    let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.05);
+    let world = recipe.build_world();
+    let mut vocab = Vocabulary::new();
+    let corpus = recipe.build_corpus(&world, &mut vocab);
+    let wiki = build_wikipedia(&world, &WikipediaConfig::default());
+    let wordnet = build_wordnet(&world);
+    let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
+    let tagger = NerTagger::from_world(&world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let yahoo = YahooTermExtractor::fit(&corpus.db, &vocab);
+
+    let clock = VirtualClock::new();
+    let tracer = Tracer::with_clock(TracerConfig::default(), Arc::new(clock.clone()));
+    let recorder = Recorder::traced(tracer);
+
+    // Exactly one transient failure per faulted term: every faulted
+    // query exercises one retry (an `attempt` child span + a backoff
+    // event) and then succeeds, so the build stays fully covered.
+    let faulty = FaultyResource::new(
+        WordNetHypernymsResource::new(&wordnet),
+        FaultPlan::seeded(0xC0FFEE, 300).with_failures_per_term(1),
+        clock.clone(),
+    );
+    let resilient = ResilientResource::new(faulty, clock.clone());
+    let graph_res = WikiGraphResource::new(&graph);
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res, &resilient];
+    let options = PipelineOptions {
+        // Serial expansion keeps resource queries on the shard worker's
+        // own thread, nested under its `append.shard0` span.
+        expansion: ExpansionOptions { threads: 1 },
+        ..Default::default()
+    };
+
+    let docs = corpus.db.docs().to_vec();
+    let half = docs.len() / 2;
+    {
+        let run = recorder.span("run");
+        run.attr("docs", docs.len() as u64);
+        let mut index = ShardedFacetIndex::new(1, extractors, resources, options)
+            .with_recorder(recorder.clone());
+        index.append(docs[..half].to_vec()).expect("first append");
+        index.append(docs[half..].to_vec()).expect("second append");
+        println!(
+            "traced build: {} docs in 2 appends, {} facet terms",
+            docs.len(),
+            index.snapshot().candidates().len()
+        );
+    }
+
+    let tracer = recorder.tracer().expect("traced recorder");
+    std::fs::write(trace_out, tracer.chrome_trace_json()).expect("write trace");
+    println!(
+        "wrote {trace_out} ({} traces, {} spans buffered) — open in chrome://tracing or https://ui.perfetto.dev",
+        tracer.finished().len(),
+        tracer.buffered_spans()
+    );
+    if let Some(folded) = folded_out {
+        std::fs::write(folded, tracer.folded_stacks()).expect("write folded stacks");
+        println!("wrote {folded} (folded flamegraph stacks)");
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace" => {
+                trace_out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--folded" => {
+                folded_out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other} (supported: --trace <path>, --folded <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(trace) = trace_out {
+        traced_run(&trace, folded_out.as_deref());
+        return;
+    }
+
     // Corpus and substrates, as in the quickstart.
     let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.2);
     let world = recipe.build_world();

@@ -3,7 +3,14 @@
 //!
 //! ```sh
 //! cargo run --release --example query_time_facets
+//! cargo run --release --example query_time_facets -- --obs obs.json --trace trace.json
 //! ```
+//!
+//! `--obs <path>` writes the recorder's metric snapshot (stage timings,
+//! counters, histograms) as JSON; `--trace <path>` writes a Chrome
+//! trace-event file of the query-time pipeline run — the spans show how
+//! much of the interactive latency goes to extraction, expansion,
+//! selection, and hierarchy construction (see DESIGN.md section 15).
 //!
 //! Section V-D of the paper notes that with term and context extraction
 //! performed offline, "we can generate facet hierarchies over the complete
@@ -16,6 +23,7 @@ use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
 use facet_hierarchies::corpus::db::TermingOptions;
 use facet_hierarchies::corpus::{DatasetRecipe, Document, RecipeKind, TextDatabase};
 use facet_hierarchies::ner::NerTagger;
+use facet_hierarchies::obs::{Recorder, Tracer, TracerConfig, WallTraceClock};
 use facet_hierarchies::resources::{CachedResource, ContextResource, WikiGraphResource};
 use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
 use facet_hierarchies::textkit::Vocabulary;
@@ -23,6 +31,40 @@ use facet_hierarchies::websearch::{SearchEngine, WebDocId, WebPage};
 use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--obs" => {
+                obs_out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace" => {
+                trace_out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other} (supported: --obs <path>, --trace <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Observability is opt-in: without flags the recorder is disabled
+    // and every record call below is a no-op. The trace clock is the
+    // wall clock here — this example measures real interactive latency,
+    // so its trace is *not* byte-reproducible (unlike the seeded
+    // `instrumented_run --trace` scenario).
+    let recorder = match (&obs_out, &trace_out) {
+        (None, None) => Recorder::disabled(),
+        (_, None) => Recorder::enabled(),
+        (_, Some(_)) => Recorder::traced(Tracer::with_clock(
+            TracerConfig::default(),
+            std::sync::Arc::new(WallTraceClock::new()),
+        )),
+    };
+
     // Full archive.
     let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.5);
     let world = recipe.build_world();
@@ -88,9 +130,15 @@ fn main() {
             min_df_c: 2,
             ..Default::default()
         },
-    );
-    let extraction = pipeline.run(&result_db, &mut vocab);
-    let forest = pipeline.build_hierarchies(&extraction, &vocab);
+    )
+    .with_recorder(recorder.clone());
+    let forest = {
+        let span = recorder.span("query_facets");
+        span.attr("query", query.as_str());
+        span.attr("results", result_db.len() as u64);
+        let extraction = pipeline.run(&result_db, &mut vocab);
+        pipeline.build_hierarchies(&extraction, &vocab)
+    };
 
     println!(
         "result-set facets ({} terms across {} facets):",
@@ -98,4 +146,17 @@ fn main() {
         forest.trees.len()
     );
     print!("{}", forest.render(4));
+
+    if let Some(path) = obs_out {
+        let report = recorder.snapshot();
+        let json =
+            facet_hierarchies::jsonio::to_json_string_pretty(&report).expect("serialize report");
+        std::fs::write(&path, json + "\n").expect("write obs report");
+        println!("wrote {path} (metric snapshot)");
+    }
+    if let Some(path) = trace_out {
+        let tracer = recorder.tracer().expect("traced recorder");
+        std::fs::write(&path, tracer.chrome_trace_json()).expect("write trace");
+        println!("wrote {path} — open in chrome://tracing or https://ui.perfetto.dev");
+    }
 }

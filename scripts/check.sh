@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1|--bench-smoke|--lint|--chaos]
+# Usage: scripts/check.sh [--tier1|--bench-smoke|--trace-smoke|--lint|--chaos]
 #
 #   --tier1        Run exactly the tier-1 gate (release build + tests), the
 #                  command CI and the roadmap treat as the must-stay-green
 #                  bar, plus the sharded-index determinism sweep, the chaos
-#                  (fault-injection) suite, and the facet-lint workspace
-#                  gate.
+#                  (fault-injection) suite, the trace-export determinism
+#                  smoke, and the facet-lint workspace gate.
 #   --bench-smoke  Run the shard benchmark on a tiny recipe with its
 #                  invariant assertions on (equivalence to the batch build,
 #                  rate arithmetic), and the resilience benchmark with its
 #                  assertions on (fault-free overhead bar, repair
-#                  convergence), so bench-math regressions fail fast; also
-#                  assert the facet-lint JSON report parses, is
+#                  convergence), then the bench_diff regression gate over
+#                  both smoke reports (per-metric thresholds from
+#                  BENCH_BASELINES.json), so bench-math regressions fail
+#                  fast; also assert the facet-lint JSON report parses, is
 #                  span-sorted, and is byte-identical across runs.
+#   --trace-smoke  Run the seeded `instrumented_run --trace` scenario
+#                  twice, assert the Chrome trace-event exports are
+#                  byte-identical, and verify via bench_diff that the
+#                  trace parses (facet-jsonio) and contains the expected
+#                  span tree (run → append.shard0 → resource.query →
+#                  attempt, depth ≥ 4). See DESIGN.md section 15.
 #   --lint         Run the facet-lint workspace gate only (non-zero exit
 #                  on any deny finding; see DESIGN.md section 13).
 #   --chaos        Run the fault-injection determinism suite only
@@ -36,6 +44,25 @@ run_chaos() {
     cargo test -q --release --test chaos
 }
 
+run_trace_smoke() {
+    echo "== trace smoke: deterministic trace export + span-tree verification"
+    mkdir -p target
+    cargo run -q --release --example instrumented_run -- \
+        --trace target/TRACE_A.json --folded target/TRACE_A.folded
+    cargo run -q --release --example instrumented_run -- \
+        --trace target/TRACE_B.json --folded target/TRACE_B.folded
+    # The seeded scenario must export byte-identical artifacts.
+    cmp target/TRACE_A.json target/TRACE_B.json
+    cmp target/TRACE_A.folded target/TRACE_B.folded
+    # The export must parse through facet-jsonio and contain the causal
+    # chain the instrumentation promises, at least 4 levels deep.
+    cargo run -q --release -p facet-bench --bin bench_diff -- \
+        --verify-trace target/TRACE_A.json \
+        --require-span run --require-span append --require-span append.shard0 \
+        --require-span resource.query --require-span attempt \
+        --min-depth 4
+}
+
 if [[ "${1:-}" == "--lint" ]]; then
     run_lint
     exit 0
@@ -43,6 +70,12 @@ fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
     run_chaos
+    exit 0
+fi
+
+if [[ "${1:-}" == "--trace-smoke" ]]; then
+    run_trace_smoke
+    echo "Trace smoke passed."
     exit 0
 fi
 
@@ -56,6 +89,7 @@ if [[ "${1:-}" == "--tier1" ]]; then
     cargo test -q --test determinism shard
     cargo test -q -p facet-core shard::
     run_chaos
+    run_trace_smoke
     run_lint
     echo "Tier-1 gate passed."
     exit 0
@@ -67,11 +101,14 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
         --scale 0.05 --batches 3 --shards 1,2 --smoke \
         --out target/BENCH_3.smoke.json
     echo "== bench smoke: resilience_bench --smoke (overhead bar + repair convergence)"
-    # Builds at this scale are ~15 ms, so the min-over-iterations needs
+    # Builds at this scale are ~15 ms, so the mean-with-noise-band needs
     # more samples than the default to be robust to scheduler noise.
     cargo run --release -p facet-bench --bin resilience_bench -- \
         --scale 0.05 --iters 10 --smoke \
         --out target/BENCH_4.smoke.json
+    echo "== bench smoke: bench_diff per-metric regression gate"
+    cargo run -q --release -p facet-bench --bin bench_diff -- \
+        --spec BENCH_BASELINES.json --profile smoke
     echo "== bench smoke: facet-lint report determinism"
     # Two runs must produce byte-identical JSON, and the report must parse
     # and be sorted by (file, line, col, code) — verified by the tool's
