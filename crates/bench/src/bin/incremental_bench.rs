@@ -71,6 +71,16 @@ fn main() {
         report.append_resource_queries,
         report.rebuild_resource_queries
     );
+    println!(
+        "interner: {} symbols, {} hits / {} misses ({:.1}% hit rate); \
+         pre-interning totals: append {:.1} ms, rebuild {:.1} ms",
+        report.intern.len,
+        report.intern.hits,
+        report.intern.misses,
+        report.intern.hit_rate * 100.0,
+        report.before_interning.append_total_ms,
+        report.before_interning.rebuild_total_ms
+    );
 
     let json = facet_jsonio::to_json_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write benchmark report");

@@ -86,6 +86,16 @@ fn main() {
         report.resilient_identical
     );
     println!(
+        "interner: {} symbols, {} hits / {} misses ({:.1}% hit rate); \
+         pre-interning means: raw {:.1} ms, resilient {:.1} ms",
+        report.intern.len,
+        report.intern.hits,
+        report.intern.misses,
+        report.intern.hit_rate * 100.0,
+        report.before_interning.baseline_build_ms,
+        report.before_interning.resilient_build_ms
+    );
+    println!(
         "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "fault seed", "build ms", "degraded", "repair ms", "requeried", "docs", "converged"
     );

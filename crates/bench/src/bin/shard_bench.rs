@@ -67,7 +67,12 @@ fn main() {
         "sharded-vs-unsharded ({}, {} docs, {} batches, {} host cpus)",
         report.dataset, report.total_docs, report.n_batches, report.host_cpus
     );
-    println!("unsharded FacetIndex: {:.1} ms", report.unsharded_total_ms);
+    println!(
+        "unsharded FacetIndex: {:.1} ms ({} symbols interned; pre-interning: {:.1} ms)",
+        report.unsharded_total_ms,
+        report.unsharded_intern.len,
+        report.before_interning.unsharded_total_ms
+    );
     println!(
         "{:>7} {:>12} {:>10} {:>9} {:>10} {:>10}",
         "shards", "append ms", "docs/s", "speedup", "identical", "queries"
@@ -115,6 +120,14 @@ fn main() {
         assert!(
             queries.windows(2).all(|w| w[0] == w[1]),
             "resource queries must not depend on the shard count: {queries:?}"
+        );
+        // The merged vocabulary is content-determined: identical corpus
+        // and context terms must intern to the same symbol count no
+        // matter how the documents were partitioned.
+        let lens: Vec<usize> = report.runs.iter().map(|r| r.intern.len).collect();
+        assert!(
+            lens.windows(2).all(|w| w[0] == w[1]),
+            "merged vocabulary size must not depend on the shard count: {lens:?}"
         );
         println!("smoke assertions passed");
     }

@@ -429,6 +429,33 @@ pub fn run_baselines(scale: f64, top_k: usize) -> Table {
     table
 }
 
+/// Interner outcome counters captured from an index vocabulary at the
+/// end of a bench run (DESIGN.md §16): `intern()` calls answered from
+/// the probe table (`hits`) vs. arena appends (`misses`), the final
+/// distinct-symbol count, and the derived hit rate.
+#[derive(Debug, serde::Serialize)]
+pub struct InternMetrics {
+    /// `intern` calls answered by an existing symbol.
+    pub hits: u64,
+    /// `intern` calls that appended a new symbol.
+    pub misses: u64,
+    /// Distinct symbols interned.
+    pub len: usize,
+    /// `hits / (hits + misses)` (0.0 when unused).
+    pub hit_rate: f64,
+}
+
+impl From<facet_textkit::InternStats> for InternMetrics {
+    fn from(s: facet_textkit::InternStats) -> Self {
+        Self {
+            hits: s.hits,
+            misses: s.misses,
+            len: s.len,
+            hit_rate: s.hit_rate(),
+        }
+    }
+}
+
 /// One batch of the incremental-vs-rebuild benchmark.
 #[derive(Debug, serde::Serialize)]
 pub struct IncrementalBenchBatch {
@@ -480,8 +507,26 @@ pub struct IncrementalBenchReport {
     pub append_resource_queries: u64,
     /// Total resource queries across the rebuilds.
     pub rebuild_resource_queries: u64,
+    /// Final interner counters of the incremental index's vocabulary.
+    pub intern: InternMetrics,
+    /// Headline numbers of this benchmark at the commit immediately
+    /// before the interner refactor (same host, default scale/batches),
+    /// kept in the report so the before/after effect of symbol
+    /// interning stays visible next to the regenerated numbers.
+    pub before_interning: PreInterningIncremental,
     /// Per-batch breakdown.
     pub batches: Vec<IncrementalBenchBatch>,
+}
+
+/// Pre-interning headline numbers for the incremental benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct PreInterningIncremental {
+    /// Total append wall time before the refactor.
+    pub append_total_ms: f64,
+    /// Total rebuild wall time before the refactor.
+    pub rebuild_total_ms: f64,
+    /// Append-vs-rebuild speedup before the refactor.
+    pub speedup: f64,
 }
 
 /// Benchmark the incremental `FacetIndex::append` path against repeated
@@ -573,6 +618,14 @@ pub fn run_incremental_bench(scale: f64, n_batches: usize) -> IncrementalBenchRe
         rebuild_reprocessed_docs_per_sec: rebuild_docs as f64 / (rebuild_total_ms / 1e3).max(1e-9),
         append_resource_queries: batches.iter().map(|b| b.append_resource_queries).sum(),
         rebuild_resource_queries: batches.iter().map(|b| b.rebuild_resource_queries).sum(),
+        intern: index.intern_stats().into(),
+        // Captured at the pre-interner commit with the default
+        // `--scale 0.2 --batches 5` configuration on the same host.
+        before_interning: PreInterningIncremental {
+            append_total_ms: 67.75,
+            rebuild_total_ms: 109.73,
+            speedup: 1.62,
+        },
         batches,
     }
 }
@@ -594,6 +647,11 @@ pub struct ShardBenchRun {
     pub identical_to_batch: bool,
     /// Queries that reached the wrapped resource (shared-cache misses).
     pub resource_queries: u64,
+    /// Final interner counters of the merged (cross-shard) vocabulary.
+    /// `len` is content-determined, so it must match across shard
+    /// counts; hits count cross-shard duplicate terms folded by the
+    /// u32 remap merge, so single-shard runs are mostly misses.
+    pub intern: InternMetrics,
 }
 
 /// The sharded-append benchmark report (`BENCH_3.json`).
@@ -612,8 +670,22 @@ pub struct ShardBenchReport {
     pub host_cpus: usize,
     /// Unsharded `FacetIndex` wall time over the same batches (baseline).
     pub unsharded_total_ms: f64,
+    /// Final interner counters of the unsharded baseline's vocabulary.
+    pub unsharded_intern: InternMetrics,
+    /// Headline numbers of this benchmark at the commit immediately
+    /// before the interner refactor (same host, default configuration).
+    pub before_interning: PreInterningShard,
     /// The sweep, in shard-count order.
     pub runs: Vec<ShardBenchRun>,
+}
+
+/// Pre-interning headline numbers for the shard benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct PreInterningShard {
+    /// Unsharded baseline wall time before the refactor, when shard
+    /// merges re-hashed every term string instead of remapping u32
+    /// symbols.
+    pub unsharded_total_ms: f64,
 }
 
 /// Benchmark `ShardedFacetIndex` against the unsharded `FacetIndex` over
@@ -690,6 +762,7 @@ pub fn run_shard_bench(scale: f64, n_batches: usize, shard_counts: &[usize]) -> 
             speedup_vs_unsharded: unsharded_total_ms / append_total_ms.max(1e-9),
             identical_to_batch: outputs(&index.snapshot()) == expected,
             resource_queries: index.resource_cache_stats().iter().map(|s| s.misses).sum(),
+            intern: index.intern_stats().into(),
         });
     }
 
@@ -701,6 +774,12 @@ pub fn run_shard_bench(scale: f64, n_batches: usize, shard_counts: &[usize]) -> 
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         unsharded_total_ms,
+        unsharded_intern: baseline.intern_stats().into(),
+        // Captured at the pre-interner commit with the default
+        // `--scale 0.2 --batches 5` configuration on the same host.
+        before_interning: PreInterningShard {
+            unsharded_total_ms: 48.05,
+        },
         runs,
     }
 }
@@ -772,8 +851,28 @@ pub struct ResilienceBenchReport {
     /// Whether the policy-wrapped fault-free build is string-identical
     /// to the baseline.
     pub resilient_identical: bool,
+    /// Final interner counters of the last fault-free baseline build's
+    /// vocabulary.
+    pub intern: InternMetrics,
+    /// Headline numbers of this benchmark at the commit immediately
+    /// before the interner refactor (same host, default configuration).
+    pub before_interning: PreInterningResilience,
     /// One degraded-build + repair cycle per fault seed.
     pub fault_runs: Vec<ResilienceFaultRun>,
+}
+
+/// Pre-interning headline numbers for the resilience benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct PreInterningResilience {
+    /// Mean fault-free build time with raw resources before the
+    /// refactor.
+    pub baseline_build_ms: f64,
+    /// Mean fault-free build time behind the policy layer before the
+    /// refactor.
+    pub resilient_build_ms: f64,
+    /// Raw overhead percentage before the refactor (negative = within
+    /// noise).
+    pub overhead_raw_pct: f64,
 }
 
 /// Mean of a non-empty sample set.
@@ -855,6 +954,7 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
     let mut resilient_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
     let mut resilient_identical = true;
     let mut expected: Option<SnapshotOutputs> = None;
+    let mut intern_stats = facet_textkit::InternStats::default();
     for _ in 0..iterations {
         let graph_res = WikiGraphResource::new(&graph);
         let wn_res = WordNetHypernymsResource::new(&bundle.wordnet);
@@ -865,6 +965,7 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
             .expect("bench corpus is well-formed");
         baseline_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
         expected.get_or_insert_with(|| outputs(&index.snapshot()));
+        intern_stats = index.intern_stats();
 
         let clock = VirtualClock::new();
         let graph_res = ResilientResource::new(WikiGraphResource::new(&graph), clock.clone());
@@ -953,6 +1054,14 @@ pub fn run_resilience_bench(scale: f64, iterations: usize, seeds: &[u64]) -> Res
         overhead_within_noise: overhead_raw_pct.abs() <= overhead_noise_pct,
         overhead_pct: overhead_raw_pct.max(0.0),
         resilient_identical,
+        intern: intern_stats.into(),
+        // Captured at the pre-interner commit with the default
+        // `--scale 0.2 --iters 3` configuration on the same host.
+        before_interning: PreInterningResilience {
+            baseline_build_ms: 54.29,
+            resilient_build_ms: 53.23,
+            overhead_raw_pct: -1.97,
+        },
         fault_runs,
     }
 }

@@ -124,7 +124,7 @@ impl BrowseEngine {
                 .filter(|d| current_set.contains(d))
                 .count();
             if count > 0 {
-                out.push((c.term, c.label.clone(), count));
+                out.push((c.term, self.forest.label(c).to_string(), count));
             }
         }
         out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
@@ -175,17 +175,16 @@ mod tests {
         let politics = vocab.intern("politics");
         let election = vocab.intern("election");
         let france = vocab.intern("france");
-        // Forest: politics → election; france standalone.
-        let forest = FacetForest {
-            trees: vec![
+        // Forest: politics → election; france standalone. Labels resolve
+        // through the frozen vocabulary the forest carries.
+        let forest = FacetForest::new(
+            vec![
                 FacetTree {
                     root: TreeNode {
                         term: politics,
-                        label: "politics".into(),
                         doc_count: 3,
                         children: vec![TreeNode {
                             term: election,
-                            label: "election".into(),
                             doc_count: 2,
                             children: vec![],
                         }],
@@ -194,13 +193,13 @@ mod tests {
                 FacetTree {
                     root: TreeNode {
                         term: france,
-                        label: "france".into(),
                         doc_count: 2,
                         children: vec![],
                     },
                 },
             ],
-        };
+            vocab.freeze(),
+        );
         let doc_terms = vec![
             vec![politics, election, france], // doc 0
             vec![politics, election],         // doc 1

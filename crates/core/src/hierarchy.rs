@@ -1,19 +1,25 @@
-//! The facet hierarchy model: labelled trees over the selected facet
-//! terms, materialized from a subsumption forest.
+//! The facet hierarchy model: trees over the selected facet terms,
+//! materialized from a subsumption forest.
+//!
+//! Nodes carry only the [`TermId`] symbol; the forest holds one
+//! [`FrozenVocabulary`] and resolves display labels through it at the
+//! serving edge ([`FacetForest::label`], [`FacetForest::edges`],
+//! [`FacetForest::render`]). One shared arena replaces the old
+//! per-node `label: String` clone — a forest of N nodes used to carry N
+//! heap strings duplicating the vocabulary.
 
 use crate::subsumption::SubsumptionForest;
-use facet_textkit::{TermId, Vocabulary};
+use facet_textkit::{FrozenVocabulary, TermId};
 
 /// One node in a facet tree.
 #[derive(Debug, Clone)]
 pub struct TreeNode {
     /// The facet term.
     pub term: TermId,
-    /// The term's string form (denormalized for display).
-    pub label: String,
     /// Documents carrying the term (in the contextualized database).
     pub doc_count: u64,
-    /// Child nodes, sorted by descending document count.
+    /// Child nodes, sorted by descending document count (label
+    /// tie-break).
     pub children: Vec<TreeNode>,
 }
 
@@ -31,14 +37,6 @@ impl TreeNode {
             .max()
             .unwrap_or(0)
     }
-
-    /// Find a node by label in this subtree.
-    pub fn find(&self, label: &str) -> Option<&TreeNode> {
-        if self.label == label {
-            return Some(self);
-        }
-        self.children.iter().find_map(|c| c.find(label))
-    }
 }
 
 /// One facet: a tree rooted at a top-level facet term.
@@ -49,27 +47,47 @@ pub struct FacetTree {
 }
 
 /// The full faceted structure: one tree per facet, ordered by descending
-/// root document count (most prominent facet first).
+/// root document count (most prominent facet first), plus the frozen
+/// vocabulary that resolves every node's display label.
 #[derive(Debug, Clone, Default)]
 pub struct FacetForest {
     /// The facet trees.
     pub trees: Vec<FacetTree>,
+    vocab: FrozenVocabulary,
 }
 
 impl FacetForest {
+    /// Assemble a forest from trees and the frozen vocabulary resolving
+    /// their terms.
+    pub fn new(trees: Vec<FacetTree>, vocab: FrozenVocabulary) -> Self {
+        Self { trees, vocab }
+    }
+
+    /// The frozen vocabulary resolving this forest's terms.
+    pub fn vocab(&self) -> &FrozenVocabulary {
+        &self.vocab
+    }
+
+    /// The display label of a node of this forest (empty for a foreign
+    /// node whose term the forest's vocabulary never saw).
+    pub fn label(&self, node: &TreeNode) -> &str {
+        self.vocab.try_term(node.term).unwrap_or("")
+    }
+
     /// Materialize a forest from a subsumption structure.
     ///
     /// `doc_count(t)` supplies each term's document count (typically
-    /// `df_C`); `vocab` supplies labels.
+    /// `df_C`); `vocab` supplies labels for the sort tie-breaks and is
+    /// retained by the forest for display-time resolution.
     pub fn from_subsumption(
         forest: &SubsumptionForest,
-        vocab: &Vocabulary,
+        vocab: &FrozenVocabulary,
         doc_count: impl Fn(TermId) -> u64,
     ) -> Self {
         fn build(
             i: usize,
             forest: &SubsumptionForest,
-            vocab: &Vocabulary,
+            vocab: &FrozenVocabulary,
             doc_count: &impl Fn(TermId) -> u64,
         ) -> TreeNode {
             let term = forest.terms[i];
@@ -78,10 +96,13 @@ impl FacetForest {
                 .into_iter()
                 .map(|c| build(c, forest, vocab, doc_count))
                 .collect();
-            children.sort_by(|a, b| b.doc_count.cmp(&a.doc_count).then(a.label.cmp(&b.label)));
+            children.sort_by(|a, b| {
+                b.doc_count
+                    .cmp(&a.doc_count)
+                    .then_with(|| vocab.term(a.term).cmp(vocab.term(b.term)))
+            });
             TreeNode {
                 term,
-                label: vocab.term(term).to_string(),
                 doc_count: doc_count(term),
                 children,
             }
@@ -97,9 +118,12 @@ impl FacetForest {
             b.root
                 .doc_count
                 .cmp(&a.root.doc_count)
-                .then_with(|| a.root.label.cmp(&b.root.label))
+                .then_with(|| vocab.term(a.root.term).cmp(vocab.term(b.root.term)))
         });
-        Self { trees }
+        Self {
+            trees,
+            vocab: vocab.clone(),
+        }
     }
 
     /// Total number of terms across all trees.
@@ -109,20 +133,32 @@ impl FacetForest {
 
     /// Find a node anywhere in the forest by label.
     pub fn find(&self, label: &str) -> Option<&TreeNode> {
-        self.trees.iter().find_map(|t| t.root.find(label))
+        fn walk<'a>(
+            node: &'a TreeNode,
+            label: &str,
+            vocab: &FrozenVocabulary,
+        ) -> Option<&'a TreeNode> {
+            if vocab.try_term(node.term) == Some(label) {
+                return Some(node);
+            }
+            node.children.iter().find_map(|c| walk(c, label, vocab))
+        }
+        self.trees
+            .iter()
+            .find_map(|t| walk(&t.root, label, &self.vocab))
     }
 
     /// All `(parent label, child label)` edges in the forest.
     pub fn edges(&self) -> Vec<(String, String)> {
-        fn walk(node: &TreeNode, out: &mut Vec<(String, String)>) {
+        fn walk(node: &TreeNode, forest: &FacetForest, out: &mut Vec<(String, String)>) {
             for c in &node.children {
-                out.push((node.label.clone(), c.label.clone()));
-                walk(c, out);
+                out.push((forest.label(node).to_string(), forest.label(c).to_string()));
+                walk(c, forest, out);
             }
         }
         let mut out = Vec::new();
         for t in &self.trees {
-            walk(&t.root, &mut out);
+            walk(&t.root, self, &mut out);
         }
         out
     }
@@ -130,11 +166,17 @@ impl FacetForest {
     /// Render the forest as an indented text outline (for reports and the
     /// examples).
     pub fn render(&self, max_children: usize) -> String {
-        fn walk(node: &TreeNode, depth: usize, max_children: usize, out: &mut String) {
+        fn walk(
+            node: &TreeNode,
+            forest: &FacetForest,
+            depth: usize,
+            max_children: usize,
+            out: &mut String,
+        ) {
             out.push_str(&"  ".repeat(depth));
-            out.push_str(&format!("{} ({})\n", node.label, node.doc_count));
+            out.push_str(&format!("{} ({})\n", forest.label(node), node.doc_count));
             for c in node.children.iter().take(max_children) {
-                walk(c, depth + 1, max_children, out);
+                walk(c, forest, depth + 1, max_children, out);
             }
             if node.children.len() > max_children {
                 out.push_str(&"  ".repeat(depth + 1));
@@ -143,7 +185,7 @@ impl FacetForest {
         }
         let mut out = String::new();
         for t in &self.trees {
-            walk(&t.root, 0, max_children, &mut out);
+            walk(&t.root, self, 0, max_children, &mut out);
         }
         out
     }
@@ -153,6 +195,7 @@ impl FacetForest {
 mod tests {
     use super::*;
     use crate::subsumption::{build_subsumption_forest, SubsumptionParams};
+    use facet_textkit::Vocabulary;
 
     fn forest() -> (FacetForest, Vocabulary) {
         let mut vocab = Vocabulary::new();
@@ -180,7 +223,10 @@ mod tests {
             1 => 3,
             _ => 2,
         };
-        (FacetForest::from_subsumption(&sub, &vocab, df), vocab)
+        (
+            FacetForest::from_subsumption(&sub, &vocab.freeze(), df),
+            vocab,
+        )
     }
 
     #[test]
@@ -188,9 +234,9 @@ mod tests {
         let (f, _) = forest();
         assert_eq!(f.trees.len(), 1);
         let root = &f.trees[0].root;
-        assert_eq!(root.label, "politics");
-        assert_eq!(root.children[0].label, "election");
-        assert_eq!(root.children[0].children[0].label, "ballot");
+        assert_eq!(f.label(root), "politics");
+        assert_eq!(f.label(&root.children[0]), "election");
+        assert_eq!(f.label(&root.children[0].children[0]), "ballot");
         assert_eq!(f.total_terms(), 3);
         assert_eq!(root.height(), 2);
     }
@@ -214,10 +260,27 @@ mod tests {
     }
 
     #[test]
+    fn labels_resolve_through_the_shared_vocab() {
+        // One frozen arena serves every node: no per-node label strings.
+        let (f, vocab) = forest();
+        for t in &f.trees {
+            assert_eq!(f.label(&t.root), vocab.term(t.root.term));
+        }
+        // A foreign term id resolves to the empty label, not a panic.
+        let foreign = TreeNode {
+            term: TermId(9999),
+            doc_count: 0,
+            children: vec![],
+        };
+        assert_eq!(f.label(&foreign), "");
+    }
+
+    #[test]
     fn empty_forest() {
         let f = FacetForest::default();
         assert_eq!(f.total_terms(), 0);
         assert!(f.edges().is_empty());
         assert_eq!(f.render(5), "");
+        assert!(f.vocab().is_empty());
     }
 }

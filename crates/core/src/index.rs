@@ -41,11 +41,11 @@ use facet_corpus::db::TermingOptions;
 use facet_corpus::{DocId, Document, TextDatabase};
 use facet_obs::Recorder;
 use facet_resources::{
-    expand_append_recorded, repair_degraded_recorded, ContextResource, ContextualizedDatabase,
-    ExpansionCache, ExpansionError,
+    expand_append_recorded, intern_important_terms, repair_degraded_recorded, ContextResource,
+    ContextualizedDatabase, ExpansionCache, ExpansionError,
 };
 use facet_termx::{extract_important_terms, TermExtractor};
-use facet_textkit::{FrozenVocabulary, TermId, Vocabulary};
+use facet_textkit::{FrozenVocabulary, InternStats, TermId, Vocabulary};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -114,6 +114,7 @@ pub struct FacetSnapshot {
     /// Degraded-coverage provenance at this generation: important term →
     /// resources that failed while resolving it. Empty for a fault-free
     /// build and after a complete [`FacetIndex::repair`].
+    // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
     degraded: Arc<BTreeMap<String, Vec<String>>>,
 }
 
@@ -156,6 +157,7 @@ impl FacetSnapshot {
     /// Degraded-coverage provenance: for every important term whose
     /// resolution is missing at least one resource's answer, the names of
     /// the failed resources. Empty when coverage is complete.
+    // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
     pub fn degraded(&self) -> &BTreeMap<String, Vec<String>> {
         &self.degraded
     }
@@ -188,6 +190,7 @@ impl FacetSnapshot {
         doc_terms: Arc<Vec<Vec<TermId>>>,
         candidates: Vec<FacetCandidate>,
         forest: FacetForest,
+        // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
         degraded: Arc<BTreeMap<String, Vec<String>>>,
     ) -> Self {
         Self {
@@ -216,7 +219,7 @@ pub(crate) fn rank_and_build_forest(
     df_c: &[u64],
     n_docs: u64,
     doc_terms: &[Vec<TermId>],
-    vocab: &Vocabulary,
+    vocab: &FrozenVocabulary,
     statistic: SelectionStatistic,
     options: &PipelineOptions,
     recorder: &Recorder,
@@ -228,7 +231,7 @@ pub(crate) fn rank_and_build_forest(
             statistic,
             options.top_k,
             options.min_df_c,
-            vocab,
+            vocab.as_vocabulary(),
         )
     };
     let forest = {
@@ -328,8 +331,8 @@ pub struct FacetIndex<'a> {
     recorder: Recorder,
     vocab: Vocabulary,
     db: TextDatabase,
-    /// `I(d)` per document, aligned with `db`.
-    important: Vec<Vec<String>>,
+    /// `I(d)` per document as interned symbols, aligned with `db`.
+    important: Vec<Vec<TermId>>,
     /// Cross-batch memo of resolved important terms.
     cache: ExpansionCache,
     /// The contextualized database, delta-updated per append.
@@ -443,6 +446,12 @@ impl<'a> FacetIndex<'a> {
         self.cache.len()
     }
 
+    /// Interner hit/miss/len counters of the live vocabulary (the
+    /// `intern.{hits,misses,len}` metrics the benchmarks report).
+    pub fn intern_stats(&self) -> InternStats {
+        self.vocab.stats()
+    }
+
     /// The current snapshot. An `Arc` clone under a short read lock:
     /// callers keep the returned snapshot for as long as they like,
     /// entirely unaffected by concurrent appends publishing newer
@@ -468,6 +477,7 @@ impl<'a> FacetIndex<'a> {
     pub fn append(&mut self, mut batch: Vec<Document>) -> Result<AppendStats, IndexError> {
         let _append_span = self.recorder.span("append");
         _append_span.attr("docs", batch.len() as u64);
+        let intern_before = self.vocab.stats();
         let start = self.db.len();
         for (i, d) in batch.iter_mut().enumerate() {
             d.id = DocId((start + i) as u32);
@@ -486,6 +496,7 @@ impl<'a> FacetIndex<'a> {
                 .collect()
         };
 
+        let new_important = intern_important_terms(&mut self.vocab, &new_important);
         let outcome = {
             let _span = self.recorder.span("expand");
             expand_append_recorded(
@@ -503,12 +514,15 @@ impl<'a> FacetIndex<'a> {
         self.important.extend(new_important);
 
         let df = self.db.df_table_resized(self.vocab.len());
+        // One freeze per publish: the ranking, the forest, and the
+        // snapshot all share this view's arena.
+        let frozen = self.vocab.freeze();
         let (candidates, forest) = rank_and_build_forest(
             &df,
             self.ctx.df_table(),
             self.db.len() as u64,
             &self.ctx.doc_terms,
-            &self.vocab,
+            &frozen,
             self.statistic,
             &self.options,
             &self.recorder,
@@ -519,7 +533,7 @@ impl<'a> FacetIndex<'a> {
             let _span = self.recorder.span("swap");
             let snapshot = Arc::new(FacetSnapshot::assemble(
                 self.generation,
-                self.vocab.freeze(),
+                frozen,
                 Arc::new(self.ctx.doc_terms.clone()),
                 candidates,
                 forest,
@@ -528,6 +542,13 @@ impl<'a> FacetIndex<'a> {
             *self.snapshot.write() = snapshot;
         }
 
+        let intern_after = self.vocab.stats();
+        self.recorder
+            .add("intern.hits", intern_after.hits - intern_before.hits);
+        self.recorder
+            .add("intern.misses", intern_after.misses - intern_before.misses);
+        self.recorder
+            .add("intern.len", (intern_after.len - intern_before.len) as u64);
         self.recorder.add("append.docs", docs as u64);
         self.recorder.add(
             "append.new_distinct_terms",
@@ -583,12 +604,13 @@ impl<'a> FacetIndex<'a> {
         }
 
         let df = self.db.df_table_resized(self.vocab.len());
+        let frozen = self.vocab.freeze();
         let (candidates, forest) = rank_and_build_forest(
             &df,
             self.ctx.df_table(),
             self.db.len() as u64,
             &self.ctx.doc_terms,
-            &self.vocab,
+            &frozen,
             self.statistic,
             &self.options,
             &self.recorder,
@@ -599,7 +621,7 @@ impl<'a> FacetIndex<'a> {
             let _span = self.recorder.span("swap");
             let snapshot = Arc::new(FacetSnapshot::assemble(
                 self.generation,
-                self.vocab.freeze(),
+                frozen,
                 Arc::new(self.ctx.doc_terms.clone()),
                 candidates,
                 forest,

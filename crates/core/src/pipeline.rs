@@ -176,7 +176,7 @@ impl<'a> FacetPipeline<'a> {
                 ..Default::default()
             },
         );
-        FacetForest::from_subsumption(&sub, vocab, |t| extraction.contextualized.df_c(t))
+        FacetForest::from_subsumption(&sub, &vocab.freeze(), |t| extraction.contextualized.df_c(t))
     }
 }
 

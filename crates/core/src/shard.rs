@@ -52,11 +52,12 @@ use facet_corpus::db::TermingOptions;
 use facet_corpus::{DocId, Document, TextDatabase};
 use facet_obs::Recorder;
 use facet_resources::{
-    expand_append_recorded, repair_degraded_recorded, AppendOutcome, CacheStats, CachedResource,
-    ContextResource, ContextualizedDatabase, ExpansionCache, ExpansionError, ExpansionOptions,
+    expand_append_recorded, intern_important_terms, repair_degraded_recorded, AppendOutcome,
+    CacheStats, CachedResource, ContextResource, ContextualizedDatabase, ExpansionCache,
+    ExpansionError, ExpansionOptions,
 };
 use facet_termx::{extract_important_terms, TermExtractor};
-use facet_textkit::{TermId, Vocabulary};
+use facet_textkit::{InternStats, TermId, Vocabulary};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -91,10 +92,10 @@ struct Shard {
     db: TextDatabase,
     cache: ExpansionCache,
     ctx: ContextualizedDatabase,
-    /// `I(d)` per shard-local document, aligned with `db` — kept so a
-    /// repair pass can recompute exactly the documents that use a
-    /// re-resolved term.
-    important: Vec<Vec<String>>,
+    /// `I(d)` per shard-local document as shard-local symbols, aligned
+    /// with `db` — kept so a repair pass can recompute exactly the
+    /// documents that use a re-resolved term.
+    important: Vec<Vec<TermId>>,
     /// `shard TermId → merged TermId`, extended (never rewritten) at each
     /// merge.
     to_merged: Vec<TermId>,
@@ -119,6 +120,7 @@ impl Shard {
 /// several shards appears once; its failed-resource list is identical in
 /// every shard because resources fail (or answer) deterministically per
 /// term.
+// lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
 fn merged_degraded(shards: &[Shard]) -> BTreeMap<String, Vec<String>> {
     let mut merged = BTreeMap::new();
     for shard in shards {
@@ -254,6 +256,12 @@ impl<'a> ShardedFacetIndex<'a> {
         self.shared.iter().map(CachedResource::stats).collect()
     }
 
+    /// Interner hit/miss/len counters of the merge-side vocabulary (the
+    /// `intern.{hits,misses,len}` metrics the benchmarks report).
+    pub fn intern_stats(&self) -> InternStats {
+        self.merged_vocab.stats()
+    }
+
     /// The current snapshot. An `Arc` clone under a short read lock,
     /// exactly as for [`crate::index::FacetIndex::snapshot`].
     pub fn snapshot(&self) -> Arc<FacetSnapshot> {
@@ -280,6 +288,7 @@ impl<'a> ShardedFacetIndex<'a> {
         // Capture the trace context here so worker threads (fresh span
         // stacks) can parent their shard spans under this append span.
         let trace_parent = facet_obs::current_context();
+        let intern_before = self.merged_vocab.stats();
         let n = self.shards.len();
         let start = self.n_docs;
         let docs = batch.len();
@@ -331,6 +340,7 @@ impl<'a> ShardedFacetIndex<'a> {
                         .iter()
                         .map(|d| extract_important_terms(extractors, &d.full_text()))
                         .collect();
+                    let new_important = intern_important_terms(&mut shard.vocab, &new_important);
                     let resources: Vec<&dyn ContextResource> =
                         shared.iter().map(|c| c as &dyn ContextResource).collect();
                     *slot = Some(expand_append_recorded(
@@ -363,10 +373,8 @@ impl<'a> ShardedFacetIndex<'a> {
             // append. Shard-order extension is deterministic because each
             // shard's interning order depends only on its own documents.
             for shard in &mut self.shards {
-                for idx in shard.to_merged.len()..shard.vocab.len() {
-                    let term = shard.vocab.term(TermId(idx as u32));
-                    shard.to_merged.push(self.merged_vocab.intern(term));
-                }
+                self.merged_vocab
+                    .extend_remap(&shard.vocab, &mut shard.to_merged);
             }
             self.merged_df.resize(self.merged_vocab.len(), 0);
             self.merged_df_c.resize(self.merged_vocab.len(), 0);
@@ -392,12 +400,14 @@ impl<'a> ShardedFacetIndex<'a> {
         }
 
         // ---- global ranking + publish -----------------------------------
+        // One freeze per publish: ranking, forest, and snapshot share it.
+        let frozen = self.merged_vocab.freeze();
         let (candidates, forest) = rank_and_build_forest(
             &self.merged_df,
             &self.merged_df_c,
             self.n_docs as u64,
             &self.merged_doc_terms,
-            &self.merged_vocab,
+            &frozen,
             self.statistic,
             &self.options,
             &self.recorder,
@@ -407,7 +417,7 @@ impl<'a> ShardedFacetIndex<'a> {
             let _span = self.recorder.span("swap");
             let snapshot = Arc::new(FacetSnapshot::assemble(
                 self.generation,
-                self.merged_vocab.freeze(),
+                frozen,
                 Arc::new(self.merged_doc_terms.clone()),
                 candidates,
                 forest,
@@ -417,6 +427,13 @@ impl<'a> ShardedFacetIndex<'a> {
         }
 
         let queries_after: u64 = self.shared.iter().map(|c| c.stats().misses).sum();
+        let intern_after = self.merged_vocab.stats();
+        self.recorder
+            .add("intern.hits", intern_after.hits - intern_before.hits);
+        self.recorder
+            .add("intern.misses", intern_after.misses - intern_before.misses);
+        self.recorder
+            .add("intern.len", (intern_after.len - intern_before.len) as u64);
         self.recorder.add("append.docs", docs as u64);
         self.recorder
             .add("append.new_distinct_terms", new_distinct_terms as u64);
@@ -487,10 +504,8 @@ impl<'a> ShardedFacetIndex<'a> {
         {
             let _span = self.recorder.span("merge");
             for shard in &mut self.shards {
-                for idx in shard.to_merged.len()..shard.vocab.len() {
-                    let term = shard.vocab.term(TermId(idx as u32));
-                    shard.to_merged.push(self.merged_vocab.intern(term));
-                }
+                self.merged_vocab
+                    .extend_remap(&shard.vocab, &mut shard.to_merged);
             }
             self.merged_df.resize(self.merged_vocab.len(), 0);
             self.merged_df_c.clear();
@@ -513,12 +528,13 @@ impl<'a> ShardedFacetIndex<'a> {
         }
 
         // ---- global ranking + publish -----------------------------------
+        let frozen = self.merged_vocab.freeze();
         let (candidates, forest) = rank_and_build_forest(
             &self.merged_df,
             &self.merged_df_c,
             self.n_docs as u64,
             &self.merged_doc_terms,
-            &self.merged_vocab,
+            &frozen,
             self.statistic,
             &self.options,
             &self.recorder,
@@ -528,7 +544,7 @@ impl<'a> ShardedFacetIndex<'a> {
             let _span = self.recorder.span("swap");
             let snapshot = Arc::new(FacetSnapshot::assemble(
                 self.generation,
-                self.merged_vocab.freeze(),
+                frozen,
                 Arc::new(self.merged_doc_terms.clone()),
                 candidates,
                 forest,

@@ -8,7 +8,6 @@
 //! yields a forest.
 
 use facet_textkit::TermId;
-use std::collections::HashMap;
 
 /// Parameters for subsumption.
 #[derive(Debug, Clone, Copy)]
@@ -85,28 +84,45 @@ pub fn build_subsumption_forest(
     doc_terms: &[Vec<TermId>],
     params: SubsumptionParams,
 ) -> SubsumptionForest {
-    let term_pos: HashMap<TermId, usize> = terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let n = terms.len();
+    // Dense symbol-indexed position table: `term_pos[sym]` is the term's
+    // index in the candidate list, or the sentinel for non-candidates.
+    // Candidate sets are small (top-k selection output), so the table is
+    // bounded by the vocabulary size and probes are a single index.
+    const ABSENT: u32 = u32::MAX;
+    let max_sym = terms.iter().map(|t| t.index()).max().map_or(0, |m| m + 1);
+    let mut term_pos = vec![ABSENT; max_sym];
+    for (i, t) in terms.iter().enumerate() {
+        term_pos[t.index()] = i as u32;
+    }
 
     // Document frequency and pairwise co-document frequency restricted to
-    // the candidate terms.
+    // the candidate terms, in a dense n×n matrix (upper triangle used).
     let mut df = vec![0u64; n];
-    let mut co: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut co = vec![0u64; n * n];
+    let mut present: Vec<usize> = Vec::new();
     for d in doc_terms {
-        let present: Vec<usize> = d.iter().filter_map(|t| term_pos.get(t).copied()).collect();
+        present.clear();
+        present.extend(d.iter().filter_map(|t| {
+            term_pos
+                .get(t.index())
+                .copied()
+                .filter(|&p| p != ABSENT)
+                .map(|p| p as usize)
+        }));
         for &i in &present {
             df[i] += 1;
         }
         for (a, &i) in present.iter().enumerate() {
             for &j in present.iter().skip(a + 1) {
-                let key = if i < j { (i, j) } else { (j, i) };
-                *co.entry(key).or_insert(0) += 1;
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                co[lo * n + hi] += 1;
             }
         }
     }
     let co_df = |i: usize, j: usize| -> u64 {
-        let key = if i < j { (i, j) } else { (j, i) };
-        co.get(&key).copied().unwrap_or(0)
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        co[lo * n + hi]
     };
 
     // For each term y, find subsumers and attach to the best one. Two

@@ -119,7 +119,7 @@ proptest! {
         }
         let terms: Vec<TermId> = (0..12).map(TermId).collect();
         let sub = build_subsumption_forest(&terms, &doc_terms, SubsumptionParams::default());
-        let forest = FacetForest::from_subsumption(&sub, &vocab, |_| 1);
+        let forest = FacetForest::from_subsumption(&sub, &vocab.freeze(), |_| 1);
         prop_assert_eq!(forest.total_terms(), 12);
         // Every edge in the materialized forest corresponds to a parent
         // link in the subsumption structure.

@@ -1,0 +1,44 @@
+//! D4 fixture: String-keyed maps in a hot path.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Flagged: owned-String hash-map key (allocates + rehashes per probe).
+fn df_table(terms: &[String]) -> HashMap<String, u64> {
+    let mut df: HashMap<String, u64> = HashMap::new();
+    for t in terms {
+        *df.entry(t.clone()).or_insert(0) += 1;
+    }
+    df
+}
+
+/// Flagged: owned-String BTree key — ordered, but still per-key
+/// allocation and byte-wise comparison on every lookup.
+fn grouped(terms: &[String]) -> BTreeMap<String, Vec<String>> {
+    let mut g: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for t in terms {
+        g.entry(t.clone()).or_default().push(t.clone());
+    }
+    g
+}
+
+/// Not flagged: borrowed keys are zero-copy (transient per-doc counting).
+fn tf_counts(terms: &[String]) -> usize {
+    let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+    for t in terms {
+        *counts.entry(t.as_str()).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+/// Not flagged: non-String key.
+fn by_id() -> HashMap<u32, u64> {
+    HashMap::new()
+}
+
+fn main() {
+    let terms = vec!["summit".to_string(), "summit".to_string()];
+    let _ = df_table(&terms);
+    let _ = grouped(&terms);
+    let _ = tf_counts(&terms);
+    let _ = by_id();
+}

@@ -297,6 +297,36 @@ let done = true;
     }
 
     #[test]
+    fn fixture_d4_string_keyed_map_is_advisory() {
+        // D4 is warn-severity policy: it must surface owned-String map
+        // keys without ever failing the gate (only Deny findings fail).
+        let cfg = config::parse(
+            "[lint]\nexclude = []\n\n[rules.string-keyed-map]\nseverity = \"warn\"\n",
+        )
+        .expect("d4 config parses");
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("d4_string_keyed_map.rs");
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        let findings = lint_source(&fixture_file("d4_string_keyed_map.rs"), &source, &cfg);
+        let d4: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "string-keyed-map")
+            .collect();
+        assert_eq!(
+            d4.len(),
+            4,
+            "two String-keyed declarations, each spelled in the signature \
+             and the binding; borrowed/&str and u32 keys exempt: {findings:?}"
+        );
+        assert!(
+            d4.iter()
+                .all(|f| f.code == "D4" && f.severity == Severity::Warn),
+            "D4 is advisory: {d4:?}"
+        );
+    }
+
+    #[test]
     fn fixture_c1_concurrency_is_caught() {
         let findings = lint_fixture("c1_concurrency.rs");
         assert!(

@@ -6,6 +6,7 @@
 //! | D1   | `unordered-iter`| no iteration over `HashMap`/`HashSet` unless the result is order-insensitive or sorted |
 //! | D2   | `wall-clock`    | no `Instant::now`/`SystemTime::now`/`std::time` outside obs/bench/eval |
 //! | D3   | `unseeded-rng`  | no entropy-seeded RNG construction |
+//! | D4   | `string-keyed-map` | advisory: `String`-keyed `HashMap`/`BTreeMap` in hot paths — intern and index a dense table instead |
 //! | C1   | `concurrency`   | no threading/locking/`unsafe` outside sanctioned sites |
 //! | P1   | `panic`         | no `unwrap()`/`expect()`/`panic!`/`todo!` in library code |
 //! | A0   | `allow-hygiene` | every `lint:allow` names a known rule and carries a reason |
@@ -63,6 +64,10 @@ pub const RULES: &[RuleMeta] = &[
         name: "unseeded-rng",
     },
     RuleMeta {
+        code: "D4",
+        name: "string-keyed-map",
+    },
+    RuleMeta {
         code: "C1",
         name: "concurrency",
     },
@@ -99,6 +104,9 @@ pub fn analyze(file: &SourceFile, lexed: &LexedFile, config: &Config) -> Vec<Fin
     }
     if on("unseeded-rng") {
         unseeded_rng(&tokens, &mut raw);
+    }
+    if on("string-keyed-map") {
+        string_keyed_map(&tokens, &mut raw);
     }
     if on("concurrency") {
         concurrency(&tokens, &mut raw);
@@ -425,6 +433,51 @@ fn unseeded_rng(tokens: &[Token], out: &mut Vec<(&'static str, u32, u32, String)
                 t.line,
                 t.col,
                 "`rand::random` draws from the thread-local entropy RNG".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// D4: String-keyed maps in hot paths (advisory)
+// ---------------------------------------------------------------------
+
+/// Flag `HashMap<String, _>` / `BTreeMap<String, _>` type positions in
+/// the determinism-critical crates. Owned-`String` map keys allocate on
+/// build-up and hash/compare byte-by-byte on every probe; the interner
+/// refactor (DESIGN.md §16) replaces them with `facet_textkit::Interner`
+/// plus a dense `SymTable`/`Vec` indexed by symbol. Advisory (warn) by
+/// policy: serving-edge and backend-boundary maps that intentionally
+/// materialize strings stay as they are — the warning is the backlog,
+/// not a failure. Borrowed `&str` keys are not flagged (zero-copy,
+/// typically transient per-document counting).
+fn string_keyed_map(tokens: &[Token], out: &mut Vec<(&'static str, u32, u32, String)>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !(t.is_ident("HashMap") || t.is_ident("BTreeMap")) {
+            continue;
+        }
+        // `HashMap<` or turbofish `HashMap::<`.
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].is_punct("::") {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct("<") {
+            continue;
+        }
+        j += 1;
+        if j + 1 < tokens.len() && tokens[j].is_ident("String") && tokens[j + 1].is_punct(",") {
+            out.push((
+                "string-keyed-map",
+                t.line,
+                t.col,
+                format!(
+                    "`{}<String, _>` in a hot path: intern the keys \
+                     (facet_textkit::Interner) and index a dense SymTable/Vec \
+                     by symbol, or annotate if this is a serving-edge or \
+                     backend-boundary map",
+                    t.text
+                ),
             ));
         }
     }

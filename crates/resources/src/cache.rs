@@ -28,8 +28,8 @@
 //! outage could permanently latch an empty result for a term.)
 
 use crate::resource::{ContextResource, ResourceError};
+use facet_textkit::Interner;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -85,12 +85,22 @@ impl TermSlot {
     }
 }
 
+/// The term → slot map: a deterministic [`Interner`] assigns each term a
+/// dense symbol, and `slots[sym.index()]` holds its resolution slot. One
+/// arena and one `Vec` replace the old `HashMap<String, Arc<TermSlot>>`
+/// — no per-term key `String`s, and the latch is effectively keyed by
+/// symbol.
+struct SlotMap {
+    interner: Interner,
+    slots: Vec<Arc<TermSlot>>,
+}
+
 /// Memoizing decorator for a [`ContextResource`].
 pub struct CachedResource<R> {
     inner: R,
-    /// One slot per term: inserted under the write lock, driven through
+    /// One slot per term: interned under the write lock, driven through
     /// its state machine outside it.
-    cache: RwLock<HashMap<String, Arc<TermSlot>>>,
+    cache: RwLock<SlotMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     failures: AtomicU64,
@@ -101,7 +111,10 @@ impl<R: ContextResource> CachedResource<R> {
     pub fn new(inner: R) -> Self {
         Self {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(SlotMap {
+                interner: Interner::new(),
+                slots: Vec::new(),
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             failures: AtomicU64::new(0),
@@ -111,7 +124,7 @@ impl<R: ContextResource> CachedResource<R> {
     /// Number of terms with a resolution slot (memoized, in flight, or
     /// awaiting retry after a failure).
     pub fn cached_queries(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().interner.len()
     }
 
     /// Hit/miss/failure totals so far.
@@ -130,18 +143,22 @@ impl<R: ContextResource> CachedResource<R> {
 
     fn slot_for(&self, term: &str) -> Arc<TermSlot> {
         // Fast path: the term's slot already exists — a short read lock
-        // suffices.
-        if let Some(slot) = self.cache.read().get(term) {
-            return Arc::clone(slot);
+        // and a symbol lookup suffice.
+        {
+            let cache = self.cache.read();
+            if let Some(sym) = cache.interner.get(term) {
+                return Arc::clone(&cache.slots[sym.index()]);
+            }
         }
         // Double-check under the write lock: another thread may have
-        // inserted the slot between our read and write.
+        // interned the term between our read and write (then `intern`
+        // is a hit and no slot is pushed).
         let mut cache = self.cache.write();
-        Arc::clone(
-            cache
-                .entry(term.to_string())
-                .or_insert_with(|| Arc::new(TermSlot::new())),
-        )
+        let sym = cache.interner.intern(term);
+        if sym.index() == cache.slots.len() {
+            cache.slots.push(Arc::new(TermSlot::new()));
+        }
+        Arc::clone(&cache.slots[sym.index()])
     }
 }
 

@@ -14,13 +14,23 @@
 //! [`expand_database`] entry points are the degenerate single-batch case
 //! of the same code path, which is what makes batch and incremental
 //! expansion produce identical results.
+//!
+//! Since the global-interner refactor the whole engine speaks
+//! [`TermId`] symbols: important terms arrive pre-interned
+//! ([`intern_important_terms`]), the [`ExpansionCache`] is a dense
+//! symbol-indexed table, and memoized context terms are stored as symbols
+//! — so the per-document hot path copies `u32`s out of the cache instead
+//! of re-hashing and re-interning strings for every document. Term
+//! *strings* are materialized only at the resource backend boundary
+//! (queries go out as text) and at the serving edge (degraded-coverage
+//! provenance keys).
 
 use crate::resource::ContextResource;
 use facet_corpus::TextDatabase;
 use facet_obs::{Counter, HistogramHandle, Recorder};
-use facet_textkit::{is_stopword, normalize_term, TermId, Vocabulary};
+use facet_textkit::{is_stopword, normalize_term, SymTable, TermId, Vocabulary};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::ops::Range;
 
 /// A structural mismatch between the expansion inputs.
@@ -80,13 +90,15 @@ impl std::fmt::Display for ExpansionError {
 impl std::error::Error for ExpansionError {}
 
 /// One memoized term resolution: the context terms retrieved from the
-/// resources that answered, plus the names of the resources that failed
-/// (empty when coverage is complete).
+/// resources that answered (as symbols of the expansion vocabulary),
+/// plus the names of the resources that failed (empty when coverage is
+/// complete).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResolvedTerm {
     /// Union of context terms from every resource that answered,
-    /// normalized and deduplicated in resource-priority order.
-    pub terms: Vec<String>,
+    /// normalized and deduplicated in resource-priority order, interned
+    /// into the expansion vocabulary.
+    pub terms: Vec<TermId>,
     /// Names of resources whose query failed; the resolution is
     /// *degraded* when non-empty and a later repair pass re-queries it.
     pub failed: Vec<String>,
@@ -99,19 +111,27 @@ impl ResolvedTerm {
     }
 }
 
-/// Cross-batch memo of resolved important terms.
+/// A freshly-retrieved resolution, before its context terms are interned:
+/// what the parallel workers hand back to the serial commit loop.
+struct RawResolution {
+    terms: Vec<String>,
+    failed: Vec<String>,
+}
+
+/// Cross-batch memo of resolved important terms, keyed by symbol.
 ///
-/// Holds `term → context terms` for every distinct important term ever
-/// resolved through it, so a later [`expand_append_recorded`] batch
-/// queries the resources only for terms no earlier batch has seen.
-/// Resources are deterministic by contract ([`ContextResource`]), so
-/// reuse is transparent. A resolution recorded while some resources were
-/// failing keeps its [`ResolvedTerm::failed`] provenance and is reused
-/// as-is by later batches; only [`repair_degraded_recorded`] re-queries
-/// it.
+/// Holds `important-term symbol → context-term symbols` for every
+/// distinct important term ever resolved through it, in a dense
+/// [`SymTable`], so a later [`expand_append_recorded`] batch queries the
+/// resources only for terms no earlier batch has seen — and answering
+/// from the memo is an array read, not a string hash. Resources are
+/// deterministic by contract ([`ContextResource`]), so reuse is
+/// transparent. A resolution recorded while some resources were failing
+/// keeps its [`ResolvedTerm::failed`] provenance and is reused as-is by
+/// later batches; only [`repair_degraded_recorded`] re-queries it.
 #[derive(Debug, Default)]
 pub struct ExpansionCache {
-    resolved: HashMap<String, ResolvedTerm>,
+    resolved: SymTable<ResolvedTerm>,
 }
 
 impl ExpansionCache {
@@ -130,13 +150,13 @@ impl ExpansionCache {
         self.resolved.is_empty()
     }
 
-    /// True if `term` has already been resolved.
-    pub fn contains(&self, term: &str) -> bool {
-        self.resolved.contains_key(term)
+    /// True if the term with symbol `term` has already been resolved.
+    pub fn contains(&self, term: TermId) -> bool {
+        self.resolved.contains(term)
     }
 
-    /// The memoized resolution for `term`, if any.
-    pub fn resolution(&self, term: &str) -> Option<&ResolvedTerm> {
+    /// The memoized resolution for the term with symbol `term`, if any.
+    pub fn resolution(&self, term: TermId) -> Option<&ResolvedTerm> {
         self.resolved.get(term)
     }
 }
@@ -182,8 +202,10 @@ pub struct ContextualizedDatabase {
     /// Context terms only, per document (for inspection/debugging).
     pub doc_context_terms: Vec<Vec<TermId>>,
     /// Degraded-coverage provenance: important term → names of the
-    /// resources that failed when it was resolved. Ordered so reports
-    /// and snapshots are deterministic.
+    /// resources that failed when it was resolved. String-keyed on
+    /// purpose — this is the serving/reporting edge, cold by definition,
+    /// and ordered so reports and snapshots are deterministic.
+    // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
     degraded: BTreeMap<String, Vec<String>>,
 }
 
@@ -202,6 +224,7 @@ impl ContextualizedDatabase {
     /// Degraded-coverage provenance: for every important term whose
     /// resolution is missing at least one resource's answer, the names
     /// of the failed resources. Empty for a fault-free build.
+    // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
     pub fn degraded(&self) -> &BTreeMap<String, Vec<String>> {
         &self.degraded
     }
@@ -231,6 +254,20 @@ impl ContextualizedDatabase {
     pub fn is_empty(&self) -> bool {
         self.doc_terms.is_empty()
     }
+}
+
+/// Intern per-document important-term lists into `vocab`, in document
+/// order: the bridge from the extractors' string output to the
+/// symbol-speaking expansion engine. Idempotent — re-interning the same
+/// lists yields the same symbols.
+pub fn intern_important_terms(
+    vocab: &mut Vocabulary,
+    important_terms: &[Vec<String>],
+) -> Vec<Vec<TermId>> {
+    important_terms
+        .iter()
+        .map(|doc| doc.iter().map(|t| vocab.intern(t)).collect())
+        .collect()
 }
 
 /// Expand `db` into a contextualized database.
@@ -317,12 +354,13 @@ pub fn try_expand_database_recorded(
     options: &ExpansionOptions,
     recorder: &Recorder,
 ) -> Result<ContextualizedDatabase, ExpansionError> {
+    let important_syms = intern_important_terms(vocab, important_terms);
     let mut cache = ExpansionCache::new();
     let mut ctx = ContextualizedDatabase::empty();
     expand_append_recorded(
         db,
         0..db.len(),
-        important_terms,
+        &important_syms,
         resources,
         vocab,
         options,
@@ -336,10 +374,12 @@ pub fn try_expand_database_recorded(
 /// Incrementally expand the documents `doc_range` (a suffix of `db`,
 /// typically just appended) into `ctx`.
 ///
-/// * `important_terms[i]` is `I(d)` for document `doc_range.start + i`.
+/// * `important_terms[i]` is `I(d)` for document `doc_range.start + i`,
+///   pre-interned into `vocab` (see [`intern_important_terms`]).
 /// * Only important terms absent from `cache` are sent to the resources;
-///   everything else is answered from the memo. The cache is updated in
-///   place, so successive batches keep getting cheaper.
+///   everything else is answered from the memo with an array read. The
+///   cache is updated in place, so successive batches keep getting
+///   cheaper.
 /// * `ctx` gains one entry per new document and its `df_c` table is
 ///   delta-updated; documents already expanded are untouched.
 ///
@@ -352,7 +392,7 @@ pub fn try_expand_database_recorded(
 pub fn expand_append_recorded(
     db: &TextDatabase,
     doc_range: Range<usize>,
-    important_terms: &[Vec<String>],
+    important_terms: &[Vec<TermId>],
     resources: &[&dyn ContextResource],
     vocab: &mut Vocabulary,
     options: &ExpansionOptions,
@@ -376,16 +416,16 @@ pub fn expand_append_recorded(
 
     // ---- distinct important terms not yet resolved --------------------------
     let (new_distinct, batch_distinct) = {
-        let mut seen: HashSet<&str> = HashSet::new();
-        let mut fresh: Vec<&str> = Vec::new();
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut fresh: Vec<TermId> = Vec::new();
         for terms in important_terms {
-            for t in terms {
-                if seen.insert(t.as_str()) && !cache.contains(t) {
-                    fresh.push(t.as_str());
+            for &t in terms {
+                if seen.insert(t) && !cache.contains(t) {
+                    fresh.push(t);
                 }
             }
         }
-        fresh.sort_unstable(); // deterministic order
+        fresh.sort_unstable(); // deterministic order (symbol = first-interned order)
         (fresh, seen.len())
     };
     let mut outcome = AppendOutcome {
@@ -401,41 +441,52 @@ pub fn expand_append_recorded(
     let ctx_per_query = recorder.histogram("expand.context_terms_per_query");
 
     // ---- resolve context terms per new distinct term (parallel) -------------
+    // Workers produce raw string resolutions; nothing touches the
+    // vocabulary until the serial commit below.
     let resolve = |t: &str| resolve_term(t, resources, &metrics, &ctx_per_query);
-    if options.threads <= 1 || new_distinct.len() < 32 {
-        for &t in &new_distinct {
-            let resolved = resolve(t);
-            cache.resolved.insert(t.to_string(), resolved);
+    let mut resolutions: Vec<(TermId, RawResolution)> = {
+        let fresh_terms: Vec<(TermId, &str)> =
+            new_distinct.iter().map(|&s| (s, vocab.term(s))).collect();
+        if options.threads <= 1 || fresh_terms.len() < 32 {
+            fresh_terms.iter().map(|&(s, t)| (s, resolve(t))).collect()
+        } else {
+            let results: Mutex<Vec<(TermId, RawResolution)>> = Mutex::new(Vec::new());
+            let chunk = fresh_terms.len().div_ceil(options.threads);
+            crossbeam::scope(|sc| {
+                for part in fresh_terms.chunks(chunk) {
+                    let results = &results;
+                    let resolve = &resolve;
+                    sc.spawn(move |_| {
+                        let local: Vec<(TermId, RawResolution)> =
+                            part.iter().map(|&(s, t)| (s, resolve(t))).collect();
+                        results.lock().extend(local);
+                    });
+                }
+            })
+            .map_err(|_| ExpansionError::WorkerPanicked)?;
+            results.into_inner()
         }
-    } else {
-        let results: Mutex<Vec<(&str, ResolvedTerm)>> = Mutex::new(Vec::new());
-        let chunk = new_distinct.len().div_ceil(options.threads);
-        crossbeam::scope(|s| {
-            for part in new_distinct.chunks(chunk) {
-                let results = &results;
-                let resolve = &resolve;
-                s.spawn(move |_| {
-                    let local: Vec<(&str, ResolvedTerm)> =
-                        part.iter().map(|&t| (t, resolve(t))).collect();
-                    results.lock().extend(local);
-                });
-            }
-        })
-        .map_err(|_| ExpansionError::WorkerPanicked)?;
-        for (t, resolved) in results.into_inner() {
-            cache.resolved.insert(t.to_string(), resolved);
-        }
-    }
-
-    // ---- degraded-coverage provenance for this batch ------------------------
+    };
+    // Commit in symbol order regardless of worker scheduling: context
+    // terms are interned here, serially, so TermId assignment depends
+    // only on the (sorted) fresh-term sequence — byte-identical across
+    // thread counts.
+    resolutions.sort_unstable_by_key(|&(s, _)| s);
     let mut degraded_terms = 0usize;
-    for &t in &new_distinct {
-        if let Some(r) = cache.resolved.get(t) {
-            if !r.failed.is_empty() {
-                degraded_terms += 1;
-                ctx.degraded.insert(t.to_string(), r.failed.clone());
-            }
+    for (sym, raw) in resolutions {
+        let terms: Vec<TermId> = raw.terms.iter().map(|c| vocab.intern(c)).collect();
+        if !raw.failed.is_empty() {
+            degraded_terms += 1;
+            ctx.degraded
+                .insert(vocab.term(sym).to_string(), raw.failed.clone());
         }
+        cache.resolved.insert(
+            sym,
+            ResolvedTerm {
+                terms,
+                failed: raw.failed,
+            },
+        );
     }
     recorder.add("expand.degraded_terms", degraded_terms as u64);
     outcome.degraded_terms = degraded_terms;
@@ -443,7 +494,7 @@ pub fn expand_append_recorded(
     // ---- per-document union and frequency delta -----------------------------
     for (i, terms) in important_terms.iter().enumerate() {
         let doc_index = doc_range.start + i;
-        let (all, context_ids) = contextualized_row(db, doc_index, terms, cache, vocab);
+        let (all, context_ids) = contextualized_row(db, doc_index, terms, cache);
         for &t in &all {
             if t.index() >= ctx.df_c.len() {
                 ctx.df_c.resize(t.index() + 1, 0);
@@ -462,19 +513,20 @@ pub fn expand_append_recorded(
 /// full sorted `original ∪ context` id set and the context-only ids.
 /// Shared by the append path and the repair pass so a repaired row is
 /// computed by exactly the code that built it.
+///
+/// All symbols are copied straight out of the memo — the per-document
+/// loop does no hashing and no interning, which is the hot-path win of
+/// the symbol-keyed cache.
 fn contextualized_row(
     db: &TextDatabase,
     doc_index: usize,
-    important: &[String],
+    important: &[TermId],
     cache: &ExpansionCache,
-    vocab: &mut Vocabulary,
 ) -> (Vec<TermId>, Vec<TermId>) {
     let mut context_ids: Vec<TermId> = Vec::new();
-    for t in important {
-        if let Some(resolved) = cache.resolved.get(t.as_str()) {
-            for c in &resolved.terms {
-                context_ids.push(vocab.intern(c));
-            }
+    for &t in important {
+        if let Some(resolved) = cache.resolved.get(t) {
+            context_ids.extend(resolved.terms.iter().copied());
         }
     }
     context_ids.sort_unstable();
@@ -513,11 +565,11 @@ pub struct RepairOutcome {
 /// updated provenance and remain eligible for the next pass.
 ///
 /// `important_terms[i]` must be `I(d_i)` for **all** documents of `db`
-/// (the same lists every append batch supplied), and `ctx` must cover
-/// the whole database.
+/// (the same pre-interned lists every append batch supplied), and `ctx`
+/// must cover the whole database.
 pub fn repair_degraded_recorded(
     db: &TextDatabase,
-    important_terms: &[Vec<String>],
+    important_terms: &[Vec<TermId>],
     resources: &[&dyn ContextResource],
     vocab: &mut Vocabulary,
     recorder: &Recorder,
@@ -552,37 +604,44 @@ pub fn repair_degraded_recorded(
         requeried_terms: degraded.len(),
         ..RepairOutcome::default()
     };
-    let mut changed: HashSet<&str> = HashSet::new();
+    let mut changed: HashSet<TermId> = HashSet::new();
     for term in &degraded {
-        let resolved = resolve_term(term, resources, &metrics, &ctx_per_query);
-        if resolved.failed.is_empty() {
+        // The degraded key was interned when its append batch resolved
+        // it, so this is a pure lookup in the steady state.
+        let sym = vocab.intern(term);
+        let raw = resolve_term(term, resources, &metrics, &ctx_per_query);
+        if raw.failed.is_empty() {
             outcome.repaired_terms += 1;
             ctx.degraded.remove(term);
         } else {
             outcome.still_degraded += 1;
-            ctx.degraded.insert(term.clone(), resolved.failed.clone());
+            ctx.degraded.insert(term.clone(), raw.failed.clone());
         }
-        let differs = cache
-            .resolved
-            .get(term.as_str())
-            .is_none_or(|old| old.terms != resolved.terms);
+        let terms: Vec<TermId> = raw.terms.iter().map(|c| vocab.intern(c)).collect();
+        let differs = cache.resolved.get(sym).is_none_or(|old| old.terms != terms);
         if differs {
-            changed.insert(term.as_str());
+            changed.insert(sym);
         }
-        cache.resolved.insert(term.clone(), resolved);
+        cache.resolved.insert(
+            sym,
+            ResolvedTerm {
+                terms,
+                failed: raw.failed,
+            },
+        );
     }
 
     // Recompute exactly the documents that use a changed term, in
     // document order (deterministic interning of backfilled context).
     for (i, terms) in important_terms.iter().enumerate() {
-        if !terms.iter().any(|t| changed.contains(t.as_str())) {
+        if !terms.iter().any(|t| changed.contains(t)) {
             continue;
         }
         outcome.changed_docs += 1;
         for t in &ctx.doc_terms[i] {
             ctx.df_c[t.index()] -= 1;
         }
-        let (all, context_ids) = contextualized_row(db, i, terms, cache, vocab);
+        let (all, context_ids) = contextualized_row(db, i, terms, cache);
         for &t in &all {
             if t.index() >= ctx.df_c.len() {
                 ctx.df_c.resize(t.index() + 1, 0);
@@ -616,7 +675,7 @@ fn resolve_term(
     resources: &[&dyn ContextResource],
     metrics: &[ResourceMetrics],
     ctx_per_query: &HistogramHandle,
-) -> ResolvedTerm {
+) -> RawResolution {
     // Order-preserving dedup: the Vec keeps first-seen order (resource
     // priority), the HashSet makes membership O(1) instead of the old
     // O(n²) `Vec::contains` scan per retrieved term.
@@ -654,7 +713,7 @@ fn resolve_term(
         }
     }
     ctx_per_query.record(out.len() as u64);
-    ResolvedTerm { terms: out, failed }
+    RawResolution { terms: out, failed }
 }
 
 #[cfg(test)]
@@ -662,6 +721,7 @@ mod tests {
     use super::*;
     use facet_corpus::db::TermingOptions;
     use facet_corpus::{DocId, Document};
+    use std::collections::HashMap;
 
     struct Fixed(&'static str, HashMap<&'static str, Vec<&'static str>>);
     impl ContextResource for Fixed {
@@ -758,10 +818,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        // Interning happens post-resolution in document order, so TermId
-        // assignments must be *byte-identical* across thread counts — not
-        // merely equal as string sets. This invariant is what lets
-        // downstream tables be compared across configurations.
+        // Context interning happens in the serial commit loop, in sorted
+        // fresh-symbol order, so TermId assignments must be
+        // *byte-identical* across thread counts — not merely equal as
+        // string sets. This invariant is what lets downstream tables be
+        // compared across configurations.
         let (db, mut vocab1, important) = fixture();
         let r = chirac_resource();
         let serial = expand_database(
@@ -867,13 +928,14 @@ mod tests {
     fn misaligned_append_rejected() {
         let (db, mut vocab, important) = fixture();
         let r = chirac_resource();
+        let important_syms = intern_important_terms(&mut vocab, &important);
         let mut cache = ExpansionCache::new();
         let mut ctx = ContextualizedDatabase::empty();
         // Range does not start at ctx.len().
         let err = expand_append_recorded(
             &db,
             1..2,
-            &important[1..],
+            &important_syms[1..],
             &[&r],
             &mut vocab,
             &ExpansionOptions::default(),
@@ -897,7 +959,7 @@ mod tests {
     fn degraded_build() -> (
         TextDatabase,
         Vocabulary,
-        Vec<Vec<String>>,
+        Vec<Vec<TermId>>,
         ExpansionCache,
         ContextualizedDatabase,
         crate::FaultyResource<Fixed>,
@@ -909,12 +971,13 @@ mod tests {
             crate::FaultPlan::seeded(1, 1000),
             crate::VirtualClock::new(),
         );
+        let important_syms = intern_important_terms(&mut vocab, &important);
         let mut cache = ExpansionCache::new();
         let mut ctx = ContextualizedDatabase::empty();
         expand_append_recorded(
             &db,
             0..db.len(),
-            &important,
+            &important_syms,
             &[&f, &faulty],
             &mut vocab,
             &ExpansionOptions::default(),
@@ -923,7 +986,7 @@ mod tests {
             &mut ctx,
         )
         .unwrap();
-        (db, vocab, important, cache, ctx, faulty)
+        (db, vocab, important_syms, cache, ctx, faulty)
     }
 
     #[test]
@@ -939,19 +1002,20 @@ mod tests {
         assert!(vocab.get("political leaders").is_some());
         // Failed resource G contributed nothing.
         assert!(vocab.get("presidents").is_none());
-        let resolution = cache.resolution("jacques chirac").unwrap();
+        let chirac = vocab.get("jacques chirac").unwrap();
+        let resolution = cache.resolution(chirac).unwrap();
         assert!(!resolution.is_complete());
     }
 
     #[test]
     fn repair_converges_to_the_fault_free_build() {
-        let (db, mut vocab, important, mut cache, mut ctx, faulty) = degraded_build();
+        let (db, mut vocab, important_syms, mut cache, mut ctx, faulty) = degraded_build();
         faulty.heal();
         let rec = facet_obs::Recorder::enabled();
         let f = chirac_resource();
         let outcome = repair_degraded_recorded(
             &db,
-            &important,
+            &important_syms,
             &[&f, &faulty],
             &mut vocab,
             &rec,
@@ -1007,11 +1071,11 @@ mod tests {
 
     #[test]
     fn repair_while_still_failing_keeps_degradation_retryable() {
-        let (db, mut vocab, important, mut cache, mut ctx, faulty) = degraded_build();
+        let (db, mut vocab, important_syms, mut cache, mut ctx, faulty) = degraded_build();
         let f = chirac_resource();
         let outcome = repair_degraded_recorded(
             &db,
-            &important,
+            &important_syms,
             &[&f, &faulty],
             &mut vocab,
             Recorder::disabled_ref(),
@@ -1030,7 +1094,7 @@ mod tests {
         faulty.heal();
         let outcome = repair_degraded_recorded(
             &db,
-            &important,
+            &important_syms,
             &[&f, &faulty],
             &mut vocab,
             Recorder::disabled_ref(),
@@ -1046,12 +1110,13 @@ mod tests {
     fn repair_on_clean_state_is_a_no_op() {
         let (db, mut vocab, important) = fixture();
         let r = chirac_resource();
+        let important_syms = intern_important_terms(&mut vocab, &important);
         let mut cache = ExpansionCache::new();
         let mut ctx = ContextualizedDatabase::empty();
         expand_append_recorded(
             &db,
             0..db.len(),
-            &important,
+            &important_syms,
             &[&r],
             &mut vocab,
             &ExpansionOptions::default(),
@@ -1062,7 +1127,7 @@ mod tests {
         .unwrap();
         let outcome = repair_degraded_recorded(
             &db,
-            &important,
+            &important_syms,
             &[&r],
             &mut vocab,
             Recorder::disabled_ref(),
@@ -1086,10 +1151,11 @@ mod tests {
         let mut vocab_inc = Vocabulary::new();
         let mut inc_db = TextDatabase::build(vec![], &mut vocab_inc, TermingOptions::default());
         inc_db.append(docs[..1].to_vec(), &mut vocab_inc);
+        let syms_first = intern_important_terms(&mut vocab_inc, &important[..1]);
         let first = expand_append_recorded(
             &inc_db,
             0..1,
-            &important[..1],
+            &syms_first,
             &[&r],
             &mut vocab_inc,
             &ExpansionOptions::default(),
@@ -1102,10 +1168,11 @@ mod tests {
         assert_eq!(first.reused_terms, 0);
 
         inc_db.append(docs[1..].to_vec(), &mut vocab_inc);
+        let syms_second = intern_important_terms(&mut vocab_inc, &important[1..]);
         let second = expand_append_recorded(
             &inc_db,
             1..2,
-            &important[1..],
+            &syms_second,
             &[&r],
             &mut vocab_inc,
             &ExpansionOptions::default(),

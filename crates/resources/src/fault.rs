@@ -99,6 +99,7 @@ pub struct FaultyResource<R> {
     healed: AtomicBool,
     /// Per-term attempt counters (attempt mode); also drives the
     /// seed-derived latency/kind variation across retries.
+    // lint:allow(string-keyed-map, reason="backend-boundary bookkeeping keyed by the query string the resource receives")
     attempts: Mutex<HashMap<String, u64>>,
     injected: AtomicU64,
 }

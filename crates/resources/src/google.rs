@@ -54,6 +54,7 @@ impl ContextResource for GoogleResource<'_> {
         // Count distinct snippet occurrences per candidate term. A BTreeMap
         // keeps the phrase-absorption and ranking passes below iterating in
         // a fixed (lexicographic) order, independent of hasher seeding.
+        // lint:allow(string-keyed-map, reason="backend-internal snippet counting below the resource boundary")
         let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for hit in &hits {
             let mut seen: Vec<String> = Vec::new();

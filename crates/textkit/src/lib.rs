@@ -14,7 +14,10 @@
 //! * [`stem`] — a full Porter stemmer,
 //! * [`stopwords`] — a standard English stopword list,
 //! * [`phrase`] — n-gram and capitalized-phrase iterators,
-//! * [`vocab`] — an interning vocabulary mapping terms to dense [`TermId`]s,
+//! * [`sym`] — the global arena-backed term interner ([`Sym`], [`Interner`],
+//!   [`FrozenInterner`], dense [`SymTable`] maps),
+//! * [`vocab`] — an interning vocabulary mapping terms to dense [`TermId`]s
+//!   (a facade over [`sym`]),
 //! * [`zipf`] — Zipfian samplers used by the synthetic corpus generators.
 //!
 //! Everything here is written from scratch with no external NLP
@@ -23,6 +26,7 @@
 pub mod phrase;
 pub mod stem;
 pub mod stopwords;
+pub mod sym;
 pub mod tokenize;
 pub mod vocab;
 pub mod zipf;
@@ -30,6 +34,7 @@ pub mod zipf;
 pub use phrase::{ngrams, proper_noun_phrases};
 pub use stem::porter_stem;
 pub use stopwords::is_stopword;
+pub use sym::{FrozenInterner, InternStats, Interner, Sym, SymTable};
 pub use tokenize::{sentences, tokens, Token, TokenKind};
 pub use vocab::{FrozenVocabulary, TermId, Vocabulary};
 pub use zipf::Zipf;

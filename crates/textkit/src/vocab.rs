@@ -3,22 +3,27 @@
 //! Every component of the pipeline — the text database, the contextualized
 //! database, the external resources — speaks `TermId` rather than `String`,
 //! so frequency tables are dense `Vec`s and set operations are cheap.
+//!
+//! Since the global-interner refactor, [`TermId`] *is* [`Sym`](crate::Sym)
+//! and [`Vocabulary`] is a thin facade over the arena-backed
+//! [`Interner`](crate::Interner): term text lives once in a contiguous
+//! arena, lookup is a deterministic FNV-1a probe, and per-term `String`
+//! allocations are gone from the intern path. The facade keeps the
+//! vocabulary vocabulary (`intern`/`term`/`freeze`) that the rest of the
+//! system is written against.
 
-use std::collections::HashMap;
 use std::sync::Arc;
+
+use crate::sym::{InternStats, Interner};
 
 /// A dense identifier for an interned term. Valid only with respect to the
 /// [`Vocabulary`] that produced it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TermId(pub u32);
-
-impl TermId {
-    /// The id as a usable index.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+///
+/// `TermId` is the pipeline-facing name for the global interner's
+/// [`Sym`](crate::Sym) — one id space, two vocabularies of discourse. The
+/// re-export (rather than a type alias) keeps the tuple constructor and
+/// patterns (`TermId(0)`) working everywhere.
+pub use crate::sym::Sym as TermId;
 
 /// An append-only string interner for terms.
 ///
@@ -32,11 +37,12 @@ impl TermId {
 ///
 /// Interning the same string twice yields the same [`TermId`]; ids are
 /// assigned densely from zero in first-seen order, which makes them usable
-/// as indices into frequency vectors.
+/// as indices into frequency vectors. Backed by the arena
+/// [`Interner`](crate::Interner): no per-term heap strings, deterministic
+/// layout, and hit/miss counters surfaced via [`Vocabulary::stats`].
 #[derive(Debug, Default, Clone)]
 pub struct Vocabulary {
-    by_term: HashMap<String, TermId>,
-    terms: Vec<String>,
+    interner: Interner,
 }
 
 impl Vocabulary {
@@ -48,26 +54,18 @@ impl Vocabulary {
     /// Create an empty vocabulary with capacity for `n` terms.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            by_term: HashMap::with_capacity(n),
-            terms: Vec::with_capacity(n),
+            interner: Interner::with_capacity(n),
         }
     }
 
     /// Intern `term`, returning its id (allocating a new one if unseen).
     pub fn intern(&mut self, term: &str) -> TermId {
-        if let Some(&id) = self.by_term.get(term) {
-            return id;
-        }
-        // lint:allow(panic, reason="u32 id-space exhaustion (>4B distinct terms) is unrecoverable and unreachable for supported corpora")
-        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary overflow"));
-        self.terms.push(term.to_string());
-        self.by_term.insert(term.to_string(), id);
-        id
+        self.interner.intern(term)
     }
 
     /// Look up an already-interned term without allocating.
     pub fn get(&self, term: &str) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        self.interner.get(term)
     }
 
     /// Resolve an id back to its term string.
@@ -75,30 +73,43 @@ impl Vocabulary {
     /// # Panics
     /// Panics if `id` was not produced by this vocabulary.
     pub fn term(&self, id: TermId) -> &str {
-        &self.terms[id.index()]
+        self.interner.resolve(id)
     }
 
     /// Resolve an id if it is valid for this vocabulary.
     pub fn try_term(&self, id: TermId) -> Option<&str> {
-        self.terms.get(id.index()).map(String::as_str)
+        self.interner.try_resolve(id)
     }
 
     /// Number of distinct interned terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.interner.len()
     }
 
     /// True if no terms are interned.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.interner.is_empty()
     }
 
     /// Iterate over `(TermId, &str)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+        self.interner.iter()
+    }
+
+    /// Interner hit/miss/len counters (the `intern.{hits,misses,len}`
+    /// observability metrics).
+    pub fn stats(&self) -> InternStats {
+        self.interner.stats()
+    }
+
+    /// Merge `other`'s terms into this vocabulary, extending `remap` so
+    /// `remap[id.index()]` is this vocabulary's id for `other.term(id)`.
+    ///
+    /// Only the unprocessed suffix `remap.len()..other.len()` is replayed,
+    /// so repeated merges of a growing shard vocabulary do O(new terms)
+    /// work. See [`Interner::extend_remap`](crate::Interner::extend_remap).
+    pub fn extend_remap(&mut self, other: &Vocabulary, remap: &mut Vec<TermId>) {
+        self.interner.extend_remap(&other.interner, remap);
     }
 
     /// Take an immutable, shareable snapshot of the current state.
@@ -124,6 +135,16 @@ impl Vocabulary {
 #[derive(Debug, Clone)]
 pub struct FrozenVocabulary {
     inner: Arc<Vocabulary>,
+}
+
+impl Default for FrozenVocabulary {
+    /// An empty frozen view (no terms). Useful as the placeholder
+    /// vocabulary of an empty forest.
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(Vocabulary::default()),
+        }
+    }
 }
 
 impl FrozenVocabulary {
@@ -159,6 +180,11 @@ impl FrozenVocabulary {
     /// Iterate over `(TermId, &str)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
         self.inner.iter()
+    }
+
+    /// Counters at freeze time.
+    pub fn stats(&self) -> InternStats {
+        self.inner.stats()
     }
 
     /// A full read-only view of the underlying vocabulary, for APIs that
@@ -231,5 +257,35 @@ mod tests {
         let c = frozen.clone();
         assert_eq!(c.len(), 1);
         assert_eq!(c.as_vocabulary().get("x"), Some(x));
+    }
+
+    #[test]
+    fn stats_track_interns() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        v.intern("a");
+        v.intern("b");
+        let s = v.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 2, 2));
+    }
+
+    #[test]
+    fn extend_remap_delegates_to_interner() {
+        let mut merged = Vocabulary::new();
+        merged.intern("x");
+        let mut shard = Vocabulary::new();
+        shard.intern("y");
+        shard.intern("x");
+        let mut remap = Vec::new();
+        merged.extend_remap(&shard, &mut remap);
+        assert_eq!(remap, vec![TermId(1), TermId(0)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn default_frozen_vocabulary_is_empty() {
+        let f = FrozenVocabulary::default();
+        assert!(f.is_empty());
+        assert_eq!(f.get("anything"), None);
     }
 }

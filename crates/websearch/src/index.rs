@@ -1,7 +1,7 @@
 //! Web pages and the inverted index.
 
-use facet_textkit::{is_stopword, tokens, TokenKind};
-use std::collections::{BTreeMap, HashMap};
+use facet_textkit::{is_stopword, tokens, Interner, TokenKind};
+use std::collections::BTreeMap;
 
 /// Index of a page in the web corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -54,9 +54,15 @@ pub fn index_terms(text: &str) -> Vec<String> {
 }
 
 /// An inverted index over web pages.
+///
+/// Terms are interned into an arena [`Interner`] and posting lists live
+/// in a dense symbol-indexed table — no per-term `String` keys and no
+/// hash-map iteration order anywhere near the read path.
 #[derive(Debug, Default)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    terms: Interner,
+    /// Posting lists indexed by the term's symbol.
+    postings: Vec<Vec<Posting>>,
     doc_len: Vec<u32>,
     total_len: u64,
 }
@@ -64,7 +70,8 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Build the index over `pages` (ids must be dense from zero).
     pub fn build(pages: &[WebPage]) -> Self {
-        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        let mut terms_tab = Interner::new();
+        let mut postings: Vec<Vec<Posting>> = Vec::new();
         let mut doc_len = Vec::with_capacity(pages.len());
         let mut total_len = 0u64;
         for page in pages {
@@ -77,10 +84,11 @@ impl InvertedIndex {
                 *counts.entry(t.as_str()).or_insert(0) += 1;
             }
             for (term, tf) in counts {
-                postings
-                    .entry(term.to_string())
-                    .or_default()
-                    .push(Posting { doc: page.id, tf });
+                let sym = terms_tab.intern(term);
+                if sym.index() == postings.len() {
+                    postings.push(Vec::new());
+                }
+                postings[sym.index()].push(Posting { doc: page.id, tf });
             }
             doc_len.push(terms.len() as u32);
             total_len += terms.len() as u64;
@@ -90,6 +98,7 @@ impl InvertedIndex {
         // at most once per list, so no re-sort is needed (asserted by the
         // `postings_sorted_by_doc` regression test).
         Self {
+            terms: terms_tab,
             postings,
             doc_len,
             total_len,
@@ -98,7 +107,10 @@ impl InvertedIndex {
 
     /// Postings for a term (empty if unseen).
     pub fn postings(&self, term: &str) -> &[Posting] {
-        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+        self.terms
+            .get(term)
+            .map(|s| self.postings[s.index()].as_slice())
+            .unwrap_or(&[])
     }
 
     /// Document frequency of a term.
@@ -127,7 +139,14 @@ impl InvertedIndex {
 
     /// Number of distinct terms.
     pub fn vocabulary_size(&self) -> usize {
-        self.postings.len()
+        self.terms.len()
+    }
+
+    /// Iterate over `(term, postings)` pairs in symbol (first-seen) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Posting])> {
+        self.terms
+            .iter()
+            .map(|(s, t)| (t, self.postings[s.index()].as_slice()))
     }
 }
 
@@ -201,7 +220,7 @@ mod tests {
             .collect();
         let idx = InvertedIndex::build(&pages);
         assert!(idx.vocabulary_size() > 5);
-        for (term, list) in &idx.postings {
+        for (term, list) in idx.iter() {
             assert!(
                 list.windows(2).all(|w| w[0].doc < w[1].doc),
                 "postings for {term:?} not strictly doc-ordered: {list:?}"

@@ -12,24 +12,32 @@
 
 use crate::page::{PageId, Wikipedia};
 use crate::redirects::RedirectTable;
-use facet_textkit::{is_stopword, tokens, TokenKind};
-use std::collections::HashMap;
+use facet_textkit::{is_stopword, tokens, Interner, SymTable, TokenKind};
 
 /// A dictionary of page titles supporting longest-match extraction.
+///
+/// Both the full normalized title keys and their first words are interned
+/// into one arena [`Interner`]; the page mapping and the first-word
+/// length bound live in dense symbol-indexed [`SymTable`]s instead of
+/// `String`-keyed hash maps, so the extraction scan probes by symbol.
 #[derive(Debug)]
 pub struct TitleIndex {
-    /// normalized title words joined by space → canonical page.
-    map: HashMap<String, PageId>,
-    /// first word → maximum title length (in words) starting with it.
-    first_word_max: HashMap<String, usize>,
+    /// Shared arena for title keys and first words.
+    terms: Interner,
+    /// Symbol of the normalized title key → canonical page.
+    map: SymTable<PageId>,
+    /// Symbol of a first word → maximum title length (in words) starting
+    /// with it.
+    first_word_max: SymTable<usize>,
 }
 
 impl TitleIndex {
     /// Build the index over all page titles plus all redirect titles
     /// (redirects map to their target page).
     pub fn build(wiki: &Wikipedia, redirects: &RedirectTable) -> Self {
-        let mut map = HashMap::new();
-        let mut first_word_max: HashMap<String, usize> = HashMap::new();
+        let mut terms = Interner::new();
+        let mut map: SymTable<PageId> = SymTable::new();
+        let mut first_word_max: SymTable<usize> = SymTable::new();
         let mut insert = |title: &str, page: PageId| {
             let words: Vec<String> = title
                 .to_lowercase()
@@ -39,9 +47,12 @@ impl TitleIndex {
             if words.is_empty() {
                 return;
             }
-            let key = words.join(" ");
-            map.entry(key).or_insert(page);
-            let entry = first_word_max.entry(words[0].clone()).or_insert(0);
+            let key_sym = terms.intern(&words.join(" "));
+            if !map.contains(key_sym) {
+                map.insert(key_sym, page);
+            }
+            let first_sym = terms.intern(&words[0]);
+            let entry = first_word_max.get_or_default(first_sym);
             *entry = (*entry).max(words.len());
         };
         for p in wiki.pages() {
@@ -53,6 +64,7 @@ impl TitleIndex {
             }
         }
         Self {
+            terms,
             map,
             first_word_max,
         }
@@ -96,7 +108,11 @@ impl TitleIndex {
         let mut out = Vec::new();
         let mut i = 0;
         while i < words.len() {
-            let Some(&max_len) = self.first_word_max.get(&words[i]) else {
+            let Some(&max_len) = self
+                .terms
+                .get(&words[i])
+                .and_then(|s| self.first_word_max.get(s))
+            else {
                 i += 1;
                 continue;
             };
@@ -115,7 +131,7 @@ impl TitleIndex {
                     continue;
                 }
                 let key = words[i..i + len].join(" ");
-                if let Some(&page) = self.map.get(&key) {
+                if let Some(&page) = self.terms.get(&key).and_then(|s| self.map.get(s)) {
                     let _ = wiki;
                     out.push((key, page));
                     i += len;

@@ -132,12 +132,13 @@ fn main() {
         },
     )
     .with_recorder(recorder.clone());
-    let forest = {
+    let (extraction, forest) = {
         let span = recorder.span("query_facets");
         span.attr("query", query.as_str());
         span.attr("results", result_db.len() as u64);
         let extraction = pipeline.run(&result_db, &mut vocab);
-        pipeline.build_hierarchies(&extraction, &vocab)
+        let forest = pipeline.build_hierarchies(&extraction, &vocab);
+        (extraction, forest)
     };
 
     println!(
@@ -146,6 +147,19 @@ fn main() {
         forest.trees.len()
     );
     print!("{}", forest.render(4));
+
+    // The refinement counts a faceted UI renders next to each top-level
+    // link. Display labels resolve through the forest's frozen interner
+    // view exactly once per browse — nodes carry only symbols, so there
+    // is no per-node label clone anywhere in this loop.
+    let engine = facet_hierarchies::core::BrowseEngine::new(
+        forest,
+        extraction.contextualized.doc_terms.clone(),
+    );
+    println!("top-level refinements:");
+    for (_, label, count) in engine.refinements(&[], None).into_iter().take(8) {
+        println!("  {label} ({count})");
+    }
 
     if let Some(path) = obs_out {
         let report = recorder.snapshot();

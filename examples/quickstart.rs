@@ -74,9 +74,8 @@ fn main() {
     let forest = pipeline.build_hierarchies(&extraction, &vocab);
     println!("\nfacet hierarchy (top 3 facets, 5 children each):");
     for tree in forest.trees.iter().take(3) {
-        let mini = facet_hierarchies::core::FacetForest {
-            trees: vec![tree.clone()],
-        };
+        let mini =
+            facet_hierarchies::core::FacetForest::new(vec![tree.clone()], forest.vocab().clone());
         print!("{}", mini.render(5));
     }
 }
