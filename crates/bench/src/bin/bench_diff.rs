@@ -28,11 +28,27 @@ use facet_jsonio::{parse_json, JsonValue};
 use std::collections::HashMap;
 use std::process::exit;
 
+/// A resolved metric path: the values it matched, plus every place the
+/// path died — a missing key, an out-of-range index, or a `*` over a
+/// non-array/empty value. Dead ends are first-class so the gate can
+/// refuse to pass a check that silently skipped part of a report: a
+/// typo'd path dies at its first segment, and a partial `*` fan-out
+/// (some array elements lacking the leaf field) dies at each gap even
+/// while other elements match.
+struct Resolution<'a> {
+    /// `(full_path, value)` pairs the path matched.
+    matches: Vec<(String, &'a JsonValue)>,
+    /// Full paths (up to and including the failing segment) where
+    /// resolution found nothing.
+    dead_ends: Vec<String>,
+}
+
 /// Resolve a dot-separated path inside a parsed JSON value. A `*`
-/// segment fans out over array elements; a numeric segment indexes one.
-/// Returns `(full_path, value)` pairs for reporting.
-fn resolve<'a>(value: &'a JsonValue, path: &str) -> Vec<(String, &'a JsonValue)> {
+/// segment fans out over every array element; a numeric segment indexes
+/// one.
+fn resolve<'a>(value: &'a JsonValue, path: &str) -> Resolution<'a> {
     let mut frontier: Vec<(String, &JsonValue)> = vec![(String::new(), value)];
+    let mut dead_ends = Vec::new();
     for seg in path.split('.') {
         let mut next = Vec::new();
         for (prefix, v) in frontier {
@@ -44,27 +60,35 @@ fn resolve<'a>(value: &'a JsonValue, path: &str) -> Vec<(String, &'a JsonValue)>
                 }
             };
             match seg {
-                "*" => {
-                    if let Some(items) = v.as_array() {
+                "*" => match v.as_array() {
+                    Some(items) if !items.is_empty() => {
                         for (i, item) in items.iter().enumerate() {
                             next.push((join(&i.to_string()), item));
                         }
                     }
-                }
+                    _ => dead_ends.push(join("*")),
+                },
                 _ => {
                     if let Some(child) = v.get(seg) {
                         next.push((join(seg), child));
                     } else if let (Ok(i), Some(items)) = (seg.parse::<usize>(), v.as_array()) {
                         if let Some(item) = items.get(i) {
                             next.push((join(seg), item));
+                        } else {
+                            dead_ends.push(join(seg));
                         }
+                    } else {
+                        dead_ends.push(join(seg));
                     }
                 }
             }
         }
         frontier = next;
     }
-    frontier
+    Resolution {
+        matches: frontier,
+        dead_ends,
+    }
 }
 
 /// One check outcome; `Err` carries the human-readable regression line.
@@ -77,21 +101,38 @@ fn run_check(report: &JsonValue, file: &str, check: &JsonValue) -> Result<usize,
             .get("unless")
             .and_then(JsonValue::as_str)
             .map(|p| {
-                resolve(target, p)
-                    .iter()
-                    .all(|(_, v)| v.as_bool() == Some(true))
-                    && !resolve(target, p).is_empty()
+                // A waiver must resolve completely: a dead end anywhere
+                // in the `unless` path means the check is NOT waived.
+                let r = resolve(target, p);
+                r.dead_ends.is_empty()
+                    && !r.matches.is_empty()
+                    && r.matches.iter().all(|(_, v)| v.as_bool() == Some(true))
             })
             .unwrap_or(false)
     };
     let found = resolve(report, path);
-    if found.is_empty() {
+    // Any dead end fails the check, even when other fan-out branches
+    // matched: a threshold the report silently stopped exporting (or a
+    // typo'd spec path) must fail the gate, not skip it.
+    if !found.dead_ends.is_empty() {
+        return Err(found
+            .dead_ends
+            .iter()
+            .map(|at| {
+                format!(
+                    "REGRESSION {file}: metric path `{path}` matches nothing at `{at}` \
+                     (fix the spec path or restore the metric)"
+                )
+            })
+            .collect());
+    }
+    if found.matches.is_empty() {
         return Err(vec![format!(
             "REGRESSION {file}: metric path `{path}` missing from report"
         )]);
     }
     let mut failures = Vec::new();
-    for (at, v) in &found {
+    for (at, v) in &found.matches {
         let ok = match kind {
             "max" => v.as_f64().map(|x| x <= limit.unwrap_or(f64::NEG_INFINITY)),
             "min" => v.as_f64().map(|x| x >= limit.unwrap_or(f64::INFINITY)),
@@ -121,7 +162,7 @@ fn run_check(report: &JsonValue, file: &str, check: &JsonValue) -> Result<usize,
         }
     }
     if failures.is_empty() {
-        Ok(found.len())
+        Ok(found.matches.len())
     } else {
         Err(failures)
     }
@@ -313,4 +354,96 @@ fn main() {
         }
     };
     exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> JsonValue {
+        parse_json(
+            r#"{
+                "speedup": 3.5,
+                "runs": [
+                    {"ok": true, "ms": 10.0},
+                    {"ms": 12.0},
+                    {"ok": true, "ms": 11.0}
+                ],
+                "noise": {"waived": true}
+            }"#,
+        )
+        .expect("test report parses")
+    }
+
+    fn check(json: &str) -> JsonValue {
+        parse_json(json).expect("test check parses")
+    }
+
+    #[test]
+    fn resolve_reports_full_and_partial_dead_ends() {
+        let r = report();
+        // Typo'd leaf: dies at the first segment, matches nothing.
+        let miss = resolve(&r, "speedpu");
+        assert!(miss.matches.is_empty());
+        assert_eq!(miss.dead_ends, vec!["speedpu".to_string()]);
+        // Partial fan-out: runs[1] lacks `ok`, the others match. This is
+        // the hole the gate used to fall through silently.
+        let partial = resolve(&r, "runs.*.ok");
+        assert_eq!(partial.matches.len(), 2);
+        assert_eq!(partial.dead_ends, vec!["runs.1.ok".to_string()]);
+        // Fully-present leaf resolves cleanly.
+        let full = resolve(&r, "runs.*.ms");
+        assert_eq!(full.matches.len(), 3);
+        assert!(full.dead_ends.is_empty());
+        // `*` over a non-array is a dead end, not an empty success.
+        let scalar = resolve(&r, "speedup.*");
+        assert!(scalar.matches.is_empty());
+        assert_eq!(scalar.dead_ends, vec!["speedup.*".to_string()]);
+        // Out-of-range numeric index is a dead end.
+        let oob = resolve(&r, "runs.7.ms");
+        assert!(oob.matches.is_empty());
+        assert_eq!(oob.dead_ends, vec!["runs.7".to_string()]);
+    }
+
+    #[test]
+    fn run_check_errors_on_typo_path() {
+        let r = report();
+        let c = check(r#"{"file": "B.json", "path": "speedpu", "kind": "min", "limit": 2.0}"#);
+        let err = run_check(&r, "B.json", &c).expect_err("typo'd path must fail the gate");
+        assert!(err[0].contains("matches nothing at `speedpu`"), "{err:?}");
+    }
+
+    #[test]
+    fn run_check_errors_on_partial_wildcard_fanout() {
+        let r = report();
+        let c = check(r#"{"file": "B.json", "path": "runs.*.ok", "kind": "true"}"#);
+        let err = run_check(&r, "B.json", &c).expect_err("partial fan-out must fail the gate");
+        assert!(err[0].contains("matches nothing at `runs.1.ok`"), "{err:?}");
+    }
+
+    #[test]
+    fn run_check_passes_fully_resolved_paths() {
+        let r = report();
+        let c = check(r#"{"file": "B.json", "path": "runs.*.ms", "kind": "max", "limit": 20.0}"#);
+        assert_eq!(run_check(&r, "B.json", &c).expect("all present"), 3);
+        let c = check(r#"{"file": "B.json", "path": "speedup", "kind": "min", "limit": 2.0}"#);
+        assert_eq!(run_check(&r, "B.json", &c).expect("scalar present"), 1);
+    }
+
+    #[test]
+    fn unless_with_dead_end_does_not_waive() {
+        let r = report();
+        // Over-limit metric, waiver path typo'd: must regress, not waive.
+        let c = check(
+            r#"{"file": "B.json", "path": "speedup", "kind": "max", "limit": 1.0,
+                "unless": "noise.wavied"}"#,
+        );
+        assert!(run_check(&r, "B.json", &c).is_err());
+        // Same check with the real waiver path is waived.
+        let c = check(
+            r#"{"file": "B.json", "path": "speedup", "kind": "max", "limit": 1.0,
+                "unless": "noise.waived"}"#,
+        );
+        assert!(run_check(&r, "B.json", &c).is_ok());
+    }
 }

@@ -1,0 +1,174 @@
+//! Serving-tier load benchmark for `FacetServer` (ISSUE 8 tentpole).
+//!
+//! ```text
+//! load_bench [--scale <f>] [--shards <n>] [--readers <n>] [--queries <n>]
+//!            [--appends <n>] [--seed <n>] [--out <path>] [--digest <path>]
+//!            [--smoke]
+//! ```
+//!
+//! Drives a seeded Zipfian query mix against a `FacetServer` over the
+//! SNYT recipe: a quiescent cached-vs-uncached baseline, then `--readers`
+//! threads replaying the mix while the writer appends `--appends` batches
+//! mid-run, then a post-append deterministic sweep. Writes the report as
+//! JSON (default `BENCH_5.json` at the repo root) and prints a summary.
+//!
+//! `--digest <path>` additionally writes a timing-free sidecar (digest,
+//! pool size, doc counts, generation, mismatch count) — two runs of the
+//! same configuration must produce byte-identical sidecars, which
+//! `scripts/check.sh --serve-smoke` verifies with `cmp`.
+//!
+//! `--smoke` asserts the report invariants (zero identity mismatches,
+//! ≥2x cached speedup, hit-rate arithmetic) and exits non-zero on
+//! violation — wired into `scripts/check.sh --tier1` via `--serve-smoke`.
+
+use facet_bench::{run_load_bench, LoadBenchConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = LoadBenchConfig::default();
+    let mut out: Option<String> = None;
+    let mut digest_out: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                config.scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+                i += 2;
+            }
+            "--shards" => {
+                config.shards = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(4);
+                i += 2;
+            }
+            "--readers" => {
+                config.readers = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(4);
+                i += 2;
+            }
+            "--queries" => {
+                config.queries_per_reader =
+                    argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(300);
+                i += 2;
+            }
+            "--appends" => {
+                config.mid_run_appends = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
+            "--seed" => {
+                config.seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--digest" => {
+                digest_out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // Default to the repo root regardless of invocation cwd.
+        format!("{}/../../BENCH_5.json", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let report = run_load_bench(&config);
+    println!(
+        "serving-tier load bench ({}, {} -> {} docs, {} shards, {} readers x {} queries, \
+         {} mid-run appends, {} host cpus)",
+        report.dataset,
+        report.initial_docs,
+        report.total_docs,
+        report.config.shards,
+        report.config.readers,
+        report.config.queries_per_reader,
+        report.config.mid_run_appends,
+        report.host_cpus
+    );
+    println!(
+        "pool {} labels, generation {}, digest {}",
+        report.query_pool, report.final_generation, report.digest
+    );
+    println!(
+        "contended browse: p50 {:.1} us, p99 {:.1} us; cache {} hits / {} misses \
+         ({:.1}% hit rate, {} invalidated)",
+        report.browse_p50_us,
+        report.browse_p99_us,
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate * 100.0,
+        report.cache_invalidations
+    );
+    println!(
+        "quiescent: cached hit p50 {:.2} us vs uncached p50 {:.1} us => {:.1}x speedup",
+        report.cached_hit_p50_us, report.uncached_p50_us, report.cached_vs_uncached_speedup
+    );
+    println!(
+        "identity: {} checked byte-identical, {} skipped (generation race), {} mismatches",
+        report.identity_checks, report.identity_skipped_generation_race, report.identity_mismatches
+    );
+
+    // Byte-identity is unconditional: a serving tier that answers from
+    // the cache differently than from re-selection is broken no matter
+    // what the timings say.
+    assert_eq!(
+        report.identity_mismatches, 0,
+        "cached browse diverged from uncached re-selection"
+    );
+    if smoke {
+        assert!(
+            report.cached_vs_uncached_speedup >= 2.0,
+            "cached-hit browse must be >=2x faster than uncached re-selection, got {:.2}x",
+            report.cached_vs_uncached_speedup
+        );
+        assert!(
+            report.identity_checks > 0,
+            "the contended phase performed no same-generation identity checks"
+        );
+        assert!(
+            report.final_generation > 0 || report.config.mid_run_appends == 0,
+            "mid-run appends must bump the published generation"
+        );
+        let total = report.cache_hits + report.cache_misses;
+        assert_eq!(
+            total,
+            (report.config.readers * report.config.queries_per_reader) as u64,
+            "every contended browse must count as exactly one hit or miss"
+        );
+        let rate = report.cache_hits as f64 / (total as f64).max(1.0);
+        assert!(
+            (report.cache_hit_rate - rate).abs() < 1e-9,
+            "hit rate must be hits / (hits + misses)"
+        );
+        println!("smoke assertions passed");
+    }
+
+    if let Some(path) = digest_out {
+        // Timing-free determinism sidecar: identical across two runs of
+        // the same configuration.
+        let sidecar = format!(
+            "digest={}\nquery_pool={}\ninitial_docs={}\ntotal_docs={}\n\
+             final_generation={}\nidentity_mismatches={}\n",
+            report.digest,
+            report.query_pool,
+            report.initial_docs,
+            report.total_docs,
+            report.final_generation,
+            report.identity_mismatches
+        );
+        std::fs::write(&path, sidecar).expect("write digest sidecar");
+        println!("wrote {path}");
+    }
+
+    let json = facet_jsonio::to_json_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    println!("wrote {out}");
+}

@@ -1104,3 +1104,335 @@ pub fn run_dimensions(kind: RecipeKind, scale: f64, top_k: usize) -> (Table, Tab
     }
     (dims, comp)
 }
+
+/// Configuration of the serving-tier load benchmark.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadBenchConfig {
+    /// Corpus scale (1.0 = paper scale).
+    pub scale: f64,
+    /// Shard count of the serving index.
+    pub shards: usize,
+    /// Concurrent reader threads in the contended phase.
+    pub readers: usize,
+    /// Queries each reader issues in the contended phase.
+    pub queries_per_reader: usize,
+    /// Append batches the writer publishes while readers run.
+    pub mid_run_appends: usize,
+    /// Zipf exponent of the query mix (rank 0 = most prominent facet).
+    pub zipf_exponent: f64,
+    /// RNG seed; reader `r` derives its stream from `seed + r`.
+    pub seed: u64,
+}
+
+impl Default for LoadBenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.2,
+            shards: 4,
+            readers: 4,
+            queries_per_reader: 300,
+            mid_run_appends: 3,
+            zipf_exponent: 1.07,
+            seed: 42,
+        }
+    }
+}
+
+/// The serving-tier load benchmark report (`BENCH_5.json`).
+#[derive(Debug, serde::Serialize)]
+pub struct LoadBenchReport {
+    /// Dataset recipe name.
+    pub dataset: String,
+    /// The configuration that produced this report.
+    pub config: LoadBenchConfig,
+    /// Documents indexed before the contended phase started.
+    pub initial_docs: usize,
+    /// Documents indexed after all mid-run appends landed.
+    pub total_docs: usize,
+    /// Cores the host offered the process (bounds reader parallelism).
+    pub host_cpus: usize,
+    /// Distinct labels in the Zipfian query pool (forest roots first,
+    /// then their children, in forest order).
+    pub query_pool: usize,
+    /// Published generation after the final append.
+    pub final_generation: u64,
+    /// Signature-cache hits during the contended phase.
+    pub cache_hits: u64,
+    /// Signature-cache misses during the contended phase.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` of the contended phase.
+    pub cache_hit_rate: f64,
+    /// Cache entries dropped by generation bumps over the whole run.
+    pub cache_invalidations: u64,
+    /// p50 latency of `ServeHandle::browse` under contention, µs.
+    pub browse_p50_us: f64,
+    /// p99 latency of `ServeHandle::browse` under contention, µs.
+    pub browse_p99_us: f64,
+    /// p50 latency of a guaranteed cache hit (quiescent, single
+    /// thread), µs.
+    pub cached_hit_p50_us: f64,
+    /// p99 latency of a guaranteed cache hit (quiescent, single
+    /// thread), µs.
+    pub cached_hit_p99_us: f64,
+    /// p50 latency of an uncached fan-out re-selection over the same
+    /// queries (quiescent, single thread), µs.
+    pub uncached_p50_us: f64,
+    /// p99 latency of an uncached fan-out re-selection over the same
+    /// queries (quiescent, single thread), µs.
+    pub uncached_p99_us: f64,
+    /// `uncached_p50_us / cached_hit_p50_us` — the ISSUE 8 acceptance
+    /// bar is ≥ 2.
+    pub cached_vs_uncached_speedup: f64,
+    /// Same-generation cached-vs-uncached byte-identity comparisons
+    /// performed during the contended phase (one per browse whose
+    /// pinned snapshot still matched the answer's generation).
+    pub identity_checks: u64,
+    /// Comparisons skipped because a concurrent append moved the
+    /// generation between the cached answer and the pinned snapshot.
+    pub identity_skipped_generation_race: u64,
+    /// Byte-identity failures — must be 0.
+    pub identity_mismatches: u64,
+    /// FNV-1a digest over the canonical browse output of every pool
+    /// query before and after the appends, plus the pool itself. Two
+    /// runs of the same configuration must produce the same digest.
+    pub digest: String,
+}
+
+/// Nearest-rank percentile over an unsorted sample of nanosecond
+/// latencies, reported in microseconds (cache hits are sub-µs, so the
+/// samples are captured at nanosecond resolution).
+fn percentile_us(samples: &mut [u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx.min(samples.len() - 1)] as f64 / 1e3
+}
+
+/// Drive a seeded Zipfian query mix against a `FacetServer` under
+/// concurrent appends (the tentpole measurement of ISSUE 8).
+///
+/// Three phases:
+/// 1. **Baseline (quiescent, single thread)** — every pool query is
+///    answered uncached (timed), then twice through the cache so the
+///    second answer is a guaranteed hit (timed). The cached and
+///    uncached answers are asserted byte-identical; canonical outputs
+///    fold into the determinism digest.
+/// 2. **Contended** — `readers` threads each replay their own seeded
+///    Zipfian mix through a shared [`facet_core::ServeHandle`] while
+///    the writer appends `mid_run_appends` batches. Every browse is
+///    re-answered uncached against a pinned snapshot and compared
+///    byte-for-byte whenever the generations match (a concurrent
+///    publish between the two reads is counted, not compared).
+/// 3. **Post-append sweep (quiescent)** — every pool query again, at
+///    the final generation, folded into the digest: same config ⇒
+///    same digest, run to run.
+pub fn run_load_bench(config: &LoadBenchConfig) -> LoadBenchReport {
+    use facet_core::{fanout_browse, FacetServer, ShardedFacetIndex};
+    use facet_ner::NerTagger;
+    use facet_resources::{CachedResource, ContextResource, WikiGraphResource};
+    use facet_termx::{NamedEntityExtractor, TermExtractor};
+    use facet_textkit::Zipf;
+    use facet_wikipedia::WikipediaGraph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let fold = |digest: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *digest ^= u64::from(b);
+            *digest = digest.wrapping_mul(FNV_PRIME);
+        }
+    };
+
+    let bundle = scaled_bundle(RecipeKind::Snyt, config.scale);
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let options = PipelineOptions::default();
+    let res = CachedResource::new(WikiGraphResource::new(&graph));
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+    let resources: Vec<&dyn ContextResource> = vec![&res];
+
+    // Reserve the tail of the corpus for the mid-run appends.
+    let appends = config.mid_run_appends;
+    let batch = (docs.len() / 20).max(1);
+    let reserved = (batch * appends).min(docs.len().saturating_sub(1));
+    let (initial, tail) = docs.split_at(docs.len() - reserved);
+    let append_batches: Vec<Vec<_>> = tail.chunks(batch.max(1)).map(<[_]>::to_vec).collect();
+
+    let mut index = ShardedFacetIndex::new(config.shards, extractors, resources, options);
+    index
+        .append(initial.to_vec())
+        .expect("bench batches are well-formed");
+    let mut server = FacetServer::new(index);
+    let handle = server.handle();
+
+    // Query pool: forest roots then their children, forest order.
+    let snapshot = server.snapshot();
+    let forest = snapshot.merged().forest();
+    let mut pool: Vec<String> = Vec::new();
+    for tree in &forest.trees {
+        pool.push(forest.label(&tree.root).to_string());
+        for child in &tree.root.children {
+            pool.push(forest.label(child).to_string());
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    pool.retain(|label| seen.insert(label.clone()));
+    if pool.is_empty() {
+        // Degenerate corpus (ultra-small smoke scales): fall back to
+        // the ranked candidate labels so the bench still exercises the
+        // cache machinery.
+        let merged = snapshot.merged();
+        pool = merged
+            .candidates()
+            .iter()
+            .take(16)
+            .map(|c| merged.vocab().term(c.term).to_string())
+            .collect();
+    }
+    assert!(!pool.is_empty(), "load bench needs a non-empty query pool");
+
+    // Pre-draw every reader's Zipfian mix so the contended phase does
+    // no RNG work and two runs replay identical query streams.
+    let zipf = Zipf::new(pool.len(), config.zipf_exponent);
+    let mixes: Vec<Vec<Vec<String>>> = (0..config.readers)
+        .map(|r| {
+            let mut rng = StdRng::seed_from_u64(config.seed + r as u64);
+            (0..config.queries_per_reader)
+                .map(|_| {
+                    let first = zipf.sample(rng.gen::<f64>());
+                    let mut q = vec![pool[first].clone()];
+                    if rng.gen::<f64>() < 0.25 {
+                        q.push(pool[zipf.sample(rng.gen::<f64>())].clone());
+                    }
+                    q
+                })
+                .collect()
+        })
+        .collect();
+
+    // Phase 1 — quiescent baseline over the whole pool.
+    let mut digest = FNV_OFFSET;
+    for label in &pool {
+        fold(&mut digest, label.as_bytes());
+        fold(&mut digest, &[0xFE]);
+    }
+    let mut uncached_us: Vec<u64> = Vec::with_capacity(pool.len());
+    let mut hit_us: Vec<u64> = Vec::with_capacity(pool.len());
+    for label in &pool {
+        let query = [label.as_str()];
+        let t = Instant::now();
+        let uncached = handle.browse_uncached(&query);
+        uncached_us.push(t.elapsed().as_nanos() as u64);
+        let primed = handle.browse(&query);
+        let t = Instant::now();
+        let cached = handle.browse(&query);
+        hit_us.push(t.elapsed().as_nanos() as u64);
+        assert!(
+            std::sync::Arc::ptr_eq(&primed, &cached),
+            "second browse of an unchanged generation must be a cache hit"
+        );
+        let canon = uncached.canonical();
+        assert_eq!(
+            canon,
+            cached.canonical(),
+            "cached browse diverged from uncached re-selection for {label:?}"
+        );
+        fold(&mut digest, canon.as_bytes());
+    }
+
+    // Phase 2 — contended: readers replay their mixes while the writer
+    // appends. Every browse is checked byte-identical against a fresh
+    // fan-out whenever the pinned snapshot still has the answer's
+    // generation.
+    let stats_before = handle.cache_stats();
+    let mut browse_us: Vec<u64> = Vec::new();
+    let mut identity_checks = 0u64;
+    let mut identity_skipped = 0u64;
+    let mut identity_mismatches = 0u64;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = mixes
+            .iter()
+            .map(|mix| {
+                let h = handle.clone();
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(mix.len());
+                    let (mut checks, mut skipped, mut bad) = (0u64, 0u64, 0u64);
+                    for q in mix {
+                        let query: Vec<&str> = q.iter().map(String::as_str).collect();
+                        let t = Instant::now();
+                        let answer = h.browse(&query);
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        let pinned = h.snapshot();
+                        if pinned.generation() == answer.generation {
+                            let fresh = fanout_browse(&pinned, &query);
+                            checks += 1;
+                            if fresh.canonical() != answer.canonical() {
+                                bad += 1;
+                            }
+                        } else {
+                            skipped += 1;
+                        }
+                    }
+                    (lat, checks, skipped, bad)
+                })
+            })
+            .collect();
+        for batch in append_batches {
+            server.append(batch).expect("bench batches are well-formed");
+            std::thread::yield_now();
+        }
+        for worker in workers {
+            let (lat, checks, skipped, bad) = worker.join().expect("reader thread panicked");
+            browse_us.extend(lat);
+            identity_checks += checks;
+            identity_skipped += skipped;
+            identity_mismatches += bad;
+        }
+    });
+    let stats_after = handle.cache_stats();
+
+    // Phase 3 — post-append deterministic sweep at the final generation.
+    let final_snapshot = server.snapshot();
+    for label in &pool {
+        let fresh = fanout_browse(&final_snapshot, &[label.as_str()]);
+        fold(&mut digest, fresh.canonical().as_bytes());
+    }
+
+    let hits = stats_after.hits - stats_before.hits;
+    let misses = stats_after.misses - stats_before.misses;
+    let uncached_p50 = percentile_us(&mut uncached_us, 0.50);
+    let hit_p50 = percentile_us(&mut hit_us, 0.50);
+    LoadBenchReport {
+        dataset: RecipeKind::Snyt.name().to_string(),
+        config: config.clone(),
+        initial_docs: initial.len(),
+        total_docs: docs.len(),
+        host_cpus: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        query_pool: pool.len(),
+        final_generation: final_snapshot.generation(),
+        cache_hits: hits,
+        cache_misses: misses,
+        cache_hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+        cache_invalidations: stats_after.invalidations,
+        browse_p50_us: percentile_us(&mut browse_us, 0.50),
+        browse_p99_us: percentile_us(&mut browse_us, 0.99),
+        cached_hit_p50_us: hit_p50,
+        cached_hit_p99_us: percentile_us(&mut hit_us, 0.99),
+        uncached_p50_us: uncached_p50,
+        uncached_p99_us: percentile_us(&mut uncached_us, 0.99),
+        cached_vs_uncached_speedup: uncached_p50 / hit_p50.max(1e-3),
+        identity_checks,
+        identity_skipped_generation_race: identity_skipped,
+        identity_mismatches,
+        digest: format!("{digest:016x}"),
+    }
+}

@@ -39,6 +39,7 @@ pub mod hierarchy;
 pub mod index;
 pub mod pipeline;
 pub mod selection;
+pub mod serve;
 pub mod shard;
 pub mod subsumption;
 
@@ -52,6 +53,10 @@ pub use pipeline::{FacetExtraction, FacetPipeline};
 pub use selection::{
     select_facet_terms, select_facet_terms_stable, FacetCandidate, SelectionInputs,
     SelectionStatistic,
+};
+pub use serve::{
+    fanout_browse, normalize_query, BrowseResult, FacetServer, ServeCacheStats, ServeHandle,
+    ServeSnapshot, ShardView,
 };
 pub use shard::{ShardedAppendStats, ShardedFacetIndex};
 pub use subsumption::{build_subsumption_forest, SubsumptionForest, SubsumptionParams};

@@ -268,6 +268,23 @@ impl<'a> ShardedFacetIndex<'a> {
         self.snapshot.read().clone()
     }
 
+    /// One shard's frozen read-side state for the serving tier
+    /// ([`crate::serve`]): the shard's vocabulary at this instant and
+    /// its contextualized per-document term rows, sorted so membership
+    /// tests binary-search. Rows carry *shard-local* ids, valid only
+    /// against the returned vocabulary.
+    pub(crate) fn shard_read_state(
+        &self,
+        shard: usize,
+    ) -> (facet_textkit::FrozenVocabulary, Vec<Vec<TermId>>) {
+        let s = &self.shards[shard];
+        let mut rows: Vec<Vec<TermId>> = s.ctx.doc_terms.clone();
+        for row in &mut rows {
+            row.sort_unstable();
+        }
+        (s.vocab.freeze(), rows)
+    }
+
     /// Append a batch of documents and publish a new merged snapshot.
     ///
     /// Documents get global ids `len()..len()+batch.len()` and are

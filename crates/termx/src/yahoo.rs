@@ -10,13 +10,16 @@
 
 use crate::extractor::TermExtractor;
 use facet_corpus::TextDatabase;
-use facet_textkit::{is_stopword, normalize_term, tokens, TokenKind, Vocabulary};
-use std::collections::HashMap;
+use facet_textkit::{
+    is_stopword, normalize_term, tokens, Interner, SymTable, TokenKind, Vocabulary,
+};
 
 /// tf·idf keyphrase extractor.
 pub struct YahooTermExtractor {
-    /// normalized term → document frequency in the reference corpus.
-    df: HashMap<String, u64>,
+    /// Normalized reference-corpus terms, interned once at fit time.
+    terms: Interner,
+    /// Document frequency per interned term (dense, symbol-indexed).
+    df: SymTable<u64>,
     /// Number of documents in the reference corpus.
     n_docs: u64,
     /// Maximum number of terms returned per document.
@@ -26,14 +29,16 @@ pub struct YahooTermExtractor {
 impl YahooTermExtractor {
     /// Fit the extractor's idf table on a database.
     pub fn fit(db: &TextDatabase, vocab: &Vocabulary) -> Self {
-        let mut df = HashMap::new();
+        let mut terms = Interner::new();
+        let mut df = SymTable::new();
         for (id, term) in vocab.iter() {
             let f = db.df(id);
             if f > 0 {
-                df.insert(term.to_string(), f);
+                df.insert(terms.intern(term), f);
             }
         }
         Self {
+            terms,
             df,
             n_docs: db.len() as u64,
             max_terms: 15,
@@ -41,8 +46,14 @@ impl YahooTermExtractor {
     }
 
     /// Construct from an explicit df table (for tests).
-    pub fn from_table(df: HashMap<String, u64>, n_docs: u64) -> Self {
+    pub fn from_table(entries: &[(&str, u64)], n_docs: u64) -> Self {
+        let mut terms = Interner::new();
+        let mut df = SymTable::new();
+        for &(term, f) in entries {
+            df.insert(terms.intern(term), f);
+        }
         Self {
+            terms,
             df,
             n_docs,
             max_terms: 15,
@@ -50,7 +61,11 @@ impl YahooTermExtractor {
     }
 
     fn idf(&self, term: &str) -> f64 {
-        let df = self.df.get(term).copied().unwrap_or(0) as f64;
+        let df = self
+            .terms
+            .get(term)
+            .and_then(|sym| self.df.get(sym).copied())
+            .unwrap_or(0) as f64;
         ((self.n_docs as f64 + 1.0) / (df + 1.0)).ln()
     }
 }
@@ -61,9 +76,12 @@ impl TermExtractor for YahooTermExtractor {
     }
 
     fn extract(&self, text: &str) -> Vec<String> {
-        // Count unigrams and stopword-free bigrams.
+        // Count unigrams and stopword-free bigrams in a per-document
+        // interner + dense count table (no String-keyed map in the per-
+        // document hot path).
         let toks = tokens(text);
-        let mut tf: HashMap<String, u32> = HashMap::new();
+        let mut seen = Interner::new();
+        let mut tf: SymTable<u32> = SymTable::new();
         let mut prev: Option<String> = None;
         for t in &toks {
             if t.kind != TokenKind::Word {
@@ -75,20 +93,21 @@ impl TermExtractor for YahooTermExtractor {
                 prev = None;
                 continue;
             }
-            *tf.entry(w.clone()).or_insert(0) += 1;
+            *tf.get_or_default(seen.intern(&w)) += 1;
             if let Some(p) = prev {
-                *tf.entry(format!("{p} {w}")).or_insert(0) += 1;
+                *tf.get_or_default(seen.intern(&format!("{p} {w}"))) += 1;
             }
             prev = Some(w);
         }
         // Score and rank. Bigram scores get a small boost (phrases are
         // more informative when they recur at all).
         let mut scored: Vec<(String, f64)> = tf
-            .into_iter()
-            .map(|(term, f)| {
+            .iter()
+            .map(|(sym, &f)| {
+                let term = seen.resolve(sym);
                 let phrase_boost = if term.contains(' ') { 1.35 } else { 1.0 };
-                let score = f as f64 * self.idf(&term) * phrase_boost;
-                (term, score)
+                let score = f as f64 * self.idf(term) * phrase_boost;
+                (term.to_string(), score)
             })
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -108,12 +127,10 @@ mod tests {
 
     fn extractor() -> YahooTermExtractor {
         // Reference corpus of 100 docs: "market" common, "chirac" rare.
-        let mut df = HashMap::new();
-        df.insert("market".to_string(), 60);
-        df.insert("report".to_string(), 80);
-        df.insert("chirac".to_string(), 2);
-        df.insert("summit".to_string(), 5);
-        YahooTermExtractor::from_table(df, 100)
+        YahooTermExtractor::from_table(
+            &[("market", 60), ("report", 80), ("chirac", 2), ("summit", 5)],
+            100,
+        )
     }
 
     #[test]
@@ -173,6 +190,6 @@ mod tests {
         let db = TextDatabase::build(docs, &mut vocab, TermingOptions::default());
         let e = YahooTermExtractor::fit(&db, &vocab);
         assert_eq!(e.n_docs, 1);
-        assert!(e.df.contains_key("market"));
+        assert!(e.terms.get("market").is_some_and(|s| e.df.contains(s)));
     }
 }

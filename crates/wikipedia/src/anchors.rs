@@ -16,6 +16,7 @@ pub struct AnchorTable {
     /// (anchor phrase, target) → count.
     counts: HashMap<(String, PageId), u32>,
     /// anchor phrase → distinct targets.
+    // lint:allow(string-keyed-map, reason="resource-backend boundary: anchors are looked up by surface phrase from extractor output; phrases are never interned into the pipeline vocabulary")
     targets: HashMap<String, Vec<PageId>>,
     /// target → distinct anchor phrases pointing at it.
     by_target: HashMap<PageId, Vec<String>>,

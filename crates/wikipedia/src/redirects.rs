@@ -12,6 +12,7 @@ use std::collections::HashMap;
 /// grouping (canonical page → all redirect titles).
 #[derive(Debug, Default, Clone)]
 pub struct RedirectTable {
+    // lint:allow(string-keyed-map, reason="resource-backend boundary: redirect titles are free-string aliases resolved to PageId before any pipeline use; never iterated into output")
     forward: HashMap<String, PageId>,
     reverse: HashMap<PageId, Vec<String>>,
 }

@@ -1,5 +1,5 @@
-//! Query-time facets: build facet hierarchies over *search results*, not
-//! just over the whole database.
+//! Query-time facets through the serving tier: build the index ONCE,
+//! answer every browse query from frozen per-shard snapshots.
 //!
 //! ```sh
 //! cargo run --release --example query_time_facets
@@ -7,27 +7,28 @@
 //! ```
 //!
 //! `--obs <path>` writes the recorder's metric snapshot (stage timings,
-//! counters, histograms) as JSON; `--trace <path>` writes a Chrome
-//! trace-event file of the query-time pipeline run — the spans show how
-//! much of the interactive latency goes to extraction, expansion,
-//! selection, and hierarchy construction (see DESIGN.md section 15).
+//! `serve.{hit,miss,fanout}` counters, latency histograms) as JSON;
+//! `--trace <path>` writes a Chrome trace-event file of the indexing run
+//! (see DESIGN.md section 15).
 //!
 //! Section V-D of the paper notes that with term and context extraction
 //! performed offline, "we can generate facet hierarchies over the complete
-//! database and dynamically over a set of lengthy query results". This
-//! example does the dynamic case: run a keyword query, take the matching
-//! subset of documents, and compute the facets of the result set alone —
-//! the structure a search UI would show beside the result list.
+//! database and dynamically over a set of lengthy query results". Earlier
+//! revisions of this example re-ran term selection and forest
+//! construction on every query — interactive latency paid the full
+//! pipeline each time. The serving tier (`core::serve`, DESIGN.md
+//! section 17) fixes that: `FacetServer` publishes frozen per-shard
+//! snapshots, answers each browse by deterministic fan-out + merge-at-
+//! read, and a query-signature cache serves repeated queries with zero
+//! re-selection until an append bumps the generation.
 
-use facet_hierarchies::core::{FacetPipeline, PipelineOptions};
-use facet_hierarchies::corpus::db::TermingOptions;
-use facet_hierarchies::corpus::{DatasetRecipe, Document, RecipeKind, TextDatabase};
+use facet_hierarchies::core::{fanout_browse, FacetServer, PipelineOptions, ShardedFacetIndex};
+use facet_hierarchies::corpus::{DatasetRecipe, RecipeKind};
 use facet_hierarchies::ner::NerTagger;
 use facet_hierarchies::obs::{Recorder, Tracer, TracerConfig, WallTraceClock};
 use facet_hierarchies::resources::{CachedResource, ContextResource, WikiGraphResource};
 use facet_hierarchies::termx::{NamedEntityExtractor, TermExtractor};
 use facet_hierarchies::textkit::Vocabulary;
-use facet_hierarchies::websearch::{SearchEngine, WebDocId, WebPage};
 use facet_hierarchies::wikipedia::{build_wikipedia, WikipediaConfig, WikipediaGraph};
 
 fn main() {
@@ -65,56 +66,16 @@ fn main() {
         )),
     };
 
-    // Full archive.
+    // Full archive, split so one batch can arrive mid-session below.
     let recipe = DatasetRecipe::scaled(RecipeKind::Snyt, 0.5);
     let world = recipe.build_world();
     let mut vocab = Vocabulary::new();
     let corpus = recipe.build_corpus(&world, &mut vocab);
+    let docs = corpus.db.docs().to_vec();
+    let late = (docs.len() / 10).max(1);
+    let (initial, late_batch) = docs.split_at(docs.len() - late);
 
-    // A keyword index over the archive (the "search" half of the UI).
-    let pages: Vec<WebPage> = corpus
-        .db
-        .docs()
-        .iter()
-        .map(|d| WebPage {
-            id: WebDocId(d.id.0),
-            title: d.title.clone(),
-            text: d.text.clone(),
-        })
-        .collect();
-    let search = SearchEngine::new(pages);
-
-    // The user queries for a popular person.
-    let query = world
-        .entities_of_kind(facet_hierarchies::knowledge::EntityKind::Person)
-        .next()
-        .map(|e| e.name.clone())
-        .expect("world has people");
-    let hits = search.search(&query, 200);
-    println!("query: {query:?} → {} results", hits.len());
-
-    // Query-time database: the matching documents only (re-indexed).
-    let result_docs: Vec<Document> = hits
-        .iter()
-        .enumerate()
-        .map(|(i, h)| {
-            let d = corpus.db.doc(facet_hierarchies::corpus::DocId(h.doc.0));
-            Document {
-                id: facet_hierarchies::corpus::DocId(i as u32),
-                source: d.source,
-                day: d.day,
-                title: d.title.clone(),
-                text: d.text.clone(),
-            }
-        })
-        .collect();
-    if result_docs.is_empty() {
-        println!("no results; try a different query");
-        return;
-    }
-    let result_db = TextDatabase::build(result_docs, &mut vocab, TermingOptions::default());
-
-    // Facets of the result set.
+    // Index ONCE (the expensive offline half), then serve.
     let wiki = build_wikipedia(&world, &WikipediaConfig::default());
     let graph = WikipediaGraph::new(&wiki.wiki, &wiki.redirects);
     let graph_res = CachedResource::new(WikiGraphResource::new(&graph));
@@ -122,7 +83,8 @@ fn main() {
     let ne = NamedEntityExtractor::new(tagger);
     let extractors: Vec<&dyn TermExtractor> = vec![&ne];
     let resources: Vec<&dyn ContextResource> = vec![&graph_res];
-    let pipeline = FacetPipeline::new(
+    let mut index = ShardedFacetIndex::new(
+        4,
         extractors,
         resources,
         PipelineOptions {
@@ -132,34 +94,85 @@ fn main() {
         },
     )
     .with_recorder(recorder.clone());
-    let (extraction, forest) = {
-        let span = recorder.span("query_facets");
-        span.attr("query", query.as_str());
-        span.attr("results", result_db.len() as u64);
-        let extraction = pipeline.run(&result_db, &mut vocab);
-        let forest = pipeline.build_hierarchies(&extraction, &vocab);
-        (extraction, forest)
-    };
+    {
+        let span = recorder.span("build_index");
+        span.attr("docs", initial.len() as u64);
+        index.append(initial.to_vec()).expect("index the archive");
+    }
+    let mut server = FacetServer::new(index);
+    let handle = server.handle();
 
+    let snapshot = server.snapshot();
+    let forest = snapshot.merged().forest();
     println!(
-        "result-set facets ({} terms across {} facets):",
+        "serving generation {}: {} docs, {} facet terms across {} facets",
+        snapshot.generation(),
+        snapshot.n_docs(),
         forest.total_terms(),
         forest.trees.len()
     );
     print!("{}", forest.render(4));
 
-    // The refinement counts a faceted UI renders next to each top-level
-    // link. Display labels resolve through the forest's frozen interner
-    // view exactly once per browse — nodes carry only symbols, so there
-    // is no per-node label clone anywhere in this loop.
-    let engine = facet_hierarchies::core::BrowseEngine::new(
-        forest,
-        extraction.contextualized.doc_terms.clone(),
-    );
-    println!("top-level refinements:");
-    for (_, label, count) in engine.refinements(&[], None).into_iter().take(8) {
-        println!("  {label} ({count})");
+    // The user drills into the most prominent facets. Each query is
+    // answered by fan-out browse over the frozen shard views; asking it
+    // again hits the signature cache — zero re-selection, and the
+    // cached answer is byte-identical to a fresh one.
+    let queries: Vec<String> = forest
+        .trees
+        .iter()
+        .take(3)
+        .map(|t| forest.label(&t.root).to_string())
+        .collect();
+    for label in &queries {
+        let first = handle.browse(&[label.as_str()]);
+        let again = handle.browse(&[label.as_str()]);
+        let fresh = fanout_browse(&handle.snapshot(), &[label.as_str()]);
+        assert_eq!(
+            first.canonical(),
+            fresh.canonical(),
+            "cached browse must be byte-identical to uncached re-selection"
+        );
+        println!(
+            "browse {:?}: {} docs, {} refinements (repeat was a cache {})",
+            label,
+            first.total(),
+            first.refinements.len(),
+            if std::sync::Arc::ptr_eq(&first, &again) {
+                "hit"
+            } else {
+                "miss"
+            }
+        );
+        for (child, count) in first.refinements.iter().take(4) {
+            println!("  {child} ({count})");
+        }
     }
+
+    // A late batch arrives: the append bumps the generation, republishes
+    // only the shards that received documents, and invalidates the
+    // cache. The same queries now re-select against the new snapshot.
+    let stats = server.append(late_batch.to_vec()).expect("late batch");
+    println!(
+        "appended {} late docs (generation {} -> {})",
+        late_batch.len(),
+        snapshot.generation(),
+        server.snapshot().generation()
+    );
+    drop(stats);
+    for label in &queries {
+        let result = handle.browse(&[label.as_str()]);
+        println!(
+            "browse {:?} @ generation {}: {} docs",
+            label,
+            result.generation,
+            result.total()
+        );
+    }
+    let cache = handle.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} invalidated by the append",
+        cache.hits, cache.misses, cache.invalidations
+    );
 
     if let Some(path) = obs_out {
         let report = recorder.snapshot();

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1|--bench-smoke|--trace-smoke|--lint|--chaos]
+# Usage: scripts/check.sh [--tier1|--bench-smoke|--serve-smoke|--trace-smoke|--lint|--chaos]
 #
 #   --tier1        Run exactly the tier-1 gate (release build + tests), the
 #                  command CI and the roadmap treat as the must-stay-green
@@ -17,6 +17,13 @@
 #                  BENCH_BASELINES.json), so bench-math regressions fail
 #                  fast; also assert the facet-lint JSON report parses, is
 #                  span-sorted, and is byte-identical across runs.
+#   --serve-smoke  Run the serving-tier load bench twice on a tiny recipe
+#                  with its invariant assertions on (zero cached-vs-
+#                  uncached byte-identity mismatches, >=2x cached speedup,
+#                  hit-rate arithmetic) and assert the two runs' timing-
+#                  free digest sidecars are byte-identical — the
+#                  deterministic fan-out + merge-at-read contract of
+#                  DESIGN.md section 17.
 #   --trace-smoke  Run the seeded `instrumented_run --trace` scenario
 #                  twice, assert the Chrome trace-event exports are
 #                  byte-identical, and verify via bench_diff that the
@@ -63,6 +70,25 @@ run_trace_smoke() {
         --min-depth 4
 }
 
+run_serve_smoke() {
+    echo "== serve smoke: load_bench --smoke twice + digest determinism"
+    mkdir -p target
+    cargo run -q --release -p facet-bench --bin load_bench -- \
+        --scale 0.1 --queries 120 --smoke \
+        --out target/BENCH_5.smoke.json --digest target/SERVE_A.digest
+    cargo run -q --release -p facet-bench --bin load_bench -- \
+        --scale 0.1 --queries 120 --smoke \
+        --out target/BENCH_5.smoke.json --digest target/SERVE_B.digest
+    # Same configuration => byte-identical browse output digests.
+    cmp target/SERVE_A.digest target/SERVE_B.digest
+}
+
+if [[ "${1:-}" == "--serve-smoke" ]]; then
+    run_serve_smoke
+    echo "Serve smoke passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "--lint" ]]; then
     run_lint
     exit 0
@@ -89,6 +115,7 @@ if [[ "${1:-}" == "--tier1" ]]; then
     cargo test -q --test determinism shard
     cargo test -q -p facet-core shard::
     run_chaos
+    run_serve_smoke
     run_trace_smoke
     run_lint
     echo "Tier-1 gate passed."
@@ -106,6 +133,10 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     cargo run --release -p facet-bench --bin resilience_bench -- \
         --scale 0.05 --iters 10 --smoke \
         --out target/BENCH_4.smoke.json
+    echo "== bench smoke: load_bench --smoke (cache identity + speedup bars)"
+    cargo run --release -p facet-bench --bin load_bench -- \
+        --scale 0.1 --queries 120 --smoke \
+        --out target/BENCH_5.smoke.json
     echo "== bench smoke: bench_diff per-metric regression gate"
     cargo run -q --release -p facet-bench --bin bench_diff -- \
         --spec BENCH_BASELINES.json --profile smoke

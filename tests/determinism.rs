@@ -280,6 +280,70 @@ fn racing_shards_query_each_term_once() {
 }
 
 #[test]
+fn fanout_browse_is_identical_across_shard_and_thread_sweep() {
+    // Serving-tier analogue of the batch invariant above: the canonical
+    // rendering of every fan-out browse answer — doc ids, refinement
+    // labels, refinement counts — must not depend on how the corpus was
+    // partitioned or how many expansion threads built it. Candidates
+    // are fixed by the merged forest before fan-out and per-shard
+    // counts merge by commutative sums, so any divergence here means a
+    // shard leaked local state into the merge-at-read path.
+    use facet_hierarchies::core::{fanout_browse, FacetServer};
+
+    let bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let options = |threads: usize| PipelineOptions {
+        top_k: 300,
+        expansion: ExpansionOptions { threads },
+        ..Default::default()
+    };
+
+    // One canonical answer set per (shards, threads) cell: the empty
+    // query, every facet root, and a two-root conjunction.
+    let answers = |n_shards: usize, threads: usize| -> Vec<String> {
+        let res = CachedResource::new(WikiGraphResource::new(&graph));
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne];
+        let resources: Vec<&dyn ContextResource> = vec![&res];
+        let mut index = ShardedFacetIndex::new(n_shards, extractors, resources, options(threads));
+        for chunk in docs.chunks(docs.len().div_ceil(3)) {
+            index.append(chunk.to_vec()).expect("well-formed batches");
+        }
+        let server = FacetServer::new(index);
+        let snapshot = server.snapshot();
+        let forest = snapshot.merged().forest();
+        let roots: Vec<String> = forest
+            .trees
+            .iter()
+            .map(|t| forest.label(&t.root).to_string())
+            .collect();
+        let mut queries: Vec<Vec<&str>> = vec![Vec::new()];
+        queries.extend(roots.iter().map(|r| vec![r.as_str()]));
+        if roots.len() >= 2 {
+            queries.push(vec![roots[0].as_str(), roots[1].as_str()]);
+        }
+        queries
+            .iter()
+            .map(|q| fanout_browse(&snapshot, q).canonical())
+            .collect()
+    };
+
+    let reference = answers(1, 1);
+    assert!(reference.len() > 2, "the forest must have roots to browse");
+    for n_shards in [2, 3, 4, 8] {
+        for threads in [1, 4] {
+            assert_eq!(
+                answers(n_shards, threads),
+                reference,
+                "shards={n_shards} threads={threads}: fan-out browse diverged"
+            );
+        }
+    }
+}
+
+#[test]
 fn recipes_differ_across_datasets() {
     let snyt = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
     let snb = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
