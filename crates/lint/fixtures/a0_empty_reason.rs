@@ -1,0 +1,10 @@
+//! A0 fixture: a `reason=""` that is present but empty (and one that is
+//! only whitespace) — both are policy violations, not suppressions.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic, reason="")
+    let a = x.unwrap();
+    // lint:allow(panic, reason="   ")
+    let b = x.unwrap();
+    a + b
+}

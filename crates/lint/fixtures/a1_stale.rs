@@ -1,0 +1,8 @@
+//! A1 fixture: a well-formed `lint:allow` whose rule no longer fires on
+//! the annotated line — the panic this suppressed was refactored away,
+//! so the directive is an orphan the audit must flag.
+
+pub fn quiet() -> u32 {
+    // lint:allow(panic, reason="this unwrap was removed in a refactor")
+    41 + 1
+}

@@ -1,0 +1,34 @@
+//! C2 fixture: one sanctioned publication point (`republish`, declared
+//! under publication-points in the test config), one rogue swap, one
+//! held-guard overlap, and one correctly scoped guard.
+use std::sync::{Arc, Mutex, RwLock};
+
+pub struct Publisher {
+    current: RwLock<Arc<u64>>,
+    cache: Mutex<u64>,
+}
+
+impl Publisher {
+    pub fn republish(&self, next: Arc<u64>) {
+        *self.current.write() = next;
+    }
+
+    pub fn rogue_swap(&self, next: Arc<u64>) {
+        *self.current.write() = next;
+    }
+
+    pub fn overlapping_guards(&self) -> u64 {
+        let guard = self.current.read();
+        let held = *self.cache.lock();
+        drop(guard);
+        held
+    }
+
+    pub fn scoped_guards(&self) -> u64 {
+        {
+            let guard = self.current.read();
+            let _ = guard;
+        }
+        *self.cache.lock()
+    }
+}

@@ -1,0 +1,19 @@
+//! D5 negative fixture: the same shape as the taint-chain fixture, but
+//! the helper sorts before returning — sanitized order may be
+//! published.
+use std::collections::HashMap;
+
+pub struct BrowseResult {
+    pub terms: Vec<String>,
+}
+
+pub fn sorted_keys(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut terms: Vec<String> = m.keys().cloned().collect();
+    terms.sort();
+    terms
+}
+
+pub fn publish_sorted(m: &HashMap<String, u32>) -> BrowseResult {
+    let terms = sorted_keys(m);
+    BrowseResult { terms }
+}

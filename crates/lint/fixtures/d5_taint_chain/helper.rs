@@ -1,0 +1,9 @@
+//! D5 positive fixture, file 1 of 2: a helper that launders
+//! hash-iteration order through its return value. Token-local D1 sees
+//! the iteration here but cannot know the caller publishes the result;
+//! the taint analysis carries it across the call.
+use std::collections::HashMap;
+
+pub fn launder_keys(m: &HashMap<String, u32>) -> Vec<String> {
+    m.keys().cloned().collect()
+}

@@ -1,0 +1,13 @@
+//! D5 positive fixture, file 2 of 2: the laundering helper's return
+//! value lands in a published artifact. The finding's chain must span
+//! both files: source in helper.rs, call hop and sink here.
+use std::collections::HashMap;
+
+pub struct BrowseResult {
+    pub terms: Vec<String>,
+}
+
+pub fn publish(m: &HashMap<String, u32>) -> BrowseResult {
+    let terms = launder_keys(m);
+    BrowseResult { terms }
+}

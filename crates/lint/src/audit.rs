@@ -1,0 +1,190 @@
+//! A1 `stale-sanction`: the sanction ledger must match real code.
+//!
+//! The lint gate's escape hatches — `sanctioned` module lists,
+//! `publication-points`, and `lint:allow` directives — are only honest
+//! while they describe code that still exists. Refactors move modules
+//! and delete call sites; a sanction that no longer matches anything is
+//! a standing invitation to reintroduce the pattern unnoticed. This
+//! audit fails the build for:
+//!
+//! 1. **Stale sanctions** — a `[rules.concurrency] sanctioned` entry
+//!    that no current C1 hit credits. Hits credit the *most specific*
+//!    matching entry (longest path), so `obs::trace` absorbs its own
+//!    hits and a broader `obs` entry must justify itself separately.
+//! 2. **Stale publication points** — a `publication-points` entry that
+//!    names no function in the parsed workspace symbol table.
+//! 3. **Orphaned allows** — a well-formed `lint:allow(rule, reason)`
+//!    directive on a line where the named rule no longer fires
+//!    (unconditionally — config gating doesn't orphan an allow, code
+//!    changes do). Malformed directives are A0's department.
+
+use crate::config::{Config, Severity};
+use crate::parser::{FileUnit, Program};
+use crate::rules::{Finding, RULES};
+use std::collections::{BTreeMap, BTreeSet};
+
+const RULE: &str = "stale-sanction";
+
+/// Unconditional hits per file: `(rule, line)` pairs from the
+/// token-local detectors plus the program-level analyses (for D5, the
+/// sink *and* every chain-step line in that file count — an allow
+/// placed anywhere along a taint chain is live).
+pub type HitLines = BTreeMap<String, BTreeSet<(String, u32)>>;
+
+/// Run the A1 audit. `hits` must be built from *unsuppressed,
+/// unconfigured* findings so an allow that is doing its job is not
+/// reported as orphaned.
+pub fn analyze(
+    files: &[FileUnit],
+    program: &Program,
+    config: &Config,
+    hits: &HitLines,
+) -> Vec<Finding> {
+    let Some(rc) = config.rules.get(RULE) else {
+        return Vec::new();
+    };
+    if rc.severity.unwrap_or(Severity::Allow) == Severity::Allow {
+        return Vec::new();
+    }
+    let severity = rc.severity.unwrap_or(Severity::Deny);
+
+    let mut findings = Vec::new();
+    stale_sanctions(files, config, severity, &mut findings);
+    stale_publication_points(program, config, severity, &mut findings);
+    orphaned_allows(files, config, severity, hits, &mut findings);
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.message).cmp(&(&b.file, b.line, b.col, &b.message))
+    });
+    findings
+}
+
+fn a1(file: &str, line: u32, message: String, severity: Severity) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        col: 1,
+        code: "A1".into(),
+        rule: RULE.into(),
+        severity,
+        message,
+        chain: Vec::new(),
+    }
+}
+
+/// Credit each file that has any C1 concurrency hit to the most
+/// specific `sanctioned` entry covering its module; uncredited entries
+/// are stale.
+fn stale_sanctions(
+    files: &[FileUnit],
+    config: &Config,
+    severity: Severity,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(c1) = config.rules.get("concurrency") else {
+        return;
+    };
+    if c1.sanctioned.is_empty() {
+        return;
+    }
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    for unit in files {
+        let raw = crate::rules::raw_hits(&unit.tokens);
+        if !raw.iter().any(|(rule, ..)| *rule == "concurrency") {
+            continue;
+        }
+        let krate = &unit.source.krate;
+        let module = &unit.source.module_path;
+        // Most specific = longest matching entry value.
+        let best = c1
+            .sanctioned
+            .iter()
+            .filter(|e| {
+                let m = e.value.as_str();
+                m == krate.as_str() || m == module.as_str() || module.starts_with(&format!("{m}::"))
+            })
+            .max_by_key(|e| e.value.len());
+        if let Some(e) = best {
+            used.insert(e.value.as_str());
+        }
+    }
+    for e in &c1.sanctioned {
+        if !used.contains(e.value.as_str()) {
+            findings.push(a1(
+                "Lint.toml",
+                e.line,
+                format!(
+                    "sanctioned entry `{}` matches no module with concurrency \
+                     primitives; remove it (or the code it used to cover moved — \
+                     re-point it)",
+                    e.value
+                ),
+                severity,
+            ));
+        }
+    }
+}
+
+/// Every `publication-points` entry must name a function that the item
+/// parser can still see.
+fn stale_publication_points(
+    program: &Program,
+    config: &Config,
+    severity: Severity,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(c2) = config.rules.get("publication-point") else {
+        return;
+    };
+    let quals: BTreeSet<&str> = program.fns.iter().map(|f| f.qual.as_str()).collect();
+    for e in &c2.publication_points {
+        if !quals.contains(e.value.as_str()) {
+            findings.push(a1(
+                "Lint.toml",
+                e.line,
+                format!(
+                    "publication-points entry `{}` names no function in the \
+                     workspace symbol table",
+                    e.value
+                ),
+                severity,
+            ));
+        }
+    }
+}
+
+/// A reasoned, known-rule `lint:allow` must still sit on (or directly
+/// above) a line where its rule fires.
+fn orphaned_allows(
+    files: &[FileUnit],
+    config: &Config,
+    severity: Severity,
+    hits: &HitLines,
+    findings: &mut Vec<Finding>,
+) {
+    let _ = config;
+    let known: BTreeSet<&str> = RULES.iter().map(|r| r.name).collect();
+    for unit in files {
+        let file_hits = hits.get(&unit.source.rel_path);
+        for a in &unit.allows {
+            if !known.contains(a.rule.as_str()) || !a.has_reason {
+                continue; // A0 already flags malformed directives.
+            }
+            let live = file_hits.is_some_and(|h| {
+                h.contains(&(a.rule.clone(), a.line))
+                    || h.contains(&(a.rule.clone(), a.next_code_line))
+            });
+            if !live {
+                findings.push(a1(
+                    &unit.source.rel_path,
+                    a.line,
+                    format!(
+                        "lint:allow({}) is orphaned: the rule no longer fires on \
+                         this line — delete the directive",
+                        a.rule
+                    ),
+                    severity,
+                ));
+            }
+        }
+    }
+}

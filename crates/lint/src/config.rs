@@ -38,6 +38,17 @@ impl serde::Serialize for Severity {
     }
 }
 
+/// One element of a config list, with the `Lint.toml` line it came
+/// from — rule A1 (`stale-sanction`) reports stale entries *at their
+/// declaration*, so the parser keeps per-element positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListEntry {
+    /// The string element.
+    pub value: String,
+    /// 1-based `Lint.toml` line the element appears on.
+    pub line: u32,
+}
+
 /// Configuration of one rule.
 #[derive(Debug, Clone, Default)]
 pub struct RuleConfig {
@@ -48,8 +59,14 @@ pub struct RuleConfig {
     /// Module paths (`crate` or `crate::module`) exempt from the rule.
     pub allow_modules: Vec<String>,
     /// Sanctioned sites (module paths) where the rule does not apply —
-    /// the declared concurrency surface for C1.
-    pub sanctioned: Vec<String>,
+    /// the declared concurrency surface for C1. Line-tracked so A1 can
+    /// point at stale entries.
+    pub sanctioned: Vec<ListEntry>,
+    /// Fully-qualified function paths allowed to perform publication
+    /// writes (rule C2). Line-tracked for the A1 staleness audit.
+    pub publication_points: Vec<ListEntry>,
+    /// Type names considered published artifacts (rule D5 sinks).
+    pub published: Vec<String>,
 }
 
 /// Parsed `Lint.toml`.
@@ -75,8 +92,9 @@ impl Config {
         if !rc.crates.is_empty() && !rc.crates.iter().any(|c| c == krate) {
             return Severity::Allow;
         }
+        let sanctioned: Vec<&str> = rc.sanctioned.iter().map(|e| e.value.as_str()).collect();
         if module_matches(&rc.allow_modules, krate, module_path)
-            || module_matches(&rc.sanctioned, krate, module_path)
+            || module_matches(&sanctioned, krate, module_path)
         {
             return Severity::Allow;
         }
@@ -87,8 +105,9 @@ impl Config {
 /// True when `module_path` (or its crate) is named in `list`. A bare
 /// crate name sanctions the whole crate; `crate::module` sanctions that
 /// module and its submodules.
-fn module_matches(list: &[String], krate: &str, module_path: &str) -> bool {
+pub fn module_matches<S: AsRef<str>>(list: &[S], krate: &str, module_path: &str) -> bool {
     list.iter()
+        .map(|m| m.as_ref())
         .any(|m| m == krate || m == module_path || module_path.starts_with(&format!("{m}::")))
 }
 
@@ -134,21 +153,30 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
             return Err(err(lineno, "expected `key = value`"));
         };
         let key = line[..eq].trim().to_string();
-        let mut value = line[eq + 1..].trim().to_string();
-        // Multi-line array: accumulate until the closing bracket.
-        if value.starts_with('[') && !balanced_array(&value) {
-            for (_, cont) in lines.by_ref() {
-                value.push(' ');
-                value.push_str(strip_comment(cont).trim());
-                if balanced_array(&value) {
+        let value = line[eq + 1..].trim().to_string();
+        // Multi-line array: accumulate line fragments (with their line
+        // numbers, for per-element position tracking) until the closing
+        // bracket.
+        let mut fragments: Vec<(usize, String)> = vec![(lineno, value)];
+        let joined = |frags: &[(usize, String)]| {
+            frags
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        if fragments[0].1.starts_with('[') && !balanced_array(&fragments[0].1) {
+            for (cont_idx, cont) in lines.by_ref() {
+                fragments.push((cont_idx + 1, strip_comment(cont).trim().to_string()));
+                if balanced_array(&joined(&fragments)) {
                     break;
                 }
             }
-            if !balanced_array(&value) {
+            if !balanced_array(&joined(&fragments)) {
                 return Err(err(lineno, "unterminated array"));
             }
         }
-        apply(&mut config, &table, &key, &value, lineno)?;
+        apply(&mut config, &table, &key, &fragments, lineno)?;
     }
     Ok(config)
 }
@@ -211,39 +239,68 @@ fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
     }
 }
 
-fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
-    let v = value.trim();
-    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
-        return Err(err(lineno, "expected an array of strings"));
-    };
+/// Parse an array value from its line fragments, tracking the line each
+/// element appears on.
+fn parse_entries(
+    fragments: &[(usize, String)],
+    lineno: usize,
+) -> Result<Vec<ListEntry>, ConfigError> {
     let mut out = Vec::new();
-    for part in inner.split(',') {
-        let part = part.trim();
-        if part.is_empty() {
-            continue; // trailing comma
+    for (idx, (frag_line, frag)) in fragments.iter().enumerate() {
+        let mut body = frag.trim();
+        if idx == 0 {
+            body = body
+                .strip_prefix('[')
+                .ok_or_else(|| err(lineno, "expected an array of strings"))?;
         }
-        out.push(parse_string(part, lineno)?);
+        if idx == fragments.len() - 1 {
+            body = body.strip_suffix(']').unwrap_or(body);
+        }
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma / blank continuation
+            }
+            out.push(ListEntry {
+                value: parse_string(part, *frag_line)?,
+                line: *frag_line as u32,
+            });
+        }
     }
     Ok(out)
+}
+
+fn parse_array(fragments: &[(usize, String)], lineno: usize) -> Result<Vec<String>, ConfigError> {
+    Ok(parse_entries(fragments, lineno)?
+        .into_iter()
+        .map(|e| e.value)
+        .collect())
 }
 
 fn apply(
     config: &mut Config,
     table: &[String],
     key: &str,
-    value: &str,
+    fragments: &[(usize, String)],
     lineno: usize,
 ) -> Result<(), ConfigError> {
+    let single = || {
+        fragments
+            .iter()
+            .map(|(_, s)| s.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     match table {
         [t] if t == "lint" => match key {
-            "exclude" => config.exclude = parse_array(value, lineno)?,
+            "exclude" => config.exclude = parse_array(fragments, lineno)?,
             other => return Err(err(lineno, &format!("unknown [lint] key `{other}`"))),
         },
         [t, rule] if t == "rules" => {
             let rc = config.rules.entry(rule.clone()).or_default();
             match key {
                 "severity" => {
-                    rc.severity = Some(match parse_string(value, lineno)?.as_str() {
+                    rc.severity = Some(match parse_string(&single(), lineno)?.as_str() {
                         "deny" => Severity::Deny,
                         "warn" => Severity::Warn,
                         "allow" => Severity::Allow,
@@ -255,9 +312,11 @@ fn apply(
                         }
                     });
                 }
-                "crates" => rc.crates = parse_array(value, lineno)?,
-                "allow-modules" => rc.allow_modules = parse_array(value, lineno)?,
-                "sanctioned" => rc.sanctioned = parse_array(value, lineno)?,
+                "crates" => rc.crates = parse_array(fragments, lineno)?,
+                "allow-modules" => rc.allow_modules = parse_array(fragments, lineno)?,
+                "sanctioned" => rc.sanctioned = parse_entries(fragments, lineno)?,
+                "publication-points" => rc.publication_points = parse_entries(fragments, lineno)?,
+                "published" => rc.published = parse_array(fragments, lineno)?,
                 other => {
                     return Err(err(
                         lineno,

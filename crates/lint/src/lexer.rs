@@ -58,7 +58,12 @@ impl Token {
 pub struct AllowDirective {
     /// The rule name inside the parentheses.
     pub rule: String,
-    /// Whether a non-empty `reason="..."` was supplied.
+    /// The `reason="..."` text, if the key was present at all (possibly
+    /// empty or blank — rule A0 rejects those).
+    pub reason: Option<String>,
+    /// Whether a non-blank `reason="..."` was supplied. A present but
+    /// empty/whitespace-only reason does not count: `reason=""` is a
+    /// policy violation, not a suppression.
     pub has_reason: bool,
     /// Line the comment itself sits on (suppresses same-line findings).
     pub line: u32,
@@ -414,15 +419,16 @@ fn parse_allow(comment: &str, line: u32) -> Option<AllowDirective> {
         Some(i) => (&args[..i], &args[i + 1..]),
         None => (args, ""),
     };
-    let has_reason = rest
-        .find("reason=\"")
-        .map(|i| {
-            let body = &rest[i + "reason=\"".len()..];
-            body.find('"').is_some_and(|close| close > 0)
-        })
-        .unwrap_or(false);
+    // Capture the reason text itself: a present-but-blank reason (e.g.
+    // `reason=""` or `reason="   "`) must not count as a reason.
+    let reason = rest.find("reason=\"").and_then(|i| {
+        let body = &rest[i + "reason=\"".len()..];
+        body.find('"').map(|close| body[..close].to_string())
+    });
+    let has_reason = reason.as_deref().is_some_and(|r| !r.trim().is_empty());
     Some(AllowDirective {
         rule: rule.trim().to_string(),
+        reason,
         has_reason,
         line,
         next_code_line: 0,

@@ -3,13 +3,16 @@
 //! ```text
 //! facet-lint [--root DIR] [--json PATH] [--obs]
 //! facet-lint --verify-report PATH
+//! facet-lint --explain RULE
 //! ```
 //!
 //! The default mode lints the workspace under `--root` (default: the
 //! current directory), prints the text report, optionally writes the
 //! JSON report, and exits non-zero when any `deny` finding exists.
 //! `--verify-report` re-parses a previously written JSON report and
-//! checks its structural invariants (used by `check.sh --bench-smoke`).
+//! checks its structural invariants (used by `check.sh --lint` and
+//! `--bench-smoke`). `--explain` prints one rule's catalogue entry plus
+//! an example finding produced from the embedded fixtures.
 
 use facet_jsonio::JsonValue;
 use facet_lint::config::Severity;
@@ -21,6 +24,7 @@ struct Args {
     json: Option<PathBuf>,
     obs: bool,
     verify_report: Option<PathBuf>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         obs: false,
         verify_report: None,
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -41,9 +46,10 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--verify-report needs a value")?,
                 ))
             }
+            "--explain" => args.explain = Some(it.next().ok_or("--explain needs a rule")?),
             "--help" | "-h" => {
                 return Err("usage: facet-lint [--root DIR] [--json PATH] [--obs] \
-                            [--verify-report PATH]"
+                            [--verify-report PATH] [--explain RULE]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -60,6 +66,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &args.explain {
+        return match facet_lint::explain(rule) {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "facet-lint: unknown rule `{rule}` (name or code, e.g. taint-unordered or D5)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if let Some(path) = &args.verify_report {
         return match verify_report(path) {
@@ -124,7 +145,7 @@ fn verify_report(path: &std::path::Path) -> Result<usize, String> {
         .find(|(k, _)| k == "schema")
         .and_then(|(_, v)| v.as_str())
         .ok_or("missing `schema`")?;
-    if schema != "facet-lint/v1" {
+    if schema != "facet-lint/v1" && schema != "facet-lint/v2" {
         return Err(format!("unexpected schema `{schema}`"));
     }
     let findings = obj

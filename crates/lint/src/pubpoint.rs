@@ -1,0 +1,239 @@
+//! C2 `publication-point`: snapshot-swap and held-guard discipline.
+//!
+//! The serving tier's determinism story (DESIGN.md §17) hinges on a
+//! single publication point: readers clone an `Arc` snapshot, writers
+//! swap it with `*state.write() = snapshot` inside a handful of
+//! sanctioned functions. This rule enforces both halves mechanically:
+//!
+//! 1. **Publication writes** — every deref-assign through a lock guard
+//!    (`*recv.write() = ...` / `*recv.lock() = ...`, the swap idiom)
+//!    must sit inside a function listed under `publication-points` in
+//!    `[rules.publication-point]`, identified by its fully-qualified
+//!    path (`core::serve::FacetServer::republish`).
+//! 2. **Held guards** — binding a guard (`let g = x.lock();`, a
+//!    statement ending *at* the lock call) and then acquiring a lock on
+//!    a *different* receiver while the first guard is live is a
+//!    lock-order-inversion seed and is flagged. Temporary guards in
+//!    expression position (`x.lock().field = v;`) don't stay live, and
+//!    guards die at the end of their block scope or at `drop(g)`.
+
+use crate::config::{Config, Severity};
+use crate::lexer::TokenKind;
+use crate::parser::{FileUnit, Program};
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Run the C2 analysis. Findings are *not* yet suppression-filtered —
+/// the caller applies `lint:allow` so the A1 orphan audit can see the
+/// unconditional hits.
+pub fn analyze(files: &[FileUnit], program: &Program, config: &Config) -> Vec<Finding> {
+    const RULE: &str = "publication-point";
+    let Some(rc) = config.rules.get(RULE) else {
+        return Vec::new();
+    };
+    let points: BTreeSet<&str> = rc
+        .publication_points
+        .iter()
+        .map(|e| e.value.as_str())
+        .collect();
+
+    let mut findings = Vec::new();
+    for (file_idx, unit) in files.iter().enumerate() {
+        let severity = config.severity_for(RULE, &unit.source.krate, &unit.source.module_path);
+        if severity == Severity::Allow {
+            continue;
+        }
+        publication_writes(file_idx, unit, program, &points, severity, &mut findings);
+        held_guards(file_idx, unit, program, severity, &mut findings);
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.message).cmp(&(&b.file, b.line, b.col, &b.message))
+    });
+    findings
+}
+
+/// Part 1: `*recv.write() = ...` swap-assigns outside declared
+/// publication points.
+fn publication_writes(
+    file_idx: usize,
+    unit: &FileUnit,
+    program: &Program,
+    points: &BTreeSet<&str>,
+    severity: Severity,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &unit.tokens;
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == TokenKind::Ident && LOCK_METHODS.contains(&t.text.as_str())) {
+            continue;
+        }
+        // `.write ( ) =` but not `==`.
+        if !(tokens[i - 1].is_punct(".")
+            && i + 3 < tokens.len()
+            && tokens[i + 1].is_punct("(")
+            && tokens[i + 2].is_punct(")")
+            && tokens[i + 3].is_punct("=")
+            && !(i + 4 < tokens.len() && tokens[i + 4].is_punct("=")))
+        {
+            continue;
+        }
+        // The deref `*` earlier in the statement makes it a swap-assign
+        // through the guard rather than a comparison or plain call.
+        let stmt_start = tokens[..i]
+            .iter()
+            .rposition(|t| t.is_punct(";") || t.is_punct("{") || t.is_punct("}"))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        if !tokens[stmt_start..i].iter().any(|t| t.is_punct("*")) {
+            continue;
+        }
+        let enclosing = program.fn_at(file_idx, i);
+        let qual = enclosing.map(|f| f.qual.as_str()).unwrap_or("<top level>");
+        if points.contains(qual) {
+            continue;
+        }
+        findings.push(Finding {
+            file: unit.source.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            code: "C2".into(),
+            rule: "publication-point".into(),
+            severity,
+            message: format!(
+                "publication write (`*...{}() = ...`) in `{qual}`, which is not a \
+                 declared publication point; list it under publication-points in \
+                 [rules.publication-point] if this swap is intentional",
+                t.text
+            ),
+            chain: Vec::new(),
+        });
+    }
+}
+
+/// A live lock guard bound by a `let`.
+struct Guard {
+    name: String,
+    recv: String,
+    /// Brace depth at the binding; the guard dies when depth drops
+    /// below this.
+    depth: u32,
+    line: u32,
+}
+
+/// Part 2: acquiring a lock on a different receiver while a let-bound
+/// guard is live.
+fn held_guards(
+    file_idx: usize,
+    unit: &FileUnit,
+    program: &Program,
+    severity: Severity,
+    findings: &mut Vec<Finding>,
+) {
+    let tokens = &unit.tokens;
+    for f in program.fns.iter().filter(|f| f.file == file_idx) {
+        let Some((start, end)) = f.body else { continue };
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth: u32 = 0;
+        let mut stmt_start = start;
+        let mut i = start;
+        while i < end.min(tokens.len()) {
+            let t = &tokens[i];
+            if t.is_punct("{") {
+                depth += 1;
+                stmt_start = i + 1;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+            } else if t.is_punct(";") {
+                stmt_start = i + 1;
+            } else if t.is_ident("drop")
+                && i + 3 < tokens.len()
+                && tokens[i + 1].is_punct("(")
+                && tokens[i + 2].kind == TokenKind::Ident
+                && tokens[i + 3].is_punct(")")
+            {
+                let dropped = &tokens[i + 2].text;
+                guards.retain(|g| &g.name != dropped);
+                i += 4;
+                continue;
+            } else if t.kind == TokenKind::Ident
+                && LOCK_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && tokens[i - 1].is_punct(".")
+                && i + 2 < tokens.len()
+                && tokens[i + 1].is_punct("(")
+                && tokens[i + 2].is_punct(")")
+            {
+                let recv = receiver_path(tokens, i - 1, stmt_start);
+                // An acquisition while a differently-rooted guard is
+                // live seeds a lock-order inversion.
+                if let Some(g) = guards.iter().find(|g| g.recv != recv) {
+                    findings.push(Finding {
+                        file: unit.source.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        code: "C2".into(),
+                        rule: "publication-point".into(),
+                        severity,
+                        message: format!(
+                            "`.{}()` on `{recv}` while guard `{}` (from `{}`, line {}) \
+                             is still live; scope the first guard or drop() it before \
+                             acquiring the second lock",
+                            t.text, g.name, g.recv, g.line
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
+                // A `let name = recv.lock();` statement (ending at the
+                // call) keeps the guard live until its scope closes. A
+                // deref-copy (`let v = *recv.lock();`) only holds a
+                // temporary guard and does not.
+                let derefs = tokens[stmt_start..i].iter().any(|t| t.is_punct("*"));
+                if tokens[stmt_start].is_ident("let")
+                    && !derefs
+                    && i + 3 < tokens.len()
+                    && tokens[i + 3].is_punct(";")
+                {
+                    if let Some(name_tok) = tokens[stmt_start + 1..i]
+                        .iter()
+                        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+                    {
+                        guards.push(Guard {
+                            name: name_tok.text.clone(),
+                            recv,
+                            depth,
+                            line: t.line,
+                        });
+                    }
+                }
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The receiver chain before a `.lock()` call: idents, `.`/`::`, and
+/// `self`, walked back from the dot at `dot` (bounded by the statement
+/// start), rendered left-to-right.
+fn receiver_path(tokens: &[crate::lexer::Token], dot: usize, stmt_start: usize) -> String {
+    let mut j = dot;
+    while j > stmt_start {
+        let p = &tokens[j - 1];
+        if p.kind == TokenKind::Ident || p.is_punct(".") || p.is_punct("::") {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    tokens[j..dot]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join("")
+}

@@ -43,7 +43,7 @@ impl LintReport {
             recorder.counter(&format!("lint.findings.{rule}")).add(*n);
         }
         Self {
-            schema: "facet-lint/v1",
+            schema: "facet-lint/v2",
             files_scanned,
             findings,
             counts,
@@ -51,14 +51,12 @@ impl LintReport {
         }
     }
 
-    /// Human-readable rendering (one line per finding + a summary).
+    /// Human-readable rendering: one line per finding, D5 propagation
+    /// chains indented span-by-span underneath, and a summary line.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
-            out.push_str(&format!(
-                "{}[{} {}] {}:{}:{} {}\n",
-                f.severity, f.code, f.rule, f.file, f.line, f.col, f.message
-            ));
+            out.push_str(&render_finding(f));
         }
         out.push_str(&format!(
             "facet-lint: {} file(s) scanned, {} finding(s), {} deny\n",
@@ -76,4 +74,20 @@ impl LintReport {
             s
         })
     }
+}
+
+/// Text rendering of one finding (with its propagation chain), shared
+/// by the report and `--explain` output.
+pub fn render_finding(f: &Finding) -> String {
+    let mut out = format!(
+        "{}[{} {}] {}:{}:{} {}\n",
+        f.severity, f.code, f.rule, f.file, f.line, f.col, f.message
+    );
+    for step in &f.chain {
+        out.push_str(&format!(
+            "    -> {}:{}:{} {}\n",
+            step.file, step.line, step.col, step.note
+        ));
+    }
+    out
 }

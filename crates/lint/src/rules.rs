@@ -11,6 +11,15 @@
 //! | P1   | `panic`         | no `unwrap()`/`expect()`/`panic!`/`todo!` in library code |
 //! | A0   | `allow-hygiene` | every `lint:allow` names a known rule and carries a reason |
 //!
+//! The v2 program-level analyses (built on [`crate::parser`]) live in
+//! their own modules but share this file's `Finding`/`RULES` vocabulary:
+//!
+//! | code | name | module |
+//! |------|------|--------|
+//! | D5   | `taint-unordered`    | [`crate::taint`] — interprocedural determinism taint |
+//! | C2   | `publication-point`  | [`crate::pubpoint`] — snapshot-swap + held-guard discipline |
+//! | A1   | `stale-sanction`     | [`crate::audit`] — sanction-ledger staleness |
+//!
 //! The analyses are heuristic by design — a lexer cannot resolve types —
 //! and tuned to the failure mode that matters here: unordered container
 //! state leaking into pipeline *output*. Sites the heuristics cannot
@@ -22,6 +31,20 @@ use crate::lexer::{strip_test_code, LexedFile, Token};
 use crate::walk::SourceFile;
 use std::collections::BTreeSet;
 
+/// One hop in a D5 taint-propagation chain, printed span-by-span under
+/// the finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub struct ChainStep {
+    /// Workspace-relative file path of this hop.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What happens at this hop (source, call, argument, sink).
+    pub note: String,
+}
+
 /// One lint finding, ready for reporting.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Finding {
@@ -31,7 +54,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Short rule code (`D1`, ..., `A0`).
+    /// Short rule code (`D1`, ..., `A1`).
     pub code: String,
     /// Rule name as used in `Lint.toml` and `lint:allow`.
     pub rule: String,
@@ -39,6 +62,8 @@ pub struct Finding {
     pub severity: Severity,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Propagation chain (D5 only; empty for token-local rules).
+    pub chain: Vec<ChainStep>,
 }
 
 /// Static metadata for one rule.
@@ -76,10 +101,27 @@ pub const RULES: &[RuleMeta] = &[
         name: "panic",
     },
     RuleMeta {
+        code: "D5",
+        name: "taint-unordered",
+    },
+    RuleMeta {
+        code: "C2",
+        name: "publication-point",
+    },
+    RuleMeta {
         code: "A0",
         name: "allow-hygiene",
     },
+    RuleMeta {
+        code: "A1",
+        name: "stale-sanction",
+    },
 ];
+
+/// Look up a rule's report code by its `Lint.toml` name.
+pub fn rule_code(name: &str) -> &'static str {
+    code_for(name)
+}
 
 fn code_for(name: &str) -> &'static str {
     RULES
@@ -89,34 +131,33 @@ fn code_for(name: &str) -> &'static str {
         .unwrap_or("??")
 }
 
+/// An un-configured, un-suppressed detector hit: `(rule, line, col,
+/// message)`. The A1 orphaned-allow audit needs *unconditional* hits —
+/// a `lint:allow` is live iff the detector would fire there, regardless
+/// of what `Lint.toml` enables for that crate.
+pub type RawHit = (&'static str, u32, u32, String);
+
+/// Run every token-local detector unconditionally over a (test-code
+/// stripped) token stream.
+pub fn raw_hits(tokens: &[Token]) -> Vec<RawHit> {
+    let mut raw: Vec<RawHit> = Vec::new();
+    unordered_iter(tokens, &mut raw);
+    wall_clock(tokens, &mut raw);
+    unseeded_rng(tokens, &mut raw);
+    string_keyed_map(tokens, &mut raw);
+    concurrency(tokens, &mut raw);
+    panic_rule(tokens, &mut raw);
+    raw
+}
+
 /// Run every configured rule over one lexed file.
 pub fn analyze(file: &SourceFile, lexed: &LexedFile, config: &Config) -> Vec<Finding> {
     let tokens = strip_test_code(lexed.tokens.clone());
-    let mut raw: Vec<(&'static str, u32, u32, String)> = Vec::new();
-
-    let on =
-        |rule: &str| config.severity_for(rule, &file.krate, &file.module_path) != Severity::Allow;
-    if on("unordered-iter") {
-        unordered_iter(&tokens, &mut raw);
-    }
-    if on("wall-clock") {
-        wall_clock(&tokens, &mut raw);
-    }
-    if on("unseeded-rng") {
-        unseeded_rng(&tokens, &mut raw);
-    }
-    if on("string-keyed-map") {
-        string_keyed_map(&tokens, &mut raw);
-    }
-    if on("concurrency") {
-        concurrency(&tokens, &mut raw);
-    }
-    if on("panic") {
-        panic_rule(&tokens, &mut raw);
-    }
-
     let mut findings: Vec<Finding> = Vec::new();
-    for (rule, line, col, message) in raw {
+    for (rule, line, col, message) in raw_hits(&tokens) {
+        if config.severity_for(rule, &file.krate, &file.module_path) == Severity::Allow {
+            continue;
+        }
         // A directive on the finding's line, or on the line just above
         // it (its `next_code_line` is the finding's), suppresses it.
         let suppressed = lexed.allows.iter().any(|a| {
@@ -133,34 +174,47 @@ pub fn analyze(file: &SourceFile, lexed: &LexedFile, config: &Config) -> Vec<Fin
             rule: rule.to_string(),
             severity: config.severity_for(rule, &file.krate, &file.module_path),
             message,
+            chain: Vec::new(),
         });
     }
 
-    // A0: allow-directive hygiene (always deny — a suppression that
-    // names no reason or an unknown rule is a policy violation
-    // everywhere, including crates exempt from the suppressed rule).
+    findings.extend(allow_hygiene(file, lexed));
+    findings
+}
+
+/// A0: allow-directive hygiene (always deny — a suppression that names
+/// no reason, an empty reason, or an unknown rule is a policy violation
+/// everywhere, including crates exempt from the suppressed rule).
+pub fn allow_hygiene(file: &SourceFile, lexed: &LexedFile) -> Vec<Finding> {
     let known: BTreeSet<&str> = RULES.iter().map(|r| r.name).collect();
+    let mut findings = Vec::new();
+    let mut a0 = |line: u32, message: String| {
+        findings.push(Finding {
+            file: file.rel_path.clone(),
+            line,
+            col: 1,
+            code: "A0".into(),
+            rule: "allow-hygiene".into(),
+            severity: Severity::Deny,
+            message,
+            chain: Vec::new(),
+        });
+    };
     for a in &lexed.allows {
         if !known.contains(a.rule.as_str()) {
-            findings.push(Finding {
-                file: file.rel_path.clone(),
-                line: a.line,
-                col: 1,
-                code: "A0".into(),
-                rule: "allow-hygiene".into(),
-                severity: Severity::Deny,
-                message: format!("lint:allow names unknown rule `{}`", a.rule),
-            });
+            a0(
+                a.line,
+                format!("lint:allow names unknown rule `{}`", a.rule),
+            );
         } else if !a.has_reason {
-            findings.push(Finding {
-                file: file.rel_path.clone(),
-                line: a.line,
-                col: 1,
-                code: "A0".into(),
-                rule: "allow-hygiene".into(),
-                severity: Severity::Deny,
-                message: format!("lint:allow({}) is missing a reason=\"...\"", a.rule),
-            });
+            let message = match &a.reason {
+                Some(_) => format!(
+                    "lint:allow({}) has an empty reason=\"\"; a suppression must say why",
+                    a.rule
+                ),
+                None => format!("lint:allow({}) is missing a reason=\"...\"", a.rule),
+            };
+            a0(a.line, message);
         }
     }
     findings

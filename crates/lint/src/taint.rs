@@ -1,0 +1,955 @@
+//! D5 `taint-unordered`: interprocedural determinism taint.
+//!
+//! Token-local rules (D1–D3) catch a `HashMap` iterated *at* the point
+//! where order escapes — but a helper function can launder the same
+//! nondeterminism through its return value, and nothing token-local can
+//! see it. This analysis tracks values originating from hash-container
+//! iteration, wall-clock reads, and unseeded RNG through function
+//! returns and arguments across the whole workspace, using the
+//! approximate call graph from [`crate::parser`].
+//!
+//! - **Sources**: `.iter()`/`.keys()`/... on a name declared as
+//!   `HashMap`/`HashSet` (including via parameters and `for` loops),
+//!   `Instant::now`/`SystemTime::now`, and entropy-seeded RNG idents.
+//! - **Sanitizers**: sorting (`sort*`), order-insensitive aggregation
+//!   (`sum`, `count`, `min`/`max`, ...), and collection into ordered
+//!   containers (`BTreeMap`/`BTreeSet`) clear taint at the statement
+//!   that applies them.
+//! - **Sinks**: published artifacts — the type names listed under
+//!   `published` in `[rules.taint-unordered]` (snapshot types,
+//!   `BrowseResult`, report structs). A tainted value mentioned in the
+//!   same statement as a published type, or returned from a function
+//!   whose declared return type is published, is a finding. The full
+//!   propagation chain is attached span-by-span.
+//!
+//! The engine is a statement-level dataflow with per-function summaries
+//! ("returns a tainted value", "returns taint when parameter *i* is
+//! tainted", "parameter *i* reaches a published sink inside"), iterated
+//! to a fixpoint over summary *shapes* so recursion converges even
+//! though chains are rebuilt each round.
+
+use crate::config::{Config, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{matching_delim, FileUnit, FnDef, Program};
+use crate::rules::{ChainStep, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+const ENTROPY_SOURCES: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+/// Identifiers that launder order-dependence out of a statement: sorts,
+/// order-insensitive aggregations, and ordered-container collects.
+const SANITIZERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "all",
+    "any",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Methods that write their arguments into the receiver, so a tainted
+/// argument taints the receiver collection.
+const MUTATORS: &[&str] = &["push", "insert", "extend", "append", "push_str"];
+
+/// The taint carried by one value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Taint {
+    /// Propagation chain from a concrete source; empty = not (yet)
+    /// source-tainted.
+    chain: Vec<ChainStep>,
+    /// Parameter positions whose taint this value inherits (resolved at
+    /// call sites).
+    params: BTreeSet<usize>,
+}
+
+impl Taint {
+    fn is_clean(&self) -> bool {
+        self.chain.is_empty() && self.params.is_empty()
+    }
+
+    fn merge(&mut self, other: &Taint) {
+        if self.chain.is_empty() && !other.chain.is_empty() {
+            self.chain = other.chain.clone();
+        }
+        self.params.extend(other.params.iter().copied());
+    }
+}
+
+/// What a function does with taint, as seen from its callers.
+#[derive(Debug, Clone, Default)]
+struct Summary {
+    /// Taint of the return value.
+    ret: Taint,
+    /// Parameters that reach a published sink inside this function (or
+    /// transitively through its callees); the chain suffix describes
+    /// the path from the parameter to the sink.
+    param_sinks: BTreeMap<usize, Vec<ChainStep>>,
+}
+
+impl Summary {
+    /// The convergence key: chains are rebuilt every iteration, so the
+    /// fixpoint compares only the boolean/set shape.
+    fn shape(&self) -> (bool, BTreeSet<usize>, BTreeSet<usize>) {
+        (
+            !self.ret.chain.is_empty(),
+            self.ret.params.clone(),
+            self.param_sinks.keys().copied().collect(),
+        )
+    }
+}
+
+/// Hard cap on printed chain length; deeper propagation is truncated
+/// with a marker step (keeps reports bounded and deterministic).
+const MAX_CHAIN: usize = 12;
+
+fn push_step(chain: &mut Vec<ChainStep>, step: ChainStep) {
+    if chain.len() < MAX_CHAIN {
+        chain.push(step);
+    } else if chain.len() == MAX_CHAIN {
+        let last = chain.last().cloned();
+        if let Some(last) = last {
+            chain.push(ChainStep {
+                note: "... chain truncated".to_string(),
+                ..last
+            });
+        }
+    }
+}
+
+/// Run the D5 analysis over the whole program. Returns span-sorted,
+/// deduplicated findings. Findings are *not* yet suppression-filtered —
+/// the caller applies `lint:allow(taint-unordered)` (valid at the sink
+/// or at any chain-step line) so the A1 orphan audit can see the
+/// unconditional hits.
+pub fn analyze(files: &[FileUnit], program: &Program, config: &Config) -> Vec<Finding> {
+    const RULE: &str = "taint-unordered";
+    let Some(rc) = config.rules.get(RULE) else {
+        return Vec::new();
+    };
+    let published: BTreeSet<&str> = rc.published.iter().map(|s| s.as_str()).collect();
+    if published.is_empty() {
+        return Vec::new();
+    }
+
+    let mut summaries: Vec<Summary> = vec![Summary::default(); program.fns.len()];
+    for _round in 0..12 {
+        let mut changed = false;
+        let mut next: Vec<Summary> = Vec::with_capacity(summaries.len());
+        for f in &program.fns {
+            let (summary, _) = analyze_fn(f, files, program, &summaries, &published, false);
+            if summary.shape() != summaries[next.len()].shape() {
+                changed = true;
+            }
+            next.push(summary);
+        }
+        summaries = next;
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: stable summaries, now collect sink findings.
+    let mut seen: BTreeSet<(String, u32, u32, String)> = BTreeSet::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &program.fns {
+        let unit = &files[f.file];
+        let severity = config.severity_for(RULE, &unit.source.krate, &unit.source.module_path);
+        if severity == Severity::Allow {
+            continue;
+        }
+        let (_, sinks) = analyze_fn(f, files, program, &summaries, &published, true);
+        for (line, col, message, chain) in sinks {
+            let key = (unit.source.rel_path.clone(), line, col, message.clone());
+            if !seen.insert(key) {
+                continue;
+            }
+            findings.push(Finding {
+                file: unit.source.rel_path.clone(),
+                line,
+                col,
+                code: "D5".into(),
+                rule: RULE.into(),
+                severity,
+                message,
+                chain,
+            });
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, &a.message).cmp(&(&b.file, b.line, b.col, &b.message))
+    });
+    findings
+}
+
+/// A sink hit inside one function: `(line, col, message, chain)`.
+type Sink = (u32, u32, String, Vec<ChainStep>);
+
+/// Analyze one function body against the current summaries. When
+/// `collect_sinks` is false (fixpoint rounds) only the summary matters.
+fn analyze_fn(
+    f: &FnDef,
+    files: &[FileUnit],
+    program: &Program,
+    summaries: &[Summary],
+    published: &BTreeSet<&str>,
+    collect_sinks: bool,
+) -> (Summary, Vec<Sink>) {
+    let unit = &files[f.file];
+    let tokens = &unit.tokens;
+    let mut summary = Summary::default();
+    let mut sinks: Vec<Sink> = Vec::new();
+    let Some((body_start, body_end)) = f.body else {
+        return (summary, sinks);
+    };
+
+    // Names declared (anywhere in the signature or body) with a
+    // HashMap/HashSet type — their iteration is a taint source.
+    let sig_and_body = &tokens[..body_end.min(tokens.len())];
+    let tracked = tracked_hash_names(sig_and_body, f, body_start);
+
+    // Variable taint environment, seeded with parameter tags.
+    let mut env: BTreeMap<String, Taint> = BTreeMap::new();
+    for (i, names) in f.params.iter().enumerate() {
+        for name in names {
+            env.insert(
+                name.clone(),
+                Taint {
+                    chain: Vec::new(),
+                    params: BTreeSet::from([i]),
+                },
+            );
+        }
+    }
+
+    let stmts = split_statements(tokens, body_start, body_end);
+    let last_tail = stmts.iter().rposition(|s| !s.is_empty()).filter(|&i| {
+        let (_, end, term) = stmts[i].bounds();
+        term != Some(';') && end == body_end
+    });
+
+    for (si, stmt) in stmts.iter().enumerate() {
+        let (start, end, _) = stmt.bounds();
+        if start >= end {
+            continue;
+        }
+        let stoks = &tokens[start..end];
+        let ctx = StmtCtx {
+            f,
+            unit,
+            files,
+            program,
+            summaries,
+            tracked: &tracked,
+        };
+
+        // `v.sort*()` as a whole statement sanitizes the receiver.
+        if let Some(recv) = sort_receiver(stoks) {
+            env.remove(&recv);
+            continue;
+        }
+        if let Some(dropped) = drop_target(stoks) {
+            env.remove(&dropped);
+            continue;
+        }
+
+        let sanitized = stoks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && SANITIZERS.contains(&t.text.as_str()));
+
+        // Taint flowing through this statement: direct sources, tainted
+        // variable references, and summaries of resolved calls.
+        let mut taint = Taint::default();
+        if !sanitized {
+            if let Some(step) = direct_source(stoks, &tracked, &unit.source.rel_path) {
+                push_step(&mut taint.chain, step);
+            }
+            for t in stoks {
+                if t.kind == TokenKind::Ident {
+                    if let Some(v) = env.get(&t.text) {
+                        taint.merge(v);
+                    }
+                }
+            }
+            apply_calls(
+                &ctx,
+                stoks,
+                start,
+                &env,
+                &mut taint,
+                &mut summary,
+                &mut sinks,
+                collect_sinks,
+            );
+        }
+
+        // Published-type mention in a tainted statement is a sink; a
+        // parameter-conditional mention becomes a caller obligation.
+        if let Some(pub_tok) = stoks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && published.contains(t.text.as_str()))
+        {
+            if !taint.chain.is_empty() {
+                let mut chain = taint.chain.clone();
+                push_step(
+                    &mut chain,
+                    ChainStep {
+                        file: unit.source.rel_path.clone(),
+                        line: pub_tok.line,
+                        col: pub_tok.col,
+                        note: format!("tainted value reaches published `{}`", pub_tok.text),
+                    },
+                );
+                if collect_sinks {
+                    sinks.push((
+                        pub_tok.line,
+                        pub_tok.col,
+                        format!(
+                            "nondeterministic value (hash-order/clock/entropy) reaches \
+                             published `{}`; sort or aggregate before publishing",
+                            pub_tok.text
+                        ),
+                        chain,
+                    ));
+                }
+            }
+            for &p in &taint.params {
+                summary.param_sinks.entry(p).or_insert_with(|| {
+                    vec![ChainStep {
+                        file: unit.source.rel_path.clone(),
+                        line: pub_tok.line,
+                        col: pub_tok.col,
+                        note: format!(
+                            "parameter of `{}` reaches published `{}`",
+                            f.qual, pub_tok.text
+                        ),
+                    }]
+                });
+            }
+        }
+
+        // `for pat in <tracked-hash>` taints the loop bindings.
+        if let Some((names, step)) = for_loop_taint(stoks, &tracked, &env, &unit.source.rel_path) {
+            for name in names {
+                let mut t = step.clone();
+                t.params.extend(taint.params.iter().copied());
+                env.insert(name, t);
+            }
+            continue;
+        }
+
+        // Bind / assign / mutate.
+        let is_return = stoks.first().is_some_and(|t| t.is_ident("return"));
+        if is_return || Some(si) == last_tail {
+            summary.ret.merge(&taint);
+        }
+        if let Some(names) = binding_names(stoks) {
+            for name in names {
+                if taint.is_clean() {
+                    env.remove(&name);
+                } else {
+                    env.insert(name, taint.clone());
+                }
+            }
+        } else if let Some(recv) = mutator_receiver(stoks) {
+            if !taint.is_clean() {
+                env.entry(recv).or_default().merge(&taint);
+            }
+        }
+    }
+
+    // A function whose declared return type is itself published turns a
+    // tainted return into a sink at the declaration.
+    if f.ret_idents.iter().any(|r| published.contains(r.as_str())) {
+        let published_ret = f
+            .ret_idents
+            .iter()
+            .find(|r| published.contains(r.as_str()))
+            .cloned()
+            .unwrap_or_default();
+        if !summary.ret.chain.is_empty() && collect_sinks {
+            let mut chain = summary.ret.chain.clone();
+            push_step(
+                &mut chain,
+                ChainStep {
+                    file: unit.source.rel_path.clone(),
+                    line: f.line,
+                    col: f.col,
+                    note: format!("returned from `{}` as published `{published_ret}`", f.qual),
+                },
+            );
+            sinks.push((
+                f.line,
+                f.col,
+                format!(
+                    "`{}` returns a nondeterministic value as published `{published_ret}`",
+                    f.qual
+                ),
+                chain,
+            ));
+        }
+        for &p in &summary.ret.params.clone() {
+            summary.param_sinks.entry(p).or_insert_with(|| {
+                vec![ChainStep {
+                    file: unit.source.rel_path.clone(),
+                    line: f.line,
+                    col: f.col,
+                    note: format!(
+                        "parameter returned from `{}` as published `{published_ret}`",
+                        f.qual
+                    ),
+                }]
+            });
+        }
+    }
+
+    (summary, sinks)
+}
+
+struct StmtCtx<'a> {
+    f: &'a FnDef,
+    unit: &'a FileUnit,
+    files: &'a [FileUnit],
+    program: &'a Program,
+    summaries: &'a [Summary],
+    tracked: &'a BTreeSet<String>,
+}
+
+/// Fold the summaries of every resolved call in the statement into the
+/// statement taint; emit findings / caller obligations for calls whose
+/// arguments reach a published sink in the callee.
+#[allow(clippy::too_many_arguments)]
+fn apply_calls(
+    ctx: &StmtCtx<'_>,
+    stoks: &[Token],
+    stmt_start: usize,
+    env: &BTreeMap<String, Taint>,
+    taint: &mut Taint,
+    summary: &mut Summary,
+    sinks: &mut Vec<Sink>,
+    collect_sinks: bool,
+) {
+    let tokens = &ctx.unit.tokens;
+    for i in 0..stoks.len() {
+        let t = &stoks[i];
+        if t.kind != TokenKind::Ident
+            || i + 1 >= stoks.len()
+            || !stoks[i + 1].is_punct("(")
+            || ITER_METHODS.contains(&t.text.as_str())
+            || SANITIZERS.contains(&t.text.as_str())
+            || MUTATORS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let mut callees = ctx
+            .program
+            .resolve(&t.text, &ctx.unit.source.krate, ctx.files);
+        // A qualified call (`Type::name(...)` / `module::name(...)`)
+        // resolves only within that qualifier; a qualifier matching no
+        // workspace function (`Vec::new`, `AtomicU64::new`) is external
+        // and contributes no taint. Bare-name resolution stays fuzzy
+        // only for genuinely unqualified calls.
+        if i >= 2 && stoks[i - 1].is_punct("::") && stoks[i - 2].kind == TokenKind::Ident {
+            let q = &stoks[i - 2].text;
+            let tail = format!("::{}::{}", q, t.text);
+            let full = format!("{}::{}", q, t.text);
+            callees.retain(|&c| {
+                let qual = &ctx.program.fns[c].qual;
+                qual.ends_with(&tail) || *qual == full
+            });
+        }
+        if callees.is_empty() {
+            continue;
+        }
+        // Argument expressions: receiver chain (method calls) is the
+        // implicit argument 0, then the parenthesized list.
+        let is_method = i > 0 && stoks[i - 1].is_punct(".");
+        let open = stmt_start + i + 1;
+        let close = matching_delim(tokens, open, "(", ")").min(tokens.len());
+        let mut args: Vec<Vec<&Token>> = Vec::new();
+        if is_method {
+            // Receiver: ident chain walking back over `a.b.c`.
+            let mut recv: Vec<&Token> = Vec::new();
+            let mut j = i as isize - 1;
+            while j >= 1 {
+                let ju = j as usize;
+                if stoks[ju].is_punct(".")
+                    || stoks[ju].kind == TokenKind::Ident
+                    || stoks[ju].is_punct(")")
+                {
+                    recv.push(&stoks[ju]);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            args.push(recv);
+        }
+        args.extend(split_args(&tokens[open + 1..close]));
+
+        // Method callees number `self` as parameter 0; unshifting the
+        // receiver as argument 0 makes positions line up for both call
+        // shapes.
+        for (pos, arg) in args.iter().enumerate() {
+            let arg_taint = arg_taint(arg, env, ctx.tracked, &ctx.unit.source.rel_path);
+            if arg_taint.is_clean() {
+                continue;
+            }
+            for &callee_idx in &callees {
+                let callee = &ctx.program.fns[callee_idx];
+                let cs = &ctx.summaries[callee_idx];
+                // Callee returns taint when this parameter is tainted.
+                if cs.ret.params.contains(&pos) {
+                    let mut chain = arg_taint.chain.clone();
+                    if !chain.is_empty() {
+                        push_step(
+                            &mut chain,
+                            ChainStep {
+                                file: ctx.unit.source.rel_path.clone(),
+                                line: t.line,
+                                col: t.col,
+                                note: format!("tainted argument flows through `{}`", callee.qual),
+                            },
+                        );
+                        taint.merge(&Taint {
+                            chain,
+                            params: BTreeSet::new(),
+                        });
+                    }
+                    taint.params.extend(arg_taint.params.iter().copied());
+                }
+                // Callee publishes this parameter.
+                if let Some(suffix) = cs.param_sinks.get(&pos) {
+                    if !arg_taint.chain.is_empty() {
+                        let mut chain = arg_taint.chain.clone();
+                        push_step(
+                            &mut chain,
+                            ChainStep {
+                                file: ctx.unit.source.rel_path.clone(),
+                                line: t.line,
+                                col: t.col,
+                                note: format!("passed to `{}`", callee.qual),
+                            },
+                        );
+                        for s in suffix {
+                            push_step(&mut chain, s.clone());
+                        }
+                        if collect_sinks {
+                            sinks.push((
+                                t.line,
+                                t.col,
+                                format!(
+                                    "nondeterministic value passed to `{}` reaches a \
+                                     published artifact",
+                                    callee.qual
+                                ),
+                                chain,
+                            ));
+                        }
+                    }
+                    for &p in &arg_taint.params {
+                        let mut chain = vec![ChainStep {
+                            file: ctx.unit.source.rel_path.clone(),
+                            line: t.line,
+                            col: t.col,
+                            note: format!(
+                                "parameter of `{}` passed to `{}`",
+                                ctx.f.qual, callee.qual
+                            ),
+                        }];
+                        for s in suffix {
+                            push_step(&mut chain, s.clone());
+                        }
+                        summary.param_sinks.entry(p).or_insert(chain);
+                    }
+                }
+            }
+        }
+
+        // Callee returns a directly-tainted value regardless of args.
+        for &callee_idx in &callees {
+            let callee = &ctx.program.fns[callee_idx];
+            let cs = &ctx.summaries[callee_idx];
+            if !cs.ret.chain.is_empty() {
+                let mut chain = cs.ret.chain.clone();
+                push_step(
+                    &mut chain,
+                    ChainStep {
+                        file: ctx.unit.source.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        note: format!("tainted value returned by `{}`", callee.qual),
+                    },
+                );
+                taint.merge(&Taint {
+                    chain,
+                    params: BTreeSet::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Taint of one argument expression: direct sources, tainted variable
+/// references, parameter tags — and the bare mention of a tracked hash
+/// container (handing the container itself to a callee that iterates it
+/// is the laundering pattern this rule exists for; whether iteration
+/// happens is the callee summary's problem, so the container mention
+/// alone carries only parameter-style taint resolved there).
+fn arg_taint(
+    arg: &[&Token],
+    env: &BTreeMap<String, Taint>,
+    tracked: &BTreeSet<String>,
+    _file: &str,
+) -> Taint {
+    let mut taint = Taint::default();
+    for t in arg {
+        if t.kind == TokenKind::Ident {
+            if let Some(v) = env.get(&t.text) {
+                taint.merge(v);
+            }
+        }
+    }
+    let _ = tracked;
+    taint
+}
+
+/// Split a call's argument tokens at top-level commas.
+fn split_args(tokens: &[Token]) -> Vec<Vec<&Token>> {
+    let mut out: Vec<Vec<&Token>> = Vec::new();
+    let mut cur: Vec<&Token> = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(",") && depth == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Names declared with a `HashMap`/`HashSet` type anywhere in the
+/// function's signature or body (`name: HashMap<...>`, `name =
+/// HashMap::new()`, aliases via `name = &tracked`).
+fn tracked_hash_names(tokens: &[Token], f: &FnDef, _body_start: usize) -> BTreeSet<String> {
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    // Two passes so `let alias = &map;` after `map`'s declaration works
+    // regardless of order within this scan.
+    for _ in 0..2 {
+        for i in 0..tokens.len() {
+            if tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            if i + 1 < tokens.len() && (tokens[i + 1].is_punct(":") || tokens[i + 1].is_punct("="))
+            {
+                let mut j = i + 2;
+                while j < tokens.len()
+                    && (tokens[j].is_punct("&")
+                        || tokens[j].is_ident("mut")
+                        || tokens[j].is_ident("std")
+                        || tokens[j].is_ident("collections")
+                        || tokens[j].is_punct("::")
+                        || tokens[j].kind == TokenKind::Lifetime)
+                {
+                    j += 1;
+                }
+                if j < tokens.len()
+                    && (tokens[j].is_ident("HashMap")
+                        || tokens[j].is_ident("HashSet")
+                        || tracked.contains(&tokens[j].text))
+                {
+                    tracked.insert(tokens[i].text.clone());
+                }
+            }
+        }
+    }
+    let _ = f;
+    tracked
+}
+
+/// A direct nondeterminism source inside one statement.
+fn direct_source(stoks: &[Token], tracked: &BTreeSet<String>, file: &str) -> Option<ChainStep> {
+    for i in 0..stoks.len() {
+        let t = &stoks[i];
+        // Hash iteration: `name.keys()`-family on a tracked name.
+        if t.kind == TokenKind::Ident
+            && tracked.contains(&t.text)
+            && i + 2 < stoks.len()
+            && stoks[i + 1].is_punct(".")
+            && ITER_METHODS.contains(&stoks[i + 2].text.as_str())
+        {
+            let m = &stoks[i + 2];
+            return Some(ChainStep {
+                file: file.to_string(),
+                line: m.line,
+                col: m.col,
+                note: format!(
+                    "hash-order source: `{}.{}()` iterates in seed-dependent order",
+                    t.text, m.text
+                ),
+            });
+        }
+        // Wall clock.
+        if i + 2 < stoks.len()
+            && (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && stoks[i + 1].is_punct("::")
+            && stoks[i + 2].is_ident("now")
+        {
+            return Some(ChainStep {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                note: format!("wall-clock source: `{}::now()`", t.text),
+            });
+        }
+        // Entropy.
+        if ENTROPY_SOURCES.iter().any(|s| t.is_ident(s)) {
+            return Some(ChainStep {
+                file: file.to_string(),
+                line: t.line,
+                col: t.col,
+                note: format!("entropy source: `{}`", t.text),
+            });
+        }
+    }
+    None
+}
+
+/// `for pat in [&][mut] <expr>`: when the iterated expression is a
+/// tracked hash container (or a tainted variable), the pattern bindings
+/// become tainted. Returns the bound names and the taint to install.
+fn for_loop_taint(
+    stoks: &[Token],
+    tracked: &BTreeSet<String>,
+    env: &BTreeMap<String, Taint>,
+    file: &str,
+) -> Option<(Vec<String>, Taint)> {
+    let for_idx = stoks.iter().position(|t| t.is_ident("for"))?;
+    let in_idx = (for_idx + 1..stoks.len()).find(|&j| stoks[j].is_ident("in"))?;
+    let names: Vec<String> = stoks[for_idx + 1..in_idx]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "_"))
+        .map(|t| t.text.clone())
+        .collect();
+    if names.is_empty() {
+        return None;
+    }
+    let expr = &stoks[in_idx + 1..];
+    // Tracked hash container iterated directly (bare name, no call —
+    // `.iter()`-style calls are handled as direct sources already).
+    let bare_hash = expr
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && tracked.contains(&t.text));
+    if let Some(h) = bare_hash {
+        let mut taint = Taint::default();
+        push_step(
+            &mut taint.chain,
+            ChainStep {
+                file: file.to_string(),
+                line: h.line,
+                col: h.col,
+                note: format!(
+                    "hash-order source: `for` over `{}` iterates in seed-dependent order",
+                    h.text
+                ),
+            },
+        );
+        return Some((names, taint));
+    }
+    // Otherwise inherit taint from the iterated expression.
+    let mut taint = Taint::default();
+    for t in expr {
+        if t.kind == TokenKind::Ident {
+            if let Some(v) = env.get(&t.text) {
+                taint.merge(v);
+            }
+        }
+    }
+    if taint.is_clean() {
+        None
+    } else {
+        Some((names, taint))
+    }
+}
+
+/// Names bound by a `let` statement or simple assignment target.
+fn binding_names(stoks: &[Token]) -> Option<Vec<String>> {
+    if stoks.first().is_some_and(|t| t.is_ident("let")) {
+        let eq = stoks.iter().position(|t| t.is_punct("="))?;
+        // Stop at a `:` type annotation; pattern idents come before it.
+        let colon = stoks[..eq]
+            .iter()
+            .position(|t| t.is_punct(":"))
+            .unwrap_or(eq);
+        let names: Vec<String> = stoks[1..colon]
+            .iter()
+            .filter(|t| {
+                t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "_")
+            })
+            .map(|t| t.text.clone())
+            .collect();
+        if names.is_empty() {
+            None
+        } else {
+            Some(names)
+        }
+    } else if stoks.len() >= 2
+        && stoks[0].kind == TokenKind::Ident
+        && (stoks[1].is_punct("=")
+            || (stoks.len() >= 3 && stoks[1].is_punct("+") && stoks[2].is_punct("=")))
+    {
+        Some(vec![stoks[0].text.clone()])
+    } else {
+        None
+    }
+}
+
+/// `name.sort*()` as a whole statement: returns the sanitized receiver.
+fn sort_receiver(stoks: &[Token]) -> Option<String> {
+    if stoks.len() >= 3
+        && stoks[0].kind == TokenKind::Ident
+        && stoks[1].is_punct(".")
+        && stoks[2].text.starts_with("sort")
+    {
+        Some(stoks[0].text.clone())
+    } else {
+        None
+    }
+}
+
+/// `drop(name)` ends the variable's taint along with its lifetime.
+fn drop_target(stoks: &[Token]) -> Option<String> {
+    if stoks.len() >= 4
+        && stoks[0].is_ident("drop")
+        && stoks[1].is_punct("(")
+        && stoks[2].kind == TokenKind::Ident
+        && stoks[3].is_punct(")")
+    {
+        Some(stoks[2].text.clone())
+    } else {
+        None
+    }
+}
+
+/// `recv.push(x)`-style mutation: the receiver's root name (the first
+/// ident of the chain, or the field after `self`).
+fn mutator_receiver(stoks: &[Token]) -> Option<String> {
+    let m = stoks
+        .iter()
+        .position(|t| t.kind == TokenKind::Ident && MUTATORS.contains(&t.text.as_str()))?;
+    if m == 0 || !stoks[m - 1].is_punct(".") {
+        return None;
+    }
+    let chain: Vec<&Token> = stoks[..m - 1]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .collect();
+    let root = chain.iter().find(|t| t.text != "self")?;
+    Some(root.text.clone())
+}
+
+/// One statement: token range + terminator.
+struct Stmt {
+    start: usize,
+    end: usize,
+    terminator: Option<char>,
+}
+
+impl Stmt {
+    fn bounds(&self) -> (usize, usize, Option<char>) {
+        (self.start, self.end, self.terminator)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Linearize a body token range into statements. Boundaries are `;`,
+/// `{`, and `}` at paren depth 0 — braces inside parentheses (closure
+/// bodies in method chains) stay part of their statement so sanitizer
+/// and sink scans see the whole expression, and struct-literal braces
+/// (a `{` directly after a CamelCase ident, e.g. `BrowseResult { .. }`)
+/// stay part of theirs so published-type construction is one statement.
+fn split_statements(tokens: &[Token], start: usize, end: usize) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut cur = start;
+    let mut paren = 0i32;
+    let mut literal_braces = 0u32;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            paren += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            paren -= 1;
+        } else if paren == 0 && t.is_punct("{") && i > start && is_type_name(&tokens[i - 1]) {
+            literal_braces += 1;
+        } else if paren == 0 && t.is_punct("}") && literal_braces > 0 {
+            literal_braces -= 1;
+        } else if paren == 0
+            && literal_braces == 0
+            && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}"))
+        {
+            stmts.push(Stmt {
+                start: cur,
+                end: i,
+                terminator: t.text.chars().next(),
+            });
+            cur = i + 1;
+        }
+        i += 1;
+    }
+    if cur < end {
+        stmts.push(Stmt {
+            start: cur,
+            end,
+            terminator: None,
+        });
+    }
+    stmts
+}
+
+/// A CamelCase ident (or `Self`) before a `{` marks a struct literal,
+/// not a block — lowercase keywords (`if`, `match`, `loop`, ...) and
+/// punctuation mark blocks.
+fn is_type_name(t: &Token) -> bool {
+    t.kind == TokenKind::Ident
+        && t.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+}

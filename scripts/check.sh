@@ -30,7 +30,9 @@
 #                  trace parses (facet-jsonio) and contains the expected
 #                  span tree (run → append.shard0 → resource.query →
 #                  attempt, depth ≥ 4). See DESIGN.md section 15.
-#   --lint         Run the facet-lint workspace gate only (non-zero exit
+#   --lint         Run the facet-lint workspace gate only: two lint runs
+#                  whose v2 JSON reports must be byte-identical, then the
+#                  tool's --verify-report structural check (non-zero exit
 #                  on any deny finding; see DESIGN.md section 13).
 #   --chaos        Run the fault-injection determinism suite only
 #                  (tests/chaos.rs: seeded faults, degraded-coverage
@@ -41,7 +43,15 @@ cd "$(dirname "$0")/.."
 
 run_lint() {
     echo "== facet-lint: workspace determinism & concurrency gate"
-    cargo run -q --release -p facet-lint -- --root .
+    mkdir -p target
+    # Two runs must produce byte-identical v2 JSON (the report itself is
+    # a published artifact, so it is held to the same determinism bar),
+    # and the report must parse and be span-sorted — verified by the
+    # tool's own jsonio-backed --verify-report mode.
+    cargo run -q --release -p facet-lint -- --root . --json target/LINT_GATE_A.json
+    cargo run -q --release -p facet-lint -- --root . --json target/LINT_GATE_B.json >/dev/null
+    cmp target/LINT_GATE_A.json target/LINT_GATE_B.json
+    cargo run -q --release -p facet-lint -- --verify-report target/LINT_GATE_A.json
 }
 
 run_chaos() {
