@@ -1,0 +1,168 @@
+//! Durability benchmark for the snapshot + WAL store.
+//!
+//! ```text
+//! durability_bench [--scale <f>] [--iters <n>] [--seeds <a,b,c>] [--out <path>] [--smoke]
+//! ```
+//!
+//! Measures (1) recovering an index from a versioned snapshot against
+//! rebuilding it from the raw corpus (the acceptance bar: recovery at
+//! least 5× faster), (2) snapshot publication and WAL-tail replay
+//! throughput, and (3) seeded corruption drills — a flipped byte in the
+//! newest snapshot (fallback + full-tail replay) and a torn WAL tail
+//! (truncate + retry) — verifying every recovery converges
+//! digest-identically. Writes the report as JSON (default `BENCH_6.json`
+//! at the repo root) and prints a summary table.
+//!
+//! `--smoke` asserts the report invariants — a ≥2× speedup floor (the
+//! committed baseline holds the 5× bar at full scale), digest identity
+//! of every recovery, and the expected fallback/truncation flags per
+//! drill — and exits non-zero on violation. Wired into
+//! `scripts/check.sh --store-smoke` (and thus `--tier1`).
+
+use facet_bench::run_durability_bench;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.2f64;
+    let mut iters = 3usize;
+    let mut seeds: Vec<u64> = vec![0xD1CE, 0xFEED5, 77];
+    let mut out: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+                i += 2;
+            }
+            "--iters" => {
+                iters = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
+            "--seeds" => {
+                seeds = argv
+                    .get(i + 1)
+                    .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+                    .filter(|v: &Vec<u64>| !v.is_empty())
+                    .unwrap_or(seeds);
+                i += 2;
+            }
+            "--out" => {
+                out = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // Default to the repo root regardless of invocation cwd.
+        format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let report = run_durability_bench(scale, iters, &seeds);
+    println!(
+        "durability ({}, {} docs, mean of {} iterations)",
+        report.dataset, report.total_docs, report.iterations
+    );
+    println!(
+        "snapshot: {} bytes, {} sections; persist {:.2}±{:.2} ms ({:.1} MB/s)",
+        report.snapshot_bytes,
+        report.snapshot_sections,
+        report.persist_ms,
+        report.persist_stddev_ms,
+        report.snapshot_write_mb_s
+    );
+    println!(
+        "recover {:.2}±{:.2} ms vs rebuild {:.1}±{:.1} ms — {:.1}x speedup (digest match: {})",
+        report.recover_ms,
+        report.recover_stddev_ms,
+        report.rebuild_ms,
+        report.rebuild_stddev_ms,
+        report.recovery_vs_rebuild_speedup,
+        report.recover_digest_match
+    );
+    println!(
+        "WAL tail: {} records / {} bytes; replay {:.2} ms, {} applied \
+         ({:.0} records/s, digest match: {})",
+        report.wal_tail_records,
+        report.wal_tail_bytes,
+        report.replay_recover_ms,
+        report.replay_replayed_records,
+        report.wal_replay_records_per_s,
+        report.replay_digest_match
+    );
+    println!(
+        "{:>12} {:>16} {:>11} {:>9} {:>10} {:>9} {:>4} {:>6}",
+        "fault seed", "scenario", "recover ms", "fellback", "truncated", "replayed", "gen", "match"
+    );
+    for d in &report.fault_drills {
+        println!(
+            "{:>#12x} {:>16} {:>11.2} {:>9} {:>10} {:>9} {:>4} {:>6}",
+            d.fault_seed,
+            d.scenario,
+            d.recover_ms,
+            d.fell_back,
+            d.tail_truncated,
+            d.replayed_records,
+            d.recovered_generation,
+            d.digest_match
+        );
+    }
+
+    if smoke {
+        // The committed profile holds the 5× bar at full scale; the
+        // smoke floor is looser because tiny corpora shrink the rebuild
+        // side of the ratio far more than the decode side.
+        assert!(
+            report.recovery_vs_rebuild_speedup >= 2.0,
+            "snapshot recovery is only {:.2}x faster than a rebuild (floor: 2x)",
+            report.recovery_vs_rebuild_speedup
+        );
+        assert!(
+            report.recover_digest_match,
+            "snapshot recovery diverged from the batch build"
+        );
+        assert!(
+            report.replay_digest_match,
+            "WAL-tail replay diverged from the live incremental build"
+        );
+        for d in &report.fault_drills {
+            assert!(
+                d.digest_match,
+                "seed {:#x} {}: recovery did not converge to the reference digest",
+                d.fault_seed, d.scenario
+            );
+            assert!(
+                d.replayed_records >= 1,
+                "seed {:#x} {}: recovery replayed nothing; the drill is inert",
+                d.fault_seed,
+                d.scenario
+            );
+            match d.scenario.as_str() {
+                "corrupt-section" => assert!(
+                    d.fell_back,
+                    "seed {:#x}: the corrupt snapshot did not force a fallback",
+                    d.fault_seed
+                ),
+                "torn-tail" => assert!(
+                    d.tail_truncated,
+                    "seed {:#x}: the torn WAL tail was not truncated",
+                    d.fault_seed
+                ),
+                other => panic!("unknown drill scenario {other:?}"),
+            }
+        }
+        println!("smoke assertions passed");
+    }
+
+    let json = facet_jsonio::to_json_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    println!("wrote {out}");
+}

@@ -1436,3 +1436,365 @@ pub fn run_load_bench(config: &LoadBenchConfig) -> LoadBenchReport {
         digest: format!("{digest:016x}"),
     }
 }
+
+/// One corruption drill of the durability benchmark.
+#[derive(Debug, serde::Serialize)]
+pub struct DurabilityFaultDrill {
+    /// Seed of the deterministic damage position.
+    pub fault_seed: u64,
+    /// Damage scenario: `"corrupt-section"` (one flipped bit in the
+    /// newest snapshot file) or `"torn-tail"` (the WAL cut mid-record,
+    /// as a crash during an append would leave it).
+    pub scenario: String,
+    /// Wall time of the `open_from` recovery under this damage.
+    pub recover_ms: f64,
+    /// Whether recovery fell back past the newest snapshot.
+    pub fell_back: bool,
+    /// Whether recovery truncated a torn WAL tail.
+    pub tail_truncated: bool,
+    /// WAL records replayed through the live append/repair paths.
+    pub replayed_records: usize,
+    /// Generation of the snapshot the recovery restarted from (the
+    /// newest one that verified; replay continues past it).
+    pub recovered_generation: u64,
+    /// Whether the recovered index — plus, for a torn tail, a retry of
+    /// the one unacknowledged batch — is digest-identical to the
+    /// reference build.
+    pub digest_match: bool,
+}
+
+/// The durability benchmark report (`BENCH_6.json`).
+#[derive(Debug, serde::Serialize)]
+pub struct DurabilityBenchReport {
+    /// Dataset recipe name.
+    pub dataset: String,
+    /// Total documents indexed per build.
+    pub total_docs: usize,
+    /// Timed iterations per configuration (means below, with the
+    /// per-iteration samples and sample standard deviation alongside).
+    pub iterations: usize,
+    /// Size of one full-corpus snapshot file on disk.
+    pub snapshot_bytes: u64,
+    /// Sections in that snapshot (verified by re-decoding the file).
+    pub snapshot_sections: usize,
+    /// Per-iteration wall times of `persist_to` into a fresh store.
+    pub persist_samples_ms: Vec<f64>,
+    /// Mean snapshot publication time.
+    pub persist_ms: f64,
+    /// Sample standard deviation of the persist iterations.
+    pub persist_stddev_ms: f64,
+    /// Snapshot publication throughput, decimal MB/s.
+    pub snapshot_write_mb_s: f64,
+    /// Per-iteration wall times of a from-scratch `FacetIndex::build`
+    /// (the recovery alternative the store exists to avoid).
+    pub rebuild_samples_ms: Vec<f64>,
+    /// Mean from-scratch rebuild time.
+    pub rebuild_ms: f64,
+    /// Sample standard deviation of the rebuild iterations.
+    pub rebuild_stddev_ms: f64,
+    /// Per-iteration wall times of `open_from` on a healthy
+    /// snapshot-only store (no WAL tail to replay).
+    pub recover_samples_ms: Vec<f64>,
+    /// Mean snapshot recovery time.
+    pub recover_ms: f64,
+    /// Sample standard deviation of the recover iterations.
+    pub recover_stddev_ms: f64,
+    /// `rebuild_ms / recover_ms` — the headline number; the acceptance
+    /// bar requires recovery at least 5× faster than rebuilding.
+    pub recovery_vs_rebuild_speedup: f64,
+    /// Whether every snapshot recovery was clean (no fallback, no
+    /// replay) and digest-identical to the batch build.
+    pub recover_digest_match: bool,
+    /// WAL records physically present in the incremental template's
+    /// tail (including one already covered by the newest snapshot).
+    pub wal_tail_records: usize,
+    /// Bytes of that WAL tail on disk.
+    pub wal_tail_bytes: u64,
+    /// Wall time of `open_from` on the clean incremental template
+    /// (snapshot load plus WAL-tail replay).
+    pub replay_recover_ms: f64,
+    /// Records the clean replay recovery applied.
+    pub replay_replayed_records: usize,
+    /// WAL replay throughput in records per second.
+    pub wal_replay_records_per_s: f64,
+    /// Whether the replay recovery converged digest-identically to the
+    /// live incremental build.
+    pub replay_digest_match: bool,
+    /// One corrupt-section and one torn-tail drill per fault seed.
+    pub fault_drills: Vec<DurabilityFaultDrill>,
+}
+
+/// Seeded deterministic draw for damage positions (FNV-1a mix; mirrors
+/// the recovery integration tests).
+fn damage_draw(seed: u64, salt: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in salt.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Copy a flat store directory (snapshot files + WAL) into a fresh
+/// target so each drill damages its own copy of the template.
+fn copy_store_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).expect("create drill dir");
+    for entry in std::fs::read_dir(src).expect("read template dir") {
+        let entry = entry.expect("read template entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy store file");
+    }
+}
+
+/// Benchmark the durability tier: how fast is recovering an index from
+/// a versioned snapshot (vs rebuilding it from the raw corpus), what
+/// does WAL-tail replay cost per record, and does recovery converge
+/// digest-identically under seeded corruption — a flipped byte in the
+/// newest snapshot (fallback + full-tail replay) and a torn WAL tail (a
+/// crash mid-append, truncate + retry).
+///
+/// The incremental template is built once per run — two snapshot
+/// generations plus a three-record WAL tail — and every drill damages
+/// its own copy, so the drills are independent and deterministic per
+/// seed.
+pub fn run_durability_bench(scale: f64, iterations: usize, seeds: &[u64]) -> DurabilityBenchReport {
+    use facet_core::{FacetIndex, PipelineOptions};
+    use facet_corpus::Document;
+    use facet_ner::NerTagger;
+    use facet_resources::{
+        ContextResource, ExpansionOptions, WikiGraphResource, WordNetHypernymsResource,
+    };
+    use facet_store::{decode_snapshot, snapshot_file_name, FacetStore, WAL_FILE};
+    use facet_termx::{NamedEntityExtractor, TermExtractor, YahooTermExtractor};
+    use facet_wikipedia::WikipediaGraph;
+    use std::fs;
+    use std::time::Instant;
+
+    let iterations = iterations.max(1);
+    let bundle = scaled_bundle(RecipeKind::Snyt, scale);
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let yahoo = YahooTermExtractor::fit(&bundle.corpus.db, &bundle.vocab);
+    let graph_res = WikiGraphResource::new(&graph);
+    let wn_res = WordNetHypernymsResource::new(&bundle.wordnet);
+    let docs = bundle.corpus.db.docs().to_vec();
+    assert!(
+        docs.len() >= 4,
+        "durability bench needs at least 4 documents; raise --scale"
+    );
+    let options = PipelineOptions {
+        // Serial expansion keeps builds and replays deterministic, so
+        // digest comparisons are exact rather than probabilistic.
+        expansion: ExpansionOptions { threads: 1 },
+        ..PipelineOptions::default()
+    };
+    let root = std::env::temp_dir().join(format!("facet-durability-bench-{}", std::process::id()));
+    fs::remove_dir_all(&root).ok();
+    fs::create_dir_all(&root).expect("create bench scratch dir");
+
+    // Rebuild baseline: a from-scratch batch build — the alternative
+    // recovery path the snapshot store must beat.
+    let mut rebuild_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
+    let mut reference_digest = 0u64;
+    for _ in 0..iterations {
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let index = FacetIndex::build(docs.clone(), extractors, resources, options.clone())
+            .expect("bench corpus is well-formed");
+        rebuild_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        reference_digest = index.snapshot().digest();
+    }
+
+    // Snapshot publication: persist the batch build into a fresh store
+    // per iteration (atomic write + fsync + rename + retention).
+    let batch = {
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        FacetIndex::build(docs.clone(), extractors, resources, options.clone())
+            .expect("bench corpus is well-formed")
+    };
+    let mut persist_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
+    let mut snap_dir = root.join("persist-0");
+    for i in 0..iterations {
+        let dir = root.join(format!("persist-{i}"));
+        let store = FacetStore::open(&dir).expect("open fresh store");
+        let t = Instant::now();
+        batch.persist_to(&store).expect("persist batch snapshot");
+        persist_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        snap_dir = dir;
+    }
+    let snap_file = fs::read(snap_dir.join(snapshot_file_name(1))).expect("read snapshot file");
+    let snapshot_bytes = snap_file.len() as u64;
+    let snapshot_sections = decode_snapshot(&snap_file)
+        .expect("persisted snapshot verifies")
+        .sections
+        .len();
+
+    // Snapshot recovery: reopen the persisted store cold and compare
+    // against rebuilding from the corpus.
+    let mut recover_samples_ms: Vec<f64> = Vec::with_capacity(iterations);
+    let mut recover_digest_match = true;
+    for _ in 0..iterations {
+        let store = FacetStore::open(&snap_dir).expect("reopen persisted store");
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let (recovered, report) =
+            FacetIndex::open_from(&store, extractors, resources, options.clone())
+                .expect("recover from a healthy snapshot");
+        recover_samples_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        recover_digest_match &= !report.fell_back
+            && report.replayed_records == 0
+            && recovered.snapshot().digest() == reference_digest;
+    }
+
+    // Incremental template: two snapshot generations plus a WAL tail of
+    // three records. Generation 4 lives only in the WAL, so recovery
+    // must replay; the boundary before the last record lets the
+    // torn-tail drills cut inside it.
+    let quarter = docs.len().div_ceil(4);
+    let chunks: Vec<Vec<Document>> = docs.chunks(quarter).map(<[Document]>::to_vec).collect();
+    let template = root.join("template");
+    let store = FacetStore::open(&template).expect("open template store");
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+    let mut live = FacetIndex::new(extractors, resources, options.clone());
+    live.append_logged(chunks[0].clone(), &store)
+        .expect("append chunk 0");
+    live.persist_to(&store).expect("publish snapshot 1");
+    live.append_logged(chunks[1].clone(), &store)
+        .expect("append chunk 1");
+    live.persist_to(&store).expect("publish snapshot 2");
+    live.append_logged(chunks[2].clone(), &store)
+        .expect("append chunk 2");
+    let wal_boundary = fs::metadata(template.join(WAL_FILE))
+        .expect("stat WAL")
+        .len();
+    live.append_logged(chunks[3].clone(), &store)
+        .expect("append chunk 3");
+    let incremental_digest = live.snapshot().digest();
+    let wal_tail_bytes = fs::metadata(template.join(WAL_FILE))
+        .expect("stat WAL")
+        .len();
+    // Retention keeps snapshots 1 and 2, so pruning left the record of
+    // generation 2 plus the two unsnapshotted records (3 and 4).
+    let wal_tail_records = 3usize;
+
+    // Clean replay: snapshot 2 plus the two records past it.
+    let replay_dir = root.join("replay");
+    copy_store_dir(&template, &replay_dir);
+    let store = FacetStore::open(&replay_dir).expect("open replay store");
+    let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+    let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+    let t = Instant::now();
+    let (replayed, report) = FacetIndex::open_from(&store, extractors, resources, options.clone())
+        .expect("recover the clean incremental template");
+    let replay_recover_ms = t.elapsed().as_secs_f64() * 1e3;
+    let replay_replayed_records = report.replayed_records;
+    let replay_digest_match = report.generation == 2
+        && !report.fell_back
+        && replayed.snapshot().digest() == incremental_digest;
+
+    // Fault drills: each seed damages its own copy of the template.
+    let mut fault_drills = Vec::new();
+    for &seed in seeds {
+        // A flipped bit anywhere in the newest snapshot breaks one of
+        // its checksums; recovery must fall back to snapshot 1 and
+        // replay the full three-record tail.
+        let dir = root.join(format!("drill-corrupt-{seed:x}"));
+        copy_store_dir(&template, &dir);
+        let snap2 = dir.join(snapshot_file_name(2));
+        let mut bytes = fs::read(&snap2).expect("read drill snapshot");
+        let pos = (damage_draw(seed, 1) % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << (damage_draw(seed, 2) % 8);
+        fs::write(&snap2, &bytes).expect("write damaged snapshot");
+        let store = FacetStore::open(&dir).expect("open corrupt-drill store");
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let (recovered, report) =
+            FacetIndex::open_from(&store, extractors, resources, options.clone())
+                .expect("fall back past the corrupt snapshot");
+        let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+        fault_drills.push(DurabilityFaultDrill {
+            fault_seed: seed,
+            scenario: "corrupt-section".to_string(),
+            recover_ms,
+            fell_back: report.fell_back,
+            tail_truncated: report.tail_truncated,
+            replayed_records: report.replayed_records,
+            recovered_generation: report.generation,
+            digest_match: recovered.snapshot().digest() == incremental_digest,
+        });
+
+        // A WAL cut inside the last record models a crash mid-append:
+        // recovery truncates the torn tail, converges to generation 3,
+        // and the caller retries the one unacknowledged batch.
+        let dir = root.join(format!("drill-torn-{seed:x}"));
+        copy_store_dir(&template, &dir);
+        let wal = dir.join(WAL_FILE);
+        let len = fs::metadata(&wal).expect("stat drill WAL").len();
+        let cut = wal_boundary + 1 + damage_draw(seed, 3) % (len - wal_boundary - 1);
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open drill WAL")
+            .set_len(cut)
+            .expect("tear drill WAL");
+        let store = FacetStore::open(&dir).expect("open torn-drill store");
+        let extractors: Vec<&dyn TermExtractor> = vec![&ne, &yahoo];
+        let resources: Vec<&dyn ContextResource> = vec![&graph_res, &wn_res];
+        let t = Instant::now();
+        let (mut recovered, report) =
+            FacetIndex::open_from(&store, extractors, resources, options.clone())
+                .expect("truncate the torn tail and recover");
+        let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+        recovered
+            .append_logged(chunks[3].clone(), &store)
+            .expect("retry the torn batch");
+        fault_drills.push(DurabilityFaultDrill {
+            fault_seed: seed,
+            scenario: "torn-tail".to_string(),
+            recover_ms,
+            fell_back: report.fell_back,
+            tail_truncated: report.tail_truncated,
+            replayed_records: report.replayed_records,
+            recovered_generation: report.generation,
+            digest_match: recovered.snapshot().digest() == incremental_digest,
+        });
+    }
+    fs::remove_dir_all(&root).ok();
+
+    let persist_ms = mean(&persist_samples_ms);
+    let rebuild_ms = mean(&rebuild_samples_ms);
+    let recover_ms = mean(&recover_samples_ms);
+    DurabilityBenchReport {
+        dataset: RecipeKind::Snyt.name().to_string(),
+        total_docs: docs.len(),
+        iterations,
+        snapshot_bytes,
+        snapshot_sections,
+        persist_stddev_ms: sample_stddev(&persist_samples_ms),
+        persist_samples_ms,
+        persist_ms,
+        snapshot_write_mb_s: snapshot_bytes as f64 / 1e6 / (persist_ms / 1e3).max(1e-9),
+        rebuild_stddev_ms: sample_stddev(&rebuild_samples_ms),
+        rebuild_samples_ms,
+        rebuild_ms,
+        recover_stddev_ms: sample_stddev(&recover_samples_ms),
+        recover_samples_ms,
+        recover_ms,
+        recovery_vs_rebuild_speedup: rebuild_ms / recover_ms.max(1e-9),
+        recover_digest_match,
+        wal_tail_records,
+        wal_tail_bytes,
+        replay_recover_ms,
+        replay_replayed_records,
+        wal_replay_records_per_s: replay_replayed_records as f64
+            / (replay_recover_ms / 1e3).max(1e-9),
+        replay_digest_match,
+        fault_drills,
+    }
+}

@@ -14,9 +14,10 @@
 pub mod drivers;
 
 pub use drivers::{
-    dataset_gold, run_ablation, run_baselines, run_dataset_tables, run_dimensions, run_efficiency,
-    run_figure4, run_figure5, run_incremental_bench, run_load_bench, run_pilot,
-    run_resilience_bench, run_sensitivity, run_shard_bench, run_user_study_experiment,
-    scaled_bundle, IncrementalBenchBatch, IncrementalBenchReport, LoadBenchConfig, LoadBenchReport,
+    dataset_gold, run_ablation, run_baselines, run_dataset_tables, run_dimensions,
+    run_durability_bench, run_efficiency, run_figure4, run_figure5, run_incremental_bench,
+    run_load_bench, run_pilot, run_resilience_bench, run_sensitivity, run_shard_bench,
+    run_user_study_experiment, scaled_bundle, DurabilityBenchReport, DurabilityFaultDrill,
+    IncrementalBenchBatch, IncrementalBenchReport, LoadBenchConfig, LoadBenchReport,
     ResilienceBenchReport, ResilienceFaultRun, ShardBenchReport, ShardBenchRun,
 };

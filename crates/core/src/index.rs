@@ -68,6 +68,19 @@ pub enum IndexError {
         /// Index of the shard whose outcome never arrived.
         shard: usize,
     },
+    /// The durability layer rejected a persistence operation (see
+    /// [`crate::persist`]): a snapshot publish or WAL append failed, so
+    /// the in-memory index and the on-disk state may have diverged.
+    Store(facet_store::StoreError),
+    /// A [`crate::serve::FacetServer::reopen`] presented a recovered
+    /// index older than the currently published generation; serving it
+    /// would move readers backwards in time.
+    StaleReopen {
+        /// The generation readers currently see.
+        published: u64,
+        /// The stale generation the recovered index carries.
+        recovered: u64,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -77,6 +90,15 @@ impl std::fmt::Display for IndexError {
             IndexError::ShardIncomplete { shard } => {
                 write!(f, "index append aborted: shard {shard} produced no outcome")
             }
+            IndexError::Store(e) => write!(f, "index persistence failed: {e}"),
+            IndexError::StaleReopen {
+                published,
+                recovered,
+            } => write!(
+                f,
+                "reopen rejected: recovered generation {recovered} is older than \
+                 the published generation {published}"
+            ),
         }
     }
 }
@@ -85,7 +107,8 @@ impl std::error::Error for IndexError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IndexError::Expansion(e) => Some(e),
-            IndexError::ShardIncomplete { .. } => None,
+            IndexError::Store(e) => Some(e),
+            IndexError::ShardIncomplete { .. } | IndexError::StaleReopen { .. } => None,
         }
     }
 }
@@ -93,6 +116,12 @@ impl std::error::Error for IndexError {
 impl From<ExpansionError> for IndexError {
     fn from(e: ExpansionError) -> Self {
         IndexError::Expansion(e)
+    }
+}
+
+impl From<facet_store::StoreError> for IndexError {
+    fn from(e: facet_store::StoreError) -> Self {
+        IndexError::Store(e)
     }
 }
 
@@ -180,6 +209,55 @@ impl FacetSnapshot {
     /// sees a `&mut Vocabulary`.
     pub fn browse(&self) -> BrowseEngine {
         BrowseEngine::from_shared(self.forest.clone(), Arc::clone(&self.doc_terms))
+    }
+
+    /// An FNV-1a digest over the snapshot's canonical *string* view:
+    /// the generation, every candidate row (term, df, `df_C`, score
+    /// bits), every forest edge, the degraded-coverage map, and every
+    /// per-document contextualized term set rendered through the frozen
+    /// vocabulary. Term *ids* never enter the hash, so two snapshots
+    /// digest equal exactly when they are string-identical — the
+    /// byte-identity criterion `tests/recovery.rs` holds crash recovery
+    /// to, regardless of interning order.
+    pub fn digest(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&self.generation.to_le_bytes());
+        for c in &self.candidates {
+            eat(b"c\x1f");
+            eat(self.vocab.try_term(c.term).unwrap_or("").as_bytes());
+            eat(&c.df.to_le_bytes());
+            eat(&c.df_c.to_le_bytes());
+            eat(&c.score.to_bits().to_le_bytes());
+        }
+        for (parent, child) in self.forest.edges() {
+            eat(b"e\x1f");
+            eat(parent.as_bytes());
+            eat(b"\x1f");
+            eat(child.as_bytes());
+        }
+        for (term, failed) in self.degraded.iter() {
+            eat(b"d\x1f");
+            eat(term.as_bytes());
+            for f in failed {
+                eat(b"\x1f");
+                eat(f.as_bytes());
+            }
+        }
+        for row in self.doc_terms.iter() {
+            eat(b"r");
+            for t in row {
+                eat(b"\x1f");
+                eat(self.vocab.try_term(*t).unwrap_or("").as_bytes());
+            }
+        }
+        hash
     }
 
     /// Assemble a snapshot from its parts. Crate-internal: the sharded
@@ -450,6 +528,55 @@ impl<'a> FacetIndex<'a> {
     /// `intern.{hits,misses,len}` metrics the benchmarks report).
     pub fn intern_stats(&self) -> InternStats {
         self.vocab.stats()
+    }
+
+    /// The configured ranking statistic (persisted in snapshot `meta`).
+    pub(crate) fn statistic(&self) -> SelectionStatistic {
+        self.statistic
+    }
+
+    /// The generation of the currently published snapshot.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `I(d)` per document (persisted so a restored index can repair).
+    pub(crate) fn important_rows(&self) -> &[Vec<TermId>] {
+        &self.important
+    }
+
+    /// The cross-batch expansion cache (persisted so a restored index
+    /// re-queries nothing it already resolved).
+    pub(crate) fn expansion_cache(&self) -> &ExpansionCache {
+        &self.cache
+    }
+
+    /// Install decoded pipeline state wholesale ([`crate::persist`]'s
+    /// restore path). Replaces the snapshot lock outright — this is a
+    /// `&mut self` constructor step on an index no reader holds yet, not
+    /// a publication through the lock.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install_state(
+        &mut self,
+        options: PipelineOptions,
+        statistic: SelectionStatistic,
+        vocab: Vocabulary,
+        db: TextDatabase,
+        important: Vec<Vec<TermId>>,
+        cache: ExpansionCache,
+        ctx: ContextualizedDatabase,
+        generation: u64,
+        snapshot: FacetSnapshot,
+    ) {
+        self.options = options;
+        self.statistic = statistic;
+        self.vocab = vocab;
+        self.db = db;
+        self.important = important;
+        self.cache = cache;
+        self.ctx = ctx;
+        self.generation = generation;
+        self.snapshot = RwLock::new(Arc::new(snapshot));
     }
 
     /// The current snapshot. An `Arc` clone under a short read lock:

@@ -37,6 +37,7 @@ pub mod config;
 pub mod evidence;
 pub mod hierarchy;
 pub mod index;
+pub mod persist;
 pub mod pipeline;
 pub mod selection;
 pub mod serve;
@@ -49,6 +50,7 @@ pub use config::PipelineOptions;
 pub use evidence::{build_evidence_forest, EvidenceParams, HypernymHints};
 pub use hierarchy::{FacetForest, FacetTree, TreeNode};
 pub use index::{AppendStats, FacetIndex, FacetSnapshot, IndexError, RepairStats};
+pub use persist::STATE_VERSION;
 pub use pipeline::{FacetExtraction, FacetPipeline};
 pub use selection::{
     select_facet_terms, select_facet_terms_stable, FacetCandidate, SelectionInputs,

@@ -563,6 +563,45 @@ impl<'a> FacetServer<'a> {
         Ok(stats)
     }
 
+    /// Swap in a crash-recovered index (see [`crate::persist`]) behind
+    /// the live reader handles. The recovered index's generation must be
+    /// at or past the published one — determinism makes equal
+    /// generations equal content, so readers can only move forward —
+    /// and the swap republishes every shard view and prunes cache
+    /// entries of older generations, exactly like an append's publish.
+    /// Records `serve.reopen`.
+    ///
+    /// This is a sanctioned publication point (`Lint.toml` C2); the
+    /// cross-thread interleaving is covered by
+    /// [`tests::reopen_swaps_behind_live_readers`].
+    ///
+    /// # Errors
+    /// [`IndexError::StaleReopen`] when the recovered generation is
+    /// older than the published one; the published snapshot, the cache,
+    /// and the wrapped index are all left untouched.
+    pub fn reopen(&mut self, recovered: ShardedFacetIndex<'a>) -> Result<u64, IndexError> {
+        let published = self.shared.current.read().generation();
+        let generation = recovered.snapshot().generation();
+        if generation < published {
+            return Err(IndexError::StaleReopen {
+                published,
+                recovered: generation,
+            });
+        }
+        self.index = recovered;
+        let shards = (0..self.index.n_shards())
+            .map(|i| Arc::new(build_view(&self.index, i)))
+            .collect();
+        let snapshot = Arc::new(ServeSnapshot {
+            merged: self.index.snapshot(),
+            shards,
+        });
+        *self.shared.current.write() = snapshot;
+        self.shared.cache.lock().prune_below(generation);
+        self.shared.recorder.incr("serve.reopen");
+        Ok(generation)
+    }
+
     fn republish(&self, changed: impl Fn(usize) -> bool) {
         let previous = self.shared.current.read().clone();
         let shards = (0..self.index.n_shards())
@@ -938,6 +977,67 @@ mod tests {
         let stats = h.cache_stats();
         assert_eq!(stats.hits + stats.misses, 200);
         assert!(stats.hits >= 196, "at most one miss per racing thread");
+    }
+
+    /// Interleaving coverage for the `reopen` publication point (C2):
+    /// readers browse continuously while the writer swaps in a
+    /// recovered index mid-stream. Every answer must be internally
+    /// consistent with its own generation, generations must never move
+    /// backwards, and a stale recovered index must be rejected without
+    /// disturbing what readers see.
+    #[test]
+    fn reopen_swaps_behind_live_readers() {
+        let e = FixedExtractor;
+        let r = FixedResource::new();
+        let r2 = FixedResource::new();
+        let index = ShardedFacetIndex::build(corpus(12), 2, vec![&e], vec![&r], options()).unwrap();
+        // "Recovered" stand-in: a deterministic rebuild one append ahead.
+        let mut ahead =
+            ShardedFacetIndex::build(corpus(12), 2, vec![&e], vec![&r2], options()).unwrap();
+        ahead.append(corpus(6)).unwrap();
+        let mut srv = FacetServer::new(index);
+        let h = srv.handle();
+        let at_gen1 = h.browse_uncached(&["political leaders"]).canonical();
+        std::thread::scope(|s| {
+            let reader = {
+                let h = h.clone();
+                s.spawn(move || {
+                    let mut last_generation = 0;
+                    for _ in 0..200 {
+                        let got = h.browse(&["political leaders"]);
+                        assert!(got.generation >= last_generation, "generation regressed");
+                        last_generation = got.generation;
+                        let expected = fanout_browse(&h.snapshot(), &["political leaders"]);
+                        if expected.generation == got.generation {
+                            assert_eq!(got.canonical(), expected.canonical());
+                        }
+                    }
+                })
+            };
+            let generation = srv.reopen(ahead).expect("reopen");
+            assert_eq!(generation, 2);
+            reader.join().unwrap();
+        });
+        // Readers now see the recovered state, not the original.
+        let after = h.browse(&["political leaders"]);
+        assert_eq!(after.generation, 2);
+        assert_eq!(after.total(), 18);
+        assert_ne!(after.canonical(), at_gen1);
+
+        // A stale index (generation 1 < published 2) is rejected and
+        // nothing readers hold changes.
+        let r3 = FixedResource::new();
+        let stale =
+            ShardedFacetIndex::build(corpus(12), 2, vec![&e], vec![&r3], options()).unwrap();
+        let err = srv.reopen(stale).unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::StaleReopen {
+                published: 2,
+                recovered: 1
+            }
+        );
+        assert_eq!(h.generation(), 2);
     }
 
     #[test]

@@ -116,6 +116,28 @@ impl Shard {
     }
 }
 
+/// One shard's owned pipeline state, decoded by [`crate::persist`] for
+/// [`ShardedFacetIndex::install_shard_state`]. Mirrors [`Shard`] field
+/// for field; a separate type only because `Shard` stays private.
+pub(crate) struct ShardState {
+    pub vocab: Vocabulary,
+    pub db: TextDatabase,
+    pub cache: ExpansionCache,
+    pub ctx: ContextualizedDatabase,
+    pub important: Vec<Vec<TermId>>,
+    pub to_merged: Vec<TermId>,
+}
+
+/// Borrowed view of one shard's state for [`crate::persist`]'s encoder.
+pub(crate) struct ShardStateRef<'s> {
+    pub vocab: &'s Vocabulary,
+    pub db: &'s TextDatabase,
+    pub cache: &'s ExpansionCache,
+    pub ctx: &'s ContextualizedDatabase,
+    pub important: &'s [Vec<TermId>],
+    pub to_merged: &'s [TermId],
+}
+
 /// Union of the shards' degraded-coverage maps. A term degraded in
 /// several shards appears once; its failed-resource list is identical in
 /// every shard because resources fail (or answer) deterministically per
@@ -266,6 +288,88 @@ impl<'a> ShardedFacetIndex<'a> {
     /// exactly as for [`crate::index::FacetIndex::snapshot`].
     pub fn snapshot(&self) -> Arc<FacetSnapshot> {
         self.snapshot.read().clone()
+    }
+
+    /// The configured ranking statistic (persisted in snapshot `meta`).
+    pub(crate) fn statistic(&self) -> SelectionStatistic {
+        self.statistic
+    }
+
+    /// The generation of the currently published snapshot.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Borrowed persistence view of shard `i`'s private state.
+    pub(crate) fn shard_state(&self, i: usize) -> ShardStateRef<'_> {
+        let s = &self.shards[i];
+        ShardStateRef {
+            vocab: &s.vocab,
+            db: &s.db,
+            cache: &s.cache,
+            ctx: &s.ctx,
+            important: &s.important,
+            to_merged: &s.to_merged,
+        }
+    }
+
+    /// Borrowed persistence view of the merge-side tables:
+    /// `(merged_vocab, merged_df, merged_df_c, merged_doc_terms)`.
+    pub(crate) fn merged_state(&self) -> (&Vocabulary, &[u64], &[u64], &[Vec<TermId>]) {
+        (
+            &self.merged_vocab,
+            &self.merged_df,
+            &self.merged_df_c,
+            &self.merged_doc_terms,
+        )
+    }
+
+    /// Install decoded state for shard `i` ([`crate::persist`] restore).
+    pub(crate) fn install_shard_state(&mut self, i: usize, state: ShardState) {
+        self.shards[i] = Shard {
+            vocab: state.vocab,
+            db: state.db,
+            cache: state.cache,
+            ctx: state.ctx,
+            important: state.important,
+            to_merged: state.to_merged,
+        };
+    }
+
+    /// Install decoded merge-side state and the restored snapshot
+    /// ([`crate::persist`] restore). Replaces the snapshot lock outright
+    /// — a `&mut self` constructor step on an index no reader holds yet,
+    /// not a publication through the lock.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install_merged_state(
+        &mut self,
+        options: PipelineOptions,
+        statistic: SelectionStatistic,
+        merged_vocab: Vocabulary,
+        merged_df: Vec<u64>,
+        merged_df_c: Vec<u64>,
+        merged_doc_terms: Vec<Vec<TermId>>,
+        n_docs: usize,
+        generation: u64,
+        snapshot: FacetSnapshot,
+    ) {
+        self.options = options;
+        self.statistic = statistic;
+        self.merged_vocab = merged_vocab;
+        self.merged_df = merged_df;
+        self.merged_df_c = merged_df_c;
+        self.merged_doc_terms = merged_doc_terms;
+        self.n_docs = n_docs;
+        self.generation = generation;
+        self.snapshot = RwLock::new(Arc::new(snapshot));
+    }
+
+    /// The union of the shards' degraded maps (what a published merged
+    /// snapshot carries); [`crate::persist`] recomputes it on restore so
+    /// snapshot provenance can never drift from shard state.
+    // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
+    pub(crate) fn merged_degraded_map(&self) -> BTreeMap<String, Vec<String>> {
+        merged_degraded(&self.shards)
     }
 
     /// One shard's frozen read-side state for the serving tier

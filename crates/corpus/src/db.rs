@@ -207,6 +207,62 @@ impl TextDatabase {
     pub fn doc_contains(&self, id: DocId, t: TermId) -> bool {
         self.doc_terms[id.index()].binary_search(&t).is_ok()
     }
+
+    /// All per-document term rows in id order (serialization surface;
+    /// restore via [`TextDatabase::from_parts`]).
+    pub fn doc_terms_rows(&self) -> &[Vec<TermId>] {
+        &self.doc_terms
+    }
+
+    /// Rebuild a database from serialized parts.
+    ///
+    /// Returns `None` when the parts are inconsistent: row count not
+    /// matching the document count, or a document id not matching its
+    /// position (ids are positional by construction).
+    pub fn from_parts(
+        docs: Vec<Document>,
+        doc_terms: Vec<Vec<TermId>>,
+        df: Vec<u64>,
+        options: TermingOptions,
+    ) -> Option<Self> {
+        if docs.len() != doc_terms.len() {
+            return None;
+        }
+        if docs.iter().enumerate().any(|(i, d)| d.id.index() != i) {
+            return None;
+        }
+        Some(Self {
+            docs,
+            doc_terms,
+            df,
+            options,
+        })
+    }
+
+    /// [`TextDatabase::from_parts`] for databases grown with
+    /// [`TextDatabase::append_detached`]: documents carry external ids
+    /// (e.g. the global archive ids of a sharded index), so instead of
+    /// the positional invariant the ids must be strictly increasing —
+    /// the order `append_detached` preserves.
+    pub fn from_parts_detached(
+        docs: Vec<Document>,
+        doc_terms: Vec<Vec<TermId>>,
+        df: Vec<u64>,
+        options: TermingOptions,
+    ) -> Option<Self> {
+        if docs.len() != doc_terms.len() {
+            return None;
+        }
+        if docs.windows(2).any(|w| w[0].id.index() >= w[1].id.index()) {
+            return None;
+        }
+        Some(Self {
+            docs,
+            doc_terms,
+            df,
+            options,
+        })
+    }
 }
 
 #[cfg(test)]

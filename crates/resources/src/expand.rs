@@ -159,6 +159,19 @@ impl ExpansionCache {
     pub fn resolution(&self, term: TermId) -> Option<&ResolvedTerm> {
         self.resolved.get(term)
     }
+
+    /// Iterate every memoized resolution in symbol order (serialization
+    /// surface; restore via [`ExpansionCache::restore`]).
+    pub fn entries(&self) -> impl Iterator<Item = (TermId, &ResolvedTerm)> {
+        self.resolved.iter()
+    }
+
+    /// Re-insert a memoized resolution (deserialization path). Resources
+    /// are deterministic by contract, so restoring a persisted
+    /// resolution is indistinguishable from having queried it live.
+    pub fn restore(&mut self, term: TermId, resolution: ResolvedTerm) {
+        self.resolved.insert(term, resolution);
+    }
 }
 
 /// What one incremental expansion batch did.
@@ -253,6 +266,26 @@ impl ContextualizedDatabase {
     /// True if there are no documents.
     pub fn is_empty(&self) -> bool {
         self.doc_terms.is_empty()
+    }
+
+    /// Rebuild a contextualized database from serialized parts. Returns
+    /// `None` when the per-document row counts disagree.
+    pub fn from_parts(
+        doc_terms: Vec<Vec<TermId>>,
+        df_c: Vec<u64>,
+        doc_context_terms: Vec<Vec<TermId>>,
+        // lint:allow(string-keyed-map, reason="serving-edge degraded report; strings materialize here by design")
+        degraded: BTreeMap<String, Vec<String>>,
+    ) -> Option<Self> {
+        if doc_terms.len() != doc_context_terms.len() {
+            return None;
+        }
+        Some(Self {
+            doc_terms,
+            df_c,
+            doc_context_terms,
+            degraded,
+        })
     }
 }
 

@@ -89,18 +89,95 @@ fn fnv1a(seed: u64, term: &str, salt: u64) -> u64 {
     h
 }
 
+/// The seeded schedule machinery behind [`FaultyResource`], factored out
+/// so other injectors — notably `facet-store`'s `FaultyStorage` — reuse
+/// the exact same deterministic draws instead of duplicating the FNV
+/// chain. Keys are opaque strings: a query term for resources, an
+/// operation label for storage.
+///
+/// * [`is_affected`](Self::is_affected) is a pure function of
+///   `(seed, key)` — independent of call history.
+/// * [`next_attempt`](Self::next_attempt) hands out a per-key attempt
+///   counter (0-based) under a lock, so concurrent callers get distinct
+///   attempts.
+/// * [`scheduled`](Self::scheduled) combines both with the optional
+///   attempt-mode cap (`Some(k)`: only the first `k` attempts fire).
+/// * [`draw`](Self::draw) exposes the raw seeded hash for derived
+///   quantities (fault kind variants, latency, corruption offsets).
+#[derive(Debug)]
+pub struct FaultSchedule {
+    seed: u64,
+    permille: u16,
+    failures_per_key: Option<u32>,
+    /// Per-key attempt counters; also drive the seed-derived variation
+    /// across retries of the same key.
+    // lint:allow(string-keyed-map, reason="injection-boundary bookkeeping keyed by the opaque fault key (query term or storage operation label)")
+    attempts: Mutex<HashMap<String, u64>>,
+}
+
+impl FaultSchedule {
+    /// A schedule with the given seed affecting `permille`/1000 of keys.
+    pub fn new(seed: u64, permille: u16) -> Self {
+        Self {
+            seed,
+            permille,
+            failures_per_key: None,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attempt mode: an affected key's first `failures` attempts fire,
+    /// later attempts do not.
+    pub fn with_failures_per_key(mut self, failures: u32) -> Self {
+        self.failures_per_key = Some(failures);
+        self
+    }
+
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The raw seeded FNV-1a draw for `(key, salt)` — the primitive all
+    /// derived quantities come from.
+    pub fn draw(&self, key: &str, salt: u64) -> u64 {
+        fnv1a(self.seed, key, salt)
+    }
+
+    /// Whether the schedule targets `key` — a pure function of
+    /// `(seed, key)`, independent of call history.
+    pub fn is_affected(&self, key: &str) -> bool {
+        self.draw(key, 0) % 1000 < u64::from(self.permille)
+    }
+
+    /// Claim the next attempt number for `key` (0-based).
+    pub fn next_attempt(&self, key: &str) -> u64 {
+        let mut attempts = self.attempts.lock();
+        let slot = attempts.entry(key.to_string()).or_insert(0);
+        let a = *slot;
+        *slot += 1;
+        a
+    }
+
+    /// Whether a fault fires for `key` on the given attempt.
+    pub fn scheduled(&self, key: &str, attempt: u64) -> bool {
+        self.is_affected(key)
+            && match self.failures_per_key {
+                None => true,
+                Some(k) => attempt < u64::from(k),
+            }
+    }
+}
+
 /// A fault-injecting decorator for a [`ContextResource`]. Forwards the
 /// wrapped resource's [`name`](ContextResource::name) so degraded-coverage
 /// provenance matches a fault-free build of the same resource set.
 pub struct FaultyResource<R> {
     inner: R,
     plan: FaultPlan,
+    schedule: FaultSchedule,
     clock: VirtualClock,
     healed: AtomicBool,
-    /// Per-term attempt counters (attempt mode); also drives the
-    /// seed-derived latency/kind variation across retries.
-    // lint:allow(string-keyed-map, reason="backend-boundary bookkeeping keyed by the query string the resource receives")
-    attempts: Mutex<HashMap<String, u64>>,
     injected: AtomicU64,
 }
 
@@ -108,12 +185,16 @@ impl<R: ContextResource> FaultyResource<R> {
     /// Wrap `inner` with the given plan, advancing `clock` by the
     /// simulated latency of every attempt.
     pub fn new(inner: R, plan: FaultPlan, clock: VirtualClock) -> Self {
+        let mut schedule = FaultSchedule::new(plan.seed, plan.term_failure_permille);
+        if let Some(k) = plan.failures_per_term {
+            schedule = schedule.with_failures_per_key(k);
+        }
         Self {
             inner,
             plan,
+            schedule,
             clock,
             healed: AtomicBool::new(false),
-            attempts: Mutex::new(HashMap::new()),
             injected: AtomicU64::new(0),
         }
     }
@@ -153,11 +234,11 @@ impl<R: ContextResource> FaultyResource<R> {
     /// Whether the plan targets `term` while active — a pure function of
     /// `(seed, term)`, independent of call history.
     pub fn is_affected(&self, term: &str) -> bool {
-        fnv1a(self.plan.seed, term, 0) % 1000 < u64::from(self.plan.term_failure_permille)
+        self.schedule.is_affected(term)
     }
 
     fn kind_for(&self, term: &str, attempt: u64) -> FaultKind {
-        match fnv1a(self.plan.seed, term, attempt.wrapping_add(1)) % 3 {
+        match self.schedule.draw(term, attempt.wrapping_add(1)) % 3 {
             0 => FaultKind::Transient,
             1 => FaultKind::Timeout,
             _ => FaultKind::Overload,
@@ -167,7 +248,7 @@ impl<R: ContextResource> FaultyResource<R> {
     fn latency_for(&self, term: &str, attempt: u64) -> u64 {
         let (lo, hi) = self.plan.latency_us;
         let span = hi.saturating_sub(lo).saturating_add(1);
-        lo + fnv1a(self.plan.seed, term, attempt.wrapping_add(0x10_0000)) % span
+        lo + self.schedule.draw(term, attempt.wrapping_add(0x10_0000)) % span
     }
 }
 
@@ -181,21 +262,9 @@ impl<R: ContextResource> ContextResource for FaultyResource<R> {
     }
 
     fn try_context_terms(&self, term: &str) -> Result<Vec<String>, ResourceError> {
-        let attempt = {
-            let mut attempts = self.attempts.lock();
-            let slot = attempts.entry(term.to_string()).or_insert(0);
-            let a = *slot;
-            *slot += 1;
-            a
-        };
+        let attempt = self.schedule.next_attempt(term);
         self.clock.advance_us(self.latency_for(term, attempt));
-        let scheduled = !self.is_healed()
-            && self.is_affected(term)
-            && match self.plan.failures_per_term {
-                None => true,
-                Some(k) => attempt < u64::from(k),
-            };
-        if scheduled {
+        if !self.is_healed() && self.schedule.scheduled(term, attempt) {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(ResourceError::new(
                 self.inner.name(),
@@ -291,6 +360,26 @@ mod tests {
         let t1 = run(5);
         assert!(t1 > 0, "queries cost virtual time");
         assert_eq!(t1, run(5), "same seed, same virtual timeline");
+    }
+
+    #[test]
+    fn schedule_is_the_shared_machinery() {
+        // FaultyResource's targeting is exactly the shared FaultSchedule:
+        // same seed, same affected set, same raw draws.
+        let sched = FaultSchedule::new(42, 500);
+        let f = FaultyResource::new(Echo, FaultPlan::seeded(42, 500), VirtualClock::new());
+        for t in ["alpha", "beta", "gamma", "delta"] {
+            assert_eq!(sched.is_affected(t), f.is_affected(t));
+        }
+        assert_eq!(sched.draw("k", 7), FaultSchedule::new(42, 500).draw("k", 7));
+        assert_eq!(sched.seed(), 42);
+        // Attempt mode caps scheduled firings per key; counters are
+        // handed out per key.
+        let capped = FaultSchedule::new(9, 1000).with_failures_per_key(2);
+        assert!(capped.scheduled("x", capped.next_attempt("x")));
+        assert!(capped.scheduled("x", capped.next_attempt("x")));
+        assert!(!capped.scheduled("x", capped.next_attempt("x")));
+        assert_eq!(capped.next_attempt("y"), 0);
     }
 
     #[test]

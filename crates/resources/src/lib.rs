@@ -40,9 +40,9 @@ pub use clock::VirtualClock;
 pub use expand::{
     expand_append_recorded, expand_database, expand_database_recorded, intern_important_terms,
     repair_degraded_recorded, try_expand_database_recorded, AppendOutcome, ContextualizedDatabase,
-    ExpansionCache, ExpansionError, ExpansionOptions, RepairOutcome,
+    ExpansionCache, ExpansionError, ExpansionOptions, RepairOutcome, ResolvedTerm,
 };
-pub use fault::{FaultPlan, FaultyResource};
+pub use fault::{FaultPlan, FaultSchedule, FaultyResource};
 pub use google::GoogleResource;
 pub use hypernyms::WordNetHypernymsResource;
 pub use resilient::{BreakerConfig, BreakerState, ResilientResource, RetryPolicy};

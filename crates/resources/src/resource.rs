@@ -19,12 +19,32 @@ pub enum FaultKind {
     /// The query can never succeed as issued (malformed term, auth
     /// failure); retrying is pointless.
     Permanent,
+    /// Storage fault: a write persisted fewer bytes than requested
+    /// (crash mid-write). The short prefix is already durable, so
+    /// retrying in place cannot help — recovery must detect the damage
+    /// via checksums and repair from a prior snapshot/WAL state.
+    ShortWrite,
+    /// Storage fault: a persisted byte was flipped (media corruption,
+    /// torn sector). Detectable only by checksum verification on read.
+    CorruptByte,
+    /// Storage fault: the file lost its tail past some offset (crash
+    /// before the final extent was durable).
+    TruncateAt,
 }
 
 impl FaultKind {
-    /// Whether a retry of the same query can plausibly succeed.
+    /// Whether a retry of the same query can plausibly succeed. Storage
+    /// faults damage durable state, so like [`FaultKind::Permanent`]
+    /// they are not retryable — the recovery path, not the retry path,
+    /// handles them.
     pub fn is_retryable(self) -> bool {
-        !matches!(self, FaultKind::Permanent)
+        !matches!(
+            self,
+            FaultKind::Permanent
+                | FaultKind::ShortWrite
+                | FaultKind::CorruptByte
+                | FaultKind::TruncateAt
+        )
     }
 }
 
@@ -35,6 +55,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Timeout => "timeout",
             FaultKind::Overload => "overload",
             FaultKind::Permanent => "permanent",
+            FaultKind::ShortWrite => "short-write",
+            FaultKind::CorruptByte => "corrupt-byte",
+            FaultKind::TruncateAt => "truncate-at",
         };
         f.write_str(s)
     }
@@ -197,6 +220,16 @@ mod tests {
         assert_eq!(err.kind, FaultKind::Overload);
         assert_eq!(err.to_string(), "Down (overload): backend unavailable");
         assert!(!FaultKind::Permanent.is_retryable());
+        // Storage faults corrupt durable state: never retryable in
+        // place, and each renders with a stable lowercase name.
+        for (kind, name) in [
+            (FaultKind::ShortWrite, "short-write"),
+            (FaultKind::CorruptByte, "corrupt-byte"),
+            (FaultKind::TruncateAt, "truncate-at"),
+        ] {
+            assert!(!kind.is_retryable());
+            assert_eq!(kind.to_string(), name);
+        }
         // The infallible view degrades to empty, never panics.
         assert!(d.context_terms("x").is_empty());
         // Errors forward through the blanket impl too.

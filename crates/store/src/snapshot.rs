@@ -1,0 +1,357 @@
+//! The versioned snapshot container: named, checksummed sections inside
+//! a magic/version/trailer frame, plus the retention-managed set of
+//! snapshot generations on storage.
+//!
+//! ## On-disk layout (all integers little-endian)
+//!
+//! ```text
+//! magic "FSNP" | version u32 | generation u64 | section_count u32
+//! section*:  name (u64-len str) | payload (u64-len bytes) | fnv1a(name ++ payload) u64
+//! trailer:   fnv1a(everything before the trailer) u64
+//! ```
+//!
+//! Per-section checksums localize damage (`StoreError::CorruptSection`
+//! names the section, and the flipped-byte sweep in `tests/recovery.rs`
+//! proves every section is covered); the whole-file trailer catches
+//! framing damage between sections. The payloads themselves are opaque
+//! here — `facet-core`'s persistence layer defines what goes in them.
+
+use crate::bytes::{fnv1a, ByteReader, ByteWriter};
+use crate::error::StoreError;
+use crate::storage::Storage;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// File magic of a snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"FSNP";
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A snapshot ready to be framed: a generation counter plus named,
+/// opaque section payloads (order is preserved and covered by the file
+/// checksum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPayload {
+    /// The publication generation this snapshot captures.
+    pub generation: u64,
+    /// `(section name, payload)` pairs.
+    pub sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotPayload {
+    /// The payload of a named section, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
+    }
+}
+
+/// Frame a payload into the on-disk snapshot format.
+pub fn encode_snapshot(payload: &SnapshotPayload) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.raw(SNAPSHOT_MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(payload.generation);
+    w.u32(payload.sections.len() as u32);
+    for (name, bytes) in &payload.sections {
+        w.str(name);
+        w.bytes(bytes);
+        let mut sum = ByteWriter::new();
+        sum.raw(name.as_bytes());
+        sum.raw(bytes);
+        w.u64(fnv1a(&sum.finish()));
+    }
+    let mut buf = w.finish();
+    let trailer = fnv1a(&buf);
+    buf.extend_from_slice(&trailer.to_le_bytes());
+    buf
+}
+
+/// Parse and verify a snapshot file: magic, version, every section
+/// checksum, and the whole-file trailer.
+pub fn decode_snapshot(buf: &[u8]) -> Result<SnapshotPayload, StoreError> {
+    let corrupt = |detail: &str| StoreError::CorruptSnapshot {
+        detail: detail.to_string(),
+    };
+    if buf.len() < 8 {
+        return Err(corrupt("shorter than the trailer checksum"));
+    }
+    let (body, trailer_bytes) = buf.split_at(buf.len() - 8);
+    let trailer = trailer_bytes
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| corrupt("unreadable trailer"))?;
+    let mut r = ByteReader::new(body);
+    match r.take(4) {
+        Some(m) if m == SNAPSHOT_MAGIC => {}
+        Some(_) => return Err(StoreError::BadMagic),
+        None => return Err(corrupt("missing magic")),
+    }
+    let version = r.u32().ok_or_else(|| corrupt("missing version"))?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion { found: version });
+    }
+    let generation = r.u64().ok_or_else(|| corrupt("missing generation"))?;
+    let count = r.u32().ok_or_else(|| corrupt("missing section count"))?;
+    let mut sections = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = r
+            .str()
+            .ok_or_else(|| corrupt("unreadable section name"))?
+            .to_string();
+        let payload = r
+            .bytes()
+            .ok_or_else(|| StoreError::CorruptSection {
+                section: name.clone(),
+            })?
+            .to_vec();
+        let sum = r.u64().ok_or_else(|| StoreError::CorruptSection {
+            section: name.clone(),
+        })?;
+        let mut check = ByteWriter::new();
+        check.raw(name.as_bytes());
+        check.raw(&payload);
+        if fnv1a(&check.finish()) != sum {
+            return Err(StoreError::CorruptSection { section: name });
+        }
+        sections.push((name, payload));
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes after the last section"));
+    }
+    // Per-section checksums localize damage; the whole-file trailer is
+    // the backstop for bytes no section covers (header fields, framing).
+    if fnv1a(body) != trailer {
+        return Err(corrupt("file checksum mismatch"));
+    }
+    Ok(SnapshotPayload {
+        generation,
+        sections,
+    })
+}
+
+/// File name of a snapshot generation (zero-padded so lexicographic
+/// order is numeric order).
+pub fn snapshot_file_name(generation: u64) -> String {
+    format!("snap-{generation:020}.bin")
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+/// The set of snapshot generations on storage, with retention.
+///
+/// The mutex serializes publication against the generation list: a
+/// publish is (atomic file write, list update, prune of generations past
+/// the retention window) and concurrent publishers/recoverers must each
+/// observe a consistent list. Interleaving coverage:
+/// [`tests::concurrent_publish_keeps_a_loadable_latest`].
+pub(crate) struct SnapshotSet {
+    storage: Arc<dyn Storage>,
+    /// Known generations, ascending.
+    generations: Mutex<Vec<u64>>,
+}
+
+impl SnapshotSet {
+    /// Scan storage for existing snapshot files.
+    pub(crate) fn open(storage: Arc<dyn Storage>) -> Result<Self, StoreError> {
+        let mut gens: Vec<u64> = storage
+            .list()?
+            .iter()
+            .filter_map(|n| parse_snapshot_name(n))
+            .collect();
+        gens.sort_unstable();
+        Ok(Self {
+            storage,
+            generations: Mutex::new(gens),
+        })
+    }
+
+    /// Write a new snapshot generation atomically, keep the newest
+    /// `keep` generations, and return the oldest generation still
+    /// retained (the WAL may prune records at or below it).
+    pub(crate) fn publish(
+        &self,
+        payload: &SnapshotPayload,
+        keep: usize,
+    ) -> Result<u64, StoreError> {
+        let bytes = encode_snapshot(payload);
+        let mut gens = self.generations.lock();
+        self.storage
+            .write_atomic(&snapshot_file_name(payload.generation), &bytes)?;
+        match gens.binary_search(&payload.generation) {
+            Ok(_) => {}
+            Err(i) => gens.insert(i, payload.generation),
+        }
+        while gens.len() > keep.max(1) {
+            let old = gens.remove(0);
+            self.storage.remove(&snapshot_file_name(old))?;
+        }
+        Ok(gens.first().copied().unwrap_or(payload.generation))
+    }
+
+    /// Known generations, newest first.
+    pub(crate) fn candidates(&self) -> Vec<u64> {
+        let mut gens = self.generations.lock().clone();
+        gens.reverse();
+        gens
+    }
+
+    /// Load and verify one generation.
+    pub(crate) fn load(&self, generation: u64) -> Result<SnapshotPayload, StoreError> {
+        let name = snapshot_file_name(generation);
+        let bytes = self
+            .storage
+            .read(&name)?
+            .ok_or_else(|| StoreError::CorruptSnapshot {
+                detail: format!("{name} missing"),
+            })?;
+        let payload = decode_snapshot(&bytes)?;
+        if payload.generation != generation {
+            return Err(StoreError::CorruptSnapshot {
+                detail: format!(
+                    "{name} claims generation {} (header/name mismatch)",
+                    payload.generation
+                ),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::DiskStorage;
+    use crate::test_dir;
+
+    fn payload(generation: u64) -> SnapshotPayload {
+        SnapshotPayload {
+            generation,
+            sections: vec![
+                ("meta".to_string(), vec![1, 2, 3]),
+                ("vocab".to_string(), b"abcdef".to_vec()),
+                ("empty".to_string(), Vec::new()),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = payload(42);
+        let decoded = decode_snapshot(&encode_snapshot(&p)).expect("round trip");
+        assert_eq!(decoded, p);
+        assert_eq!(decoded.section("vocab"), Some(&b"abcdef"[..]));
+        assert_eq!(decoded.section("missing"), None);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let bytes = encode_snapshot(&payload(7));
+        for pos in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[pos] ^= 0x40;
+            assert!(
+                decode_snapshot(&damaged).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(&payload(7));
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let mut bad_magic = encode_snapshot(&payload(1));
+        bad_magic[0] = b'X';
+        // Trailer must be rewritten or the file checksum masks the magic.
+        let body_len = bad_magic.len() - 8;
+        let sum = fnv1a(&bad_magic[..body_len]).to_le_bytes();
+        bad_magic[body_len..].copy_from_slice(&sum);
+        assert_eq!(decode_snapshot(&bad_magic), Err(StoreError::BadMagic));
+
+        let mut bad_version = encode_snapshot(&payload(1));
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bad_version.len() - 8;
+        let sum = fnv1a(&bad_version[..body_len]).to_le_bytes();
+        bad_version[body_len..].copy_from_slice(&sum);
+        assert_eq!(
+            decode_snapshot(&bad_version),
+            Err(StoreError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn retention_keeps_the_newest_two() {
+        let dir = test_dir("snapset-retention");
+        let storage: Arc<dyn Storage> = Arc::new(DiskStorage::open(&dir).expect("open"));
+        let set = SnapshotSet::open(Arc::clone(&storage)).expect("open set");
+        for g in 1..=5 {
+            let oldest = set.publish(&payload(g), 2).expect("publish");
+            assert_eq!(oldest, g.saturating_sub(1).max(1));
+        }
+        assert_eq!(set.candidates(), vec![5, 4]);
+        // A fresh scan of the directory agrees with the in-memory list.
+        let reopened = SnapshotSet::open(storage).expect("reopen");
+        assert_eq!(reopened.candidates(), vec![5, 4]);
+        assert_eq!(reopened.load(4).expect("load").generation, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_publish_keeps_a_loadable_latest() {
+        // Interleaving coverage for the C1 sanction on store::snapshot:
+        // publishers race retention pruning while readers load whatever
+        // candidate list they observe; every observed candidate must be
+        // either loadable and valid or already pruned — never torn.
+        let dir = test_dir("snapset-interleave");
+        let storage: Arc<dyn Storage> = Arc::new(DiskStorage::open(&dir).expect("open"));
+        let set = Arc::new(SnapshotSet::open(storage).expect("open set"));
+        set.publish(&payload(1), 2).expect("seed generation");
+        std::thread::scope(|scope| {
+            let writer = {
+                let set = Arc::clone(&set);
+                scope.spawn(move || {
+                    for g in 2..=30 {
+                        set.publish(&payload(g), 2).expect("publish");
+                    }
+                })
+            };
+            for _ in 0..3 {
+                let set = Arc::clone(&set);
+                scope.spawn(move || {
+                    for _ in 0..60 {
+                        for g in set.candidates() {
+                            match set.load(g) {
+                                Ok(p) => assert_eq!(p.generation, g),
+                                Err(StoreError::CorruptSnapshot { detail }) => {
+                                    // Lost the race to retention pruning.
+                                    assert!(detail.contains("missing"), "{detail}");
+                                }
+                                Err(e) => panic!("torn snapshot observed: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+            writer.join().expect("writer");
+        });
+        assert_eq!(set.candidates(), vec![30, 29]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -273,6 +273,79 @@ impl Interner {
             inner: Arc::new(self.clone()),
         }
     }
+
+    /// The backing text arena (serialization surface; pair with
+    /// [`Interner::spans`] and restore via [`Interner::from_parts`]).
+    pub fn arena(&self) -> &str {
+        &self.arena
+    }
+
+    /// The per-symbol byte ranges into [`Interner::arena`], in symbol
+    /// order.
+    pub fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Rebuild an interner from a serialized `(arena, spans)` pair plus
+    /// the hit/miss counters, rehashing every span to reconstruct the
+    /// probe table exactly as progressive interning would have.
+    ///
+    /// Returns `None` when the parts are inconsistent: a span out of
+    /// bounds, inverted, off a UTF-8 boundary, or two spans resolving to
+    /// the same text (symbols are distinct terms by construction).
+    pub fn from_parts(
+        arena: String,
+        spans: Vec<(u32, u32)>,
+        hits: u64,
+        misses: u64,
+    ) -> Option<Self> {
+        for &(start, end) in &spans {
+            let (s, e) = (start as usize, end as usize);
+            if s > e || e > arena.len() || !arena.is_char_boundary(s) || !arena.is_char_boundary(e)
+            {
+                return None;
+            }
+        }
+        let text = |i: usize| -> &str {
+            let (start, end) = spans[i];
+            &arena[start as usize..end as usize]
+        };
+        // Replay intern()'s growth sequence (double at 7/8 load, checked
+        // before each insert) so the table size — and therefore future
+        // growth points — matches a live interner that interned the same
+        // terms in the same order.
+        let mut table: Vec<u32> = Vec::new();
+        for i in 0..spans.len() {
+            if (i + 1) * 8 > table.len() * 7 {
+                let mut grown = vec![0u32; (table.len() * 2).max(16)];
+                for j in 0..i {
+                    Self::insert_hashed(&mut grown, Sym(j as u32), fnv1a(text(j)));
+                }
+                table = grown;
+            }
+            let hash = fnv1a(text(i));
+            let mask = table.len() - 1;
+            let mut idx = (hash as usize) & mask;
+            loop {
+                let slot = table[idx];
+                if slot == 0 {
+                    break;
+                }
+                if text((slot - 1) as usize) == text(i) {
+                    return None;
+                }
+                idx = (idx + 1) & mask;
+            }
+            table[idx] = i as u32 + 1;
+        }
+        Some(Self {
+            arena,
+            spans,
+            table,
+            hits,
+            misses,
+        })
+    }
 }
 
 /// An immutable, cheaply-clonable snapshot of an [`Interner`].
@@ -641,5 +714,52 @@ mod tests {
         let s = i.stats();
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(InternStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut live = Interner::new();
+        // Enough terms to force several table growths.
+        for i in 0..100 {
+            live.intern(&format!("term {i}"));
+        }
+        live.intern("term 5");
+        let restored = Interner::from_parts(
+            live.arena().to_string(),
+            live.spans().to_vec(),
+            live.stats().hits,
+            live.stats().misses,
+        )
+        .expect("valid parts restore");
+        assert_eq!(restored.stats(), live.stats());
+        for (sym, term) in live.iter() {
+            assert_eq!(restored.resolve(sym), term);
+            assert_eq!(restored.get(term), Some(sym));
+        }
+        // The rebuilt probe table matches the live one's growth history,
+        // so continued interning behaves identically.
+        let mut a = live.clone();
+        let mut b = restored;
+        for i in 0..50 {
+            assert_eq!(
+                a.intern(&format!("late {i}")),
+                b.intern(&format!("late {i}"))
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        // Span past the arena end.
+        assert!(Interner::from_parts("ab".into(), vec![(0, 3)], 0, 0).is_none());
+        // Inverted span.
+        assert!(Interner::from_parts("ab".into(), vec![(2, 1)], 0, 0).is_none());
+        // Span off a UTF-8 boundary.
+        assert!(Interner::from_parts("é".into(), vec![(0, 1)], 0, 0).is_none());
+        // Two symbols with identical text.
+        assert!(Interner::from_parts("aa".into(), vec![(0, 1), (1, 2)], 0, 0).is_none());
+        // A well-formed empty interner restores.
+        assert!(Interner::from_parts(String::new(), Vec::new(), 0, 0).is_some());
     }
 }

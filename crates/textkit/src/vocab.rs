@@ -112,6 +112,18 @@ impl Vocabulary {
         self.interner.extend_remap(&other.interner, remap);
     }
 
+    /// The backing interner (serialization surface; restore via
+    /// [`Vocabulary::from_interner`]).
+    pub fn as_interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Wrap a restored interner (see [`Interner::from_parts`]) back into
+    /// a vocabulary.
+    pub fn from_interner(interner: Interner) -> Self {
+        Self { interner }
+    }
+
     /// Take an immutable, shareable snapshot of the current state.
     ///
     /// The frozen view is detached: later `intern` calls on `self` do not

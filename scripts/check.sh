@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Repository gate: formatting, lints, and the full test suite.
 #
-# Usage: scripts/check.sh [--tier1|--bench-smoke|--serve-smoke|--trace-smoke|--lint|--chaos]
+# Usage: scripts/check.sh [--tier1|--bench-smoke|--serve-smoke|--store-smoke|--trace-smoke|--lint|--chaos]
 #
 #   --tier1        Run exactly the tier-1 gate (release build + tests), the
 #                  command CI and the roadmap treat as the must-stay-green
 #                  bar, plus the sharded-index determinism sweep, the chaos
-#                  (fault-injection) suite, the trace-export determinism
-#                  smoke, and the facet-lint workspace gate.
+#                  (fault-injection) suite, the durability (snapshot + WAL
+#                  recovery) smoke, the trace-export determinism smoke, and
+#                  the facet-lint workspace gate.
 #   --bench-smoke  Run the shard benchmark on a tiny recipe with its
 #                  invariant assertions on (equivalence to the batch build,
 #                  rate arithmetic), and the resilience benchmark with its
@@ -17,6 +18,12 @@
 #                  BENCH_BASELINES.json), so bench-math regressions fail
 #                  fast; also assert the facet-lint JSON report parses, is
 #                  span-sorted, and is byte-identical across runs.
+#   --store-smoke  Run the durability benchmark on a tiny recipe with its
+#                  invariant assertions on (recovery-vs-rebuild speedup
+#                  floor, digest identity of every recovery, fallback on a
+#                  corrupt snapshot, truncation of a torn WAL tail), then
+#                  the bench_diff store-smoke regression gate over the
+#                  smoke report. See DESIGN.md section 18.
 #   --serve-smoke  Run the serving-tier load bench twice on a tiny recipe
 #                  with its invariant assertions on (zero cached-vs-
 #                  uncached byte-identity mismatches, >=2x cached speedup,
@@ -93,9 +100,25 @@ run_serve_smoke() {
     cmp target/SERVE_A.digest target/SERVE_B.digest
 }
 
+run_store_smoke() {
+    echo "== store smoke: durability_bench --smoke + bench_diff store-smoke gate"
+    mkdir -p target
+    cargo run -q --release -p facet-bench --bin durability_bench -- \
+        --scale 0.05 --iters 3 --smoke \
+        --out target/BENCH_6.smoke.json
+    cargo run -q --release -p facet-bench --bin bench_diff -- \
+        --spec BENCH_BASELINES.json --profile store-smoke
+}
+
 if [[ "${1:-}" == "--serve-smoke" ]]; then
     run_serve_smoke
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--store-smoke" ]]; then
+    run_store_smoke
+    echo "Store smoke passed."
     exit 0
 fi
 
@@ -125,6 +148,7 @@ if [[ "${1:-}" == "--tier1" ]]; then
     cargo test -q --test determinism shard
     cargo test -q -p facet-core shard::
     run_chaos
+    run_store_smoke
     run_serve_smoke
     run_trace_smoke
     run_lint

@@ -17,6 +17,7 @@ pub use facet_ner as ner;
 pub use facet_obs as obs;
 pub use facet_resources as resources;
 pub use facet_stats as stats;
+pub use facet_store as store;
 pub use facet_termx as termx;
 pub use facet_textkit as textkit;
 pub use facet_websearch as websearch;

@@ -344,6 +344,99 @@ fn fanout_browse_is_identical_across_shard_and_thread_sweep() {
 }
 
 #[test]
+fn persist_and_reopen_round_trip_is_bit_identical() {
+    // Durability-tier analogue of the shard sweep: writing an index to a
+    // store and recovering it must reproduce the live index exactly —
+    // candidate statistics bit-for-bit, forest edges, and the snapshot
+    // digest — and the reopened index must keep evolving identically
+    // (its vocabulary, caches, and frequency tables all survived).
+    use facet_hierarchies::core::{FacetIndex, ShardedFacetIndex};
+    use facet_hierarchies::store::FacetStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "facet-determinism-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    let bundle = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
+    let graph = WikipediaGraph::new(&bundle.wiki.wiki, &bundle.wiki.redirects);
+    let tagger = NerTagger::from_world(&bundle.world);
+    let ne = NamedEntityExtractor::new(tagger);
+    let docs = bundle.corpus.db.docs().to_vec();
+    let (head, tail) = docs.split_at(docs.len() / 2);
+    let options = PipelineOptions {
+        top_k: 300,
+        ..Default::default()
+    };
+
+    // Unsharded round trip.
+    {
+        let dir = test_dir("flat");
+        let store = FacetStore::open(&dir).expect("open store");
+        let res = CachedResource::new(WikiGraphResource::new(&graph));
+        let mut live = FacetIndex::build(head.to_vec(), vec![&ne], vec![&res], options.clone())
+            .expect("build");
+        live.persist_to(&store).expect("persist");
+        let res2 = CachedResource::new(WikiGraphResource::new(&graph));
+        let (mut reopened, report) =
+            FacetIndex::open_from(&store, vec![&ne], vec![&res2], options.clone())
+                .expect("open_from");
+        assert!(!report.fell_back && !report.tail_truncated);
+        assert_eq!(
+            snapshot_rows(&reopened.snapshot()),
+            snapshot_rows(&live.snapshot()),
+            "reopened flat index diverged from the live one"
+        );
+        assert_eq!(reopened.snapshot().digest(), live.snapshot().digest());
+        live.append(tail.to_vec()).expect("append live");
+        reopened.append(tail.to_vec()).expect("append reopened");
+        assert_eq!(
+            snapshot_rows(&reopened.snapshot()),
+            snapshot_rows(&live.snapshot()),
+            "the reopened flat index must keep evolving identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Sharded round trip.
+    {
+        let dir = test_dir("sharded");
+        let store = FacetStore::open(&dir).expect("open store");
+        let res = CachedResource::new(WikiGraphResource::new(&graph));
+        let mut live =
+            ShardedFacetIndex::build(head.to_vec(), 3, vec![&ne], vec![&res], options.clone())
+                .expect("build");
+        live.persist_to(&store).expect("persist");
+        let res2 = CachedResource::new(WikiGraphResource::new(&graph));
+        let (mut reopened, report) =
+            ShardedFacetIndex::open_from(&store, 3, vec![&ne], vec![&res2], options.clone())
+                .expect("open_from");
+        assert!(!report.fell_back && !report.tail_truncated);
+        assert_eq!(
+            snapshot_rows(&reopened.snapshot()),
+            snapshot_rows(&live.snapshot()),
+            "reopened sharded index diverged from the live one"
+        );
+        assert_eq!(reopened.snapshot().digest(), live.snapshot().digest());
+        live.append(tail.to_vec()).expect("append live");
+        reopened.append(tail.to_vec()).expect("append reopened");
+        assert_eq!(
+            snapshot_rows(&reopened.snapshot()),
+            snapshot_rows(&live.snapshot()),
+            "the reopened sharded index must keep evolving identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
 fn recipes_differ_across_datasets() {
     let snyt = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snyt));
     let snb = DatasetBundle::build_with(tiny_recipe(RecipeKind::Snb));
